@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerates every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+# Short fuzzing sessions over the two text parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParseLine -fuzztime=30s ./internal/preference/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cpql/
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+# Reproduces the artifacts checked into the repository root.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,433 @@
+package contextpref
+
+// This file holds the benchmark harness required by DESIGN.md §4: one
+// benchmark per paper table/figure (regenerating the corresponding
+// measurement), the ablation benches of DESIGN.md §5, and
+// micro-benchmarks of the core operations. Regenerate all evaluation
+// artifacts with:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/experiments -run all
+//
+// The figure benches report the paper's own cost metrics (cells,
+// cells/query) via b.ReportMetric alongside wall-clock time.
+
+import (
+	"testing"
+
+	"contextpref/internal/dataset"
+	"contextpref/internal/distance"
+	"contextpref/internal/experiments"
+	"contextpref/internal/profiletree"
+	"contextpref/internal/query"
+	"contextpref/internal/relation"
+	"contextpref/internal/usability"
+)
+
+const benchSeed = 2007
+
+// BenchmarkTable1UserStudy regenerates Table 1 (simulated usability
+// study: 10 users, top-20, exact/1-cover/multi-cover precision).
+func BenchmarkTable1UserStudy(b *testing.B) {
+	cfg := usability.DefaultConfig()
+	cfg.NumUsers = 5
+	cfg.NumPOIs = 200
+	cfg.QueriesPerCase = 6
+	var last *usability.StudyResult
+	for i := 0; i < b.N; i++ {
+		res, err := usability.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	avg := last.Averages()
+	b.ReportMetric(avg.ExactPct, "exact%")
+	b.ReportMetric(avg.MultiJaccardPct, "multiJaccard%")
+}
+
+// BenchmarkFig5TreeSizeReal regenerates Fig. 5 (profile-tree size over
+// the real 522-preference profile, all orderings vs serial).
+func BenchmarkFig5TreeSizeReal(b *testing.B) {
+	var last *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Rows[0].Cells), "serialCells")
+	b.ReportMetric(float64(last.Rows[1].Cells), "order1Cells")
+}
+
+// BenchmarkFig6Uniform regenerates Fig. 6 (left): tree size vs profile
+// size under uniform value distributions.
+func BenchmarkFig6Uniform(b *testing.B) {
+	benchFig6(b, dataset.Uniform, 0)
+}
+
+// BenchmarkFig6Zipf regenerates Fig. 6 (center): tree size vs profile
+// size under zipf(1.5) value distributions.
+func BenchmarkFig6Zipf(b *testing.B) {
+	benchFig6(b, dataset.Zipf, 1.5)
+}
+
+func benchFig6(b *testing.B, d dataset.Dist, a float64) {
+	var last *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(d, a, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	final := last.Points[len(last.Points)-1]
+	b.ReportMetric(float64(final.Cells["order 1"]), "order1Cells@10k")
+	b.ReportMetric(float64(final.Cells["serial"]), "serialCells@10k")
+}
+
+// BenchmarkFig6Skew regenerates Fig. 6 (right): the ordering crossover
+// as the 200-value parameter's skew grows from a=0 to a=3.5.
+func BenchmarkFig6Skew(b *testing.B) {
+	var last *experiments.Fig6SkewResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6Skew(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	n := len(last.As) - 1
+	b.ReportMetric(float64(last.Cells["order 1"][n]), "order1Cells@a3.5")
+	b.ReportMetric(float64(last.Cells["order 3"][n]), "order3Cells@a3.5")
+}
+
+// BenchmarkFig7Real regenerates Fig. 7 (left): cell accesses per
+// context resolution over the real profile, tree vs serial.
+func BenchmarkFig7Real(b *testing.B) {
+	var last *experiments.Fig7RealResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7Real(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Exact.TreeCells, "treeCells/q")
+	b.ReportMetric(last.Exact.SerialCells, "serialCells/q")
+}
+
+// BenchmarkFig7SyntheticExact regenerates Fig. 7 (center): exact-match
+// accesses vs profile size over the synthetic environment.
+func BenchmarkFig7SyntheticExact(b *testing.B) {
+	benchFig7Synthetic(b, true)
+}
+
+// BenchmarkFig7SyntheticCover regenerates Fig. 7 (right): non-exact
+// (cover) accesses vs profile size over the synthetic environment.
+func BenchmarkFig7SyntheticCover(b *testing.B) {
+	benchFig7Synthetic(b, false)
+}
+
+func benchFig7Synthetic(b *testing.B, exact bool) {
+	var last *experiments.Fig7SyntheticResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7Synthetic(exact, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	final := last.Points[len(last.Points)-1]
+	b.ReportMetric(final.Uniform.TreeCells, "treeCells/q@10k")
+	b.ReportMetric(final.Uniform.SerialCells, "serialCells/q@10k")
+}
+
+// realFixture builds the real profile, its tree (best ordering), the
+// sequential baseline, and query workloads once per benchmark.
+type realFixture struct {
+	env     *Environment
+	tree    *profiletree.Tree
+	seq     *profiletree.Sequential
+	exactQs []State
+	coverQs []State
+}
+
+func newRealFixture(b *testing.B) *realFixture {
+	b.Helper()
+	env, prefs, err := dataset.RealProfile(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Best ordering: ascending domain sizes, per the paper's setup.
+	order := []int{0, 1, 2} // people(4), time(17), location(100)
+	tree, err := profiletree.New(env, order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := profiletree.NewSequential(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range prefs {
+		if err := tree.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+		if err := seq.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	exactQs, err := dataset.QueriesFromPrefs(env, prefs, 64, benchSeed+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coverQs, err := dataset.RandomQueries(env, 64, benchSeed+2, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &realFixture{env: env, tree: tree, seq: seq, exactQs: exactQs, coverQs: coverQs}
+}
+
+// BenchmarkTreeInsert measures profile-tree insertion throughput.
+func BenchmarkTreeInsert(b *testing.B) {
+	env, prefs, err := dataset.RealProfile(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, err := profiletree.New(env, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range prefs {
+			if err := tree.Insert(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(prefs)), "prefs/op")
+}
+
+// BenchmarkSearchExact measures exact-match lookups on the real tree.
+func BenchmarkSearchExact(b *testing.B) {
+	fx := newRealFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fx.exactQs[i%len(fx.exactQs)]
+		if _, _, err := fx.tree.SearchExact(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchCover measures Search_CS cover searches on the real
+// tree under the hierarchy metric.
+func BenchmarkSearchCover(b *testing.B) {
+	fx := newRealFixture(b)
+	m := distance.Hierarchy{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fx.coverQs[i%len(fx.coverQs)]
+		if _, _, err := fx.tree.SearchCover(q, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialScan measures the baseline's cover search.
+func BenchmarkSequentialScan(b *testing.B) {
+	fx := newRealFixture(b)
+	m := distance.Hierarchy{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fx.coverQs[i%len(fx.coverQs)]
+		if _, _, err := fx.seq.SearchCover(q, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankCS measures full contextual query execution (Alg. 2)
+// over a 500-tuple POI relation.
+func BenchmarkRankCS(b *testing.B) {
+	fx := newRealFixture(b)
+	rel, err := dataset.POIs(fx.env, 500, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := query.NewEngine(fx.tree, rel, distance.Jaccard{}, relation.CombineMax)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fx.coverQs[i%len(fx.coverQs)]
+		if _, err := en.Execute(query.Contextual{TopK: 20}, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOrdering contrasts insertion cost and tree size
+// between the best (large domains low) and worst orderings.
+func BenchmarkAblationOrdering(b *testing.B) {
+	env, prefs, err := dataset.RealProfile(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name  string
+		order []int
+	}{
+		{"bestOrder", []int{0, 1, 2}},  // (4, 17, 100)
+		{"worstOrder", []int{2, 1, 0}}, // (100, 17, 4)
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cells int
+			for i := 0; i < b.N; i++ {
+				tree, err := profiletree.New(env, cfg.order)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range prefs {
+					if err := tree.Insert(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cells = tree.NumCells()
+			}
+			b.ReportMetric(float64(cells), "cells")
+		})
+	}
+}
+
+// BenchmarkAblationDistance contrasts resolution under the two metrics.
+func BenchmarkAblationDistance(b *testing.B) {
+	fx := newRealFixture(b)
+	for _, m := range distance.All() {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := fx.coverQs[i%len(fx.coverQs)]
+				if _, _, _, err := fx.tree.Resolve(q, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSearchStrategy contrasts the collect-all Search_CS
+// with the branch-and-bound variant.
+func BenchmarkAblationSearchStrategy(b *testing.B) {
+	fx := newRealFixture(b)
+	m := distance.Hierarchy{}
+	b.Run("collectAll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := fx.coverQs[i%len(fx.coverQs)]
+			cands, _, err := fx.tree.SearchCover(q, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			profiletree.Best(cands)
+		}
+	})
+	b.Run("branchAndBound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := fx.coverQs[i%len(fx.coverQs)]
+			if _, _, _, err := fx.tree.SearchCoverBest(q, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationQueryCache contrasts repeated query execution with
+// and without the context query tree.
+func BenchmarkAblationQueryCache(b *testing.B) {
+	env, err := ReferenceEnvironment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := dataset.POIs(env, 300, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	load := func(sys *System) {
+		if err := sys.AddPreferences(
+			MustPreference(MustDescriptor(Eq("location", "Plaka")),
+				Clause{Attr: "type", Op: OpEq, Val: String("monument")}, 0.8),
+			MustPreference(MustDescriptor(Eq("accompanying_people", "friends")),
+				Clause{Attr: "type", Op: OpEq, Val: String("brewery")}, 0.9),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cur, err := env.NewState("Plaka", "warm", "friends")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("noCache", func(b *testing.B) {
+		sys, err := NewSystem(env, rel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		load(sys)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Query(Query{}, cur); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("queryTree", func(b *testing.B) {
+		sys, err := NewSystem(env, rel, WithQueryCache(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		load(sys)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Query(Query{}, cur); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSelectionIndex contrasts Rank_CS execution with and
+// without a hash index on the clause column ("type"): every matched
+// preference becomes an equality selection, so the index replaces one
+// relation scan per entry.
+func BenchmarkAblationSelectionIndex(b *testing.B) {
+	fx := newRealFixture(b)
+	for _, indexed := range []bool{false, true} {
+		name := "scan"
+		if indexed {
+			name = "hashIndex"
+		}
+		b.Run(name, func(b *testing.B) {
+			rel, err := dataset.POIs(fx.env, 2000, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if indexed {
+				if err := rel.CreateIndex("type"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			en, err := query.NewEngine(fx.tree, rel, distance.Jaccard{}, relation.CombineMax)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := fx.coverQs[i%len(fx.coverQs)]
+				if _, err := en.Execute(query.Contextual{TopK: 20}, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

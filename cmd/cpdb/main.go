@@ -1,0 +1,423 @@
+// Command cpdb is an interactive shell over the context-aware
+// preference database: it loads the points-of-interest demo database,
+// lets you add contextual preferences, set the current context, and run
+// contextual queries, mirroring the workflow of the paper's prototype.
+//
+// Usage:
+//
+//	cpdb [-pois 300] [-seed 7] [-metric jaccard|hierarchy] [-profile file] [-cache]
+//
+// Commands (one per line on stdin; `help` lists them):
+//
+//	pref [location = ath_r01; time = morning] => type = museum : 0.9
+//	context friends t03 ath_r01
+//	query 10
+//	explore accompanying_people = family; time in {morning, noon}
+//	resolve
+//	stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"contextpref"
+	"contextpref/internal/dataset"
+	"contextpref/internal/preference"
+)
+
+func main() {
+	var (
+		pois    = flag.Int("pois", 300, "number of points of interest to generate")
+		seed    = flag.Int64("seed", 7, "random seed for the demo database")
+		metric  = flag.String("metric", "jaccard", "context-resolution metric: jaccard or hierarchy")
+		profile = flag.String("profile", "", "profile file to load at startup")
+		cache   = flag.Bool("cache", false, "enable the context query tree cache")
+		data    = flag.String("data", "", "CSV file with points of interest (replaces the generated database)")
+	)
+	flag.Parse()
+	if err := run(*pois, *seed, *metric, *profile, *cache, *data, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cpdb:", err)
+		os.Exit(1)
+	}
+}
+
+// session holds the shell's state.
+type session struct {
+	sys     *contextpref.System
+	current contextpref.State
+	out     io.Writer
+}
+
+func run(pois int, seed int64, metricName, profilePath string, cache bool, dataPath string, in io.Reader, out io.Writer) error {
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		return err
+	}
+	var rel *contextpref.Relation
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if rel, err = dataset.POIsFromCSV(env, f); err != nil {
+			return err
+		}
+	} else {
+		if rel, err = dataset.POIs(env, pois, seed); err != nil {
+			return err
+		}
+	}
+	metric, err := contextpref.MetricByName(metricName)
+	if err != nil {
+		return err
+	}
+	opts := []contextpref.Option{contextpref.WithMetric(metric)}
+	if cache {
+		opts = append(opts, contextpref.WithQueryCache(0))
+	}
+	sys, err := contextpref.NewSystem(env, rel, opts...)
+	if err != nil {
+		return err
+	}
+	if profilePath != "" {
+		text, err := os.ReadFile(profilePath)
+		if err != nil {
+			return err
+		}
+		if err := sys.LoadProfile(string(text)); err != nil {
+			return err
+		}
+	}
+	s := &session{sys: sys, out: out}
+	fmt.Fprintf(out, "cpdb: %d points of interest, metric %s; type 'help' for commands\n", rel.Len(), metric.Name())
+
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := s.dispatch(line); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}
+
+func (s *session) dispatch(line string) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		s.help()
+		return nil
+	case "pref":
+		return s.addPref(rest)
+	case "unpref":
+		return s.removePref(rest)
+	case "context":
+		return s.setContext(rest)
+	case "query":
+		return s.query(rest)
+	case "explore":
+		return s.explore(rest)
+	case "q":
+		return s.textQuery(rest)
+	case "resolve":
+		return s.resolve()
+	case "stats":
+		return s.stats()
+	case "env":
+		return s.describeEnv()
+	case "save":
+		return s.save(rest)
+	case "load":
+		return s.load(rest)
+	case "candidates":
+		return s.candidates()
+	}
+	return fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+func (s *session) help() {
+	fmt.Fprint(s.out, `commands:
+  pref [<descriptor>] => <attr> <op> <value> : <score>   add a contextual preference
+  unpref [<descriptor>] => <attr> <op> <value> : <score>  remove a preference
+  context <people> <time> <location>                     set the current context
+  query [k]                                              run a contextual query (top-k)
+  explore <descriptor>                                   query a hypothetical context
+  q <cpql>                                               e.g. q top 5 where type = museum context time = morning
+  resolve                                                show the best-matching stored state
+  stats                                                  profile tree and cache statistics
+  env                                                    describe the context environment
+  candidates                                             list all covering states, best first
+  save <file>                                            write the profile to a file
+  load <file>                                            load preferences from a file
+  quit                                                   leave
+descriptor syntax: param = value; param in {v1, v2}; param between lo, hi
+`)
+}
+
+func (s *session) addPref(text string) error {
+	p, err := contextpref.ParsePreference(text)
+	if err != nil {
+		return err
+	}
+	if err := s.sys.AddPreference(p); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "added %s\n", contextpref.FormatPreference(p))
+	return nil
+}
+
+// removePref deletes a preference given in the same line syntax as
+// pref.
+func (s *session) removePref(text string) error {
+	p, err := contextpref.ParsePreference(text)
+	if err != nil {
+		return err
+	}
+	removed, err := s.sys.RemovePreference(p)
+	if err != nil {
+		return err
+	}
+	if removed == 0 {
+		fmt.Fprintln(s.out, "no matching preference found")
+		return nil
+	}
+	fmt.Fprintf(s.out, "removed %d entries\n", removed)
+	return nil
+}
+
+func (s *session) setContext(rest string) error {
+	fields := strings.Fields(rest)
+	st, err := s.sys.NewState(fields...)
+	if err != nil {
+		return err
+	}
+	s.current = st
+	fmt.Fprintf(s.out, "current context = %s\n", st)
+	return nil
+}
+
+func (s *session) query(rest string) error {
+	if s.current == nil {
+		return fmt.Errorf("no current context; use 'context' first")
+	}
+	k := 10
+	if rest != "" {
+		v, err := strconv.Atoi(rest)
+		if err != nil || v < 0 {
+			return fmt.Errorf("bad k %q", rest)
+		}
+		k = v
+	}
+	res, err := s.sys.Query(contextpref.Query{TopK: k}, s.current)
+	if err != nil {
+		return err
+	}
+	s.printResult(res)
+	return nil
+}
+
+// textQuery executes a cpql query ("top 5 where type = museum context
+// time = morning"); without a context clause the current context is
+// used.
+func (s *session) textQuery(rest string) error {
+	cq, err := contextpref.ParseQuery(rest)
+	if err != nil {
+		return err
+	}
+	if len(cq.Ecod) == 0 && s.current == nil {
+		return fmt.Errorf("query has no context clause and no current context is set")
+	}
+	res, err := s.sys.Query(cq, s.current)
+	if err != nil {
+		return err
+	}
+	s.printResult(res)
+	return nil
+}
+
+func (s *session) explore(rest string) error {
+	d, err := parseDescriptor(rest)
+	if err != nil {
+		return err
+	}
+	res, err := s.sys.Query(contextpref.Query{
+		Ecod: contextpref.ExtendedDescriptor{d},
+		TopK: 10,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	s.printResult(res)
+	return nil
+}
+
+// parseDescriptor reads "param = v; param in {a, b}" into a composite
+// descriptor.
+func parseDescriptor(text string) (contextpref.Descriptor, error) {
+	var pds []contextpref.ParamDescriptor
+	if strings.TrimSpace(text) != "" {
+		for _, atom := range strings.Split(text, ";") {
+			pd, err := preference.ParseParamDescriptor(atom)
+			if err != nil {
+				return contextpref.Descriptor{}, err
+			}
+			pds = append(pds, pd)
+		}
+	}
+	return contextpref.NewDescriptor(pds...)
+}
+
+func (s *session) printResult(res *contextpref.Result) {
+	if !res.Contextual {
+		fmt.Fprintf(s.out, "no matching preferences; plain query returned %d tuples\n", len(res.Tuples))
+		for i, t := range res.Tuples {
+			if i >= 10 {
+				fmt.Fprintf(s.out, "  ... %d more\n", len(res.Tuples)-i)
+				break
+			}
+			fmt.Fprintf(s.out, "  %s (%s, %s)\n", t.Tuple[1], t.Tuple[2], t.Tuple[3])
+		}
+		return
+	}
+	for _, r := range res.Resolutions {
+		if r.Found {
+			kind := "cover"
+			if r.Exact {
+				kind = "exact"
+			}
+			fmt.Fprintf(s.out, "state %s -> %s match %s (distance %.3f, %d cells accessed)\n",
+				r.Query, kind, r.Match.State, r.Match.Distance, r.Accesses)
+		} else {
+			fmt.Fprintf(s.out, "state %s -> no match\n", r.Query)
+		}
+	}
+	fmt.Fprintf(s.out, "%d results:\n", len(res.Tuples))
+	for _, t := range res.Tuples {
+		fmt.Fprintf(s.out, "  %.2f  %s (%s, %s)\n", t.Score, t.Tuple[1], t.Tuple[2], t.Tuple[3])
+	}
+}
+
+func (s *session) resolve() error {
+	if s.current == nil {
+		return fmt.Errorf("no current context; use 'context' first")
+	}
+	cand, ok, err := s.sys.Resolve(s.current)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Fprintln(s.out, "no stored state covers the current context")
+		return nil
+	}
+	fmt.Fprintf(s.out, "best match %s (distance %.3f):\n", cand.State, cand.Distance)
+	for _, e := range cand.Entries {
+		fmt.Fprintf(s.out, "  %s : %.2f\n", e.Clause, e.Score)
+	}
+	return nil
+}
+
+func (s *session) stats() error {
+	st := s.sys.Stats()
+	fmt.Fprintf(s.out, "preferences=%d states=%d cells=%d bytes=%d\n",
+		st.Preferences, st.States, st.Cells, st.Bytes)
+	cs := s.sys.CacheStats()
+	if cs != (contextpref.CacheStats{}) {
+		fmt.Fprintf(s.out, "cache: hits=%d misses=%d puts=%d entries=%d\n",
+			cs.Hits, cs.Misses, cs.Puts, cs.Entries)
+	}
+	return nil
+}
+
+func (s *session) describeEnv() error {
+	env := s.sys.Env()
+	for i := 0; i < env.NumParams(); i++ {
+		p := env.Param(i)
+		h := p.Hierarchy()
+		fmt.Fprintf(s.out, "%s: %s\n", p.Name(), h)
+		dv := h.DetailedValues()
+		sample := dv
+		if len(sample) > 8 {
+			sample = sample[:8]
+		}
+		fmt.Fprintf(s.out, "  detailed values: %s", strings.Join(sample, ", "))
+		if len(dv) > len(sample) {
+			fmt.Fprintf(s.out, ", ... (%d total)", len(dv))
+		}
+		fmt.Fprintln(s.out)
+	}
+	return nil
+}
+
+func (s *session) save(path string) error {
+	if path == "" {
+		return fmt.Errorf("save needs a file path")
+	}
+	text, err := s.sys.ExportProfile()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "saved %d states to %s\n", s.sys.Tree().NumPaths(), path)
+	return nil
+}
+
+func (s *session) load(path string) error {
+	if path == "" {
+		return fmt.Errorf("load needs a file path")
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := s.sys.LoadProfile(string(text)); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "profile now holds %d preferences over %d states\n",
+		s.sys.NumPreferences(), s.sys.Tree().NumPaths())
+	return nil
+}
+
+// candidates lists every stored state covering the current context,
+// most relevant first — the paper's "let the user decide" alternative
+// when several states qualify.
+func (s *session) candidates() error {
+	if s.current == nil {
+		return fmt.Errorf("no current context; use 'context' first")
+	}
+	cands, err := s.sys.ResolveAll(s.current)
+	if err != nil {
+		return err
+	}
+	if len(cands) == 0 {
+		fmt.Fprintln(s.out, "no stored state covers the current context")
+		return nil
+	}
+	for i, c := range cands {
+		fmt.Fprintf(s.out, "%d. %s (distance %.3f, covers %d detailed states)\n",
+			i+1, c.State, c.Distance, c.Specificity)
+		for _, e := range c.Entries {
+			fmt.Fprintf(s.out, "     %s : %.2f\n", e.Clause, e.Score)
+		}
+	}
+	return nil
+}

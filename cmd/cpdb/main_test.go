@@ -1,0 +1,193 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// script drives the shell with the given input lines and returns the
+// combined output.
+func script(t *testing.T, profilePath string, lines ...string) string {
+	t.Helper()
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var out strings.Builder
+	if err := run(60, 7, "jaccard", profilePath, true, "", in, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestShellWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "profile.cp")
+	out := script(t, "",
+		"help",
+		"env",
+		"pref [accompanying_people = friends] => type = brewery : 0.9",
+		"pref [location = ath_r01; time = morning] => type = museum : 0.8",
+		"pref [time = evening] => type = theater : 0.7",
+		"unpref [time = evening] => type = theater : 0.7",
+		"unpref [time = evening] => type = theater : 0.7",
+		"context friends t01 ath_r01",
+		"resolve",
+		"candidates",
+		"query 5",
+		"explore accompanying_people = family",
+		"stats",
+		"save "+saved,
+		"quit",
+	)
+	for _, frag := range []string{
+		"commands:",                    // help
+		"accompanying_people",          // env
+		"added",                        // pref
+		"removed 1 entries",            // unpref
+		"no matching preference found", // second unpref
+		"current context = (friends, t01, ath_r01)",
+		"best match",     // resolve
+		"1. ",            // candidates list
+		"results:",       // query
+		"preferences=2",  // stats
+		"saved 2 states", // save
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q\n%s", frag, out)
+		}
+	}
+	// Saved file loads back.
+	text, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "brewery") {
+		t.Errorf("saved profile = %q", text)
+	}
+	out = script(t, "", "load "+saved, "quit")
+	if !strings.Contains(out, "profile now holds 2 preferences") {
+		t.Errorf("load output = %q", out)
+	}
+	// Startup -profile flag.
+	out = script(t, saved, "stats", "quit")
+	if !strings.Contains(out, "preferences=2") {
+		t.Errorf("startup profile output = %q", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	out := script(t, "",
+		"bogus",
+		"pref garbage",
+		"context nowhere",
+		"query",      // no context yet
+		"resolve",    // no context yet
+		"candidates", // no context yet
+		"context friends t01 ath_r01",
+		"query notanumber",
+		"explore location = Atlantis",
+		"save",
+		"load",
+		"load /nonexistent/file",
+		"quit",
+	)
+	if got := strings.Count(out, "error:"); got < 10 {
+		t.Errorf("expected at least 10 errors, got %d:\n%s", got, out)
+	}
+	// The shell keeps running after errors: the context command worked.
+	if !strings.Contains(out, "current context") {
+		t.Error("shell did not recover after errors")
+	}
+}
+
+func TestShellNoMatchFallback(t *testing.T) {
+	out := script(t, "",
+		"pref [time = morning] => type = museum : 0.8",
+		"context friends t15 ath_r01", // evening: morning pref does not cover
+		"query 3",
+		"candidates",
+		"quit",
+	)
+	if !strings.Contains(out, "no matching preferences") {
+		t.Errorf("fallback not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "no stored state covers") {
+		t.Errorf("candidates fallback not reported:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run(10, 1, "euclidean", "", false, "", strings.NewReader(""), &out); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if err := run(0, 1, "jaccard", "", false, "", strings.NewReader(""), &out); err == nil {
+		t.Error("zero POIs should fail")
+	}
+	if err := run(10, 1, "jaccard", "/nonexistent/profile", false, "", strings.NewReader(""), &out); err == nil {
+		t.Error("missing profile file should fail")
+	}
+}
+
+func TestRunWithCSVData(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "pois.csv")
+	csvText := `pid,name,type,location,open_air,hours_of_operation,admission_cost
+1,My Museum,museum,ath_r01,false,09:00-17:00,5
+`
+	if err := os.WriteFile(data, []byte(csvText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run(0, 0, "jaccard", "", false, data,
+		strings.NewReader("q top 3 context location = Athens\nquit\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 points of interest") {
+		t.Errorf("CSV database not loaded:\n%s", out.String())
+	}
+	if err := run(0, 0, "jaccard", "", false, "/nonexistent.csv", strings.NewReader(""), &out); err == nil {
+		t.Error("missing CSV should fail")
+	}
+}
+
+func TestParseDescriptor(t *testing.T) {
+	d, err := parseDescriptor("accompanying_people = friends; time in {t01, t02}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.ParamDescriptors()); got != 2 {
+		t.Errorf("descriptors = %d", got)
+	}
+	if _, err := parseDescriptor("garbage atom"); err == nil {
+		t.Error("bad atom should fail")
+	}
+	d, err = parseDescriptor("  ")
+	if err != nil || len(d.ParamDescriptors()) != 0 {
+		t.Errorf("empty descriptor = %v, %v", d, err)
+	}
+}
+
+func TestShellTextQuery(t *testing.T) {
+	out := script(t, "",
+		"pref [accompanying_people = friends] => type = brewery : 0.9",
+		"q top 3 context accompanying_people = friends",
+		"context friends t03 ath_r01",
+		"q top 3",
+		"q where open_air = true",
+		"q garbage",
+		"quit",
+	)
+	if got := strings.Count(out, "results:"); got < 3 {
+		t.Errorf("expected at least 3 query results, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "error: cpql") {
+		t.Errorf("bad cpql should error:\n%s", out)
+	}
+	// q without context clause and without current context fails.
+	out = script(t, "", "q top 3", "quit")
+	if !strings.Contains(out, "no current context") {
+		t.Errorf("missing-context error not reported:\n%s", out)
+	}
+}

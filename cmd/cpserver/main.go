@@ -1,0 +1,139 @@
+// Command cpserver runs the context-aware preference database as an
+// HTTP service over the generated points-of-interest database.
+//
+// Usage:
+//
+//	cpserver [-addr :8080] [-pois 300] [-seed 7] [-metric jaccard] [-profile file] [-cache 64]
+//
+// Endpoints (see the httpapi package for payloads):
+//
+//	GET  /env
+//	GET  /stats
+//	GET  /preferences
+//	POST /preferences
+//	POST /query
+//	GET  /resolve?state=v1,v2,v3
+//
+// Example:
+//
+//	curl -X POST localhost:8080/preferences \
+//	     -d '[accompanying_people = friends] => type = brewery : 0.9'
+//	curl -X POST localhost:8080/query \
+//	     -d '{"query": "top 5", "current": ["friends", "t03", "ath_r01"]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"contextpref"
+	"contextpref/httpapi"
+	"contextpref/internal/dataset"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		pois    = flag.Int("pois", 300, "number of points of interest to generate")
+		seed    = flag.Int64("seed", 7, "random seed for the demo database")
+		metric  = flag.String("metric", "jaccard", "context-resolution metric: jaccard or hierarchy")
+		profile = flag.String("profile", "", "profile file to load at startup")
+		cache   = flag.Int("cache", 64, "context query tree capacity (0 = unbounded, -1 = disabled)")
+		data    = flag.String("data", "", "CSV file with points of interest (header: pid,name,type,location,open_air,hours_of_operation,admission_cost)")
+		multi   = flag.Bool("multiuser", false, "serve per-user profiles selected by ?user=name")
+	)
+	flag.Parse()
+	srv, err := build(*pois, *seed, *metric, *profile, *cache, *data, *multi)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpserver:", err)
+		os.Exit(1)
+	}
+	log.Printf("cpserver listening on %s (%d POIs, metric %s)", *addr, *pois, *metric)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// build assembles the system and the HTTP server; split from main for
+// testability.
+func build(pois int, seed int64, metricName, profilePath string, cacheCap int, dataPath string, multi bool) (*httpapi.Server, error) {
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		return nil, err
+	}
+	var rel *contextpref.Relation
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rel, err = dataset.POIsFromCSV(env, f)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rel, err = dataset.POIs(env, pois, seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := rel.CreateIndex("type"); err != nil {
+		return nil, err
+	}
+	metric, err := contextpref.MetricByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	opts := []contextpref.Option{contextpref.WithMetric(metric)}
+	if cacheCap >= 0 {
+		opts = append(opts, contextpref.WithQueryCache(cacheCap))
+	}
+	var seed2 string
+	if profilePath != "" {
+		text, err := os.ReadFile(profilePath)
+		if err != nil {
+			return nil, err
+		}
+		seed2 = string(text)
+	}
+	if multi {
+		dopts := []contextpref.DirectoryOption{contextpref.WithSystemOptions(opts...)}
+		if seed2 != "" {
+			// Every new user starts from the given profile; parse it
+			// once here so per-user seeding is just a copy.
+			var seedPrefs []contextpref.Preference
+			for _, line := range strings.Split(seed2, "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				p, err := contextpref.ParsePreference(line)
+				if err != nil {
+					return nil, err
+				}
+				seedPrefs = append(seedPrefs, p)
+			}
+			dopts = append(dopts, contextpref.WithDefaultProfile(func(string) ([]contextpref.Preference, error) {
+				return seedPrefs, nil
+			}))
+		}
+		dir, err := contextpref.NewDirectory(env, rel, dopts...)
+		if err != nil {
+			return nil, err
+		}
+		return httpapi.NewMultiUser(dir)
+	}
+	sys, err := contextpref.NewSystem(env, rel, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if seed2 != "" {
+		if err := sys.LoadProfile(seed2); err != nil {
+			return nil, err
+		}
+	}
+	return httpapi.New(sys)
+}

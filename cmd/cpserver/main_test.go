@@ -1,0 +1,124 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildAndServe(t *testing.T) {
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "profile.cp")
+	if err := os.WriteFile(profile,
+		[]byte("[accompanying_people = friends] => type = brewery : 0.9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := build(50, 7, "hierarchy", profile, 16, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), `"Preferences":1`) {
+		t.Errorf("stats = %s", buf[:n])
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build(0, 1, "jaccard", "", 0, "", false); err == nil {
+		t.Error("zero POIs should fail")
+	}
+	if _, err := build(10, 1, "euclidean", "", 0, "", false); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if _, err := build(10, 1, "jaccard", "/nonexistent", 0, "", false); err == nil {
+		t.Error("missing profile should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.cp")
+	os.WriteFile(bad, []byte("garbage"), 0o644)
+	if _, err := build(10, 1, "jaccard", bad, 0, "", false); err == nil {
+		t.Error("bad profile should fail")
+	}
+	// Cache disabled still builds.
+	if _, err := build(10, 1, "jaccard", "", -1, "", false); err != nil {
+		t.Errorf("cache disabled: %v", err)
+	}
+}
+
+func TestBuildWithCSVData(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "pois.csv")
+	csvText := `pid,name,type,location,open_air,hours_of_operation,admission_cost
+1,Test Museum,museum,ath_r01,false,09:00-17:00,5
+2,Test Brewery,brewery,the_r02,false,12:00-24:00,0
+`
+	if err := os.WriteFile(data, []byte(csvText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := build(0, 0, "jaccard", "", 16, data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"query": "top 5 context location = Athens"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	// Bad CSV fails.
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("nope"), 0o644)
+	if _, err := build(0, 0, "jaccard", "", 16, bad, false); err == nil {
+		t.Error("bad CSV should fail")
+	}
+	if _, err := build(0, 0, "jaccard", "", 16, "/nonexistent.csv", false); err == nil {
+		t.Error("missing CSV should fail")
+	}
+}
+
+func TestBuildMultiUser(t *testing.T) {
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "seed.cp")
+	os.WriteFile(profile, []byte("# seed\n[accompanying_people = friends] => type = brewery : 0.9\n"), 0o644)
+	srv, err := build(30, 7, "jaccard", profile, 16, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	// Two users, both seeded, isolated.
+	for _, user := range []string{"alice", "bob"} {
+		resp, err := ts.Client().Get(ts.URL + "/stats?user=" + user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		resp.Body.Close()
+		if !strings.Contains(string(buf[:n]), `"Preferences":1`) {
+			t.Errorf("%s stats = %s", user, buf[:n])
+		}
+	}
+	// Bad seed profile fails at build time in multi mode too.
+	badSeed := filepath.Join(dir, "bad.cp")
+	os.WriteFile(badSeed, []byte("garbage"), 0o644)
+	if _, err := build(30, 7, "jaccard", badSeed, 16, "", true); err == nil {
+		t.Error("bad multi-user seed should fail")
+	}
+}

@@ -1,0 +1,101 @@
+package contextpref
+
+import "sync"
+
+// SafeSystem wraps a System for concurrent use: reads (queries,
+// resolution, stats) take a shared lock and writes (preference
+// insertion) an exclusive one. Systems built with WithQueryCache take
+// the exclusive lock on queries too, because serving a query mutates
+// the cache.
+type SafeSystem struct {
+	mu      sync.RWMutex
+	sys     *System
+	caching bool
+}
+
+// Synchronized wraps the system. The wrapped System must not be used
+// directly afterwards.
+func Synchronized(sys *System) *SafeSystem {
+	return &SafeSystem{sys: sys, caching: sys.cache != nil}
+}
+
+// AddPreference inserts one preference under the write lock.
+func (s *SafeSystem) AddPreference(p Preference) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.AddPreference(p)
+}
+
+// AddPreferences inserts a batch under the write lock.
+func (s *SafeSystem) AddPreferences(ps ...Preference) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.AddPreferences(ps...)
+}
+
+// RemovePreference deletes a preference under the write lock.
+func (s *SafeSystem) RemovePreference(p Preference) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.RemovePreference(p)
+}
+
+// LoadProfile parses and inserts a profile under the write lock.
+func (s *SafeSystem) LoadProfile(text string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.LoadProfile(text)
+}
+
+// Query executes a contextual query; shared lock unless caching.
+func (s *SafeSystem) Query(q Query, current State) (*Result, error) {
+	if s.caching {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	return s.sys.Query(q, current)
+}
+
+// Resolve performs context resolution under the shared lock.
+func (s *SafeSystem) Resolve(st State) (Candidate, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.Resolve(st)
+}
+
+// ResolveAll lists covering states under the shared lock.
+func (s *SafeSystem) ResolveAll(st State) ([]Candidate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.ResolveAll(st)
+}
+
+// NewState validates a context state (no lock needed: the environment
+// is immutable).
+func (s *SafeSystem) NewState(values ...string) (State, error) {
+	return s.sys.NewState(values...)
+}
+
+// Stats snapshots the storage statistics under the shared lock.
+func (s *SafeSystem) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.Stats()
+}
+
+// ExportProfile renders the stored preferences under the shared lock.
+func (s *SafeSystem) ExportProfile() (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.ExportProfile()
+}
+
+// NumPreferences returns the stored preference count.
+func (s *SafeSystem) NumPreferences() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.NumPreferences()
+}

@@ -1,0 +1,296 @@
+// Package contextpref is a context-aware preference database system: a
+// from-scratch Go implementation of "Adding Context to Preferences"
+// (Stefanidis, Pitoura, Vassiliadis — ICDE 2007).
+//
+// Context is modeled as a set of multidimensional parameters whose
+// domains form hierarchies of levels (e.g. Region ≺ City ≺ Country ≺
+// ALL). Users attach interest scores to attribute values of a relation
+// under context descriptors; queries carry (implicit or explicit)
+// context; the system resolves each query context to the most relevant
+// stored preferences — exact matches first, then the most similar
+// covering states under a hierarchy- or Jaccard-based distance — and
+// ranks the relation's tuples accordingly. Preferences are indexed in a
+// profile tree (one trie level per context parameter), and query
+// results can be cached in a context query tree.
+//
+// The System type wires everything together:
+//
+//	env, _ := contextpref.NewEnvironment(locationParam, temperatureParam, companyParam)
+//	sys, _ := contextpref.NewSystem(env, pointsOfInterest)
+//	_ = sys.AddPreference(contextpref.MustPreference(
+//	    contextpref.MustDescriptor(
+//	        contextpref.Eq("location", "Plaka"),
+//	        contextpref.Eq("temperature", "warm")),
+//	    contextpref.Clause{Attr: "name", Op: contextpref.OpEq, Val: contextpref.String("Acropolis")},
+//	    0.8))
+//	res, _ := sys.Query(contextpref.Query{TopK: 20}, currentContext)
+//
+// The subpackages under internal/ hold the implementation: hierarchy
+// (level lattices), ctxmodel (states and descriptors), distance
+// (similarity metrics), preference (profiles and conflicts),
+// profiletree (the index and the Search_CS algorithm), relation (the
+// storage substrate), query (Rank_CS), querytree (result caching),
+// cpql (the textual query language), qualitative (score-free dominance
+// rules), and dataset/usability/experiments (the paper's evaluation).
+// The public httpapi package serves a System — or a multi-user
+// Directory of them — over HTTP.
+package contextpref
+
+import (
+	"contextpref/internal/cpql"
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/hierarchy"
+	"contextpref/internal/preference"
+	"contextpref/internal/profiletree"
+	"contextpref/internal/qualitative"
+	"contextpref/internal/query"
+	"contextpref/internal/querytree"
+	"contextpref/internal/relation"
+)
+
+// Context model types.
+type (
+	// Hierarchy is a chain of levels over a tree of values; see
+	// NewHierarchy and UniformHierarchy.
+	Hierarchy = hierarchy.Hierarchy
+	// HierarchyBuilder assembles hierarchies from value paths.
+	HierarchyBuilder = hierarchy.Builder
+	// Parameter is a context parameter backed by a hierarchy.
+	Parameter = ctxmodel.Parameter
+	// Environment is an ordered set of context parameters.
+	Environment = ctxmodel.Environment
+	// State is an (extended) context state: one value per parameter.
+	State = ctxmodel.State
+	// ParamDescriptor constrains one context parameter (=, ∈, range).
+	ParamDescriptor = ctxmodel.ParamDescriptor
+	// Descriptor is a conjunctive composite context descriptor.
+	Descriptor = ctxmodel.Descriptor
+	// ExtendedDescriptor is a disjunction of composite descriptors.
+	ExtendedDescriptor = ctxmodel.ExtendedDescriptor
+)
+
+// Preference types.
+type (
+	// Clause is an attribute clause "A θ a" over the relation.
+	Clause = preference.Clause
+	// Preference is (descriptor, clause, interest score).
+	Preference = preference.Preference
+	// Profile is a set of non-conflicting preferences.
+	Profile = preference.Profile
+	// ConflictError reports a Def. 6 preference conflict.
+	ConflictError = preference.ConflictError
+)
+
+// Storage substrate types.
+type (
+	// Value is a typed scalar (string/int/float/bool).
+	Value = relation.Value
+	// Kind is a value type tag.
+	Kind = relation.Kind
+	// CmpOp is a comparison operator θ.
+	CmpOp = relation.CmpOp
+	// Column describes one relation attribute.
+	Column = relation.Column
+	// Schema is an ordered set of typed columns.
+	Schema = relation.Schema
+	// Tuple is one row of a relation.
+	Tuple = relation.Tuple
+	// Relation is an in-memory table.
+	Relation = relation.Relation
+	// Predicate is a simple selection condition.
+	Predicate = relation.Predicate
+	// ScoredTuple is a tuple annotated with its interest score.
+	ScoredTuple = relation.ScoredTuple
+	// Combiner merges duplicate-tuple scores (max/min/avg).
+	Combiner = relation.Combiner
+)
+
+// Index, metric and query types.
+type (
+	// ProfileTree indexes preferences by context state.
+	ProfileTree = profiletree.Tree
+	// SequentialStore is the flat-scan baseline store.
+	SequentialStore = profiletree.Sequential
+	// Candidate is a covering state found during context resolution.
+	Candidate = profiletree.Candidate
+	// Leaf is a (clause, score) entry of the profile tree.
+	Leaf = profiletree.Leaf
+	// Metric measures context-state similarity.
+	Metric = distance.Metric
+	// HierarchyDistance is the level-based metric (Defs. 13–15).
+	HierarchyDistance = distance.Hierarchy
+	// JaccardDistance is the descendant-overlap metric (Defs. 16–17).
+	JaccardDistance = distance.Jaccard
+	// Query is a contextual query: base selection + context.
+	Query = query.Contextual
+	// Result is a ranked, context-resolved answer.
+	Result = query.Result
+	// Resolution explains how one query state was matched.
+	Resolution = query.Resolution
+	// QueryCache is the context query tree (result cache).
+	QueryCache = querytree.Cache
+	// CacheStats reports cache effectiveness.
+	CacheStats = querytree.Stats
+)
+
+// Qualitative extension (Section 3.2's "both quantitative and
+// qualitative approaches"): contextual dominance rules, winnow and
+// stratification.
+type (
+	// QualitativeRule is (descriptor, better-clause ≻ worse-clause).
+	QualitativeRule = qualitative.Rule
+	// QualitativeProfile stores qualitative rules by context state.
+	QualitativeProfile = qualitative.Profile
+	// QualitativeResult is a context-resolved winnow/stratification.
+	QualitativeResult = qualitative.Result
+)
+
+// NewQualitativeProfile creates an empty qualitative profile.
+func NewQualitativeProfile(e *Environment) (*QualitativeProfile, error) {
+	return qualitative.NewProfile(e)
+}
+
+// QualitativeQuery resolves the context state against the qualitative
+// profile and returns the winnow (best matches only) plus the full
+// preference stratification of the relation.
+func QualitativeQuery(p *QualitativeProfile, rel *Relation, s State, m Metric) (*QualitativeResult, error) {
+	return qualitative.Query(p, rel, s, m)
+}
+
+// Winnow returns the undominated tuples of the relation (restricted to
+// idxs when non-nil) under the rules — Chomicki's winnow operator.
+func Winnow(rel *Relation, rules []QualitativeRule, idxs []int) ([]int, error) {
+	return qualitative.Winnow(rel, rules, idxs)
+}
+
+// Value constructors and operator constants.
+var (
+	// String builds a string value.
+	String = relation.S
+	// Int builds an integer value.
+	Int = relation.I
+	// Float builds a float value.
+	Float = relation.F
+	// Bool builds a boolean value.
+	Bool = relation.B
+)
+
+// Comparison operators for clauses and predicates.
+const (
+	OpEq = relation.OpEq
+	OpNe = relation.OpNe
+	OpLt = relation.OpLt
+	OpLe = relation.OpLe
+	OpGt = relation.OpGt
+	OpGe = relation.OpGe
+)
+
+// Value kinds.
+const (
+	KindString = relation.KindString
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindBool   = relation.KindBool
+)
+
+// Score combiners.
+const (
+	CombineMax = relation.CombineMax
+	CombineMin = relation.CombineMin
+	CombineAvg = relation.CombineAvg
+)
+
+// All is the top value of every hierarchy.
+const All = hierarchy.All
+
+// NewHierarchy starts a hierarchy builder with the given level names,
+// ordered from the detailed level upward; ALL is appended
+// automatically. Add full value paths with Add and finish with Build.
+func NewHierarchy(name string, levels ...string) *HierarchyBuilder {
+	return hierarchy.NewBuilder(name, levels...)
+}
+
+// UniformHierarchy builds a synthetic hierarchy with the given level
+// fanouts (the detailed domain is their product).
+func UniformHierarchy(name string, fanouts ...int) (*Hierarchy, error) {
+	return hierarchy.Uniform(name, fanouts...)
+}
+
+// NewParameter creates a context parameter over a hierarchy.
+func NewParameter(name string, h *Hierarchy) (*Parameter, error) {
+	return ctxmodel.NewParameter(name, h)
+}
+
+// NewEnvironment creates a context environment over the parameters.
+func NewEnvironment(params ...*Parameter) (*Environment, error) {
+	return ctxmodel.NewEnvironment(params...)
+}
+
+// Eq builds the parameter descriptor "param = value".
+func Eq(param, value string) ParamDescriptor { return ctxmodel.Eq(param, value) }
+
+// In builds the parameter descriptor "param ∈ {values...}".
+func In(param string, values ...string) ParamDescriptor { return ctxmodel.In(param, values...) }
+
+// Between builds the parameter descriptor "param ∈ [lo, hi]".
+func Between(param, lo, hi string) ParamDescriptor { return ctxmodel.Between(param, lo, hi) }
+
+// NewDescriptor builds a composite context descriptor (at most one
+// parameter descriptor per parameter; absent parameters mean "all").
+func NewDescriptor(pds ...ParamDescriptor) (Descriptor, error) {
+	return ctxmodel.NewDescriptor(pds...)
+}
+
+// MustDescriptor is NewDescriptor that panics on error.
+func MustDescriptor(pds ...ParamDescriptor) Descriptor { return ctxmodel.MustDescriptor(pds...) }
+
+// NewPreference validates and builds a contextual preference.
+func NewPreference(d Descriptor, c Clause, score float64) (Preference, error) {
+	return preference.New(d, c, score)
+}
+
+// MustPreference is NewPreference that panics on error.
+func MustPreference(d Descriptor, c Clause, score float64) Preference {
+	return preference.MustNew(d, c, score)
+}
+
+// NewProfile creates an empty profile over the environment.
+func NewProfile(e *Environment) (*Profile, error) { return preference.NewProfile(e) }
+
+// NewSchema builds a relation schema.
+func NewSchema(name string, cols ...Column) (*Schema, error) {
+	return relation.NewSchema(name, cols...)
+}
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(s *Schema) *Relation { return relation.New(s) }
+
+// NewProfileTree creates an empty profile tree; order maps tree levels
+// to environment parameter indexes (nil = identity). Place parameters
+// with larger domains lower in the tree to minimize its size.
+func NewProfileTree(e *Environment, order []int) (*ProfileTree, error) {
+	return profiletree.New(e, order)
+}
+
+// MetricByName returns "hierarchy" or "jaccard".
+func MetricByName(name string) (Metric, error) { return distance.ByName(name) }
+
+// FormatPreference renders a preference in the line encoding the CLI
+// uses ("[location = Plaka] => name = \"Acropolis\" : 0.8").
+func FormatPreference(p Preference) string { return preference.Format(p) }
+
+// ParsePreference reads a preference from the line encoding.
+func ParsePreference(line string) (Preference, error) { return preference.ParseLine(line) }
+
+// ParseQuery reads a contextual query from the cpql language:
+// "[top K] [where pred {and pred}] [context composite {or composite}]".
+func ParseQuery(text string) (Query, error) { return cpql.Parse(text) }
+
+// FormatQuery renders a query back into the cpql language.
+func FormatQuery(q Query) string { return cpql.Format(q) }
+
+// ReferenceEnvironment builds the paper's running example environment
+// (location, temperature, accompanying_people with the Fig. 2
+// hierarchies); handy for experiments and examples.
+func ReferenceEnvironment() (*Environment, error) { return ctxmodel.ReferenceEnvironment() }

@@ -1,0 +1,125 @@
+package contextpref
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Directory manages per-user preference profiles over one shared
+// context environment and relation — the deployment shape of the
+// paper's system, where every user owns a profile but the database and
+// the context model are common (the usability study's 12 default
+// profiles are exactly per-user seeds). It is safe for concurrent use.
+type Directory struct {
+	mu      sync.RWMutex
+	env     *Environment
+	rel     *Relation
+	opts    []Option
+	systems map[string]*SafeSystem
+	// defaults, when set, seeds each new user's profile.
+	defaults func(user string) ([]Preference, error)
+}
+
+// DirectoryOption configures a Directory.
+type DirectoryOption func(*Directory)
+
+// WithSystemOptions forwards options (metric, combiner, tree order,
+// cache) to every per-user System.
+func WithSystemOptions(opts ...Option) DirectoryOption {
+	return func(d *Directory) { d.opts = append([]Option(nil), opts...) }
+}
+
+// WithDefaultProfile seeds each new user's profile with the
+// preferences the function returns — e.g. the demographic defaults of
+// the usability study. A nil-preferences, nil-error return seeds
+// nothing.
+func WithDefaultProfile(f func(user string) ([]Preference, error)) DirectoryOption {
+	return func(d *Directory) { d.defaults = f }
+}
+
+// NewDirectory creates an empty directory over a shared environment
+// and relation.
+func NewDirectory(env *Environment, rel *Relation, opts ...DirectoryOption) (*Directory, error) {
+	if env == nil {
+		return nil, fmt.Errorf("contextpref: nil environment")
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("contextpref: nil relation")
+	}
+	d := &Directory{env: env, rel: rel, systems: make(map[string]*SafeSystem)}
+	for _, o := range opts {
+		o(d)
+	}
+	return d, nil
+}
+
+// Env returns the shared context environment.
+func (d *Directory) Env() *Environment { return d.env }
+
+// Relation returns the shared relation.
+func (d *Directory) Relation() *Relation { return d.rel }
+
+// User returns the named user's system, creating (and seeding) it on
+// first access. User names must be non-empty.
+func (d *Directory) User(name string) (*SafeSystem, error) {
+	if name == "" {
+		return nil, fmt.Errorf("contextpref: empty user name")
+	}
+	d.mu.RLock()
+	sys, ok := d.systems[name]
+	d.mu.RUnlock()
+	if ok {
+		return sys, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if sys, ok := d.systems[name]; ok {
+		return sys, nil
+	}
+	inner, err := NewSystem(d.env, d.rel, d.opts...)
+	if err != nil {
+		return nil, err
+	}
+	if d.defaults != nil {
+		prefs, err := d.defaults(name)
+		if err != nil {
+			return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+		}
+		if err := inner.AddPreferences(prefs...); err != nil {
+			return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+		}
+	}
+	sys = Synchronized(inner)
+	d.systems[name] = sys
+	return sys, nil
+}
+
+// Lookup returns the named user's system without creating it.
+func (d *Directory) Lookup(name string) (*SafeSystem, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	sys, ok := d.systems[name]
+	return sys, ok
+}
+
+// Remove deletes a user's profile; it reports whether the user existed.
+func (d *Directory) Remove(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.systems[name]
+	delete(d.systems, name)
+	return ok
+}
+
+// Users lists the known user names, sorted.
+func (d *Directory) Users() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.systems))
+	for name := range d.systems {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,107 @@
+package contextpref_test
+
+import (
+	"fmt"
+	"log"
+
+	"contextpref"
+)
+
+// Example demonstrates the paper's running example: contextual
+// preferences over a points-of-interest relation, resolved against the
+// current context.
+func Example() {
+	env, err := contextpref.ReferenceEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := contextpref.NewSchema("poi",
+		contextpref.Column{Name: "name", Kind: contextpref.KindString},
+		contextpref.Column{Name: "type", Kind: contextpref.KindString},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := contextpref.NewRelation(schema)
+	rel.Insert(contextpref.String("Acropolis"), contextpref.String("monument"))
+	rel.Insert(contextpref.String("Plaka Brewery"), contextpref.String("brewery"))
+
+	sys, err := contextpref.NewSystem(env, rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sys.AddPreference(contextpref.MustPreference(
+		contextpref.MustDescriptor(contextpref.Eq("accompanying_people", "friends")),
+		contextpref.Clause{Attr: "type", Op: contextpref.OpEq, Val: contextpref.String("brewery")},
+		0.9))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	current, _ := sys.NewState("Plaka", "warm", "friends")
+	res, err := sys.Query(contextpref.Query{TopK: 5}, current)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range res.Tuples {
+		fmt.Printf("%.2f %s\n", t.Score, t.Tuple[0])
+	}
+	// Output:
+	// 0.90 Plaka Brewery
+}
+
+// ExampleSystem_Resolve shows direct context resolution: the stored
+// state most relevant to a query context, per Section 4.4.
+func ExampleSystem_Resolve() {
+	env, _ := contextpref.ReferenceEnvironment()
+	schema, _ := contextpref.NewSchema("poi",
+		contextpref.Column{Name: "name", Kind: contextpref.KindString})
+	sys, _ := contextpref.NewSystem(env, contextpref.NewRelation(schema))
+	sys.AddPreference(contextpref.MustPreference(
+		contextpref.MustDescriptor(
+			contextpref.Eq("location", "Plaka"),
+			contextpref.Eq("temperature", "warm")),
+		contextpref.Clause{Attr: "name", Op: contextpref.OpEq, Val: contextpref.String("Acropolis")},
+		0.8))
+
+	// (Plaka, warm, friends) is not stored; (Plaka, warm, all) covers it.
+	state, _ := sys.NewState("Plaka", "warm", "friends")
+	cand, ok, _ := sys.Resolve(state)
+	fmt.Println(ok, cand.State)
+	// Output:
+	// true (Plaka, warm, all)
+}
+
+// ExampleParseQuery shows the textual query language.
+func ExampleParseQuery() {
+	cq, err := contextpref.ParseQuery("top 5 where type = museum context location = Athens")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(contextpref.FormatQuery(cq))
+	// Output:
+	// top 5 where type = "museum" context location = Athens
+}
+
+// ExampleWinnow shows the qualitative extension: dominance rules
+// instead of scores.
+func ExampleWinnow() {
+	schema, _ := contextpref.NewSchema("poi",
+		contextpref.Column{Name: "name", Kind: contextpref.KindString},
+		contextpref.Column{Name: "type", Kind: contextpref.KindString})
+	rel := contextpref.NewRelation(schema)
+	rel.Insert(contextpref.String("Benaki Museum"), contextpref.String("museum"))
+	rel.Insert(contextpref.String("Plaka Brewery"), contextpref.String("brewery"))
+
+	typeEq := func(v string) contextpref.Clause {
+		return contextpref.Clause{Attr: "type", Op: contextpref.OpEq, Val: contextpref.String(v)}
+	}
+	best, _ := contextpref.Winnow(rel, []contextpref.QualitativeRule{
+		{Better: typeEq("museum"), Worse: typeEq("brewery")},
+	}, nil)
+	for _, i := range best {
+		fmt.Println(rel.Tuple(i)[0])
+	}
+	// Output:
+	// Benaki Museum
+}

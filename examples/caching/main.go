@@ -1,0 +1,94 @@
+// Caching: the context query tree in action. A user's context repeats
+// (same neighbourhood, same company, same hours), so caching query
+// results by context state pays off: repeated single-state queries are
+// answered from the cache and invalidated when the profile changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contextpref"
+	"contextpref/internal/dataset"
+)
+
+func main() {
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := dataset.POIs(env, 400, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Cache capacity 8: older contexts are evicted FIFO.
+	sys, err := contextpref.NewSystem(env, rel, contextpref.WithQueryCache(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	typeEq := func(t string) contextpref.Clause {
+		return contextpref.Clause{Attr: "type", Op: contextpref.OpEq, Val: contextpref.String(t)}
+	}
+	err = sys.AddPreferences(
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("accompanying_people", "friends")),
+			typeEq("brewery"), 0.9),
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("time", "morning")),
+			typeEq("museum"), 0.8),
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("location", "Athens")),
+			typeEq("monument"), 0.7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A repeating daily routine: the same few contexts over and over.
+	routine := [][]string{
+		{"alone", "t02", "ath_r05"},      // morning commute
+		{"colleagues", "t06", "ath_r12"}, // lunch
+		{"alone", "t02", "ath_r05"},      // same as the commute
+		{"friends", "t15", "ath_r05"},    // evening
+		{"alone", "t02", "ath_r05"},
+		{"friends", "t15", "ath_r05"},
+	}
+	for day := 1; day <= 3; day++ {
+		for _, ctx := range routine {
+			current, err := sys.NewState(ctx...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, hit, err := sys.QueryCached(contextpref.Query{}, current)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src := "computed"
+			if hit {
+				src = "cache"
+			}
+			top := "(no contextual match)"
+			if res.Contextual && len(res.Tuples) > 0 {
+				top = fmt.Sprintf("%s (%.2f)", res.Tuples[0].Tuple[1], res.Tuples[0].Score)
+			}
+			fmt.Printf("day %d  %-32v %-8s top: %s\n", day, current, src, top)
+		}
+	}
+	s := sys.CacheStats()
+	fmt.Printf("\ncache stats: hits=%d misses=%d puts=%d entries=%d cells=%d\n",
+		s.Hits, s.Misses, s.Puts, s.Entries, s.InternalCells)
+
+	// Profile updates invalidate cached rankings.
+	err = sys.AddPreference(contextpref.MustPreference(
+		contextpref.MustDescriptor(contextpref.Eq("time", "evening")),
+		typeEq("theater"), 0.95))
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, _ := sys.NewState("friends", "t15", "ath_r05")
+	_, hit, err := sys.QueryCached(contextpref.Query{}, current)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after adding a preference, the same context is recomputed (cache hit: %v)\n", hit)
+}

@@ -1,0 +1,188 @@
+// Movies: contextual preferences in a second domain. Context is the day
+// of week (grouped into weekday/weekend), the viewing company and the
+// screen; the relation is a movie catalogue. Shows range descriptors,
+// score combining and the non-contextual fallback.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contextpref"
+)
+
+func buildEnvironment() (*contextpref.Environment, error) {
+	day, err := contextpref.NewHierarchy("day", "Day", "Part").
+		Add("mon", "weekday").
+		Add("tue", "weekday").
+		Add("wed", "weekday").
+		Add("thu", "weekday").
+		Add("fri", "weekday").
+		Add("sat", "weekend").
+		Add("sun", "weekend").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	company, err := contextpref.NewHierarchy("company", "Relationship").
+		Add("alone").
+		Add("partner").
+		Add("family").
+		Add("friends").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	screen, err := contextpref.NewHierarchy("screen", "Device", "Size").
+		Add("phone", "small").
+		Add("tablet", "small").
+		Add("laptop", "small").
+		Add("tv", "big").
+		Add("projector", "big").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	var params []*contextpref.Parameter
+	for _, h := range []*contextpref.Hierarchy{day, company, screen} {
+		p, err := contextpref.NewParameter("", h)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, p)
+	}
+	return contextpref.NewEnvironment(params...)
+}
+
+func buildCatalogue() (*contextpref.Relation, error) {
+	schema, err := contextpref.NewSchema("movies",
+		contextpref.Column{Name: "title", Kind: contextpref.KindString},
+		contextpref.Column{Name: "genre", Kind: contextpref.KindString},
+		contextpref.Column{Name: "minutes", Kind: contextpref.KindInt},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rel := contextpref.NewRelation(schema)
+	rows := []struct {
+		title string
+		genre string
+		mins  int64
+	}{
+		{"The Long Epic", "drama", 192},
+		{"Sunday Romance", "romance", 118},
+		{"Quick Laughs", "comedy", 84},
+		{"Animated Friends", "animation", 95},
+		{"Space Battles IX", "scifi", 142},
+		{"Tiny Documentary", "documentary", 60},
+		{"Campfire Horror", "horror", 101},
+		{"Family Holiday", "comedy", 98},
+	}
+	for _, r := range rows {
+		if _, err := rel.Insert(
+			contextpref.String(r.title), contextpref.String(r.genre), contextpref.Int(r.mins),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func main() {
+	env, err := buildEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := buildCatalogue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Average combining: a movie matched by several preferences gets
+	// the mean of their scores.
+	sys, err := contextpref.NewSystem(env, rel, contextpref.WithCombiner(contextpref.CombineAvg))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	genre := func(g string) contextpref.Clause {
+		return contextpref.Clause{Attr: "genre", Op: contextpref.OpEq, Val: contextpref.String(g)}
+	}
+	shortMovie := contextpref.Clause{Attr: "minutes", Op: contextpref.OpLe, Val: contextpref.Int(100)}
+
+	err = sys.AddPreferences(
+		// Weeknights alone on a small screen: short movies and comedies.
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(
+				contextpref.Between("day", "mon", "thu"),
+				contextpref.Eq("company", "alone"),
+				contextpref.Eq("screen", "small")),
+			shortMovie, 0.9),
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(
+				contextpref.Eq("day", "weekday"), contextpref.Eq("company", "alone")),
+			genre("comedy"), 0.8),
+		// Weekend with partner on the big screen: romance and drama.
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(
+				contextpref.Eq("day", "weekend"),
+				contextpref.Eq("company", "partner"),
+				contextpref.Eq("screen", "big")),
+			genre("romance"), 0.95),
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(
+				contextpref.Eq("day", "weekend"), contextpref.Eq("company", "partner")),
+			genre("drama"), 0.7),
+		// Family time: animation whatever the day.
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("company", "family")),
+			genre("animation"), 0.9),
+		// Friends on a weekend night: horror and scifi.
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(
+				contextpref.In("day", "fri", "sat"), contextpref.Eq("company", "friends")),
+			genre("horror"), 0.85),
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(
+				contextpref.In("day", "fri", "sat"), contextpref.Eq("company", "friends")),
+			genre("scifi"), 0.75),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := sys.Stats()
+	fmt.Printf("profile: %d preferences over %d context states (%d tree cells)\n\n",
+		stats.Preferences, stats.States, stats.Cells)
+
+	scenarios := []struct {
+		label string
+		ctx   []string
+	}{
+		{"Tuesday, alone, on the phone", []string{"tue", "alone", "phone"}},
+		{"Saturday, with partner, on the TV", []string{"sat", "partner", "tv"}},
+		{"Friday, with friends, projector", []string{"fri", "friends", "projector"}},
+		{"Wednesday, with family, laptop", []string{"wed", "family", "laptop"}},
+		{"Sunday, with friends, tablet (no stored preference applies exactly)", []string{"sun", "friends", "tablet"}},
+	}
+	for _, sc := range scenarios {
+		current, err := sys.NewState(sc.ctx...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Query(contextpref.Query{TopK: 3}, current)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(sc.label)
+		if !res.Contextual {
+			fmt.Printf("  no preferences apply; returning the catalogue unranked (%d movies)\n\n", len(res.Tuples))
+			continue
+		}
+		r := res.Resolutions[0]
+		fmt.Printf("  matched state %s (distance %.3f)\n", r.Match.State, r.Match.Distance)
+		for _, t := range res.Tuples {
+			fmt.Printf("  %.2f  %-18s %-12s %3d min\n", t.Score, t.Tuple[0], t.Tuple[1], t.Tuple[2].Int())
+		}
+		fmt.Println()
+	}
+}

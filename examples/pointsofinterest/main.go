@@ -1,0 +1,191 @@
+// Points of interest: the paper's running example end to end — the
+// Fig. 2 hierarchies, the Section 3.2 preferences, exact and
+// approximate context resolution under both distances, conflict
+// detection, and an exploratory "what if" query (Section 4.1).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"contextpref"
+)
+
+func main() {
+	env, err := contextpref.ReferenceEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Points_of_Interest relation of Section 2.
+	schema, err := contextpref.NewSchema("points_of_interest",
+		contextpref.Column{Name: "pid", Kind: contextpref.KindInt},
+		contextpref.Column{Name: "name", Kind: contextpref.KindString},
+		contextpref.Column{Name: "type", Kind: contextpref.KindString},
+		contextpref.Column{Name: "location", Kind: contextpref.KindString},
+		contextpref.Column{Name: "open_air", Kind: contextpref.KindBool},
+		contextpref.Column{Name: "admission_cost", Kind: contextpref.KindFloat},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := contextpref.NewRelation(schema)
+	rows := []struct {
+		pid     int64
+		name    string
+		typ     string
+		region  string
+		openAir bool
+		cost    float64
+	}{
+		{1, "Acropolis", "monument", "Acropolis_Area", true, 20},
+		{2, "Benaki Museum", "museum", "Plaka", false, 12},
+		{3, "Plaka Brewery", "brewery", "Plaka", false, 0},
+		{4, "Kifisia Cafe", "cafeteria", "Kifisia", true, 0},
+		{5, "National Garden", "park", "Plaka", true, 0},
+		{6, "Ioannina Castle", "monument", "Kastro", true, 5},
+		{7, "Archaeological Museum", "museum", "Perama", false, 8},
+	}
+	for _, r := range rows {
+		if _, err := rel.Insert(
+			contextpref.Int(r.pid), contextpref.String(r.name), contextpref.String(r.typ),
+			contextpref.String(r.region), contextpref.Bool(r.openAir), contextpref.Float(r.cost),
+		); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sys, err := contextpref.NewSystem(env, rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Section 3.2's contextual preferences, verbatim.
+	nameAcropolis := contextpref.Clause{Attr: "name", Op: contextpref.OpEq, Val: contextpref.String("Acropolis")}
+	typeBrewery := contextpref.Clause{Attr: "type", Op: contextpref.OpEq, Val: contextpref.String("brewery")}
+	err = sys.AddPreferences(
+		// preference 1: at Plaka when warm → Acropolis, 0.8.
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(
+				contextpref.Eq("location", "Plaka"), contextpref.Eq("temperature", "warm")),
+			nameAcropolis, 0.8),
+		// preference 2: with friends → breweries, 0.9.
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("accompanying_people", "friends")),
+			typeBrewery, 0.9),
+		// preference 3: Plaka and temperature ∈ {warm, hot} → Acropolis.
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(
+				contextpref.Eq("location", "Plaka"),
+				contextpref.In("temperature", "warm", "hot")),
+			nameAcropolis, 0.8),
+		// A family-context preference for museums.
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("accompanying_people", "family")),
+			contextpref.Clause{Attr: "type", Op: contextpref.OpEq, Val: contextpref.String("museum")}, 0.7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Conflict detection (Def. 6): re-scoring the same clause on an
+	// overlapping context is rejected and reported.
+	err = sys.AddPreference(contextpref.MustPreference(
+		contextpref.MustDescriptor(
+			contextpref.Eq("location", "Plaka"), contextpref.Eq("temperature", "warm")),
+		nameAcropolis, 0.3))
+	var ce *contextpref.ConflictError
+	if errors.As(err, &ce) {
+		fmt.Printf("conflict detected on state %s: new score %.1f vs stored %.1f\n\n",
+			ce.State, ce.New.Score, ce.Existing.Score)
+	}
+
+	// Exact-match resolution: the current context is stored verbatim.
+	current, _ := sys.NewState("Plaka", "warm", "all")
+	show(sys, "exact context (Plaka, warm, all)", current)
+
+	// Approximate resolution: (Plaka, warm, friends) is not stored; the
+	// system picks the most similar covering state.
+	current, _ = sys.NewState("Plaka", "warm", "friends")
+	show(sys, "covered context (Plaka, warm, friends)", current)
+
+	// Exploratory query (Section 4.1): "when I travel to Athens with my
+	// family, what should we visit?" — a hypothetical context expressed
+	// with an extended descriptor; no current context needed.
+	res, err := sys.Query(contextpref.Query{
+		Ecod: contextpref.ExtendedDescriptor{
+			contextpref.MustDescriptor(
+				contextpref.Eq("location", "Athens"),
+				contextpref.Eq("accompanying_people", "family")),
+		},
+		TopK: 5,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exploratory: Athens with family")
+	printResult(res)
+
+	// The two distances can disagree on which covering state is most
+	// similar; compare them directly.
+	q, _ := env.NewState("Plaka", "hot", "friends")
+	for _, name := range []string{"hierarchy", "jaccard"} {
+		m, _ := contextpref.MetricByName(name)
+		sysM, err := contextpref.NewSystem(env, rel, contextpref.WithMetric(m))
+		if err != nil {
+			log.Fatal(err)
+		}
+		copyPrefs(sys, sysM)
+		cand, ok, err := sysM.Resolve(q)
+		if err != nil || !ok {
+			log.Fatal(err)
+		}
+		fmt.Printf("metric %-9s resolves %s to %s (distance %.3f)\n", name, q, cand.State, cand.Distance)
+	}
+}
+
+func copyPrefs(from, to *contextpref.System) {
+	env := from.Env()
+	for _, p := range from.Tree().Paths() {
+		var pds []contextpref.ParamDescriptor
+		for i, v := range p.State {
+			if v != contextpref.All {
+				pds = append(pds, contextpref.Eq(env.Param(i).Name(), v))
+			}
+		}
+		d := contextpref.MustDescriptor(pds...)
+		for _, e := range p.Entries {
+			if err := to.AddPreference(contextpref.MustPreference(d, e.Clause, e.Score)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func show(sys *contextpref.System, label string, current contextpref.State) {
+	res, err := sys.Query(contextpref.Query{TopK: 5}, current)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(label)
+	printResult(res)
+}
+
+func printResult(res *contextpref.Result) {
+	for _, r := range res.Resolutions {
+		if r.Found {
+			kind := "covers"
+			if r.Exact {
+				kind = "matches exactly"
+			}
+			fmt.Printf("  state %s: %s %s (distance %.3f)\n", r.Query, r.Match.State, kind, r.Match.Distance)
+		} else {
+			fmt.Printf("  state %s: no match, non-contextual fallback\n", r.Query)
+		}
+	}
+	for _, t := range res.Tuples {
+		fmt.Printf("  %.2f  %-22s %-10s %s\n", t.Score, t.Tuple[1], t.Tuple[2], t.Tuple[3])
+	}
+	fmt.Println()
+}

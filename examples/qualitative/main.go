@@ -1,0 +1,106 @@
+// Qualitative: contextual preferences without scores. Instead of
+// numeric interest, rules state that some tuples dominate others in a
+// given context ("with family, museums beat breweries"); answering a
+// query means computing the undominated tuples (winnow) under the
+// rules of the most relevant context state, with a full preference
+// stratification for "show me more" pagination.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contextpref"
+)
+
+func main() {
+	env, err := contextpref.ReferenceEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := contextpref.NewSchema("poi",
+		contextpref.Column{Name: "name", Kind: contextpref.KindString},
+		contextpref.Column{Name: "type", Kind: contextpref.KindString},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := contextpref.NewRelation(schema)
+	for _, r := range [][2]string{
+		{"Acropolis", "monument"},
+		{"Benaki Museum", "museum"},
+		{"Plaka Brewery", "brewery"},
+		{"City Zoo", "zoo"},
+		{"Odeon Theater", "theater"},
+		{"National Garden", "park"},
+	} {
+		if _, err := rel.Insert(contextpref.String(r[0]), contextpref.String(r[1])); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	typeEq := func(v string) contextpref.Clause {
+		return contextpref.Clause{Attr: "type", Op: contextpref.OpEq, Val: contextpref.String(v)}
+	}
+	profile, err := contextpref.NewQualitativeProfile(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules := []contextpref.QualitativeRule{
+		// With family: museums over breweries, zoos over theaters.
+		{
+			Descriptor: contextpref.MustDescriptor(contextpref.Eq("accompanying_people", "family")),
+			Better:     typeEq("museum"), Worse: typeEq("brewery"),
+		},
+		{
+			Descriptor: contextpref.MustDescriptor(contextpref.Eq("accompanying_people", "family")),
+			Better:     typeEq("zoo"), Worse: typeEq("theater"),
+		},
+		// With friends: breweries over museums.
+		{
+			Descriptor: contextpref.MustDescriptor(contextpref.Eq("accompanying_people", "friends")),
+			Better:     typeEq("brewery"), Worse: typeEq("museum"),
+		},
+		// In good weather (any company): parks over theaters.
+		{
+			Descriptor: contextpref.MustDescriptor(contextpref.Eq("temperature", "good")),
+			Better:     typeEq("park"), Worse: typeEq("theater"),
+		},
+	}
+	for _, r := range rules {
+		if err := profile.Add(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	metric, _ := contextpref.MetricByName("jaccard")
+	for _, ctx := range [][]string{
+		{"Plaka", "warm", "family"},
+		{"Plaka", "warm", "friends"},
+		{"Plaka", "cold", "alone"}, // nothing covers → no preference
+	} {
+		current, err := env.NewState(ctx...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := contextpref.QualitativeQuery(profile, rel, current, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("context %v:\n", current)
+		if !res.Contextual {
+			fmt.Println("  no rules apply; all tuples are incomparable")
+		} else {
+			fmt.Printf("  matched state %v (distance %.3f, %d rules)\n",
+				res.Resolution.State, res.Resolution.Distance, len(res.Resolution.Rules))
+		}
+		for lvl, idxs := range res.Levels {
+			fmt.Printf("  level %d:", lvl)
+			for _, i := range idxs {
+				fmt.Printf(" %s;", rel.Tuple(i)[0])
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,108 @@
+// Quickstart: the smallest end-to-end use of the contextpref library —
+// define a context environment, store a couple of contextual
+// preferences, and run a query under a current context.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contextpref"
+)
+
+func main() {
+	// 1. Context parameters with hierarchical domains. Weather has two
+	// levels below ALL: detailed conditions grouped into good/bad.
+	weatherH, err := contextpref.NewHierarchy("weather", "Conditions", "Characterization").
+		Add("cold", "bad").
+		Add("mild", "good").
+		Add("warm", "good").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	companyH, err := contextpref.NewHierarchy("company", "Relationship").
+		Add("friends").
+		Add("family").
+		Add("alone").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	weather, err := contextpref.NewParameter("weather", weatherH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	company, err := contextpref.NewParameter("company", companyH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := contextpref.NewEnvironment(weather, company)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A relation to personalize.
+	schema, err := contextpref.NewSchema("activities",
+		contextpref.Column{Name: "name", Kind: contextpref.KindString},
+		contextpref.Column{Name: "kind", Kind: contextpref.KindString},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := contextpref.NewRelation(schema)
+	for _, row := range [][2]string{
+		{"City walking tour", "outdoor"},
+		{"Botanical garden", "outdoor"},
+		{"Science museum", "indoor"},
+		{"Board game cafe", "indoor"},
+	} {
+		if _, err := rel.Insert(contextpref.String(row[0]), contextpref.String(row[1])); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. The system, with contextual preferences: outdoors in good
+	// weather, indoors when it is cold, and board games with friends
+	// regardless of weather.
+	sys, err := contextpref.NewSystem(env, rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sys.AddPreferences(
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("weather", "good")),
+			contextpref.Clause{Attr: "kind", Op: contextpref.OpEq, Val: contextpref.String("outdoor")},
+			0.9),
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("weather", "cold")),
+			contextpref.Clause{Attr: "kind", Op: contextpref.OpEq, Val: contextpref.String("indoor")},
+			0.8),
+		contextpref.MustPreference(
+			contextpref.MustDescriptor(contextpref.Eq("weather", "cold"), contextpref.Eq("company", "friends")),
+			contextpref.Clause{Attr: "name", Op: contextpref.OpEq, Val: contextpref.String("Board game cafe")},
+			0.95),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Query under two current contexts.
+	for _, ctx := range [][]string{
+		{"warm", "alone"},
+		{"cold", "friends"},
+	} {
+		current, err := sys.NewState(ctx...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Query(contextpref.Query{TopK: 3}, current)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("context %v:\n", current)
+		for _, t := range res.Tuples {
+			fmt.Printf("  %.2f  %s\n", t.Score, t.Tuple[0])
+		}
+	}
+}

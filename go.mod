@@ -1,0 +1,3 @@
+module contextpref
+
+go 1.22

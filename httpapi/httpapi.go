@@ -1,0 +1,354 @@
+// Package httpapi exposes a contextpref.System over HTTP with a small
+// JSON API, so the context-aware preference database can run as a
+// service. All handlers are safe for concurrent use: the server wraps
+// the system in a contextpref.SafeSystem.
+//
+// Endpoints:
+//
+//	GET  /env                  the context environment (parameters, levels, domains)
+//	GET  /stats                profile-tree storage statistics
+//	GET  /preferences          the stored profile in the line encoding (text/plain)
+//	POST /preferences          add preferences (text/plain body, one per line)
+//	DELETE /preferences        remove preferences (same body format)
+//	POST /query                run a contextual query (JSON body, see QueryRequest)
+//	GET  /resolve?state=v1,v2  context resolution for a state (all candidates)
+//
+// Errors return JSON {"error": "..."} with 400 for bad input and 409
+// for preference conflicts.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"contextpref"
+)
+
+// Server handles the API over one system or, in multi-user mode, a
+// directory of per-user systems selected by the ?user query parameter.
+type Server struct {
+	single      *contextpref.SafeSystem // single-user mode
+	directory   *contextpref.Directory  // multi-user mode
+	environment *contextpref.Environment
+	mux         *http.ServeMux
+}
+
+// New wraps one system (which must not be mutated elsewhere afterwards)
+// and builds the routes.
+func New(sys *contextpref.System) (*Server, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("httpapi: nil system")
+	}
+	s := &Server{
+		single:      contextpref.Synchronized(sys),
+		environment: sys.Env(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// NewMultiUser serves a directory of per-user profiles: every endpoint
+// (except /env) takes a ?user=name parameter, defaulting to "default".
+// Unknown users are created on first write and on first read.
+func NewMultiUser(dir *contextpref.Directory) (*Server, error) {
+	if dir == nil {
+		return nil, fmt.Errorf("httpapi: nil directory")
+	}
+	s := &Server{directory: dir, environment: dir.Env()}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /env", s.handleEnv)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /preferences", s.handleExport)
+	s.mux.HandleFunc("POST /preferences", s.handleAdd)
+	s.mux.HandleFunc("DELETE /preferences", s.handleRemove)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /resolve", s.handleResolve)
+	if s.directory != nil {
+		s.mux.HandleFunc("GET /users", s.handleUsers)
+	}
+}
+
+// system picks the target system for a request.
+func (s *Server) system(r *http.Request) (*contextpref.SafeSystem, error) {
+	if s.single != nil {
+		return s.single, nil
+	}
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		user = "default"
+	}
+	return s.directory.User(user)
+}
+
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.directory.Users())
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON sends a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError sends a JSON error.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// EnvParameter describes one context parameter in GET /env.
+type EnvParameter struct {
+	// Name is the parameter name.
+	Name string `json:"name"`
+	// Levels are the hierarchy level names, detailed first.
+	Levels []string `json:"levels"`
+	// DetailedDomain is the size of the detailed domain.
+	DetailedDomain int `json:"detailed_domain"`
+	// SampleValues holds the first few detailed values.
+	SampleValues []string `json:"sample_values"`
+}
+
+func (s *Server) handleEnv(w http.ResponseWriter, r *http.Request) {
+	// The environment is immutable, so no locking is needed here.
+	env := s.environment
+	out := make([]EnvParameter, 0, env.NumParams())
+	for i := 0; i < env.NumParams(); i++ {
+		p := env.Param(i)
+		h := p.Hierarchy()
+		dv := h.DetailedValues()
+		sample := dv
+		if len(sample) > 10 {
+			sample = sample[:10]
+		}
+		out = append(out, EnvParameter{
+			Name:           p.Name(),
+			Levels:         h.Levels(),
+			DetailedDomain: len(dv),
+			SampleValues:   sample,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.system(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sys.Stats())
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.system(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	text, err := sys.ExportProfile()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, text)
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.system(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sys.LoadProfile(string(body)); err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "conflict") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"preferences": sys.NumPreferences()})
+}
+
+// handleRemove deletes preferences given one per line in the same text
+// encoding POST accepts; the response reports how many leaf entries
+// were removed.
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.system(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	removed := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := contextpref.ParsePreference(line)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		n, err := sys.RemovePreference(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		removed += n
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"removed":     removed,
+		"preferences": sys.NumPreferences(),
+	})
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Query is a cpql query text ("top 5 where type = museum context
+	// time = morning"); empty means "everything under the current
+	// context".
+	Query string `json:"query"`
+	// Current is the implicit context state, one value per parameter;
+	// may be empty when the query carries a context clause.
+	Current []string `json:"current,omitempty"`
+}
+
+// QueryTuple is one ranked answer row.
+type QueryTuple struct {
+	// Score is the combined interest score.
+	Score float64 `json:"score"`
+	// Values are the tuple's column values as strings, in schema order.
+	Values []string `json:"values"`
+}
+
+// QueryResponse is the POST /query result.
+type QueryResponse struct {
+	// Contextual is false when the query fell back to plain execution.
+	Contextual bool `json:"contextual"`
+	// Matched describes the resolved states ("(Plaka, warm, all) @ 0.667").
+	Matched []string `json:"matched,omitempty"`
+	// Tuples is the ranked answer.
+	Tuples []QueryTuple `json:"tuples"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.system(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cq, err := contextpref.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var current contextpref.State
+	if len(req.Current) > 0 {
+		current, err = sys.NewState(req.Current...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if len(cq.Ecod) == 0 && current == nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("httpapi: query needs a context clause or a current state"))
+		return
+	}
+	res, err := sys.Query(cq, current)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{Contextual: res.Contextual}
+	for _, rl := range res.Resolutions {
+		if rl.Found {
+			resp.Matched = append(resp.Matched,
+				fmt.Sprintf("%s @ %.3f", rl.Match.State, rl.Match.Distance))
+		}
+	}
+	for _, t := range res.Tuples {
+		vals := make([]string, len(t.Tuple))
+		for i, v := range t.Tuple {
+			vals[i] = v.String()
+		}
+		resp.Tuples = append(resp.Tuples, QueryTuple{Score: t.Score, Values: vals})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ResolveCandidate is one covering state in GET /resolve.
+type ResolveCandidate struct {
+	// State renders the candidate context state.
+	State string `json:"state"`
+	// Distance is the metric distance to the query state.
+	Distance float64 `json:"distance"`
+	// Specificity is the number of detailed states the candidate covers.
+	Specificity int `json:"specificity"`
+	// Entries renders the stored clauses and scores.
+	Entries []string `json:"entries"`
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.system(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	raw := r.URL.Query().Get("state")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: missing state parameter"))
+		return
+	}
+	st, err := sys.NewState(strings.Split(raw, ",")...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cands, err := sys.ResolveAll(st)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]ResolveCandidate, 0, len(cands))
+	for _, c := range cands {
+		rc := ResolveCandidate{
+			State:       c.State.String(),
+			Distance:    c.Distance,
+			Specificity: c.Specificity,
+		}
+		for _, e := range c.Entries {
+			rc.Entries = append(rc.Entries, fmt.Sprintf("%s : %.2f", e.Clause, e.Score))
+		}
+		out = append(out, rc)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,124 @@
+package contextpref
+
+import (
+	"testing"
+
+	"contextpref/internal/dataset"
+)
+
+// TestIntegrationRealWorkload drives the assembled system at the
+// paper's "real" scale — 522 preferences over domains 4/17/100, a
+// 1000-tuple POI database, both metrics, caching on — and checks
+// end-to-end invariants on a 200-query workload.
+func TestIntegrationRealWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration soak")
+	}
+	env, prefs, err := dataset.RealProfile(2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := dataset.POIs(env, 1000, 2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.CreateIndex("type"); err != nil {
+		t.Fatal(err)
+	}
+	order, err := SuggestTreeOrder(env, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metricName := range []string{"hierarchy", "jaccard"} {
+		metric, _ := MetricByName(metricName)
+		sys, err := NewSystem(env, rel,
+			WithMetric(metric),
+			WithTreeOrder(order),
+			WithQueryCache(64),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AddPreferences(prefs...); err != nil {
+			t.Fatal(err)
+		}
+		stats := sys.Stats()
+		if stats.Preferences != dataset.RealPrefCount {
+			t.Fatalf("%s: preferences = %d", metricName, stats.Preferences)
+		}
+		if stats.Cells <= 0 || stats.States <= 0 {
+			t.Fatalf("%s: stats = %+v", metricName, stats)
+		}
+
+		queries, err := dataset.RandomQueries(env, 200, 7, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contextual, fallbacks := 0, 0
+		for _, q := range queries {
+			res, err := sys.Query(Query{TopK: 20}, q)
+			if err != nil {
+				t.Fatalf("%s: query %v: %v", metricName, q, err)
+			}
+			if !res.Contextual {
+				fallbacks++
+				continue
+			}
+			contextual++
+			// Invariants on contextual answers.
+			r := res.Resolutions[0]
+			if !r.Found {
+				t.Fatalf("%s: contextual result without resolution", metricName)
+			}
+			if !env.Covers(r.Match.State, q) {
+				t.Fatalf("%s: matched state %v does not cover %v", metricName, r.Match.State, q)
+			}
+			// Scores sorted descending and within [0, 1].
+			for i, st := range res.Tuples {
+				if st.Score < 0 || st.Score > 1 {
+					t.Fatalf("%s: score %v out of range", metricName, st.Score)
+				}
+				if i > 0 && res.Tuples[i-1].Score < st.Score {
+					t.Fatalf("%s: ranking not sorted", metricName)
+				}
+			}
+			// Independent check against ResolveAll: the engine's match
+			// must be the minimum-distance candidate.
+			cands, err := sys.ResolveAll(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) == 0 || cands[0].Distance != r.Match.Distance {
+				t.Fatalf("%s: engine match distance %v vs ResolveAll best %v",
+					metricName, r.Match.Distance, cands[0].Distance)
+			}
+		}
+		if contextual == 0 {
+			t.Fatalf("%s: no query resolved contextually", metricName)
+		}
+		// Replay the workload: every contextual single-state query must
+		// now hit the cache (capacity permitting) or recompute to the
+		// same answer.
+		hits := 0
+		for _, q := range queries[:50] {
+			res1, hit1, err := sys.QueryCached(Query{TopK: 20}, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, hit2, err := sys.QueryCached(Query{TopK: 20}, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = hit1
+			if hit2 {
+				hits++
+			}
+			if len(res1.Tuples) != len(res2.Tuples) {
+				t.Fatalf("%s: cached replay differs: %d vs %d tuples",
+					metricName, len(res1.Tuples), len(res2.Tuples))
+			}
+		}
+		t.Logf("%s: %d contextual, %d fallbacks, %d cache hits on replay, tree cells %d",
+			metricName, contextual, fallbacks, hits, stats.Cells)
+	}
+}

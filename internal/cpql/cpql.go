@@ -1,0 +1,264 @@
+// Package cpql implements a small textual language for contextual
+// preference queries, used by the cpdb shell and offered as a library
+// convenience. A query is a sequence of optional clauses, in order:
+//
+//	[top K] [where PRED {and PRED}] [context COMPOSITE {or COMPOSITE}]
+//
+// where PRED is "column op value" (op ∈ {=, !=, <, <=, >, >=}; values
+// are typed by inference: quoted → string, true/false → bool, integer,
+// float, bare word → string) and COMPOSITE is a ';'-separated list of
+// context descriptor atoms: "param = value", "param in {v1, v2}",
+// "param between lo, hi". Examples:
+//
+//	top 5
+//	where type = museum and open_air = true
+//	top 10 context location = Athens; temperature in {warm, hot} or accompanying_people = family
+//	top 3 where admission_cost <= 10 context time = morning
+//
+// The "context" clause builds the query's extended descriptor
+// (disjunction of composites, Def. 8); without it the query uses the
+// caller's current context.
+package cpql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/preference"
+	"contextpref/internal/query"
+	"contextpref/internal/relation"
+)
+
+// keywords that start a clause, in the order they must appear.
+var keywords = []string{"top", "where", "context"}
+
+// Parse reads a query. The empty string is a valid query (no
+// truncation, no selection, implicit context).
+func Parse(text string) (query.Contextual, error) {
+	segs, err := segment(text)
+	if err != nil {
+		return query.Contextual{}, err
+	}
+	var cq query.Contextual
+	if topText, ok := segs["top"]; ok {
+		k, err := strconv.Atoi(strings.TrimSpace(topText))
+		if err != nil || k <= 0 {
+			return query.Contextual{}, fmt.Errorf("cpql: 'top' needs a positive integer, got %q", topText)
+		}
+		cq.TopK = k
+	}
+	if whereText, ok := segs["where"]; ok {
+		preds, err := parseWhere(whereText)
+		if err != nil {
+			return query.Contextual{}, err
+		}
+		cq.Selection = preds
+	}
+	if ctxText, ok := segs["context"]; ok {
+		ecod, err := parseContext(ctxText)
+		if err != nil {
+			return query.Contextual{}, err
+		}
+		cq.Ecod = ecod
+	}
+	return cq, nil
+}
+
+// segment splits the query into its keyword-introduced clauses and
+// validates their order and uniqueness.
+func segment(text string) (map[string]string, error) {
+	fields := strings.Fields(text)
+	segs := make(map[string]string, len(keywords))
+	lastKeyword := -1
+	current := ""
+	var parts []string
+	flush := func() error {
+		if current == "" {
+			if len(parts) > 0 {
+				return fmt.Errorf("cpql: query must start with one of %v, got %q", keywords, parts[0])
+			}
+			return nil
+		}
+		segs[current] = strings.Join(parts, " ")
+		parts = nil
+		return nil
+	}
+	for _, f := range fields {
+		ki := keywordIndex(strings.ToLower(f))
+		// A keyword token only opens a clause at the top level; inside
+		// a clause body the words "in"/"between" etc. are never clause
+		// keywords, and "top"/"where"/"context" cannot appear as bare
+		// body words in the grammar.
+		if ki >= 0 {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if ki <= lastKeyword {
+				if _, dup := segs[keywords[ki]]; dup {
+					return nil, fmt.Errorf("cpql: duplicate clause %q", keywords[ki])
+				}
+				return nil, fmt.Errorf("cpql: clause %q out of order (expected top, where, context)", keywords[ki])
+			}
+			lastKeyword = ki
+			current = keywords[ki]
+			continue
+		}
+		parts = append(parts, f)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	for kw, body := range segs {
+		if strings.TrimSpace(body) == "" {
+			return nil, fmt.Errorf("cpql: clause %q has no body", kw)
+		}
+	}
+	return segs, nil
+}
+
+func keywordIndex(word string) int {
+	for i, k := range keywords {
+		if word == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// reserved are the grammar's bare keywords; they cannot appear as
+// unquoted identifiers or context values, or the rendered query would
+// not re-parse. Quote string values ("name = \"or\"") to use them.
+var reserved = map[string]bool{
+	"top": true, "where": true, "context": true, "and": true, "or": true,
+	"in": true, "between": true,
+}
+
+// checkWord rejects reserved words used as bare identifiers, and
+// multi-token identifiers: the whitespace grammar cannot round-trip a
+// context value like "or 0", and every hierarchy value is a single
+// token anyway.
+func checkWord(kind, w string) error {
+	if reserved[strings.ToLower(w)] {
+		return fmt.Errorf("cpql: reserved word %q cannot be a bare %s (quote it if it is a value)", w, kind)
+	}
+	if len(strings.Fields(w)) != 1 {
+		return fmt.Errorf("cpql: %s %q must be a single token", kind, w)
+	}
+	return nil
+}
+
+// parseWhere reads "pred and pred and ...".
+func parseWhere(text string) ([]relation.Predicate, error) {
+	var out []relation.Predicate
+	for _, part := range splitKeyword(text, "and") {
+		clause, err := preference.ParseClause(part)
+		if err != nil {
+			return nil, fmt.Errorf("cpql: %w", err)
+		}
+		// Only the attribute needs the reserved-word check: the
+		// formatter always quotes string values, so a value like "or"
+		// re-parses unambiguously.
+		if err := checkWord("column", clause.Attr); err != nil {
+			return nil, err
+		}
+		out = append(out, clause.Predicate())
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cpql: empty where clause")
+	}
+	return out, nil
+}
+
+// parseContext reads "composite or composite or ...".
+func parseContext(text string) (ctxmodel.ExtendedDescriptor, error) {
+	var out ctxmodel.ExtendedDescriptor
+	for _, comp := range splitKeyword(text, "or") {
+		var pds []ctxmodel.ParamDescriptor
+		for _, atom := range strings.Split(comp, ";") {
+			if strings.TrimSpace(atom) == "" {
+				return nil, fmt.Errorf("cpql: empty descriptor atom in %q", comp)
+			}
+			pd, err := preference.ParseParamDescriptor(atom)
+			if err != nil {
+				return nil, fmt.Errorf("cpql: %w", err)
+			}
+			if err := checkWord("context parameter", pd.Param); err != nil {
+				return nil, err
+			}
+			for _, v := range pd.Values {
+				if err := checkWord("context value", v); err != nil {
+					return nil, err
+				}
+			}
+			pds = append(pds, pd)
+		}
+		d, err := ctxmodel.NewDescriptor(pds...)
+		if err != nil {
+			return nil, fmt.Errorf("cpql: %w", err)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cpql: empty context clause")
+	}
+	return out, nil
+}
+
+// splitKeyword splits text on a lowercase word boundary keyword ("and"
+// / "or"), ignoring it inside braces so "in {a, b}" set values survive.
+func splitKeyword(text, kw string) []string {
+	fields := strings.Fields(text)
+	var out []string
+	var cur []string
+	depth := 0
+	for _, f := range fields {
+		depth += strings.Count(f, "{") - strings.Count(f, "}")
+		if depth == 0 && strings.ToLower(f) == kw && len(cur) > 0 {
+			out = append(out, strings.Join(cur, " "))
+			cur = nil
+			continue
+		}
+		cur = append(cur, f)
+	}
+	if len(cur) > 0 {
+		out = append(out, strings.Join(cur, " "))
+	}
+	return out
+}
+
+// Format renders a contextual query back into the language (modulo
+// whitespace); useful for echoing parsed queries.
+func Format(cq query.Contextual) string {
+	var parts []string
+	if cq.TopK > 0 {
+		parts = append(parts, fmt.Sprintf("top %d", cq.TopK))
+	}
+	if len(cq.Selection) > 0 {
+		preds := make([]string, len(cq.Selection))
+		for i, p := range cq.Selection {
+			preds[i] = fmt.Sprintf("%s %s %s", p.Col, p.Op, preference.FormatValue(p.Val))
+		}
+		parts = append(parts, "where "+strings.Join(preds, " and "))
+	}
+	if len(cq.Ecod) > 0 {
+		comps := make([]string, len(cq.Ecod))
+		for i, d := range cq.Ecod {
+			var atoms []string
+			for _, pd := range d.ParamDescriptors() {
+				switch pd.Kind {
+				case ctxmodel.KindEq:
+					atoms = append(atoms, fmt.Sprintf("%s = %s", pd.Param, pd.Values[0]))
+				case ctxmodel.KindIn:
+					atoms = append(atoms, fmt.Sprintf("%s in {%s}", pd.Param, strings.Join(pd.Values, ", ")))
+				case ctxmodel.KindRange:
+					atoms = append(atoms, fmt.Sprintf("%s between %s, %s", pd.Param, pd.Values[0], pd.Values[1]))
+				}
+			}
+			comps[i] = strings.Join(atoms, "; ")
+		}
+		parts = append(parts, "context "+strings.Join(comps, " or "))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,180 @@
+package cpql
+
+import (
+	"strings"
+	"testing"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/relation"
+)
+
+func TestParseEmpty(t *testing.T) {
+	cq, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.TopK != 0 || cq.Selection != nil || cq.Ecod != nil {
+		t.Errorf("empty query = %+v", cq)
+	}
+	if Format(cq) != "" {
+		t.Errorf("Format(empty) = %q", Format(cq))
+	}
+}
+
+func TestParseTop(t *testing.T) {
+	cq, err := Parse("top 5")
+	if err != nil || cq.TopK != 5 {
+		t.Fatalf("Parse(top 5) = %+v, %v", cq, err)
+	}
+	for _, bad := range []string{"top", "top zero", "top -3", "top 0", "top 1.5"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	cq, err := Parse("where type = museum and open_air = true and admission_cost <= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cq.Selection) != 3 {
+		t.Fatalf("predicates = %d", len(cq.Selection))
+	}
+	p := cq.Selection[0]
+	if p.Col != "type" || p.Op != relation.OpEq || !p.Val.Equal(relation.S("museum")) {
+		t.Errorf("pred 0 = %+v", p)
+	}
+	if cq.Selection[1].Val.Kind() != relation.KindBool {
+		t.Errorf("pred 1 kind = %v", cq.Selection[1].Val.Kind())
+	}
+	if cq.Selection[2].Op != relation.OpLe || cq.Selection[2].Val.Kind() != relation.KindInt {
+		t.Errorf("pred 2 = %+v", cq.Selection[2])
+	}
+	// Quoted values may contain keywords.
+	cq, err = Parse(`where name = "top of the hill"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cq.Selection[0].Val.Str(); got != "top of the hill" {
+		t.Errorf("quoted value = %q", got)
+	}
+	for _, bad := range []string{"where", "where type museum", "where and"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseContext(t *testing.T) {
+	env := ctxmodel.MustReferenceEnvironment()
+	cq, err := Parse("context location = Athens; temperature in {warm, hot} or accompanying_people = family")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cq.Ecod) != 2 {
+		t.Fatalf("composites = %d", len(cq.Ecod))
+	}
+	states, err := cq.Ecod.Context(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Athens, warm, all), (Athens, hot, all), (all, all, family).
+	if len(states) != 3 {
+		t.Errorf("states = %v", states)
+	}
+	// Range atoms.
+	cq, err = Parse("context temperature between mild, hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err = cq.Ecod.Context(env)
+	if err != nil || len(states) != 3 {
+		t.Errorf("range context = %v, %v", states, err)
+	}
+	for _, bad := range []string{
+		"context",
+		"context garbage atom",
+		"context location = Athens;",
+		"context location = Athens; location = Plaka", // repeated param
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseFullQuery(t *testing.T) {
+	cq, err := Parse("top 10 where type = museum context location = Athens or time = morning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.TopK != 10 || len(cq.Selection) != 1 || len(cq.Ecod) != 2 {
+		t.Errorf("full query = %+v", cq)
+	}
+}
+
+func TestParseClauseOrder(t *testing.T) {
+	bad := []string{
+		"where type = museum top 5",                  // top after where
+		"context time = morning top 5",               // top after context
+		"context time = morning where type = museum", // where after context
+		"top 5 top 6", // duplicate
+		"hello world", // no keyword
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestSplitKeywordBraces(t *testing.T) {
+	// "or" inside braces must not split composites... values with
+	// spaces around commas keep brace depth balanced per field.
+	parts := splitKeyword("location in {a, b} or time = morning", "or")
+	if len(parts) != 2 {
+		t.Fatalf("parts = %v", parts)
+	}
+	parts = splitKeyword("a and b and c", "and")
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+	// Leading keyword does not produce an empty part.
+	parts = splitKeyword("and a", "and")
+	if len(parts) != 1 {
+		t.Fatalf("leading keyword parts = %v", parts)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	queries := []string{
+		"top 5",
+		"where type = museum",
+		"top 3 where type = museum and open_air = true",
+		"context location = Athens; temperature in {warm, hot} or accompanying_people = family",
+		"top 7 where admission_cost <= 10.5 context temperature between mild, hot",
+	}
+	for _, q := range queries {
+		cq, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		text := Format(cq)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(Format(%q)) = %q failed: %v", q, text, err)
+		}
+		if back.TopK != cq.TopK || len(back.Selection) != len(cq.Selection) || len(back.Ecod) != len(cq.Ecod) {
+			t.Errorf("round-trip mismatch: %q -> %q", q, text)
+		}
+		if Format(back) != text {
+			t.Errorf("Format not stable: %q vs %q", Format(back), text)
+		}
+	}
+	// Format quotes string values so they re-parse.
+	cq, _ := Parse(`where name = "top secret"`)
+	if !strings.Contains(Format(cq), `"top secret"`) {
+		t.Errorf("Format(%+v) = %q should quote strings", cq, Format(cq))
+	}
+}

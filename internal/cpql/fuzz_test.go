@@ -1,0 +1,41 @@
+package cpql
+
+import "testing"
+
+// FuzzParse checks that the query parser never panics and that
+// Parse∘Format is idempotent on accepted inputs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"top 5",
+		"where type = museum and open_air = true",
+		"context location = Athens; temperature in {warm, hot} or accompanying_people = family",
+		"top 7 where admission_cost <= 10.5 context temperature between mild, hot",
+		"top top top",
+		"where and and",
+		"context ; ;",
+		"top -1 where",
+		"TOP 5 WHERE type = museum", // uppercase keywords
+		"top 5 where name = \"top secret\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		cq, err := Parse(text)
+		if err != nil {
+			return
+		}
+		rendered := Format(cq)
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Format(%q) = %q does not re-parse: %v", text, rendered, err)
+		}
+		if back.TopK != cq.TopK || len(back.Selection) != len(cq.Selection) || len(back.Ecod) != len(cq.Ecod) {
+			t.Fatalf("round-trip mismatch for %q: %+v vs %+v", text, cq, back)
+		}
+		if again := Format(back); again != rendered {
+			t.Fatalf("Format not stable for %q: %q vs %q", text, rendered, again)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package ctxmodel
+
+import "contextpref/internal/hierarchy"
+
+// ReferenceEnvironment builds the paper's running example (Section 2,
+// Fig. 2): context parameters location (Region ≺ City ≺ Country ≺ ALL),
+// temperature (Conditions ≺ Characterization ≺ ALL) and
+// accompanying_people (Relationship ≺ ALL). It is used throughout the
+// tests, the examples and the usability study.
+func ReferenceEnvironment() (*Environment, error) {
+	loc, err := hierarchy.NewBuilder("location", "Region", "City", "Country").
+		Add("Plaka", "Athens", "Greece").
+		Add("Kifisia", "Athens", "Greece").
+		Add("Acropolis_Area", "Athens", "Greece").
+		Add("Perama", "Ioannina", "Greece").
+		Add("Kastro", "Ioannina", "Greece").
+		Add("Ladadika", "Thessaloniki", "Greece").
+		Add("Ano_Poli", "Thessaloniki", "Greece").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	temp, err := hierarchy.NewBuilder("temperature", "Conditions", "Characterization").
+		Add("freezing", "bad").
+		Add("cold", "bad").
+		Add("mild", "good").
+		Add("warm", "good").
+		Add("hot", "good").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	people, err := hierarchy.NewBuilder("accompanying_people", "Relationship").
+		Add("friends").
+		Add("family").
+		Add("alone").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := NewParameter("location", loc)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := NewParameter("temperature", temp)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := NewParameter("accompanying_people", people)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnvironment(pl, pt, pp)
+}
+
+// MustReferenceEnvironment is ReferenceEnvironment that panics on error.
+func MustReferenceEnvironment() *Environment {
+	e, err := ReferenceEnvironment()
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -1,0 +1,546 @@
+// Package dataset generates the data the paper's evaluation runs on:
+// the points-of-interest database, the "real" profile of 522
+// preferences (Section 5.2), the synthetic profiles with uniform/zipf
+// value distributions (Figs. 6–7), query workloads, and the twelve
+// default profiles of the usability study (Table 1).
+//
+// The paper used a proprietary POI database of Athens and Thessaloniki
+// and a real user profile. We substitute deterministic generators that
+// match the published statistics — schema, active-domain cardinalities
+// (4 / 17 / 100), profile size (522), hierarchy depths — which are the
+// only properties the reported experiments depend on. See DESIGN.md for
+// the substitution rationale.
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/hierarchy"
+	"contextpref/internal/preference"
+	"contextpref/internal/relation"
+)
+
+// RealPrefCount is the size of the paper's real profile.
+const RealPrefCount = 522
+
+// Cities of the usability study's POI database.
+var Cities = []string{"Athens", "Thessaloniki"}
+
+// POITypes are the point-of-interest categories used across the
+// examples, the usability study and the generated profiles.
+var POITypes = []string{
+	"museum", "monument", "archaeological_site", "zoo", "park",
+	"brewery", "cafeteria", "restaurant", "gallery", "theater",
+}
+
+// RealEnvironment builds the context environment of the paper's real
+// profile (Section 5.2): accompanying_people with 4 detailed values,
+// time with 17, and location with 100 regions over the two cities.
+//
+// Hierarchies:
+//
+//	accompanying_people: Relationship(4) ≺ ALL
+//	time:                Period(17) ≺ Daypart(5) ≺ ALL
+//	location:            Region(100) ≺ City(2) ≺ Country(1) ≺ ALL
+func RealEnvironment() (*ctxmodel.Environment, error) {
+	people, err := hierarchy.NewBuilder("accompanying_people", "Relationship").
+		Add("friends").
+		Add("family").
+		Add("alone").
+		Add("colleagues").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+
+	tb := hierarchy.NewBuilder("time", "Period", "Daypart")
+	dayparts := []struct {
+		name    string
+		periods int
+	}{
+		{"morning", 4}, {"noon", 3}, {"afternoon", 4}, {"evening", 3}, {"night", 3},
+	}
+	i := 1
+	for _, dp := range dayparts {
+		for k := 0; k < dp.periods; k++ {
+			tb.Add(fmt.Sprintf("t%02d", i), dp.name)
+			i++
+		}
+	}
+	times, err := tb.Build()
+	if err != nil {
+		return nil, err
+	}
+	if got := len(times.DetailedValues()); got != 17 {
+		return nil, fmt.Errorf("dataset: time hierarchy has %d periods, want 17", got)
+	}
+
+	lb := hierarchy.NewBuilder("location", "Region", "City", "Country")
+	// 60 Athens regions, 40 Thessaloniki regions: 100 total.
+	for r := 1; r <= 60; r++ {
+		lb.Add(fmt.Sprintf("ath_r%02d", r), "Athens", "Greece")
+	}
+	for r := 1; r <= 40; r++ {
+		lb.Add(fmt.Sprintf("the_r%02d", r), "Thessaloniki", "Greece")
+	}
+	locs, err := lb.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	pp, err := ctxmodel.NewParameter("accompanying_people", people)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := ctxmodel.NewParameter("time", times)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := ctxmodel.NewParameter("location", locs)
+	if err != nil {
+		return nil, err
+	}
+	return ctxmodel.NewEnvironment(pp, pt, pl)
+}
+
+// POISchema is the schema of the paper's reference relation:
+// Points_of_Interest(pid, name, type, location, open_air,
+// hours_of_operation, admission_cost).
+func POISchema() (*relation.Schema, error) {
+	return relation.NewSchema("points_of_interest",
+		relation.Column{Name: "pid", Kind: relation.KindInt},
+		relation.Column{Name: "name", Kind: relation.KindString},
+		relation.Column{Name: "type", Kind: relation.KindString},
+		relation.Column{Name: "location", Kind: relation.KindString},
+		relation.Column{Name: "open_air", Kind: relation.KindBool},
+		relation.Column{Name: "hours_of_operation", Kind: relation.KindString},
+		relation.Column{Name: "admission_cost", Kind: relation.KindFloat},
+	)
+}
+
+// openAirTypes marks categories that are predominantly open-air.
+var openAirTypes = map[string]bool{
+	"monument": true, "archaeological_site": true, "zoo": true, "park": true,
+}
+
+var hourChoices = []string{
+	"08:00-15:00", "09:00-17:00", "10:00-18:00", "10:00-22:00", "12:00-24:00",
+}
+
+// POIs generates n points of interest whose location column draws from
+// the detailed regions of the environment's location parameter.
+func POIs(env *ctxmodel.Environment, n int, seed int64) (*relation.Relation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: POI count %d must be positive", n)
+	}
+	locParam, ok := env.ParamByName("location")
+	if !ok {
+		return nil, fmt.Errorf("dataset: environment has no location parameter")
+	}
+	regions := locParam.Hierarchy().DetailedValues()
+	schema, err := POISchema()
+	if err != nil {
+		return nil, err
+	}
+	rel := relation.New(schema)
+	r := rand.New(rand.NewSource(seed))
+	for pid := 1; pid <= n; pid++ {
+		typ := POITypes[r.Intn(len(POITypes))]
+		region := regions[r.Intn(len(regions))]
+		name := fmt.Sprintf("%s %s #%d", titleCase(typ), region, pid)
+		openAir := openAirTypes[typ]
+		if r.Intn(10) == 0 {
+			openAir = !openAir // a few exceptions keep the column informative
+		}
+		cost := math.Round(r.Float64()*200) / 10 // 0.0 .. 20.0
+		if typ == "park" || typ == "monument" {
+			if r.Intn(2) == 0 {
+				cost = 0
+			}
+		}
+		hours := hourChoices[r.Intn(len(hourChoices))]
+		if _, err := rel.Insert(
+			relation.I(int64(pid)),
+			relation.S(name),
+			relation.S(typ),
+			relation.S(region),
+			relation.B(openAir),
+			relation.S(hours),
+			relation.F(cost),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// titleCase capitalizes the first letter and replaces underscores.
+func titleCase(s string) string {
+	out := make([]byte, 0, len(s))
+	up := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_':
+			out = append(out, ' ')
+			up = true
+		case up && c >= 'a' && c <= 'z':
+			out = append(out, c-'a'+'A')
+			up = false
+		default:
+			out = append(out, c)
+			up = false
+		}
+	}
+	return string(out)
+}
+
+// Dist selects the value distribution of a profile generator.
+type Dist int
+
+const (
+	// Uniform draws values uniformly from the detailed domain.
+	Uniform Dist = iota
+	// Zipf draws values with probability ∝ (rank+1)^-a.
+	Zipf
+)
+
+// String names the distribution.
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	}
+	return fmt.Sprintf("Dist(%d)", int(d))
+}
+
+// Sampler draws values from a finite domain under Uniform or Zipf.
+// Zipf with a = 0 degenerates to Uniform, which is exactly how the
+// Fig. 6 (right) sweep treats its left endpoint.
+type Sampler struct {
+	values []string
+	cdf    []float64 // nil for uniform
+	r      *rand.Rand
+}
+
+// NewSampler builds a sampler over the values. For Zipf, a ≥ 0 is the
+// skew exponent.
+func NewSampler(values []string, d Dist, a float64, r *rand.Rand) (*Sampler, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("dataset: sampler over empty domain")
+	}
+	if r == nil {
+		return nil, fmt.Errorf("dataset: sampler needs a rand source")
+	}
+	s := &Sampler{values: values, r: r}
+	if d == Zipf && a > 0 {
+		cdf := make([]float64, len(values))
+		total := 0.0
+		for k := range values {
+			total += math.Pow(float64(k+1), -a)
+			cdf[k] = total
+		}
+		for k := range cdf {
+			cdf[k] /= total
+		}
+		s.cdf = cdf
+	}
+	return s, nil
+}
+
+// Draw returns one value.
+func (s *Sampler) Draw() string {
+	if s.cdf == nil {
+		return s.values[s.r.Intn(len(s.values))]
+	}
+	u := s.r.Float64()
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.values[lo]
+}
+
+// ProfileSpec parameterizes synthetic preference generation.
+type ProfileSpec struct {
+	// Env is the context environment.
+	Env *ctxmodel.Environment
+	// NumPrefs is the number of preferences to generate.
+	NumPrefs int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Dist selects the value distribution over each parameter's
+	// detailed domain.
+	Dist Dist
+	// ZipfA is the zipf exponent (used when Dist == Zipf).
+	ZipfA float64
+	// ParamDists optionally overrides Dist/ZipfA per parameter (by
+	// environment index); used by the Fig. 6 (right) mixed-skew sweep.
+	ParamDists []ParamDist
+	// UpperLevelProb is the probability that a drawn context value is
+	// lifted to a random higher hierarchy level (including ALL),
+	// producing preferences at mixed levels of detail.
+	UpperLevelProb float64
+	// Attr is the clause attribute every preference scores (default
+	// "type").
+	Attr string
+	// AttrValues are the clause values drawn from (default POITypes).
+	AttrValues []string
+}
+
+// ParamDist is a per-parameter distribution override.
+type ParamDist struct {
+	// Dist selects the distribution for this parameter.
+	Dist Dist
+	// ZipfA is its zipf exponent.
+	ZipfA float64
+}
+
+// Generate produces a deterministic, conflict-free preference list:
+// each preference's descriptor constrains every context parameter with
+// an equality (so it denotes exactly one context state, matching the
+// paper's profile-size accounting), and the interest score is a
+// function of the clause value, so two preferences with the same clause
+// never carry different scores.
+func (spec ProfileSpec) Generate() ([]preference.Preference, error) {
+	if spec.Env == nil {
+		return nil, fmt.Errorf("dataset: nil environment")
+	}
+	if spec.NumPrefs <= 0 {
+		return nil, fmt.Errorf("dataset: NumPrefs %d must be positive", spec.NumPrefs)
+	}
+	if spec.UpperLevelProb < 0 || spec.UpperLevelProb > 1 {
+		return nil, fmt.Errorf("dataset: UpperLevelProb %v outside [0, 1]", spec.UpperLevelProb)
+	}
+	attr := spec.Attr
+	if attr == "" {
+		attr = "type"
+	}
+	attrValues := spec.AttrValues
+	if len(attrValues) == 0 {
+		attrValues = POITypes
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Env.NumParams()
+	samplers := make([]*Sampler, n)
+	for i := 0; i < n; i++ {
+		d, a := spec.Dist, spec.ZipfA
+		if spec.ParamDists != nil {
+			if len(spec.ParamDists) != n {
+				return nil, fmt.Errorf("dataset: ParamDists has %d entries, environment has %d parameters", len(spec.ParamDists), n)
+			}
+			d, a = spec.ParamDists[i].Dist, spec.ParamDists[i].ZipfA
+		}
+		s, err := NewSampler(spec.Env.Param(i).Hierarchy().DetailedValues(), d, a, r)
+		if err != nil {
+			return nil, err
+		}
+		samplers[i] = s
+	}
+	out := make([]preference.Preference, 0, spec.NumPrefs)
+	for len(out) < spec.NumPrefs {
+		pds := make([]ctxmodel.ParamDescriptor, 0, n)
+		for i := 0; i < n; i++ {
+			v := samplers[i].Draw()
+			h := spec.Env.Param(i).Hierarchy()
+			if spec.UpperLevelProb > 0 && r.Float64() < spec.UpperLevelProb {
+				lv := 1 + r.Intn(h.NumLevels()-1)
+				a, err := h.Anc(v, lv)
+				if err != nil {
+					return nil, err
+				}
+				v = a
+			}
+			if v != hierarchy.All {
+				// An "all" value is expressed by omitting the
+				// parameter from the descriptor (Def. 4).
+				pds = append(pds, ctxmodel.Eq(spec.Env.Param(i).Name(), v))
+			}
+		}
+		d, err := ctxmodel.NewDescriptor(pds...)
+		if err != nil {
+			return nil, err
+		}
+		vi := r.Intn(len(attrValues))
+		clause := preference.Clause{Attr: attr, Op: relation.OpEq, Val: relation.S(attrValues[vi])}
+		// Score derived from the clause value: conflict-free by
+		// construction (Def. 6 needs differing scores on one clause).
+		score := 0.1 + 0.8*float64(vi)/float64(maxInt(1, len(attrValues)-1))
+		p, err := preference.New(d, clause, score)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RealProfile generates the stand-in for the paper's real profile: 522
+// preferences over RealEnvironment with mildly skewed (zipf a = 1.0)
+// value distributions — users concentrate on a few favourite regions
+// and times — and 20% of context values lifted to higher levels.
+func RealProfile(seed int64) (*ctxmodel.Environment, []preference.Preference, error) {
+	env, err := RealEnvironment()
+	if err != nil {
+		return nil, nil, err
+	}
+	prefs, err := ProfileSpec{
+		Env:            env,
+		NumPrefs:       RealPrefCount,
+		Seed:           seed,
+		Dist:           Zipf,
+		ZipfA:          1.0,
+		UpperLevelProb: 0.2,
+	}.Generate()
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, prefs, nil
+}
+
+// SyntheticSpec describes one parameter of a synthetic environment as
+// a chain of level fanouts (see hierarchy.Uniform); the detailed domain
+// size is the product of the fanouts.
+type SyntheticSpec struct {
+	// Name is the parameter name.
+	Name string
+	// Fanouts configure the hierarchy levels.
+	Fanouts []int
+}
+
+// SyntheticEnvironment builds an environment from per-parameter specs.
+func SyntheticEnvironment(specs ...SyntheticSpec) (*ctxmodel.Environment, error) {
+	params := make([]*ctxmodel.Parameter, 0, len(specs))
+	for _, sp := range specs {
+		h, err := hierarchy.Uniform(sp.Name, sp.Fanouts...)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ctxmodel.NewParameter(sp.Name, h)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, p)
+	}
+	return ctxmodel.NewEnvironment(params...)
+}
+
+// Fig6Environment is the synthetic environment of Figs. 6 (left,
+// center) and 7 (center, right): domains of 50, 100 and 1000 values
+// with 2, 3 and 3 hierarchy levels respectively (plus ALL).
+func Fig6Environment() (*ctxmodel.Environment, error) {
+	return SyntheticEnvironment(
+		SyntheticSpec{Name: "p50", Fanouts: []int{5, 10}},        // 50 → 10 → ALL
+		SyntheticSpec{Name: "p100", Fanouts: []int{5, 4, 5}},     // 100 → 20 → 5 → ALL
+		SyntheticSpec{Name: "p1000", Fanouts: []int{10, 10, 10}}, // 1000 → 100 → 10 → ALL
+	)
+}
+
+// Fig6SkewEnvironment is the environment of the Fig. 6 (right)
+// experiment: domains of 50, 100 and 200 values.
+func Fig6SkewEnvironment() (*ctxmodel.Environment, error) {
+	return SyntheticEnvironment(
+		SyntheticSpec{Name: "p50", Fanouts: []int{5, 10}},    // 50 → 10 → ALL
+		SyntheticSpec{Name: "p100", Fanouts: []int{5, 4, 5}}, // 100 → 20 → 5 → ALL
+		SyntheticSpec{Name: "p200", Fanouts: []int{10, 20}},  // 200 → 20 → ALL
+	)
+}
+
+// QueriesFromPrefs samples n query states from the context states the
+// preferences denote, so exact-match lookups succeed (the Fig. 7
+// exact-match workloads).
+func QueriesFromPrefs(env *ctxmodel.Environment, prefs []preference.Preference, n int, seed int64) ([]ctxmodel.State, error) {
+	if len(prefs) == 0 {
+		return nil, fmt.Errorf("dataset: no preferences to sample queries from")
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]ctxmodel.State, 0, n)
+	for len(out) < n {
+		p := prefs[r.Intn(len(prefs))]
+		states, err := p.Descriptor.Context(env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, states[r.Intn(len(states))])
+	}
+	return out, nil
+}
+
+// RandomQueries draws n random context states with each value lifted to
+// a random upper level with probability upperProb — the mixed-level
+// query workload of the Fig. 7 non-exact experiments.
+func RandomQueries(env *ctxmodel.Environment, n int, seed int64, upperProb float64) ([]ctxmodel.State, error) {
+	if upperProb < 0 || upperProb > 1 {
+		return nil, fmt.Errorf("dataset: upperProb %v outside [0, 1]", upperProb)
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]ctxmodel.State, 0, n)
+	for len(out) < n {
+		s := make(ctxmodel.State, env.NumParams())
+		for i := range s {
+			h := env.Param(i).Hierarchy()
+			dv := h.DetailedValues()
+			v := dv[r.Intn(len(dv))]
+			if upperProb > 0 && r.Float64() < upperProb {
+				lv := 1 + r.Intn(h.NumLevels()-1)
+				a, err := h.Anc(v, lv)
+				if err != nil {
+					return nil, err
+				}
+				v = a
+			}
+			s[i] = v
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// POIsFromCSV loads a points-of-interest relation from CSV (schema
+// POISchema, header row required) and validates that every location
+// value is a detailed region of the environment's location parameter,
+// so generated and user-supplied databases behave identically.
+func POIsFromCSV(env *ctxmodel.Environment, r io.Reader) (*relation.Relation, error) {
+	locParam, ok := env.ParamByName("location")
+	if !ok {
+		return nil, fmt.Errorf("dataset: environment has no location parameter")
+	}
+	schema, err := POISchema()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := relation.ReadCSV(schema, r)
+	if err != nil {
+		return nil, err
+	}
+	h := locParam.Hierarchy()
+	for i := 0; i < rel.Len(); i++ {
+		loc, err := rel.Value(i, "location")
+		if err != nil {
+			return nil, err
+		}
+		if lv, ok := h.LevelOf(loc.Str()); !ok || lv != 0 {
+			return nil, fmt.Errorf("dataset: CSV row %d: location %q is not a detailed region of the environment",
+				i+1, loc.Str())
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,547 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"contextpref/internal/relation"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/hierarchy"
+	"contextpref/internal/preference"
+	"contextpref/internal/profiletree"
+	"math/rand"
+)
+
+func TestRealEnvironment(t *testing.T) {
+	env, err := RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.NumParams() != 3 {
+		t.Fatalf("NumParams = %d", env.NumParams())
+	}
+	// Active domain cardinalities of the paper: 4, 17, 100.
+	wantSizes := map[string]int{"accompanying_people": 4, "time": 17, "location": 100}
+	wantLevels := map[string]int{"accompanying_people": 2, "time": 3, "location": 4}
+	for name, size := range wantSizes {
+		p, ok := env.ParamByName(name)
+		if !ok {
+			t.Fatalf("missing parameter %s", name)
+		}
+		if got := len(p.Hierarchy().DetailedValues()); got != size {
+			t.Errorf("%s detailed domain = %d, want %d", name, got, size)
+		}
+		if got := p.Hierarchy().NumLevels(); got != wantLevels[name] {
+			t.Errorf("%s levels = %d, want %d", name, got, wantLevels[name])
+		}
+	}
+	// The time hierarchy groups into 5 dayparts.
+	tp, _ := env.ParamByName("time")
+	if got := len(tp.Hierarchy().ValuesAt(1)); got != 5 {
+		t.Errorf("dayparts = %d, want 5", got)
+	}
+	// Location groups into the two cities.
+	lp, _ := env.ParamByName("location")
+	if got := tp != nil && lp != nil; !got {
+		t.Fatal("params missing")
+	}
+	cities := lp.Hierarchy().ValuesAt(1)
+	if len(cities) != 2 || cities[0] != "Athens" || cities[1] != "Thessaloniki" {
+		t.Errorf("cities = %v", cities)
+	}
+}
+
+func TestPOIs(t *testing.T) {
+	env, err := RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := POIs(env, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 300 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	if rel.Schema().NumCols() != 7 {
+		t.Errorf("cols = %d", rel.Schema().NumCols())
+	}
+	// Locations are valid regions; types are known; costs sane.
+	lp, _ := env.ParamByName("location")
+	typeSet := map[string]bool{}
+	for _, tp := range POITypes {
+		typeSet[tp] = true
+	}
+	seenTypes := map[string]bool{}
+	for i := 0; i < rel.Len(); i++ {
+		loc, _ := rel.Value(i, "location")
+		if lv, ok := lp.Hierarchy().LevelOf(loc.Str()); !ok || lv != 0 {
+			t.Fatalf("tuple %d: bad location %q", i, loc.Str())
+		}
+		typ, _ := rel.Value(i, "type")
+		if !typeSet[typ.Str()] {
+			t.Fatalf("tuple %d: bad type %q", i, typ.Str())
+		}
+		seenTypes[typ.Str()] = true
+		cost, _ := rel.Value(i, "admission_cost")
+		if cost.Float() < 0 || cost.Float() > 20 {
+			t.Fatalf("tuple %d: cost %v", i, cost.Float())
+		}
+		name, _ := rel.Value(i, "name")
+		if name.Str() == "" {
+			t.Fatalf("tuple %d: empty name", i)
+		}
+	}
+	if len(seenTypes) < len(POITypes) {
+		t.Errorf("only %d/%d types generated", len(seenTypes), len(POITypes))
+	}
+	// Determinism.
+	rel2, _ := POIs(env, 300, 1)
+	for i := 0; i < rel.Len(); i++ {
+		a, _ := rel.Value(i, "name")
+		b, _ := rel2.Value(i, "name")
+		if !a.Equal(b) {
+			t.Fatalf("POIs not deterministic at %d", i)
+		}
+	}
+	// Different seed differs somewhere.
+	rel3, _ := POIs(env, 300, 2)
+	same := true
+	for i := 0; i < rel.Len() && same; i++ {
+		a, _ := rel.Value(i, "name")
+		b, _ := rel3.Value(i, "name")
+		same = a.Equal(b)
+	}
+	if same {
+		t.Error("different seeds produced identical POIs")
+	}
+	// Errors.
+	if _, err := POIs(env, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	refEnv := ctxmodel.MustReferenceEnvironment()
+	if _, err := POIs(refEnv, 10, 1); err != nil {
+		t.Errorf("reference environment has location too: %v", err)
+	}
+	// Environment without location fails.
+	h, _ := hierarchy.Uniform("x", 3)
+	p, _ := ctxmodel.NewParameter("x", h)
+	envNoLoc, _ := ctxmodel.NewEnvironment(p)
+	if _, err := POIs(envNoLoc, 10, 1); err == nil {
+		t.Error("environment without location should fail")
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	cases := map[string]string{
+		"museum":              "Museum",
+		"archaeological_site": "Archaeological Site",
+		"x":                   "X",
+	}
+	for in, want := range cases {
+		if got := titleCase(in); got != want {
+			t.Errorf("titleCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSampler(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	vals := []string{"a", "b", "c", "d", "e"}
+	// Uniform covers the domain.
+	s, err := NewSampler(vals, Uniform, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[s.Draw()]++
+	}
+	for _, v := range vals {
+		if counts[v] < 700 { // expect ~1000 each
+			t.Errorf("uniform: %s drawn %d times", v, counts[v])
+		}
+	}
+	// Zipf is skewed toward early values.
+	z, err := NewSampler(vals, Zipf, 1.5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		zc[z.Draw()]++
+	}
+	if !(zc["a"] > zc["b"] && zc["b"] > zc["c"]) {
+		t.Errorf("zipf counts not decreasing: %v", zc)
+	}
+	if zc["a"] < 2*zc["e"] {
+		t.Errorf("zipf not skewed enough: %v", zc)
+	}
+	// Zipf with a=0 behaves uniformly.
+	u0, _ := NewSampler(vals, Zipf, 0, r)
+	c0 := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		c0[u0.Draw()]++
+	}
+	for _, v := range vals {
+		if c0[v] < 700 {
+			t.Errorf("zipf(0): %s drawn %d times", v, c0[v])
+		}
+	}
+	// Errors.
+	if _, err := NewSampler(nil, Uniform, 0, r); err == nil {
+		t.Error("empty domain should fail")
+	}
+	if _, err := NewSampler(vals, Uniform, 0, nil); err == nil {
+		t.Error("nil rand should fail")
+	}
+	// Dist names.
+	if Uniform.String() != "uniform" || Zipf.String() != "zipf" {
+		t.Error("Dist.String broken")
+	}
+	if !strings.Contains(Dist(9).String(), "9") {
+		t.Error("unknown Dist.String should embed code")
+	}
+}
+
+func TestProfileSpecGenerate(t *testing.T) {
+	env, err := Fig6Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ProfileSpec{Env: env, NumPrefs: 500, Seed: 42, Dist: Uniform}
+	prefs, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefs) != 500 {
+		t.Fatalf("generated %d prefs", len(prefs))
+	}
+	// Every preference denotes exactly one state; every descriptor is
+	// valid; scores within range.
+	for i, p := range prefs {
+		states, err := p.Descriptor.Context(env)
+		if err != nil {
+			t.Fatalf("pref %d: %v", i, err)
+		}
+		if len(states) != 1 {
+			t.Fatalf("pref %d denotes %d states", i, len(states))
+		}
+		if p.Score < 0 || p.Score > 1 {
+			t.Fatalf("pref %d score %v", i, p.Score)
+		}
+	}
+	// Conflict-free: insertion into a tree never errors.
+	tr, _ := profiletree.New(env, nil)
+	for _, p := range prefs {
+		if err := tr.Insert(p); err != nil {
+			t.Fatalf("conflict in generated profile: %v", err)
+		}
+	}
+	// Determinism.
+	again, _ := spec.Generate()
+	for i := range prefs {
+		if prefs[i].String() != again[i].String() {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	// Upper levels appear when requested.
+	mixed, err := ProfileSpec{Env: env, NumPrefs: 300, Seed: 7, Dist: Uniform, UpperLevelProb: 0.5}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper := 0
+	for _, p := range mixed {
+		states, _ := p.Descriptor.Context(env)
+		levels, _ := env.LevelsOf(states[0])
+		for _, l := range levels {
+			if l > 0 {
+				upper++
+				break
+			}
+		}
+	}
+	if upper < 200 {
+		t.Errorf("only %d/300 mixed-level prefs", upper)
+	}
+	// Per-parameter distributions.
+	pd := []ParamDist{{Uniform, 0}, {Uniform, 0}, {Zipf, 3.0}}
+	skew, err := ProfileSpec{Env: env, NumPrefs: 400, Seed: 9, ParamDists: pd}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, p := range skew {
+		for _, ppd := range p.Descriptor.ParamDescriptors() {
+			if ppd.Param == "p1000" {
+				distinct[ppd.Values[0]] = true
+			}
+		}
+	}
+	// zipf a=3 concentrates mass on very few of the 1000 values.
+	if len(distinct) > 60 {
+		t.Errorf("zipf(3.0) used %d distinct values, expected heavy skew", len(distinct))
+	}
+	// Errors.
+	if _, err := (ProfileSpec{Env: nil, NumPrefs: 1}).Generate(); err == nil {
+		t.Error("nil env should fail")
+	}
+	if _, err := (ProfileSpec{Env: env, NumPrefs: 0}).Generate(); err == nil {
+		t.Error("zero prefs should fail")
+	}
+	if _, err := (ProfileSpec{Env: env, NumPrefs: 1, UpperLevelProb: 2}).Generate(); err == nil {
+		t.Error("bad UpperLevelProb should fail")
+	}
+	if _, err := (ProfileSpec{Env: env, NumPrefs: 1, ParamDists: pd[:1]}).Generate(); err == nil {
+		t.Error("short ParamDists should fail")
+	}
+}
+
+func TestRealProfile(t *testing.T) {
+	env, prefs, err := RealProfile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefs) != RealPrefCount {
+		t.Fatalf("real profile size = %d, want %d", len(prefs), RealPrefCount)
+	}
+	// Insertable without conflicts into both stores.
+	tr, _ := profiletree.New(env, nil)
+	sq, _ := profiletree.NewSequential(env)
+	for _, p := range prefs {
+		if err := tr.Insert(p); err != nil {
+			t.Fatalf("tree insert: %v", err)
+		}
+		if err := sq.Insert(p); err != nil {
+			t.Fatalf("seq insert: %v", err)
+		}
+	}
+	// Serial cell count ≈ 522 × 4 (states may deduplicate slightly).
+	if got := sq.NumCells(); got > RealPrefCount*4 || got < RealPrefCount*3 {
+		t.Errorf("serial cells = %d, want ≈ %d", got, RealPrefCount*4)
+	}
+	// The zipf skew concentrates on few regions: distinct stored states
+	// well below 522 are expected but not degenerate.
+	if sq.NumStates() < 100 || sq.NumStates() > RealPrefCount {
+		t.Errorf("distinct states = %d", sq.NumStates())
+	}
+}
+
+func TestSyntheticEnvironments(t *testing.T) {
+	env, err := Fig6Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{50, 100, 1000}
+	levels := []int{3, 4, 4}
+	for i := 0; i < 3; i++ {
+		h := env.Param(i).Hierarchy()
+		if got := len(h.DetailedValues()); got != sizes[i] {
+			t.Errorf("param %d: domain %d, want %d", i, got, sizes[i])
+		}
+		if got := h.NumLevels(); got != levels[i] {
+			t.Errorf("param %d: levels %d, want %d", i, got, levels[i])
+		}
+	}
+	skew, err := Fig6SkewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(skew.Param(2).Hierarchy().DetailedValues()); got != 200 {
+		t.Errorf("skew param domain = %d, want 200", got)
+	}
+	// Invalid spec propagates.
+	if _, err := SyntheticEnvironment(SyntheticSpec{Name: "bad", Fanouts: []int{0}}); err == nil {
+		t.Error("bad fanout should fail")
+	}
+}
+
+func TestQueryWorkloads(t *testing.T) {
+	env, prefs, err := RealProfile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := QueriesFromPrefs(env, prefs, 50, 4)
+	if err != nil || len(qs) != 50 {
+		t.Fatalf("QueriesFromPrefs: %d, %v", len(qs), err)
+	}
+	// Every sampled query has an exact match in the profile tree.
+	tr, _ := profiletree.New(env, nil)
+	for _, p := range prefs {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range qs {
+		entries, _, err := tr.SearchExact(q)
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("query %v has no exact match: %v", q, err)
+		}
+	}
+	// Random queries validate and respect upperProb=0 (all detailed).
+	rq, err := RandomQueries(env, 50, 5, 0)
+	if err != nil || len(rq) != 50 {
+		t.Fatalf("RandomQueries: %d, %v", len(rq), err)
+	}
+	for _, q := range rq {
+		if err := env.Validate(q); err != nil {
+			t.Fatalf("invalid query %v: %v", q, err)
+		}
+		if !env.IsDetailed(q) {
+			t.Fatalf("query %v not detailed", q)
+		}
+	}
+	// Mixed-level queries include upper levels.
+	mq, _ := RandomQueries(env, 100, 6, 0.6)
+	upper := 0
+	for _, q := range mq {
+		if !env.IsDetailed(q) {
+			upper++
+		}
+	}
+	if upper < 40 {
+		t.Errorf("mixed queries: only %d/100 non-detailed", upper)
+	}
+	// Errors.
+	if _, err := QueriesFromPrefs(env, nil, 5, 1); err == nil {
+		t.Error("no prefs should fail")
+	}
+	if _, err := RandomQueries(env, 5, 1, 2); err == nil {
+		t.Error("bad upperProb should fail")
+	}
+}
+
+func TestDemographics(t *testing.T) {
+	ds := Demographics()
+	if len(ds) != 12 {
+		t.Fatalf("demographics = %d, want 12", len(ds))
+	}
+	keys := map[string]bool{}
+	for _, d := range ds {
+		if keys[d.Key()] {
+			t.Fatalf("duplicate key %s", d.Key())
+		}
+		keys[d.Key()] = true
+	}
+	if !keys["under30_male_mainstream"] || !keys["over50_female_offbeat"] {
+		t.Errorf("unexpected keys: %v", keys)
+	}
+}
+
+func TestBaseScore(t *testing.T) {
+	d := Demographic{Age: "under30", Sex: "male", Taste: "mainstream"}
+	s, err := d.BaseScore("brewery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 base + 0.2 under30 + 0.05 male = 0.75.
+	if math.Abs(s-0.75) > 1e-12 {
+		t.Errorf("BaseScore(brewery) = %v, want 0.75", s)
+	}
+	// Clamped.
+	d2 := Demographic{Age: "over50", Sex: "male", Taste: "offbeat"}
+	s2, _ := d2.BaseScore("brewery") // 0.7 - 0.2 + 0.05 = 0.55
+	if math.Abs(s2-0.55) > 1e-12 {
+		t.Errorf("BaseScore = %v", s2)
+	}
+	if _, err := d.BaseScore("volcano"); err == nil {
+		t.Error("unknown type should fail")
+	}
+	// All scores clamped to [0.05, 0.95].
+	for _, dd := range Demographics() {
+		for _, tp := range POITypes {
+			s, err := dd.BaseScore(tp)
+			if err != nil || s < 0.05 || s > 0.95 {
+				t.Errorf("%s/%s: score %v, err %v", dd.Key(), tp, s, err)
+			}
+		}
+	}
+}
+
+func TestDefaultProfiles(t *testing.T) {
+	env, err := RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := DefaultProfiles(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 12 {
+		t.Fatalf("profiles = %d", len(all))
+	}
+	for key, prefs := range all {
+		if len(prefs) != len(POITypes)+len(contextRules) {
+			t.Errorf("%s: %d prefs, want %d", key, len(prefs), len(POITypes)+len(contextRules))
+		}
+		// Conflict-free and insertable.
+		pr, _ := preference.NewProfile(env)
+		for _, p := range prefs {
+			if err := pr.Add(p); err != nil {
+				t.Fatalf("%s: default profile conflicts: %v", key, err)
+			}
+		}
+		tr, _ := profiletree.New(env, nil)
+		if err := tr.InsertProfile(pr); err != nil {
+			t.Fatalf("%s: tree insert: %v", key, err)
+		}
+	}
+	// Distinct demographics produce distinct profiles.
+	a := all["under30_male_mainstream"]
+	b := all["over50_female_offbeat"]
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("distinct demographics produced identical profiles")
+	}
+}
+
+func TestPOIsFromCSV(t *testing.T) {
+	env, err := RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip a generated relation through CSV.
+	gen, err := POIs(env, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := relation.WriteCSV(gen, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := POIsFromCSV(env, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != gen.Len() {
+		t.Errorf("Len = %d, want %d", rel.Len(), gen.Len())
+	}
+	// Unknown region is rejected.
+	bad := `pid,name,type,location,open_air,hours_of_operation,admission_cost
+1,X,museum,atlantis_r1,true,09:00-17:00,5
+`
+	if _, err := POIsFromCSV(env, strings.NewReader(bad)); err == nil {
+		t.Error("unknown region should fail")
+	}
+	// City-level (non-detailed) region is rejected.
+	bad2 := `pid,name,type,location,open_air,hours_of_operation,admission_cost
+1,X,museum,Athens,true,09:00-17:00,5
+`
+	if _, err := POIsFromCSV(env, strings.NewReader(bad2)); err == nil {
+		t.Error("non-detailed region should fail")
+	}
+	// Malformed CSV propagates.
+	if _, err := POIsFromCSV(env, strings.NewReader("nope")); err == nil {
+		t.Error("bad CSV should fail")
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"fmt"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/preference"
+	"contextpref/internal/relation"
+)
+
+// This file builds the twelve default profiles of the usability study
+// (Section 5.1): one per combination of age band (below 30, 30–50,
+// above 50), sex, and taste (mainstream or out-of-the-beaten-track).
+// Users are assigned the profile matching their demographic and then
+// modify it toward their personal preferences.
+
+// Age bands of the study.
+var Ages = []string{"under30", "30to50", "over50"}
+
+// Sexes of the study.
+var Sexes = []string{"female", "male"}
+
+// Tastes of the study.
+var Tastes = []string{"mainstream", "offbeat"}
+
+// Demographic identifies one of the twelve default profiles.
+type Demographic struct {
+	// Age is one of Ages.
+	Age string
+	// Sex is one of Sexes.
+	Sex string
+	// Taste is one of Tastes.
+	Taste string
+}
+
+// Key renders the demographic as "age_sex_taste".
+func (d Demographic) Key() string { return d.Age + "_" + d.Sex + "_" + d.Taste }
+
+// Demographics enumerates all twelve combinations.
+func Demographics() []Demographic {
+	var out []Demographic
+	for _, a := range Ages {
+		for _, s := range Sexes {
+			for _, t := range Tastes {
+				out = append(out, Demographic{Age: a, Sex: s, Taste: t})
+			}
+		}
+	}
+	return out
+}
+
+// baseScores gives the context-free interest per POI type and taste.
+var baseScores = map[string]map[string]float64{
+	"mainstream": {
+		"museum": 0.70, "monument": 0.80, "archaeological_site": 0.70,
+		"zoo": 0.60, "park": 0.60, "brewery": 0.50, "cafeteria": 0.60,
+		"restaurant": 0.70, "gallery": 0.45, "theater": 0.60,
+	},
+	"offbeat": {
+		"museum": 0.50, "monument": 0.45, "archaeological_site": 0.75,
+		"zoo": 0.35, "park": 0.55, "brewery": 0.70, "cafeteria": 0.55,
+		"restaurant": 0.60, "gallery": 0.80, "theater": 0.70,
+	},
+}
+
+// ageAdjust shifts type scores per age band.
+var ageAdjust = map[string]map[string]float64{
+	"under30": {"brewery": 0.20, "cafeteria": 0.10, "museum": -0.10, "theater": -0.05},
+	"30to50":  {"restaurant": 0.10, "park": 0.05},
+	"over50":  {"museum": 0.15, "theater": 0.15, "zoo": -0.10, "brewery": -0.20},
+}
+
+// sexAdjust applies a small deterministic differentiation so all twelve
+// defaults are distinct.
+var sexAdjust = map[string]map[string]float64{
+	"female": {"gallery": 0.05, "theater": 0.05},
+	"male":   {"monument": 0.05, "brewery": 0.05},
+}
+
+// clamp keeps a score inside [0.05, 0.95] so edits in either direction
+// remain expressible.
+func clamp(s float64) float64 {
+	if s < 0.05 {
+		return 0.05
+	}
+	if s > 0.95 {
+		return 0.95
+	}
+	return s
+}
+
+// BaseScore returns the demographic's context-free interest in a POI
+// type; it is also the seed of the simulated users' ground truth.
+func (d Demographic) BaseScore(poiType string) (float64, error) {
+	base, ok := baseScores[d.Taste][poiType]
+	if !ok {
+		return 0, fmt.Errorf("dataset: unknown POI type %q", poiType)
+	}
+	return clamp(base + ageAdjust[d.Age][poiType] + sexAdjust[d.Sex][poiType]), nil
+}
+
+// typeClause scores tuples of one POI type.
+func typeClause(t string) preference.Clause {
+	return preference.Clause{Attr: "type", Op: relation.OpEq, Val: relation.S(t)}
+}
+
+// contextRule is one context-dependent preference template of the
+// default profiles.
+type contextRule struct {
+	pds   []ctxmodel.ParamDescriptor
+	typ   string
+	delta float64 // applied on top of the demographic base score
+}
+
+// contextRules inject the kind of context-dependence the paper's
+// examples motivate: breweries with friends, zoos and parks with
+// family, museums in the morning, theaters and restaurants in the
+// evening.
+var contextRules = []contextRule{
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("accompanying_people", "friends")}, "brewery", 0.20},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("accompanying_people", "friends")}, "cafeteria", 0.15},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("accompanying_people", "family")}, "zoo", 0.25},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("accompanying_people", "family")}, "park", 0.20},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("accompanying_people", "family")}, "brewery", -0.25},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("accompanying_people", "alone")}, "gallery", 0.15},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("accompanying_people", "colleagues")}, "restaurant", 0.15},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("time", "morning")}, "museum", 0.15},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("time", "morning")}, "archaeological_site", 0.10},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("time", "evening")}, "theater", 0.20},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("time", "evening")}, "restaurant", 0.15},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("time", "night")}, "brewery", 0.15},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("time", "night")}, "museum", -0.30},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("time", "noon")}, "park", -0.10},
+	{[]ctxmodel.ParamDescriptor{ctxmodel.Eq("time", "noon")}, "restaurant", 0.15},
+	{[]ctxmodel.ParamDescriptor{
+		ctxmodel.Eq("accompanying_people", "friends"), ctxmodel.Eq("time", "evening")}, "brewery", 0.25},
+	{[]ctxmodel.ParamDescriptor{
+		ctxmodel.Eq("accompanying_people", "family"), ctxmodel.Eq("time", "morning")}, "zoo", 0.30},
+}
+
+// DefaultProfile builds the default preference list for a demographic:
+// one context-free preference per POI type plus the contextual rules,
+// each scored relative to the demographic's base interests. The list is
+// conflict-free (every clause appears at most once per context state).
+func DefaultProfile(env *ctxmodel.Environment, d Demographic) ([]preference.Preference, error) {
+	var out []preference.Preference
+	for _, t := range POITypes {
+		score, err := d.BaseScore(t)
+		if err != nil {
+			return nil, err
+		}
+		desc, err := ctxmodel.NewDescriptor()
+		if err != nil {
+			return nil, err
+		}
+		// Context-free interests are deliberately scaled below the
+		// contextual rules: what a user wants in a concrete situation
+		// dominates their general tastes, which is the premise of the
+		// whole contextual-preference model.
+		p, err := preference.New(desc, typeClause(t), clamp(0.4*score))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	for _, rule := range contextRules {
+		base, err := d.BaseScore(rule.typ)
+		if err != nil {
+			return nil, err
+		}
+		desc, err := ctxmodel.NewDescriptor(rule.pds...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := desc.Context(env); err != nil {
+			return nil, fmt.Errorf("dataset: default profile rule invalid: %w", err)
+		}
+		p, err := preference.New(desc, typeClause(rule.typ), clamp(base+rule.delta))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// DefaultProfiles builds all twelve default profiles keyed by
+// Demographic.Key().
+func DefaultProfiles(env *ctxmodel.Environment) (map[string][]preference.Preference, error) {
+	out := make(map[string][]preference.Preference, 12)
+	for _, d := range Demographics() {
+		prefs, err := DefaultProfile(env, d)
+		if err != nil {
+			return nil, err
+		}
+		out[d.Key()] = prefs
+	}
+	return out, nil
+}

@@ -1,0 +1,326 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"contextpref/internal/ctxmodel"
+)
+
+func env(t *testing.T) *ctxmodel.Environment {
+	t.Helper()
+	e, err := ctxmodel.ReferenceEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func st(t *testing.T, e *ctxmodel.Environment, vs ...string) ctxmodel.State {
+	t.Helper()
+	s, err := e.NewState(vs...)
+	if err != nil {
+		t.Fatalf("NewState(%v): %v", vs, err)
+	}
+	return s
+}
+
+func TestHierarchyDistance(t *testing.T) {
+	e := env(t)
+	h := Hierarchy{}
+	if h.Name() != "hierarchy" {
+		t.Errorf("Name = %q", h.Name())
+	}
+	cases := []struct {
+		s1, s2 ctxmodel.State
+		want   float64
+	}{
+		// Identical states.
+		{st(t, e, "Plaka", "warm", "friends"), st(t, e, "Plaka", "warm", "friends"), 0},
+		// One parameter one level apart (Region→City).
+		{st(t, e, "Athens", "warm", "friends"), st(t, e, "Plaka", "warm", "friends"), 1},
+		// Region→Country = 2.
+		{st(t, e, "Greece", "warm", "friends"), st(t, e, "Plaka", "warm", "friends"), 2},
+		// Mixed: location 2 + temperature 1 + people 1 = 4.
+		{st(t, e, "Greece", "good", "all"), st(t, e, "Plaka", "warm", "friends"), 4},
+		// ALL everywhere vs detailed: 3 + 2 + 1 = 6.
+		{e.AllState(), st(t, e, "Plaka", "warm", "friends"), 6},
+		// Distance is purely level-based: siblings at the same level are 0.
+		{st(t, e, "Kifisia", "warm", "friends"), st(t, e, "Plaka", "warm", "friends"), 0},
+	}
+	for _, c := range cases {
+		got, err := h.StateDistance(e, c.s1, c.s2)
+		if err != nil {
+			t.Fatalf("StateDistance(%v, %v): %v", c.s1, c.s2, err)
+		}
+		if got != c.want {
+			t.Errorf("distH(%v, %v) = %v, want %v", c.s1, c.s2, got, c.want)
+		}
+		// Symmetry.
+		back, _ := h.StateDistance(e, c.s2, c.s1)
+		if back != got {
+			t.Errorf("distH not symmetric on (%v, %v): %v vs %v", c.s1, c.s2, got, back)
+		}
+	}
+	if _, err := h.StateDistance(e, ctxmodel.State{"Plaka"}, e.AllState()); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := h.StateDistance(e, ctxmodel.State{"x", "y", "z"}, e.AllState()); err == nil {
+		t.Error("unknown values should fail")
+	}
+}
+
+func TestJaccardDistance(t *testing.T) {
+	e := env(t)
+	j := Jaccard{}
+	if j.Name() != "jaccard" {
+		t.Errorf("Name = %q", j.Name())
+	}
+	// Identical detailed values: distance 0 per parameter.
+	d, err := j.StateDistance(e, st(t, e, "Plaka", "warm", "friends"), st(t, e, "Plaka", "warm", "friends"))
+	if err != nil || d != 0 {
+		t.Errorf("identical states: %v, %v", d, err)
+	}
+	// Athens vs Plaka: desc(Athens) = {Plaka, Kifisia, Acropolis_Area},
+	// desc(Plaka) = {Plaka} → 1 − 1/3 = 2/3.
+	d, err = j.StateDistance(e, st(t, e, "Athens", "warm", "friends"), st(t, e, "Plaka", "warm", "friends"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - 1.0/3.0; math.Abs(d-want) > 1e-12 {
+		t.Errorf("Athens vs Plaka = %v, want %v", d, want)
+	}
+	// Disjoint siblings: Plaka vs Kifisia → 1.
+	d, _ = j.StateDistance(e, st(t, e, "Plaka", "warm", "friends"), st(t, e, "Kifisia", "warm", "friends"))
+	if d != 1 {
+		t.Errorf("disjoint siblings = %v, want 1", d)
+	}
+	// good vs warm: desc(good) = {mild, warm, hot}, desc(warm) = {warm}
+	// → 2/3; all (people) vs friends: 1 − 1/3 = 2/3.
+	d, err = j.StateDistance(e, st(t, e, "Plaka", "good", "all"), st(t, e, "Plaka", "warm", "friends"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0/3.0 + 2.0/3.0; math.Abs(d-want) > 1e-12 {
+		t.Errorf("mixed = %v, want %v", d, want)
+	}
+	if _, err := j.StateDistance(e, ctxmodel.State{"Plaka"}, e.AllState()); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := j.StateDistance(e, ctxmodel.State{"Atlantis", "warm", "friends"}, e.AllState()); err == nil {
+		t.Error("unknown value should fail")
+	}
+}
+
+func TestJaccardValueBounds(t *testing.T) {
+	e := env(t)
+	h := e.Param(0).Hierarchy()
+	for _, v1 := range h.ExtendedDomain() {
+		for _, v2 := range h.ExtendedDomain() {
+			d, err := JaccardValue(e, 0, v1, v2)
+			if err != nil {
+				t.Fatalf("JaccardValue(%s, %s): %v", v1, v2, err)
+			}
+			if d < 0 || d > 1 {
+				t.Errorf("JaccardValue(%s, %s) = %v out of [0,1]", v1, v2, d)
+			}
+			if v1 == v2 && d != 0 {
+				t.Errorf("JaccardValue(%s, %s) = %v, want 0", v1, v2, d)
+			}
+		}
+	}
+	if _, err := JaccardValue(e, 0, "Atlantis", "Plaka"); err == nil {
+		t.Error("unknown v1 should fail")
+	}
+	if _, err := JaccardValue(e, 0, "Plaka", "Atlantis"); err == nil {
+		t.Error("unknown v2 should fail")
+	}
+}
+
+// Property shared by both metrics: StateDistance is the sum of
+// ValueDistance across parameters — the Search_CS accumulation rule.
+func TestValueDistanceSumsToStateDistance(t *testing.T) {
+	e := env(t)
+	r := rand.New(rand.NewSource(7))
+	for _, m := range All() {
+		for trial := 0; trial < 200; trial++ {
+			s1 := generalize(e, randomDetailed(e, r), r)
+			s2 := generalize(e, randomDetailed(e, r), r)
+			want, err := m.StateDistance(e, s1, s2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for i := range s1 {
+				d, err := m.ValueDistance(e, i, s1[i], s2[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += d
+			}
+			if math.Abs(sum-want) > 1e-12 {
+				t.Fatalf("%s: Σ ValueDistance = %v, StateDistance = %v (%v vs %v)",
+					m.Name(), sum, want, s1, s2)
+			}
+		}
+	}
+	// Error paths.
+	for _, m := range All() {
+		if _, err := m.ValueDistance(e, 0, "Atlantis", "Plaka"); err == nil {
+			t.Errorf("%s: unknown v1 should fail", m.Name())
+		}
+		if _, err := m.ValueDistance(e, 0, "Plaka", "Atlantis"); err == nil {
+			t.Errorf("%s: unknown v2 should fail", m.Name())
+		}
+	}
+}
+
+func TestByNameAndAll(t *testing.T) {
+	m, err := ByName("hierarchy")
+	if err != nil || m.Name() != "hierarchy" {
+		t.Errorf("ByName(hierarchy) = %v, %v", m, err)
+	}
+	m, err = ByName("jaccard")
+	if err != nil || m.Name() != "jaccard" {
+		t.Errorf("ByName(jaccard) = %v, %v", m, err)
+	}
+	if _, err := ByName("cosine"); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if got := len(All()); got != 2 {
+		t.Errorf("All() = %d metrics, want 2", got)
+	}
+}
+
+// randomDetailed draws a detailed state.
+func randomDetailed(e *ctxmodel.Environment, r *rand.Rand) ctxmodel.State {
+	s := make(ctxmodel.State, e.NumParams())
+	for i := range s {
+		dv := e.Param(i).Hierarchy().DetailedValues()
+		s[i] = dv[r.Intn(len(dv))]
+	}
+	return s
+}
+
+// generalize lifts each component up zero or more levels.
+func generalize(e *ctxmodel.Environment, s ctxmodel.State, r *rand.Rand) ctxmodel.State {
+	out := s.Clone()
+	for i := range out {
+		h := e.Param(i).Hierarchy()
+		lv, _ := h.LevelOf(out[i])
+		a, err := h.Anc(out[i], lv+r.Intn(h.NumLevels()-lv))
+		if err != nil {
+			panic(err)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// Property 1 of the paper: along an ancestor chain v1 ≤ v2 ≤ v3, the
+// Jaccard distance to the bottom value grows: distJ(v3, v1) ≥ distJ(v2, v1).
+func TestQuickJaccardMonotoneAlongChain(t *testing.T) {
+	e := env(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		i := r.Intn(e.NumParams())
+		h := e.Param(i).Hierarchy()
+		dv := h.DetailedValues()
+		v1 := dv[r.Intn(len(dv))]
+		l2 := r.Intn(h.NumLevels())
+		l3 := l2 + r.Intn(h.NumLevels()-l2)
+		v2, err := h.Anc(v1, l2)
+		if err != nil {
+			return false
+		}
+		v3, err := h.Anc(v1, l3)
+		if err != nil {
+			return false
+		}
+		d21, err := JaccardValue(e, i, v2, v1)
+		if err != nil {
+			return false
+		}
+		d31, err := JaccardValue(e, i, v3, v1)
+		if err != nil {
+			return false
+		}
+		return d31 >= d21-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Properties 2 and 3 of the paper: for s3 covers s2 covers s1 with
+// s2 ≠ s3, both distances order s2 strictly closer to s1 than s3
+// (hierarchy) and at least as close (Jaccard; strictness holds in the
+// paper's statement, ≥ is what the proof establishes per parameter —
+// we check the strict form for the hierarchy metric and weak form plus
+// covers-consistency for Jaccard).
+func TestQuickDistanceConsistentWithCovers(t *testing.T) {
+	e := env(t)
+	hm, jm := Hierarchy{}, Jaccard{}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s1 := randomDetailed(e, r)
+		s2 := generalize(e, s1, r)
+		s3 := generalize(e, s2, r)
+		if s2.Equal(s3) {
+			return true // premise s2 ≠ s3 not met
+		}
+		h21, err := hm.StateDistance(e, s2, s1)
+		if err != nil {
+			return false
+		}
+		h31, err := hm.StateDistance(e, s3, s1)
+		if err != nil {
+			return false
+		}
+		if !(h31 > h21) {
+			return false
+		}
+		j21, err := jm.StateDistance(e, s2, s1)
+		if err != nil {
+			return false
+		}
+		j31, err := jm.StateDistance(e, s3, s1)
+		if err != nil {
+			return false
+		}
+		return j31 >= j21-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both metrics are non-negative and zero on identical states.
+func TestQuickMetricAxioms(t *testing.T) {
+	e := env(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := generalize(e, randomDetailed(e, r), r)
+		for _, m := range All() {
+			d, err := m.StateDistance(e, s, s)
+			if err != nil || d != 0 {
+				return false
+			}
+			s2 := generalize(e, randomDetailed(e, r), r)
+			d, err = m.StateDistance(e, s, s2)
+			if err != nil || d < 0 {
+				return false
+			}
+			back, err := m.StateDistance(e, s2, s)
+			if err != nil || math.Abs(back-d) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

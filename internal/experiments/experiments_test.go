@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/dataset"
+	"contextpref/internal/usability"
+)
+
+// The experiment harnesses are validated on the *shapes* the paper
+// reports, not on absolute numbers (DESIGN.md §4): who wins, by what
+// rough factor, and where crossovers fall.
+
+func TestPaperOrdersRealEnvironment(t *testing.T) {
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := PaperOrders(env)
+	if len(orders) != 6 {
+		t.Fatalf("orders = %d", len(orders))
+	}
+	// Order 1 = ascending domain sizes (A=4, T=17, L=100).
+	wantSizes := [][]int{
+		{4, 17, 100}, {4, 100, 17}, {17, 4, 100}, {17, 100, 4}, {100, 4, 17}, {100, 17, 4},
+	}
+	for i, no := range orders {
+		if no.Label != "order "+string(rune('1'+i)) {
+			t.Errorf("label %d = %q", i, no.Label)
+		}
+		for j, sz := range wantSizes[i] {
+			if no.Sizes[j] != sz {
+				t.Errorf("%s sizes = %v, want %v", no.Label, no.Sizes, wantSizes[i])
+				break
+			}
+		}
+	}
+	if got := orderSizesLabel([]int{4, 17, 100}); got != "(4, 17, 100)" {
+		t.Errorf("orderSizesLabel = %q", got)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	res, err := Fig5(2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPrefs != dataset.RealPrefCount {
+		t.Errorf("NumPrefs = %d", res.NumPrefs)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	serial := res.Rows[0]
+	if serial.Label != "serial" {
+		t.Fatalf("first row = %q", serial.Label)
+	}
+	var order1, order6 SizeRow
+	for _, r := range res.Rows[1:] {
+		// Paper shape: every tree ordering beats serial storage in
+		// both cells and (paper-model) bytes.
+		if r.Cells >= serial.Cells {
+			t.Errorf("%s cells %d >= serial %d", r.Label, r.Cells, serial.Cells)
+		}
+		if r.Bytes >= serial.Bytes {
+			t.Errorf("%s bytes %d >= serial %d", r.Label, r.Bytes, serial.Bytes)
+		}
+		switch r.Label {
+		case "order 1":
+			order1 = r
+		case "order 6":
+			order6 = r
+		}
+	}
+	// Paper shape: mapping large domains lower (order 1) beats mapping
+	// them higher (order 6).
+	if order1.Cells >= order6.Cells {
+		t.Errorf("order 1 (%d) should be smaller than order 6 (%d)", order1.Cells, order6.Cells)
+	}
+	out := res.Render()
+	for _, frag := range []string{"Fig. 5", "serial", "order 1", "order 6", "(4, 17, 100)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q", frag)
+		}
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	uni, err := Fig6(dataset.Uniform, 0, 2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipf, err := Fig6(dataset.Zipf, 1.5, 2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni.Points) != len(Fig6Sizes) {
+		t.Fatalf("points = %d", len(uni.Points))
+	}
+	for i, pt := range uni.Points {
+		if pt.NumPrefs != Fig6Sizes[i] {
+			t.Errorf("point %d prefs = %d", i, pt.NumPrefs)
+		}
+		// Every ordering below serial; order 1 ≤ order 6.
+		for _, no := range uni.Orders {
+			if pt.Cells[no.Label] >= pt.Cells["serial"] {
+				t.Errorf("prefs %d: %s >= serial", pt.NumPrefs, no.Label)
+			}
+		}
+		if pt.Cells["order 1"] > pt.Cells["order 6"] {
+			t.Errorf("prefs %d: order 1 (%d) > order 6 (%d)",
+				pt.NumPrefs, pt.Cells["order 1"], pt.Cells["order 6"])
+		}
+		// Zipf profiles produce smaller trees than uniform (hot values
+		// repeat): the paper's center-vs-left comparison.
+		if zipf.Points[i].Cells["order 1"] >= pt.Cells["order 1"] {
+			t.Errorf("prefs %d: zipf (%d) not smaller than uniform (%d)",
+				pt.NumPrefs, zipf.Points[i].Cells["order 1"], pt.Cells["order 1"])
+		}
+	}
+	// Tree size grows with profile size.
+	if uni.Points[0].Cells["order 1"] >= uni.Points[len(uni.Points)-1].Cells["order 1"] {
+		t.Error("tree size should grow with profile size")
+	}
+	for _, frag := range []string{"Fig. 6", "order 1", "serial", "500"} {
+		if !strings.Contains(uni.Render(), frag) {
+			t.Errorf("Render missing %q", frag)
+		}
+	}
+	if !strings.Contains(zipf.Render(), "zipf a=1.5") {
+		t.Error("zipf Render should name the distribution")
+	}
+}
+
+func TestFig6SkewCrossover(t *testing.T) {
+	res, err := Fig6Skew(2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.As) != len(Fig6SkewAs) || len(res.Labels) != 3 {
+		t.Fatalf("shape: %d as, %d labels", len(res.As), len(res.Labels))
+	}
+	first, last := 0, len(res.As)-1
+	// At a=0 (uniform) the standard rule holds: order 1 (200 lowest)
+	// is best.
+	if !(res.Cells["order 1"][first] <= res.Cells["order 3"][first]) {
+		t.Errorf("a=0: order 1 (%d) should beat order 3 (%d)",
+			res.Cells["order 1"][first], res.Cells["order 3"][first])
+	}
+	// At a=3.5 the paper's crossover: mapping the skewed 200-value
+	// parameter higher wins despite its large domain.
+	if !(res.Cells["order 3"][last] < res.Cells["order 1"][last]) {
+		t.Errorf("a=3.5: order 3 (%d) should beat order 1 (%d)",
+			res.Cells["order 3"][last], res.Cells["order 1"][last])
+	}
+	// Skew shrinks the skewed orderings monotonically-ish: last < first.
+	if !(res.Cells["order 3"][last] < res.Cells["order 3"][first]) {
+		t.Error("higher skew should shrink order 3")
+	}
+	if !strings.Contains(res.Render(), "Fig. 6 (right)") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestFig7RealShapes(t *testing.T) {
+	res, err := Fig7Real(2007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree beats serial by a wide margin on both workloads.
+	if !(res.Exact.TreeCells*10 < res.Exact.SerialCells) {
+		t.Errorf("exact: tree %v not ≪ serial %v", res.Exact.TreeCells, res.Exact.SerialCells)
+	}
+	if !(res.Cover.TreeCells*5 < res.Cover.SerialCells) {
+		t.Errorf("cover: tree %v not ≪ serial %v", res.Cover.TreeCells, res.Cover.SerialCells)
+	}
+	// Non-exact costs more than exact for both stores.
+	if !(res.Exact.TreeCells < res.Cover.TreeCells) {
+		t.Errorf("tree: exact %v should cost less than cover %v", res.Exact.TreeCells, res.Cover.TreeCells)
+	}
+	if !(res.Exact.SerialCells <= res.Cover.SerialCells) {
+		t.Errorf("serial: exact %v should cost less than cover %v", res.Exact.SerialCells, res.Cover.SerialCells)
+	}
+	if !strings.Contains(res.Render(), "Fig. 7 (left)") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestFig7SyntheticShapes(t *testing.T) {
+	for _, exact := range []bool{true, false} {
+		res, err := Fig7Synthetic(exact, 2007)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != len(Fig6Sizes) {
+			t.Fatalf("points = %d", len(res.Points))
+		}
+		for _, pt := range res.Points {
+			// Tree ≪ serial under both distributions.
+			if !(pt.Uniform.TreeCells*10 < pt.Uniform.SerialCells) {
+				t.Errorf("exact=%v prefs=%d uniform: tree %v not ≪ serial %v",
+					exact, pt.NumPrefs, pt.Uniform.TreeCells, pt.Uniform.SerialCells)
+			}
+			if !(pt.Zipf.TreeCells*10 < pt.Zipf.SerialCells) {
+				t.Errorf("exact=%v prefs=%d zipf: tree %v not ≪ serial %v",
+					exact, pt.NumPrefs, pt.Zipf.TreeCells, pt.Zipf.SerialCells)
+			}
+		}
+		// Serial cost grows with profile size; tree grows much slower.
+		firstU, lastU := res.Points[0], res.Points[len(res.Points)-1]
+		if !(firstU.Uniform.SerialCells < lastU.Uniform.SerialCells) {
+			t.Errorf("exact=%v: serial should grow with profile size", exact)
+		}
+		serialGrowth := lastU.Uniform.SerialCells / firstU.Uniform.SerialCells
+		treeGrowth := lastU.Uniform.TreeCells / firstU.Uniform.TreeCells
+		if !(treeGrowth < serialGrowth) {
+			t.Errorf("exact=%v: tree growth %v should trail serial growth %v", exact, treeGrowth, serialGrowth)
+		}
+		title := "Fig. 7 (center, exact match)"
+		if !exact {
+			title = "Fig. 7 (right, non-exact match)"
+		}
+		if !strings.Contains(res.Render(), title) {
+			t.Errorf("Render missing %q", title)
+		}
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	cfg := usability.DefaultConfig()
+	cfg.NumUsers = 5
+	cfg.NumPOIs = 200
+	cfg.QueriesPerCase = 10
+	res, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := res.Study.Averages()
+	// Paper shapes: precision is generally high; Jaccard does not trail
+	// Hierarchy on multi-cover resolutions.
+	if avg.ExactPct < 55 || avg.OneCoverPct < 55 {
+		t.Errorf("avg precision too low: exact %v, 1-cover %v", avg.ExactPct, avg.OneCoverPct)
+	}
+	if avg.MultiJaccardPct+12 < avg.MultiHierarchyPct {
+		t.Errorf("Jaccard (%v) trails Hierarchy (%v) too much", avg.MultiJaccardPct, avg.MultiHierarchyPct)
+	}
+	out := res.Render()
+	for _, frag := range []string{"Table 1", "User 1", "Num of updates", "Jaccard", "Avg"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q", frag)
+		}
+	}
+}
+
+func TestDistanceAblation(t *testing.T) {
+	res, err := DistanceAblation(2007, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no multi-candidate resolutions found")
+	}
+	// The paper's explanation of Table 1: the hierarchy distance ties
+	// far more often than Jaccard.
+	if res.HierarchyTies <= res.JaccardTies {
+		t.Errorf("hierarchy ties (%d) should exceed jaccard ties (%d)",
+			res.HierarchyTies, res.JaccardTies)
+	}
+	if !strings.Contains(res.Render(), "hierarchy") {
+		t.Error("Render missing metric name")
+	}
+}
+
+func TestSearchAblation(t *testing.T) {
+	res, err := SearchAblation(2007, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agreements != res.Queries {
+		t.Errorf("strategies disagree: %d/%d", res.Agreements, res.Queries)
+	}
+	if res.PrunedCells > res.CollectCells {
+		t.Errorf("pruned (%v) should not exceed collect-all (%v)", res.PrunedCells, res.CollectCells)
+	}
+	if !strings.Contains(res.Render(), "branch-and-bound") {
+		t.Error("Render missing strategy name")
+	}
+}
+
+func TestCacheAblation(t *testing.T) {
+	res, err := CacheAblation(2007, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits == 0 {
+		t.Error("repeating workload should produce cache hits")
+	}
+	if res.CachedAccesses >= res.UncachedAccesses {
+		t.Errorf("cache should reduce accesses: %d vs %d", res.CachedAccesses, res.UncachedAccesses)
+	}
+	if !strings.Contains(res.Render(), "context query tree") {
+		t.Error("Render missing configuration name")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := renderTable("Title", []string{"A", "LongHeader"}, [][]string{{"x", "1"}, {"yy", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "LongHeader") || !strings.Contains(lines[2], "---") {
+		t.Errorf("header/separator wrong: %q / %q", lines[1], lines[2])
+	}
+	// No-title variant.
+	out = renderTable("", []string{"A"}, nil)
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+	if fmtF(1.25) != "1.2" && fmtF(1.25) != "1.3" {
+		t.Errorf("fmtF = %q", fmtF(1.25))
+	}
+	if fmtI(42) != "42" {
+		t.Errorf("fmtI = %q", fmtI(42))
+	}
+}
+
+func TestMeasureTreeErrors(t *testing.T) {
+	env, err := dataset.Fig6Environment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid order propagates.
+	_, err = measureTree(env, nil, NamedOrder{Label: "bad", Order: []int{0}})
+	if err == nil {
+		t.Error("bad order should fail")
+	}
+	_ = ctxmodel.State{}
+}

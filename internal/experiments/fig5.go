@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/dataset"
+	"contextpref/internal/preference"
+	"contextpref/internal/profiletree"
+)
+
+// SizeRow is one data point of a profile-tree size figure: the storage
+// cost of one parameter-to-level ordering (or of the serial baseline).
+type SizeRow struct {
+	// Label is "serial" or the paper's "order k".
+	Label string
+	// Sizes are the per-level domain cardinalities (nil for serial).
+	Sizes []int
+	// Cells is the paper's cell count.
+	Cells int
+	// Bytes is the modeled byte size under the paper's accounting
+	// (stored payloads; see profiletree.KeyBytes).
+	Bytes int
+	// PointerBytes is the byte size when 8-byte pointers are charged
+	// per internal cell — an honest-implementation counterpoint the
+	// paper's model omits.
+	PointerBytes int
+}
+
+// Fig5Result reproduces Fig. 5: the size of the profile tree built from
+// the real profile (522 preferences, domains 4/17/100) under all six
+// orderings, against serial storage.
+type Fig5Result struct {
+	// NumPrefs is the profile size (522).
+	NumPrefs int
+	// Rows holds serial first, then order 1..6.
+	Rows []SizeRow
+}
+
+// Fig5 builds the real profile and measures every ordering.
+func Fig5(seed int64) (*Fig5Result, error) {
+	env, prefs, err := dataset.RealProfile(seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{NumPrefs: len(prefs)}
+
+	sq, err := profiletree.NewSequential(env)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range prefs {
+		if err := sq.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	res.Rows = append(res.Rows, SizeRow{
+		Label:        "serial",
+		Cells:        sq.NumCells(),
+		Bytes:        sq.Bytes(),
+		PointerBytes: sq.Bytes(),
+	})
+
+	for _, no := range PaperOrders(env) {
+		row, err := measureTree(env, prefs, no)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// measureTree builds a tree under the named order and records its size.
+func measureTree(env *ctxmodel.Environment, prefs []preference.Preference, no NamedOrder) (SizeRow, error) {
+	tr, err := profiletree.New(env, no.Order)
+	if err != nil {
+		return SizeRow{}, err
+	}
+	for _, p := range prefs {
+		if err := tr.Insert(p); err != nil {
+			return SizeRow{}, err
+		}
+	}
+	return SizeRow{
+		Label:        no.Label,
+		Sizes:        no.Sizes,
+		Cells:        tr.NumCells(),
+		Bytes:        tr.KeyBytes(),
+		PointerBytes: tr.Bytes(),
+	}, nil
+}
+
+// Render formats the two panels of Fig. 5 (cells and bytes).
+func (f *Fig5Result) Render() string {
+	headers := []string{"Ordering", "Levels (domain sizes)", "Cells", "Bytes", "Bytes (8B ptrs)"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		lv := "-"
+		if r.Sizes != nil {
+			lv = orderSizesLabel(r.Sizes)
+		}
+		rows = append(rows, []string{r.Label, lv, fmtI(r.Cells), fmtI(r.Bytes), fmtI(r.PointerBytes)})
+	}
+	title := fmt.Sprintf("Fig. 5: Profile tree size, real profile (%d preferences, domains 4/17/100)", f.NumPrefs)
+	return renderTable(title, headers, rows)
+}

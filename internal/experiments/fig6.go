@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"contextpref/internal/dataset"
+	"contextpref/internal/profiletree"
+)
+
+// Fig6Sizes are the synthetic profile sizes of the Fig. 6/7 sweeps.
+var Fig6Sizes = []int{500, 1000, 5000, 10000}
+
+// Fig6Point holds the tree cell counts for one profile size: one entry
+// per ordering label, plus the serial baseline.
+type Fig6Point struct {
+	// NumPrefs is the profile size.
+	NumPrefs int
+	// Cells maps "order k" and "serial" to cell counts.
+	Cells map[string]int
+}
+
+// Fig6Result reproduces Fig. 6 left (uniform) or center (zipf a=1.5):
+// tree size versus profile size for all six orderings over domains
+// 50/100/1000, against serial storage.
+type Fig6Result struct {
+	// Dist is the value distribution used.
+	Dist dataset.Dist
+	// ZipfA is the zipf exponent when Dist is Zipf.
+	ZipfA float64
+	// Orders are the labeled orderings measured.
+	Orders []NamedOrder
+	// Points holds one entry per profile size.
+	Points []Fig6Point
+}
+
+// Fig6 runs the sweep for one distribution.
+func Fig6(dist dataset.Dist, zipfA float64, seed int64) (*Fig6Result, error) {
+	env, err := dataset.Fig6Environment()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Dist: dist, ZipfA: zipfA, Orders: PaperOrders(env)}
+	for _, n := range Fig6Sizes {
+		prefs, err := dataset.ProfileSpec{
+			Env:      env,
+			NumPrefs: n,
+			Seed:     seed + int64(n),
+			Dist:     dist,
+			ZipfA:    zipfA,
+		}.Generate()
+		if err != nil {
+			return nil, err
+		}
+		point := Fig6Point{NumPrefs: n, Cells: make(map[string]int)}
+		sq, err := profiletree.NewSequential(env)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range prefs {
+			if err := sq.Insert(p); err != nil {
+				return nil, err
+			}
+		}
+		point.Cells["serial"] = sq.NumCells()
+		for _, no := range res.Orders {
+			row, err := measureTree(env, prefs, no)
+			if err != nil {
+				return nil, err
+			}
+			point.Cells[no.Label] = row.Cells
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Render formats one panel of Fig. 6: rows per profile size, columns
+// per ordering.
+func (f *Fig6Result) Render() string {
+	headers := []string{"Prefs"}
+	for _, no := range f.Orders {
+		headers = append(headers, fmt.Sprintf("%s %s", no.Label, orderSizesLabel(no.Sizes)))
+	}
+	headers = append(headers, "serial")
+	var rows [][]string
+	for _, pt := range f.Points {
+		row := []string{fmtI(pt.NumPrefs)}
+		for _, no := range f.Orders {
+			row = append(row, fmtI(pt.Cells[no.Label]))
+		}
+		row = append(row, fmtI(pt.Cells["serial"]))
+		rows = append(rows, row)
+	}
+	label := "uniform"
+	if f.Dist == dataset.Zipf {
+		label = fmt.Sprintf("zipf a=%.1f", f.ZipfA)
+	}
+	title := fmt.Sprintf("Fig. 6 (%s): profile tree cells vs profile size, domains 50/100/1000", label)
+	return renderTable(title, headers, rows)
+}
+
+// Fig6SkewAs is the zipf-exponent sweep of Fig. 6 (right).
+var Fig6SkewAs = []float64{0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}
+
+// Fig6SkewOrders are the three orderings of Fig. 6 (right), expressed
+// as domain-size triples over the 50/100/200 environment.
+var fig6SkewOrderSizes = [][]int{
+	{50, 100, 200}, // order 1
+	{50, 200, 100}, // order 2
+	{200, 50, 100}, // order 3
+}
+
+// Fig6SkewResult reproduces Fig. 6 (right): 5000 preferences over
+// domains 50/100/200 where the 200-value parameter's skew sweeps from
+// uniform (a=0) to highly skewed (a=3.5); three orderings.
+type Fig6SkewResult struct {
+	// As is the exponent sweep.
+	As []float64
+	// Labels are "order 1".."order 3".
+	Labels []string
+	// Sizes are the per-order level domain sizes.
+	Sizes [][]int
+	// Cells[label][i] is the tree size at As[i].
+	Cells map[string][]int
+}
+
+// Fig6Skew runs the mixed-skew sweep.
+func Fig6Skew(seed int64) (*Fig6SkewResult, error) {
+	env, err := dataset.Fig6SkewEnvironment()
+	if err != nil {
+		return nil, err
+	}
+	// Map size triples to parameter orders: params are p50, p100, p200
+	// at indexes 0, 1, 2.
+	sizeToParam := map[int]int{50: 0, 100: 1, 200: 2}
+	res := &Fig6SkewResult{
+		As:    Fig6SkewAs,
+		Cells: make(map[string][]int),
+	}
+	for i, sizes := range fig6SkewOrderSizes {
+		res.Labels = append(res.Labels, fmt.Sprintf("order %d", i+1))
+		res.Sizes = append(res.Sizes, sizes)
+	}
+	for _, a := range res.As {
+		prefs, err := dataset.ProfileSpec{
+			Env:      env,
+			NumPrefs: 5000,
+			Seed:     seed + int64(a*1000),
+			ParamDists: []dataset.ParamDist{
+				{Dist: dataset.Uniform},
+				{Dist: dataset.Uniform},
+				{Dist: dataset.Zipf, ZipfA: a},
+			},
+		}.Generate()
+		if err != nil {
+			return nil, err
+		}
+		for li, sizes := range fig6SkewOrderSizes {
+			order := make([]int, len(sizes))
+			for lvl, sz := range sizes {
+				order[lvl] = sizeToParam[sz]
+			}
+			tr, err := profiletree.New(env, order)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range prefs {
+				if err := tr.Insert(p); err != nil {
+					return nil, err
+				}
+			}
+			label := res.Labels[li]
+			res.Cells[label] = append(res.Cells[label], tr.NumCells())
+		}
+	}
+	return res, nil
+}
+
+// Render formats Fig. 6 (right): rows per exponent a, columns per
+// ordering.
+func (f *Fig6SkewResult) Render() string {
+	headers := []string{"a"}
+	for i, l := range f.Labels {
+		headers = append(headers, fmt.Sprintf("%s %s", l, orderSizesLabel(f.Sizes[i])))
+	}
+	var rows [][]string
+	for i, a := range f.As {
+		row := []string{fmt.Sprintf("%.1f", a)}
+		for _, l := range f.Labels {
+			row = append(row, fmtI(f.Cells[l][i]))
+		}
+		rows = append(rows, row)
+	}
+	title := "Fig. 6 (right): tree cells vs skew of the 200-value parameter (5000 preferences, domains 50/100/200)"
+	return renderTable(title, headers, rows)
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/dataset"
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+	"contextpref/internal/profiletree"
+)
+
+// NumQueries is the query-workload size of the Fig. 7 experiments.
+const NumQueries = 50
+
+// AccessStats holds average cell accesses per query for the profile
+// tree and the sequential scan.
+type AccessStats struct {
+	// TreeCells is the average cells accessed per query using the tree.
+	TreeCells float64
+	// SerialCells is the average cells accessed per query scanning
+	// sequentially.
+	SerialCells float64
+}
+
+// Fig7RealResult reproduces Fig. 7 (left): cell accesses during context
+// resolution over the real profile, for exact and non-exact workloads.
+type Fig7RealResult struct {
+	// NumPrefs is the profile size (522).
+	NumPrefs int
+	// Exact holds the exact-match workload averages.
+	Exact AccessStats
+	// Cover holds the non-exact (cover) workload averages.
+	Cover AccessStats
+}
+
+// bestOrder returns the ordering that maps larger domains lower in the
+// tree — the configuration the paper uses for the Fig. 7 measurements.
+func bestOrder(env *ctxmodel.Environment) []int {
+	orders := PaperOrders(env)
+	return orders[0].Order // order 1 = ascending domain sizes
+}
+
+// buildStores indexes the preferences in a tree (best ordering) and the
+// sequential baseline.
+func buildStores(env *ctxmodel.Environment, prefs []preference.Preference) (*profiletree.Tree, *profiletree.Sequential, error) {
+	tr, err := profiletree.New(env, bestOrder(env))
+	if err != nil {
+		return nil, nil, err
+	}
+	sq, err := profiletree.NewSequential(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range prefs {
+		if err := tr.Insert(p); err != nil {
+			return nil, nil, err
+		}
+		if err := sq.Insert(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tr, sq, nil
+}
+
+// measureExact averages exact-lookup accesses over the workload.
+func measureExact(tr *profiletree.Tree, sq *profiletree.Sequential, queries []ctxmodel.State) (AccessStats, error) {
+	var stats AccessStats
+	for _, q := range queries {
+		_, a, err := tr.SearchExact(q)
+		if err != nil {
+			return stats, err
+		}
+		stats.TreeCells += float64(a)
+		_, a, err = sq.SearchExact(q)
+		if err != nil {
+			return stats, err
+		}
+		stats.SerialCells += float64(a)
+	}
+	n := float64(len(queries))
+	stats.TreeCells /= n
+	stats.SerialCells /= n
+	return stats, nil
+}
+
+// measureCover averages cover-search accesses over the workload.
+func measureCover(tr *profiletree.Tree, sq *profiletree.Sequential, queries []ctxmodel.State) (AccessStats, error) {
+	var stats AccessStats
+	m := distance.Hierarchy{}
+	for _, q := range queries {
+		_, a, err := tr.SearchCover(q, m)
+		if err != nil {
+			return stats, err
+		}
+		stats.TreeCells += float64(a)
+		_, a, err = sq.SearchCover(q, m)
+		if err != nil {
+			return stats, err
+		}
+		stats.SerialCells += float64(a)
+	}
+	n := float64(len(queries))
+	stats.TreeCells /= n
+	stats.SerialCells /= n
+	return stats, nil
+}
+
+// Fig7Real runs the real-profile access measurement.
+func Fig7Real(seed int64) (*Fig7RealResult, error) {
+	env, prefs, err := dataset.RealProfile(seed)
+	if err != nil {
+		return nil, err
+	}
+	tr, sq, err := buildStores(env, prefs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7RealResult{NumPrefs: len(prefs)}
+	exactQs, err := dataset.QueriesFromPrefs(env, prefs, NumQueries, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	if res.Exact, err = measureExact(tr, sq, exactQs); err != nil {
+		return nil, err
+	}
+	coverQs, err := dataset.RandomQueries(env, NumQueries, seed+2, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	if res.Cover, err = measureCover(tr, sq, coverQs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats Fig. 7 (left).
+func (f *Fig7RealResult) Render() string {
+	headers := []string{"Workload", "Profile tree (cells/query)", "Serial (cells/query)"}
+	rows := [][]string{
+		{"exact match", fmtF(f.Exact.TreeCells), fmtF(f.Exact.SerialCells)},
+		{"non-exact match", fmtF(f.Cover.TreeCells), fmtF(f.Cover.SerialCells)},
+	}
+	title := fmt.Sprintf("Fig. 7 (left): cell accesses per context resolution, real profile (%d preferences)", f.NumPrefs)
+	return renderTable(title, headers, rows)
+}
+
+// Fig7SyntheticPoint is one profile size of the synthetic sweep.
+type Fig7SyntheticPoint struct {
+	// NumPrefs is the profile size.
+	NumPrefs int
+	// Uniform and Zipf hold tree accesses per distribution; Serial
+	// holds the per-distribution serial baseline.
+	Uniform, Zipf AccessStats
+}
+
+// Fig7SyntheticResult reproduces Fig. 7 center (exact match) or right
+// (non-exact match): cell accesses versus profile size over the
+// synthetic 50/100/1000 environment for uniform and zipf profiles.
+type Fig7SyntheticResult struct {
+	// Exact distinguishes the center (true) and right (false) panels.
+	Exact bool
+	// Points holds one entry per profile size.
+	Points []Fig7SyntheticPoint
+}
+
+// Fig7Synthetic runs the synthetic sweep.
+func Fig7Synthetic(exact bool, seed int64) (*Fig7SyntheticResult, error) {
+	env, err := dataset.Fig6Environment()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7SyntheticResult{Exact: exact}
+	for _, n := range Fig6Sizes {
+		point := Fig7SyntheticPoint{NumPrefs: n}
+		for _, dist := range []dataset.Dist{dataset.Uniform, dataset.Zipf} {
+			prefs, err := dataset.ProfileSpec{
+				Env:      env,
+				NumPrefs: n,
+				Seed:     seed + int64(n),
+				Dist:     dist,
+				ZipfA:    1.5,
+				// Mixed-level preferences give the non-exact workload
+				// covering states to find, as in the paper's setup
+				// where query values span hierarchy levels.
+				UpperLevelProb: 0.15,
+			}.Generate()
+			if err != nil {
+				return nil, err
+			}
+			tr, sq, err := buildStores(env, prefs)
+			if err != nil {
+				return nil, err
+			}
+			var stats AccessStats
+			if exact {
+				qs, err := dataset.QueriesFromPrefs(env, prefs, NumQueries, seed+3)
+				if err != nil {
+					return nil, err
+				}
+				if stats, err = measureExact(tr, sq, qs); err != nil {
+					return nil, err
+				}
+			} else {
+				qs, err := dataset.RandomQueries(env, NumQueries, seed+4, 0.3)
+				if err != nil {
+					return nil, err
+				}
+				if stats, err = measureCover(tr, sq, qs); err != nil {
+					return nil, err
+				}
+			}
+			if dist == dataset.Uniform {
+				point.Uniform = stats
+			} else {
+				point.Zipf = stats
+			}
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Render formats one synthetic panel of Fig. 7.
+func (f *Fig7SyntheticResult) Render() string {
+	headers := []string{"Prefs", "tree/uniform", "tree/zipf", "serial/uniform", "serial/zipf"}
+	var rows [][]string
+	for _, pt := range f.Points {
+		rows = append(rows, []string{
+			fmtI(pt.NumPrefs),
+			fmtF(pt.Uniform.TreeCells), fmtF(pt.Zipf.TreeCells),
+			fmtF(pt.Uniform.SerialCells), fmtF(pt.Zipf.SerialCells),
+		})
+	}
+	panel := "center, exact match"
+	if !f.Exact {
+		panel = "right, non-exact match"
+	}
+	title := fmt.Sprintf("Fig. 7 (%s): cell accesses per query vs profile size, domains 50/100/1000", panel)
+	return renderTable(title, headers, rows)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/profiletree"
+)
+
+// NamedOrder is a parameter-to-level assignment with the paper's label.
+type NamedOrder struct {
+	// Label is "order 1" .. "order n!" in the paper's numbering.
+	Label string
+	// Order maps tree levels to environment parameter indexes.
+	Order []int
+	// Sizes are the detailed-domain cardinalities per tree level, e.g.
+	// (4, 17, 100) for the real profile's order 1.
+	Sizes []int
+}
+
+// PaperOrders enumerates every parameter-to-level assignment using the
+// paper's numbering convention: parameters are first ranked by detailed
+// domain cardinality (ascending), and permutations are then labeled in
+// lexicographic order of those ranks. For the real profile
+// (A=4, T=17, L=100) this yields the paper's order 1 = (A, T, L),
+// order 2 = (A, L, T), ..., order 6 = (L, T, A); for the synthetic
+// profiles it yields order 1 = (50, 100, 1000), order 2 =
+// (50, 1000, 100), ..., order 6 = (1000, 100, 50).
+func PaperOrders(env *ctxmodel.Environment) []NamedOrder {
+	n := env.NumParams()
+	// Rank parameters by ascending domain size (stable on ties).
+	bysize := make([]int, n)
+	for i := range bysize {
+		bysize[i] = i
+	}
+	size := func(p int) int { return len(env.Param(p).Hierarchy().DetailedValues()) }
+	sort.SliceStable(bysize, func(a, b int) bool { return size(bysize[a]) < size(bysize[b]) })
+
+	perms := profiletree.AllOrders(n)
+	out := make([]NamedOrder, 0, len(perms))
+	for i, perm := range perms {
+		// perm permutes ranks; map ranks back to parameter indexes.
+		order := make([]int, n)
+		sizes := make([]int, n)
+		for lvl, rank := range perm {
+			order[lvl] = bysize[rank]
+			sizes[lvl] = size(order[lvl])
+		}
+		out = append(out, NamedOrder{
+			Label: fmt.Sprintf("order %d", i+1),
+			Order: order,
+			Sizes: sizes,
+		})
+	}
+	return out
+}
+
+// orderSizesLabel renders the level sizes, e.g. "(50, 100, 1000)".
+func orderSizesLabel(sizes []int) string {
+	parts := make([]string, len(sizes))
+	for i, s := range sizes {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return "(" + joinComma(parts) + ")"
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Package experiments reproduces every table and figure of the
+// evaluation section of "Adding Context to Preferences" (ICDE 2007):
+// Table 1 (usability study), Fig. 5 (profile-tree size, real profile),
+// Fig. 6 (profile-tree size, synthetic profiles under uniform, zipf and
+// mixed-skew distributions) and Fig. 7 (cell accesses during context
+// resolution, real and synthetic profiles), plus the ablation studies
+// DESIGN.md calls out. Each experiment returns structured results and
+// renders a plain-text table whose rows correspond to the paper's data
+// series.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderTable renders an aligned text table with a header row.
+func renderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// fmtF renders a float with one decimal.
+func fmtF(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// fmtI renders an int.
+func fmtI(v int) string { return fmt.Sprintf("%d", v) }

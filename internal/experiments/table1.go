@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"contextpref/internal/usability"
+)
+
+// Table1Result wraps the simulated user study of Table 1.
+type Table1Result struct {
+	// Study holds the per-user rows.
+	Study *usability.StudyResult
+}
+
+// Table1 runs the usability study with the given configuration
+// (usability.DefaultConfig mirrors the paper: 10 users, top-20).
+func Table1(cfg usability.Config) (*Table1Result, error) {
+	study, err := usability.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{Study: study}, nil
+}
+
+// Render formats the study like the paper's Table 1: one column per
+// user, one row per measure, plus an average column.
+func (t *Table1Result) Render() string {
+	users := t.Study.Users
+	headers := []string{"Measure"}
+	for _, u := range users {
+		headers = append(headers, fmt.Sprintf("User %d", u.User))
+	}
+	headers = append(headers, "Avg")
+	avg := t.Study.Averages()
+
+	row := func(name string, cell func(usability.UserResult) string, avgCell string) []string {
+		r := []string{name}
+		for _, u := range users {
+			r = append(r, cell(u))
+		}
+		return append(r, avgCell)
+	}
+	pct := func(v float64) string { return fmt.Sprintf("%.0f%%", v) }
+	rows := [][]string{
+		row("Num of updates", func(u usability.UserResult) string { return fmtI(u.Updates) }, fmtI(avg.Updates)),
+		row("Update time (mins)", func(u usability.UserResult) string { return fmtI(u.Minutes) }, fmtI(avg.Minutes)),
+		row("Exact match", func(u usability.UserResult) string { return pct(u.ExactPct) }, pct(avg.ExactPct)),
+		row("1 cover state", func(u usability.UserResult) string { return pct(u.OneCoverPct) }, pct(avg.OneCoverPct)),
+		row("More covers: Hierarchy", func(u usability.UserResult) string { return pct(u.MultiHierarchyPct) }, pct(avg.MultiHierarchyPct)),
+		row("More covers: Jaccard", func(u usability.UserResult) string { return pct(u.MultiJaccardPct) }, pct(avg.MultiJaccardPct)),
+	}
+	return renderTable("Table 1: User Study Results (simulated users)", headers, rows)
+}

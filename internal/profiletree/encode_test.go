@@ -1,0 +1,171 @@
+package profiletree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e, tr := fig4Tree(t)
+	text, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(text, "\n"); got != tr.NumLeafEntries() {
+		t.Errorf("encoded lines = %d, want %d", got, tr.NumLeafEntries())
+	}
+	back, err := Decode(e, tr.Order(), text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPaths() != tr.NumPaths() || back.NumLeafEntries() != tr.NumLeafEntries() {
+		t.Fatalf("round-trip paths/entries: %d/%d, want %d/%d",
+			back.NumPaths(), back.NumLeafEntries(), tr.NumPaths(), tr.NumLeafEntries())
+	}
+	// Resolution behaviour is identical.
+	q := st(t, e, "Plaka", "warm", "friends")
+	a, _, _ := tr.SearchCover(q, distance.Hierarchy{})
+	b, _, _ := back.SearchCover(q, distance.Hierarchy{})
+	if len(a) != len(b) {
+		t.Fatalf("cover candidates differ: %d vs %d", len(a), len(b))
+	}
+	// Comments and blanks are skipped.
+	back2, err := Decode(e, nil, "# header\n\n"+text)
+	if err != nil || back2.NumPaths() != tr.NumPaths() {
+		t.Fatalf("decode with comments: %v", err)
+	}
+	// Errors carry line numbers.
+	if _, err := Decode(e, nil, "garbage"); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("Decode(garbage) = %v", err)
+	}
+	if _, err := Decode(e, nil, "[location = Atlantis] => a = b : 0.5"); err == nil {
+		t.Error("unknown value should fail")
+	}
+	if _, err := Decode(nil, nil, ""); err == nil {
+		t.Error("nil environment should fail")
+	}
+	if _, err := Decode(e, []int{0}, ""); err == nil {
+		t.Error("bad order should fail")
+	}
+}
+
+// Property: Encode/Decode preserves the path set and every leaf entry
+// for random trees, regardless of tree order on either side.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	e := env(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr, _ := New(e, AllOrders(3)[r.Intn(6)])
+		for _, p := range randomPrefs(e, r, 1+r.Intn(25)) {
+			_ = tr.Insert(p)
+		}
+		text, err := tr.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := Decode(e, AllOrders(3)[r.Intn(6)], text)
+		if err != nil {
+			return false
+		}
+		if back.NumPaths() != tr.NumPaths() || back.NumLeafEntries() != tr.NumLeafEntries() {
+			return false
+		}
+		for _, p := range tr.Paths() {
+			entries, _, err := back.SearchExact(p.State)
+			if err != nil || len(entries) != len(p.Entries) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuggestOrder(t *testing.T) {
+	e := env(t)
+	// Uniform usage across full domains → ascending domain size, the
+	// paper's basic rule: people (3) < temperature (5) < location (7).
+	var prefs []preference.Preference
+	for _, loc := range e.Param(0).Hierarchy().DetailedValues() {
+		for _, tmp := range e.Param(1).Hierarchy().DetailedValues() {
+			for _, ppl := range e.Param(2).Hierarchy().DetailedValues() {
+				prefs = append(prefs, preference.MustNew(
+					ctxmodel.MustDescriptor(
+						ctxmodel.Eq("location", loc),
+						ctxmodel.Eq("temperature", tmp),
+						ctxmodel.Eq("accompanying_people", ppl)),
+					clause("type", "museum"), 0.5))
+			}
+		}
+	}
+	order, err := SuggestOrder(e, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Environment order: location(7 regions), temperature(5), people(3).
+	if want := []int{2, 1, 0}; order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("uniform SuggestOrder = %v, want %v", order, want)
+	}
+	// Skewed usage: only ONE location ever appears → location belongs
+	// at the top despite its large domain (the Fig. 6 right insight).
+	var skewed []preference.Preference
+	for _, tmp := range e.Param(1).Hierarchy().DetailedValues() {
+		for _, ppl := range e.Param(2).Hierarchy().DetailedValues() {
+			skewed = append(skewed, preference.MustNew(
+				ctxmodel.MustDescriptor(
+					ctxmodel.Eq("location", "Plaka"),
+					ctxmodel.Eq("temperature", tmp),
+					ctxmodel.Eq("accompanying_people", ppl)),
+				clause("type", "museum"), 0.5))
+		}
+	}
+	order, err = SuggestOrder(e, skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 0 {
+		t.Errorf("skewed SuggestOrder = %v, want location (0) first", order)
+	}
+	// The suggestion actually helps: compare tree sizes.
+	best, _ := New(e, order)
+	naive, _ := New(e, []int{2, 1, 0}) // ascending-domain rule
+	for _, p := range skewed {
+		if err := best.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := naive.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if best.NumCells() > naive.NumCells() {
+		t.Errorf("suggested order (%d cells) should not lose to naive (%d)",
+			best.NumCells(), naive.NumCells())
+	}
+	// Empty workload: falls back to domain sizes.
+	order, err = SuggestOrder(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Errorf("empty SuggestOrder = %v", order)
+	}
+	// Errors.
+	if _, err := SuggestOrder(nil, nil); err == nil {
+		t.Error("nil env should fail")
+	}
+	bad := []preference.Preference{{
+		Descriptor: ctxmodel.MustDescriptor(ctxmodel.Eq("location", "Atlantis")),
+		Clause:     clause("a", "b"), Score: 0.5,
+	}}
+	if _, err := SuggestOrder(e, bad); err == nil {
+		t.Error("bad descriptor should fail")
+	}
+}

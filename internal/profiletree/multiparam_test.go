@@ -1,0 +1,167 @@
+package profiletree
+
+import (
+	"fmt"
+	"testing"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/hierarchy"
+	"contextpref/internal/preference"
+)
+
+// The paper's experiments use three context parameters; nothing in the
+// structure restricts n. These tests exercise degenerate (1 parameter)
+// and wide (5 parameters) environments.
+
+func narrowEnv(t *testing.T) *ctxmodel.Environment {
+	t.Helper()
+	h, err := hierarchy.Uniform("only", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ctxmodel.NewParameter("only", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ctxmodel.NewEnvironment(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func wideEnv(t *testing.T) *ctxmodel.Environment {
+	t.Helper()
+	var params []*ctxmodel.Parameter
+	for i := 0; i < 5; i++ {
+		h, err := hierarchy.Uniform(fmt.Sprintf("p%d", i), 2+i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ctxmodel.NewParameter("", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params = append(params, p)
+	}
+	e, err := ctxmodel.NewEnvironment(params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSingleParameterTree(t *testing.T) {
+	e := narrowEnv(t)
+	tr, err := New(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := e.Param(0).Hierarchy().DetailedValues()
+	mid := e.Param(0).Hierarchy().ValuesAt(1)
+	// Detailed, mid-level and all-level preferences.
+	for i, v := range []string{dv[0], dv[5], mid[0]} {
+		p := preference.MustNew(
+			ctxmodel.MustDescriptor(ctxmodel.Eq("only", v)),
+			clause("a", fmt.Sprintf("v%d", i)), 0.5)
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allPref := preference.MustNew(ctxmodel.MustDescriptor(), clause("a", "base"), 0.3)
+	if err := tr.Insert(allPref); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPaths() != 4 {
+		t.Errorf("NumPaths = %d, want 4", tr.NumPaths())
+	}
+	// Resolution: a detailed query under mid[0] prefers the exact
+	// detailed state, then the mid state, then all.
+	q := ctxmodel.State{dv[0]} // dv[0]'s parent is mid[0]
+	cands, _, err := tr.SearchCover(q, distance.Hierarchy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 { // dv[0], mid[0], all
+		t.Fatalf("candidates = %v", cands)
+	}
+	best, ok := Best(cands)
+	if !ok || !best.State.Equal(q) || best.Distance != 0 {
+		t.Errorf("best = %+v", best)
+	}
+	// Sequential equivalence holds for n=1 too.
+	sq, _ := NewSequential(e)
+	for _, p := range []preference.Preference{allPref} {
+		if err := sq.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _, err := sq.SearchExact(ctxmodel.State{"all"})
+	if err != nil || len(entries) != 1 {
+		t.Errorf("sequential n=1: %v, %v", entries, err)
+	}
+}
+
+func TestFiveParameterTree(t *testing.T) {
+	e := wideEnv(t)
+	if e.NumParams() != 5 {
+		t.Fatal("wide env wrong")
+	}
+	tr, err := New(e, []int{4, 3, 2, 1, 0}) // reversed order
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preferences constraining different parameter subsets.
+	var prefs []preference.Preference
+	for i := 0; i < 5; i++ {
+		dv := e.Param(i).Hierarchy().DetailedValues()
+		prefs = append(prefs, preference.MustNew(
+			ctxmodel.MustDescriptor(ctxmodel.Eq(e.Param(i).Name(), dv[0])),
+			clause("a", fmt.Sprintf("p%d", i)), 0.5))
+	}
+	// One fully-specified preference.
+	var pds []ctxmodel.ParamDescriptor
+	full := make(ctxmodel.State, 5)
+	for i := 0; i < 5; i++ {
+		dv := e.Param(i).Hierarchy().DetailedValues()
+		pds = append(pds, ctxmodel.Eq(e.Param(i).Name(), dv[0]))
+		full[i] = dv[0]
+	}
+	prefs = append(prefs, preference.MustNew(
+		ctxmodel.MustDescriptor(pds...), clause("a", "full"), 0.9))
+	for _, p := range prefs {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumPaths() != 6 {
+		t.Errorf("NumPaths = %d, want 6", tr.NumPaths())
+	}
+	// The fully-specified state resolves exactly; all six states cover
+	// it.
+	cands, _, err := tr.SearchCover(full, distance.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 6 {
+		t.Fatalf("candidates = %d, want 6", len(cands))
+	}
+	best, ok := Best(cands)
+	if !ok || best.Distance != 0 || len(best.Entries) != 1 || best.Entries[0].Score != 0.9 {
+		t.Errorf("best = %+v", best)
+	}
+	// Branch-and-bound agrees on a 5-level tree.
+	pruned, _, ok2, err := tr.SearchCoverBest(full, distance.Jaccard{})
+	if err != nil || !ok2 || pruned.Distance != best.Distance {
+		t.Errorf("pruned = %+v (%v)", pruned, err)
+	}
+	// MaxCells bound for 5 levels.
+	sizes := make([]int, 5)
+	for lvl, param := range tr.Order() {
+		sizes[lvl] = e.Param(param).Hierarchy().ExtendedDomainSize()
+	}
+	if tr.NumInternalCells() > MaxCells(sizes) {
+		t.Errorf("internal cells %d exceed bound %d", tr.NumInternalCells(), MaxCells(sizes))
+	}
+}

@@ -1,0 +1,114 @@
+package profiletree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+)
+
+func TestSearchCoverBestPaperScenario(t *testing.T) {
+	e, tr := fig4Tree(t)
+	q := st(t, e, "Plaka", "warm", "friends")
+	best, accesses, ok, err := tr.SearchCoverBest(q, distance.Hierarchy{})
+	if err != nil || !ok {
+		t.Fatalf("SearchCoverBest: %v, ok=%v", err, ok)
+	}
+	if !best.State.Equal(st(t, e, "Plaka", "warm", "all")) || best.Distance != 1 {
+		t.Errorf("best = %v (%v)", best.State, best.Distance)
+	}
+	if accesses <= 0 {
+		t.Error("no accesses counted")
+	}
+	// Pruning never accesses more cells than collect-all.
+	_, collectAccesses, err := tr.SearchCover(q, distance.Hierarchy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accesses > collectAccesses {
+		t.Errorf("pruned accesses %d > collect accesses %d", accesses, collectAccesses)
+	}
+	// No covering state.
+	e2 := env(t)
+	tr2, _ := New(e2, nil)
+	tr2.Insert(preference.MustNew(
+		ctxmodel.MustDescriptor(ctxmodel.Eq("temperature", "cold")),
+		clause("type", "museum"), 0.5))
+	_, _, ok, err = tr2.SearchCoverBest(st(t, e2, "Plaka", "warm", "friends"), distance.Hierarchy{})
+	if err != nil || ok {
+		t.Errorf("no-cover SearchCoverBest ok=%v err=%v", ok, err)
+	}
+	// Invalid state.
+	if _, _, _, err := tr.SearchCoverBest(ctxmodel.State{"x"}, distance.Hierarchy{}); err == nil {
+		t.Error("invalid state should fail")
+	}
+}
+
+// Property: SearchCoverBest agrees with Best(SearchCover) on existence,
+// distance and tie-broken state, and never costs more accesses.
+func TestQuickSearchCoverBestEquivalence(t *testing.T) {
+	e := env(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr, _ := New(e, AllOrders(3)[r.Intn(6)])
+		for _, p := range randomPrefs(e, r, 1+r.Intn(30)) {
+			_ = tr.Insert(p)
+		}
+		for _, m := range distance.All() {
+			for q := 0; q < 8; q++ {
+				qs := make(ctxmodel.State, e.NumParams())
+				for i := range qs {
+					ed := e.Param(i).Hierarchy().ExtendedDomain()
+					qs[i] = ed[r.Intn(len(ed))]
+				}
+				cands, aCollect, err1 := tr.SearchCover(qs, m)
+				want, okWant := Best(cands)
+				got, aPruned, okGot, err2 := tr.SearchCoverBest(qs, m)
+				if err1 != nil || err2 != nil || okWant != okGot {
+					return false
+				}
+				if aPruned > aCollect {
+					return false
+				}
+				if okWant {
+					if got.Distance != want.Distance || !got.State.Equal(want.State) {
+						return false
+					}
+					if len(got.Entries) != len(want.Entries) {
+						return false
+					}
+					if got.Specificity != want.Specificity {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidateSpecificity(t *testing.T) {
+	e, tr := fig4Tree(t)
+	q := st(t, e, "Plaka", "warm", "friends")
+	cands, _, err := tr.SearchCover(q, distance.Hierarchy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		// (all, all, friends): 7 regions × 5 conditions × 1.
+		st(t, e, "all", "all", "friends").Key(): 35,
+		// (Plaka, warm, all): 1 × 1 × 3 relationships.
+		st(t, e, "Plaka", "warm", "all").Key(): 3,
+	}
+	for _, c := range cands {
+		if w, ok := want[c.State.Key()]; !ok || c.Specificity != w {
+			t.Errorf("Specificity(%v) = %d, want %d", c.State, c.Specificity, w)
+		}
+	}
+}

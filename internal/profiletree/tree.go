@@ -1,0 +1,672 @@
+// Package profiletree implements the profile tree of Section 3.3 of
+// "Adding Context to Preferences" (ICDE 2007) — a trie-like index over
+// the context states appearing in a profile — together with the
+// Search_CS context-resolution algorithm (Algorithm 1, Section 4.4) and
+// the sequential-scan baseline the paper's performance evaluation
+// compares against.
+//
+// Structure. The tree has one level per context parameter plus a leaf
+// level, so its height is n+1. Every non-leaf node holds cells
+// [key, pointer] with key ∈ edom(Ck) ∪ {all} for the parameter Ck
+// assigned to that level; no two cells of a node share a key. A leaf
+// node stores the attribute clauses and interest scores of the
+// preferences whose descriptors produced the root-to-leaf path.
+//
+// Cost accounting. NumCells, Bytes and the access counters returned by
+// the search methods implement the paper's cost model: one "cell" is
+// one [key, pointer] pair of an internal node or one
+// [attribute = value, score] entry of a leaf, and a search "accesses" a
+// cell when it examines it during the linear scan of a node. The
+// byte model charges each internal cell len(key) + PointerBytes and
+// each leaf entry its clause text plus ScoreBytes.
+package profiletree
+
+import (
+	"fmt"
+	"sort"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+)
+
+// PointerBytes is the byte cost charged per internal cell pointer.
+const PointerBytes = 8
+
+// ScoreBytes is the byte cost charged per stored interest score.
+const ScoreBytes = 8
+
+// Leaf is one [attribute clause, interest score] entry of a leaf node.
+type Leaf struct {
+	// Clause is the preference's attribute clause.
+	Clause preference.Clause
+	// Score is the preference's degree of interest.
+	Score float64
+}
+
+// node is either an internal node (keys/children, parallel slices in
+// insertion order) or a leaf node (entries).
+type node struct {
+	keys     []string
+	children []*node
+	entries  []Leaf
+}
+
+// find linearly scans the node's cells for a key, returning the child
+// and the number of cells examined.
+func (nd *node) find(key string) (*node, int) {
+	for i, k := range nd.keys {
+		if k == key {
+			return nd.children[i], i + 1
+		}
+	}
+	return nil, len(nd.keys)
+}
+
+// child returns the child for key, creating it if absent; created
+// reports whether a new cell was added.
+func (nd *node) child(key string) (c *node, created bool) {
+	if c, _ := nd.find(key); c != nil {
+		return c, false
+	}
+	c = &node{}
+	nd.keys = append(nd.keys, key)
+	nd.children = append(nd.children, c)
+	return c, true
+}
+
+// Tree is a profile tree over a context environment. The zero Tree is
+// not usable; construct with New.
+type Tree struct {
+	env   *ctxmodel.Environment
+	order []int // order[level] = environment index of the parameter at that tree level
+	root  *node
+
+	numPaths         int // distinct root-to-leaf paths (context states)
+	numInternalCells int
+	numLeafEntries   int
+	numPrefs         int
+}
+
+// New creates an empty profile tree. order maps tree levels to
+// environment parameter indexes (order[0] is the parameter indexed at
+// the first level); nil means the identity order. The paper shows that
+// placing parameters with larger domains lower in the tree minimizes
+// its size — see Fig. 5/6, reproduced by the experiments package.
+func New(env *ctxmodel.Environment, order []int) (*Tree, error) {
+	if env == nil {
+		return nil, fmt.Errorf("profiletree: nil environment")
+	}
+	n := env.NumParams()
+	if order == nil {
+		order = IdentityOrder(n)
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("profiletree: order has %d entries, environment has %d parameters", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range order {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("profiletree: order %v is not a permutation of 0..%d", order, n-1)
+		}
+		seen[p] = true
+	}
+	return &Tree{
+		env:   env,
+		order: append([]int(nil), order...),
+		root:  &node{},
+	}, nil
+}
+
+// IdentityOrder returns [0, 1, ..., n-1].
+func IdentityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// AllOrders enumerates every permutation of n parameters in
+// lexicographic order; the paper's "order 1" .. "order n!" labels index
+// into this slice after domain-size sorting (see the experiments
+// package).
+func AllOrders(n int) [][]int {
+	var out [][]int
+	perm := IdentityOrder(n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		// Lexicographic: choose each remaining element in order.
+		rest := append([]int(nil), perm[k:]...)
+		sort.Ints(rest)
+		copy(perm[k:], rest)
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			sub := append([]int(nil), perm[k+1:]...)
+			sort.Ints(sub)
+			copy(perm[k+1:], sub)
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Env returns the environment the tree indexes.
+func (t *Tree) Env() *ctxmodel.Environment { return t.env }
+
+// Order returns the parameter-to-level assignment.
+func (t *Tree) Order() []int { return append([]int(nil), t.order...) }
+
+// NumPaths returns the number of distinct context states stored.
+func (t *Tree) NumPaths() int { return t.numPaths }
+
+// NumPreferences returns how many preferences were inserted.
+func (t *Tree) NumPreferences() int { return t.numPrefs }
+
+// NumInternalCells returns the number of [key, pointer] cells.
+func (t *Tree) NumInternalCells() int { return t.numInternalCells }
+
+// NumLeafEntries returns the number of [clause, score] leaf entries.
+func (t *Tree) NumLeafEntries() int { return t.numLeafEntries }
+
+// NumCells returns the paper's cell count: internal cells plus leaf
+// entries.
+func (t *Tree) NumCells() int { return t.numInternalCells + t.numLeafEntries }
+
+// Bytes returns the modeled storage size of the tree, charging
+// PointerBytes per internal cell pointer.
+func (t *Tree) Bytes() int { return t.BytesModel(PointerBytes) }
+
+// KeyBytes returns the storage size under the paper's byte accounting,
+// which counts only stored key/value/score payloads (Fig. 5's serial
+// profile ≈ 12.8 KB over ≈ 2.1k cells implies ~6 B per cell — string
+// payloads with no pointer charge).
+func (t *Tree) KeyBytes() int { return t.BytesModel(0) }
+
+// BytesModel returns the modeled storage size charging pointerBytes per
+// internal cell pointer.
+func (t *Tree) BytesModel(pointerBytes int) int {
+	total := 0
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		for i, k := range nd.keys {
+			total += len(k) + pointerBytes
+			walk(nd.children[i])
+		}
+		for _, e := range nd.entries {
+			total += leafEntryBytes(e)
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+// leafEntryBytes is the modeled size of one leaf entry.
+func leafEntryBytes(e Leaf) int {
+	return len(e.Clause.Attr) + len(e.Clause.Val.String()) + ScoreBytes
+}
+
+// toTreeOrder converts a state from environment order to tree-level
+// order.
+func (t *Tree) toTreeOrder(s ctxmodel.State) []string {
+	out := make([]string, len(s))
+	for level, param := range t.order {
+		out[level] = s[param]
+	}
+	return out
+}
+
+// toEnvOrder converts a tree-level path back to environment order.
+func (t *Tree) toEnvOrder(path []string) ctxmodel.State {
+	out := make(ctxmodel.State, len(path))
+	for level, param := range t.order {
+		out[param] = path[level]
+	}
+	return out
+}
+
+// Insert adds every context state of the preference's descriptor to the
+// tree (Section 3.3). Conflicts (Def. 6) are detected during insertion
+// by traversing each state's root-to-leaf path first: if any state
+// carries the same clause with a different score, Insert returns a
+// *preference.ConflictError and the tree is left unchanged. Re-inserting
+// an identical (state, clause, score) triple is a no-op for that state.
+func (t *Tree) Insert(p preference.Preference) error {
+	if p.Score < 0 || p.Score > 1 {
+		return fmt.Errorf("profiletree: interest score %v outside [0, 1]", p.Score)
+	}
+	states, err := p.Descriptor.Context(t.env)
+	if err != nil {
+		return err
+	}
+	// Pass 1: conflict detection, so insertion is atomic.
+	for _, s := range states {
+		if leafNode, _, _ := t.descendExact(s); leafNode != nil {
+			for _, e := range leafNode.entries {
+				if e.Clause.Equal(p.Clause) && e.Score != p.Score {
+					return &preference.ConflictError{
+						New:      p,
+						Existing: preference.Preference{Descriptor: p.Descriptor, Clause: e.Clause, Score: e.Score},
+						State:    s,
+					}
+				}
+			}
+		}
+	}
+	// Pass 2: insertion with incremental counter maintenance.
+	for _, s := range states {
+		path := t.toTreeOrder(s)
+		nd := t.root
+		for _, key := range path {
+			var created bool
+			nd, created = nd.child(key)
+			if created {
+				t.numInternalCells++
+			}
+		}
+		dup := false
+		for _, e := range nd.entries {
+			if e.Clause.Equal(p.Clause) && e.Score == p.Score {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			if len(nd.entries) == 0 {
+				t.numPaths++
+			}
+			nd.entries = append(nd.entries, Leaf{Clause: p.Clause, Score: p.Score})
+			t.numLeafEntries++
+		}
+	}
+	t.numPrefs++
+	return nil
+}
+
+// Delete removes the preference's (clause, score) entry from every
+// context state its descriptor denotes, pruning paths whose leaves
+// become empty so the tree's size accounting matches a fresh build of
+// the remaining preferences. It returns how many leaf entries were
+// removed (zero when nothing matched) — the usability study's users
+// delete preferences from their default profiles, so removal is a
+// first-class operation.
+//
+// Storage is per (state, clause, score) entry: insertion deduplicates
+// an entry shared by two preferences, and deletion symmetrically
+// removes it for both.
+func (t *Tree) Delete(p preference.Preference) (int, error) {
+	states, err := p.Descriptor.Context(t.env)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, s := range states {
+		path := t.toTreeOrder(s)
+		if t.deletePath(t.root, path, 0, p) {
+			removed++
+		}
+	}
+	if removed > 0 {
+		t.numPrefs--
+		if t.numPrefs < 0 {
+			t.numPrefs = 0
+		}
+	}
+	return removed, nil
+}
+
+// deletePath removes the entry along one path, pruning empty nodes
+// bottom-up; it reports whether an entry was removed.
+func (t *Tree) deletePath(nd *node, path []string, level int, p preference.Preference) bool {
+	if level == len(path) {
+		for i, e := range nd.entries {
+			if e.Clause.Equal(p.Clause) && e.Score == p.Score {
+				nd.entries = append(nd.entries[:i], nd.entries[i+1:]...)
+				t.numLeafEntries--
+				if len(nd.entries) == 0 {
+					t.numPaths--
+				}
+				return true
+			}
+		}
+		return false
+	}
+	for i, key := range nd.keys {
+		if key != path[level] {
+			continue
+		}
+		child := nd.children[i]
+		if !t.deletePath(child, path, level+1, p) {
+			return false
+		}
+		// Prune the cell if the child holds nothing anymore.
+		if len(child.keys) == 0 && len(child.entries) == 0 {
+			nd.keys = append(nd.keys[:i], nd.keys[i+1:]...)
+			nd.children = append(nd.children[:i], nd.children[i+1:]...)
+			t.numInternalCells--
+		}
+		return true
+	}
+	return false
+}
+
+// InsertProfile inserts every preference of the profile, stopping at
+// the first error.
+func (t *Tree) InsertProfile(pr *preference.Profile) error {
+	for i := 0; i < pr.Len(); i++ {
+		if err := t.Insert(pr.Pref(i)); err != nil {
+			return fmt.Errorf("preference %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// descendExact follows the exact path for a state, returning the leaf
+// node (nil if the path is absent) and the number of cells accessed.
+func (t *Tree) descendExact(s ctxmodel.State) (*node, int, bool) {
+	path := t.toTreeOrder(s)
+	nd := t.root
+	accesses := 0
+	for _, key := range path {
+		child, scanned := nd.find(key)
+		accesses += scanned
+		if child == nil {
+			return nil, accesses, false
+		}
+		nd = child
+	}
+	return nd, accesses, true
+}
+
+// SearchExact looks up the exact context state (the first case of the
+// paper's query-complexity analysis: a single root-to-leaf traversal).
+// It returns the leaf entries for the state, the number of cells
+// accessed, and whether the state is present.
+func (t *Tree) SearchExact(s ctxmodel.State) ([]Leaf, int, error) {
+	if err := t.env.Validate(s); err != nil {
+		return nil, 0, err
+	}
+	nd, accesses, ok := t.descendExact(s)
+	if !ok {
+		return nil, accesses, nil
+	}
+	return append([]Leaf(nil), nd.entries...), accesses, nil
+}
+
+// Candidate is one root-to-leaf path found by Search_CS whose context
+// state covers the searched state, annotated with its distance.
+type Candidate struct {
+	// State is the candidate context state, in environment parameter
+	// order.
+	State ctxmodel.State
+	// Entries are the leaf entries stored under the state.
+	Entries []Leaf
+	// Distance is the metric distance from the searched state.
+	Distance float64
+	// Specificity is the number of detailed context states the
+	// candidate covers (the product of its values' descendant-set
+	// sizes) — the paper's "cardinality" of a state. Best prefers
+	// smaller (more specific) states among equal distances, per the
+	// Section 4.3 discussion of selecting the most specific match.
+	Specificity int
+}
+
+// specificity computes the candidate-state cardinality.
+func specificity(e *ctxmodel.Environment, s ctxmodel.State) int {
+	total := 1
+	for i, v := range s {
+		if ds, err := e.Param(i).Hierarchy().Descendants(v); err == nil {
+			total *= len(ds)
+		}
+	}
+	return total
+}
+
+// SearchCover implements Algorithm 1 (Search_CS): it collects every
+// root-to-leaf path whose context state covers the searched state,
+// annotating each with its distance under the metric, and returns the
+// number of cells accessed.
+//
+// At each level the algorithm follows both the cell that exactly
+// matches the searched value and every cell holding an ancestor of it
+// (including "all"). The paper's pseudocode phrases these as exclusive
+// branches; following both is required for correctness when the exact
+// branch dead-ends deeper in the tree while an ancestor branch reaches
+// a leaf, and matches the paper's own cost analysis which charges for
+// all "cells that have relevant values from the upper levels".
+func (t *Tree) SearchCover(s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
+	if err := t.env.Validate(s); err != nil {
+		return nil, 0, err
+	}
+	path := t.toTreeOrder(s)
+	var out []Candidate
+	accesses := 0
+	cur := make([]string, 0, len(path))
+
+	var rec func(nd *node, level int, dist float64) error
+	rec = func(nd *node, level int, dist float64) error {
+		if level == len(path) {
+			if len(nd.entries) > 0 {
+				st := t.toEnvOrder(cur)
+				out = append(out, Candidate{
+					State:       st,
+					Entries:     append([]Leaf(nil), nd.entries...),
+					Distance:    dist,
+					Specificity: specificity(t.env, st),
+				})
+			}
+			return nil
+		}
+		param := t.order[level]
+		h := t.env.Param(param).Hierarchy()
+		for i, key := range nd.keys {
+			accesses++
+			if !h.IsAncestorOrSelf(key, path[level]) {
+				continue
+			}
+			d, err := m.ValueDistance(t.env, param, key, path[level])
+			if err != nil {
+				return err
+			}
+			cur = append(cur, key)
+			err = rec(nd.children[i], level+1, dist+d)
+			cur = cur[:len(cur)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root, 0, 0); err != nil {
+		return nil, accesses, err
+	}
+	return out, accesses, nil
+}
+
+// SearchCoverBest is the branch-and-bound variant the paper sketches as
+// "a simple runtime check that keeps the current closest leaf": it
+// explores the same cells as SearchCover but abandons any branch whose
+// accumulated distance already reaches the best complete path found so
+// far, returning only the best candidate. Both metrics are
+// per-parameter sums of non-negative terms, so the accumulated distance
+// is a lower bound and pruning is safe.
+func (t *Tree) SearchCoverBest(s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
+	if err := t.env.Validate(s); err != nil {
+		return Candidate{}, 0, false, err
+	}
+	path := t.toTreeOrder(s)
+	var best Candidate
+	found := false
+	accesses := 0
+	cur := make([]string, 0, len(path))
+
+	var rec func(nd *node, level int, dist float64) error
+	rec = func(nd *node, level int, dist float64) error {
+		// Strict inequality: equal-distance paths are still explored so
+		// the specificity tie-break agrees with Best(SearchCover(...)).
+		if found && dist > best.Distance {
+			return nil
+		}
+		if level == len(path) {
+			if len(nd.entries) > 0 {
+				st := t.toEnvOrder(cur)
+				c := Candidate{
+					State:       st,
+					Entries:     append([]Leaf(nil), nd.entries...),
+					Distance:    dist,
+					Specificity: specificity(t.env, st),
+				}
+				if !found || betterCandidate(c, best) {
+					best = c
+					found = true
+				}
+			}
+			return nil
+		}
+		param := t.order[level]
+		h := t.env.Param(param).Hierarchy()
+		for i, key := range nd.keys {
+			accesses++
+			if !h.IsAncestorOrSelf(key, path[level]) {
+				continue
+			}
+			d, err := m.ValueDistance(t.env, param, key, path[level])
+			if err != nil {
+				return err
+			}
+			cur = append(cur, key)
+			err = rec(nd.children[i], level+1, dist+d)
+			cur = cur[:len(cur)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root, 0, 0); err != nil {
+		return Candidate{}, accesses, false, err
+	}
+	return best, accesses, found, nil
+}
+
+// Best returns the candidate with the minimum distance (Def. 12's
+// match, disambiguated by the metric per Section 4.3), breaking exact
+// ties deterministically — but otherwise arbitrarily — by state key.
+// Ties are frequent under the integer-valued hierarchy distance and
+// rare under Jaccard, which is exactly why the paper's usability study
+// found Jaccard more accurate; the tie-break deliberately does not
+// consult state cardinality, because "smallest cardinality" is the
+// selection principle the Jaccard metric itself embodies (Section 4.3).
+// ok is false when no stored state covers the searched one — the caller
+// should then fall back to non-contextual execution, as Section 4.2
+// prescribes.
+func Best(cands []Candidate) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if betterCandidate(c, best) {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// betterCandidate orders candidates by (distance, key).
+func betterCandidate(a, b Candidate) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.State.Key() < b.State.Key()
+}
+
+// Resolve performs full context resolution for one searched state: an
+// exact lookup first, then Search_CS with the metric. It returns the
+// best candidate, the total cells accessed, and ok=false when nothing
+// in the profile covers the state.
+func (t *Tree) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
+	entries, accesses, err := t.SearchExact(s)
+	if err != nil {
+		return Candidate{}, 0, false, err
+	}
+	if len(entries) > 0 {
+		return Candidate{State: s.Clone(), Entries: entries, Distance: 0}, accesses, true, nil
+	}
+	cands, more, err := t.SearchCover(s, m)
+	accesses += more
+	if err != nil {
+		return Candidate{}, accesses, false, err
+	}
+	best, ok := Best(cands)
+	return best, accesses, ok, nil
+}
+
+// ResolveAll returns every stored state covering s ordered from most to
+// least relevant under the metric (distance, then specificity, then
+// state key). Section 4.2 suggests presenting all matches to the user
+// when several states qualify and none dominates; this is that API. An
+// exact match, if present, appears first with distance 0.
+func (t *Tree) ResolveAll(s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
+	cands, accesses, err := t.SearchCover(s, m)
+	if err != nil {
+		return nil, accesses, err
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.Distance != b.Distance {
+			return a.Distance < b.Distance
+		}
+		if a.Specificity != b.Specificity {
+			return a.Specificity < b.Specificity
+		}
+		return a.State.Key() < b.State.Key()
+	})
+	return cands, accesses, nil
+}
+
+// Paths enumerates every stored context state (in environment order)
+// with its leaf entries, in depth-first tree order; useful for tests,
+// diagnostics and serialization.
+func (t *Tree) Paths() []Candidate {
+	var out []Candidate
+	cur := make([]string, 0, len(t.order))
+	var rec func(nd *node)
+	rec = func(nd *node) {
+		if len(cur) == len(t.order) {
+			if len(nd.entries) > 0 {
+				out = append(out, Candidate{
+					State:   t.toEnvOrder(cur),
+					Entries: append([]Leaf(nil), nd.entries...),
+				})
+			}
+			return
+		}
+		for i, key := range nd.keys {
+			cur = append(cur, key)
+			rec(nd.children[i])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(t.root)
+	return out
+}
+
+// MaxCells returns the paper's worst-case size bound for the given
+// per-level domain cardinalities: m1*(1 + m2*(1 + ... (1 + mn))).
+func MaxCells(domainSizes []int) int {
+	if len(domainSizes) == 0 {
+		return 0
+	}
+	acc := domainSizes[len(domainSizes)-1]
+	for i := len(domainSizes) - 2; i >= 0; i-- {
+		acc = domainSizes[i] * (1 + acc)
+	}
+	return acc
+}

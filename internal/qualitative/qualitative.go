@@ -1,0 +1,283 @@
+// Package qualitative extends the contextual model to qualitative
+// preferences. Section 3.2 of "Adding Context to Preferences"
+// (ICDE 2007) notes that the context model "can be used for extending
+// both quantitative and qualitative approaches" and Section 6 points at
+// Chomicki's preference formulas [4] as the canonical qualitative
+// framework; this package implements that extension.
+//
+// A qualitative contextual preference is a rule
+// (cod, better-clause ≻ worse-clause): within the context states of
+// cod, tuples satisfying the better clause are preferred over tuples
+// satisfying the worse one. Rules attach to context states exactly like
+// quantitative preferences, and context resolution — covers plus a
+// distance metric — is shared with the rest of the system. Queries
+// return the winnow (best-matches-only) of the relation under the rules
+// of the most relevant state, or a full stratification of the tuples
+// into preference levels.
+package qualitative
+
+import (
+	"fmt"
+	"sort"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+	"contextpref/internal/relation"
+)
+
+// Rule is one qualitative contextual preference: in the contexts of
+// Descriptor, tuples matching Better dominate tuples matching Worse.
+type Rule struct {
+	// Descriptor scopes the rule's applicability.
+	Descriptor ctxmodel.Descriptor
+	// Better selects the preferred tuples.
+	Better preference.Clause
+	// Worse selects the dominated tuples.
+	Worse preference.Clause
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	return fmt.Sprintf("(%s, %s ≻ %s)", r.Descriptor, r.Better, r.Worse)
+}
+
+// Profile stores qualitative rules indexed by the context states their
+// descriptors denote.
+type Profile struct {
+	env    *ctxmodel.Environment
+	states []stateRules
+	index  map[string]int
+	rules  int
+}
+
+type stateRules struct {
+	state ctxmodel.State
+	rules []Rule
+}
+
+// NewProfile creates an empty qualitative profile.
+func NewProfile(env *ctxmodel.Environment) (*Profile, error) {
+	if env == nil {
+		return nil, fmt.Errorf("qualitative: nil environment")
+	}
+	return &Profile{env: env, index: make(map[string]int)}, nil
+}
+
+// Env returns the profile's environment.
+func (p *Profile) Env() *ctxmodel.Environment { return p.env }
+
+// Len returns the number of rules added.
+func (p *Profile) Len() int { return p.rules }
+
+// NumStates returns the number of distinct context states with rules.
+func (p *Profile) NumStates() int { return len(p.states) }
+
+// Add validates the rule and attaches it to every state its descriptor
+// denotes. A rule whose Better and Worse clauses coincide is rejected —
+// it would make matching tuples dominate themselves.
+func (p *Profile) Add(r Rule) error {
+	if r.Better.Attr == "" || r.Worse.Attr == "" {
+		return fmt.Errorf("qualitative: empty clause attribute in %s", r)
+	}
+	if r.Better.Equal(r.Worse) {
+		return fmt.Errorf("qualitative: rule %s prefers a clause over itself", r)
+	}
+	states, err := r.Descriptor.Context(p.env)
+	if err != nil {
+		return err
+	}
+	for _, s := range states {
+		i, ok := p.index[s.Key()]
+		if !ok {
+			i = len(p.states)
+			p.states = append(p.states, stateRules{state: s.Clone()})
+			p.index[s.Key()] = i
+		}
+		p.states[i].rules = append(p.states[i].rules, r)
+	}
+	p.rules++
+	return nil
+}
+
+// Resolution describes how a query state matched the profile.
+type Resolution struct {
+	// State is the matched stored state.
+	State ctxmodel.State
+	// Distance is the metric distance to the query state.
+	Distance float64
+	// Rules are the rules attached to the matched state.
+	Rules []Rule
+}
+
+// Resolve finds the stored state most relevant to the query state: an
+// exact match if present, otherwise the covering state with the
+// smallest metric distance. ok is false when nothing covers the state.
+func (p *Profile) Resolve(s ctxmodel.State, m distance.Metric) (Resolution, bool, error) {
+	if err := p.env.Validate(s); err != nil {
+		return Resolution{}, false, err
+	}
+	if i, exact := p.index[s.Key()]; exact {
+		return Resolution{State: p.states[i].state.Clone(), Rules: p.states[i].rules}, true, nil
+	}
+	best := Resolution{}
+	found := false
+	for _, sr := range p.states {
+		if !p.env.Covers(sr.state, s) {
+			continue
+		}
+		d, err := m.StateDistance(p.env, sr.state, s)
+		if err != nil {
+			return Resolution{}, false, err
+		}
+		if !found || d < best.Distance ||
+			(d == best.Distance && sr.state.Key() < best.State.Key()) {
+			best = Resolution{State: sr.state.Clone(), Distance: d, Rules: sr.rules}
+			found = true
+		}
+	}
+	return best, found, nil
+}
+
+// dominates reports whether tuple a dominates tuple b under the rules:
+// some rule's Better matches a while its Worse matches b.
+func dominates(schema *relation.Schema, rules []Rule, a, b relation.Tuple) (bool, error) {
+	for _, r := range rules {
+		ba, err := r.Better.Predicate().Eval(schema, a)
+		if err != nil {
+			return false, err
+		}
+		if !ba {
+			continue
+		}
+		wb, err := r.Worse.Predicate().Eval(schema, b)
+		if err != nil {
+			return false, err
+		}
+		if wb {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Winnow implements Chomicki's winnow operator over the subset of
+// tuples given by idxs (nil = all): it returns the indexes of tuples
+// not dominated by any other tuple of the subset, in relation order.
+func Winnow(rel *relation.Relation, rules []Rule, idxs []int) ([]int, error) {
+	if idxs == nil {
+		idxs = make([]int, rel.Len())
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	schema := rel.Schema()
+	var out []int
+	for _, i := range idxs {
+		dominated := false
+		for _, j := range idxs {
+			if i == j {
+				continue
+			}
+			d, err := dominates(schema, rules, rel.Tuple(j), rel.Tuple(i))
+			if err != nil {
+				return nil, err
+			}
+			if d {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// Stratify partitions the tuples into preference levels by iterated
+// winnow: level 0 holds the undominated tuples, level 1 the tuples
+// undominated once level 0 is removed, and so on. Preference cycles —
+// every remaining tuple dominated by another — would make a winnow
+// level empty; the remaining tuples then form one final level so the
+// stratification always terminates and covers the relation.
+func Stratify(rel *relation.Relation, rules []Rule) ([][]int, error) {
+	remaining := make([]int, rel.Len())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var levels [][]int
+	for len(remaining) > 0 {
+		level, err := Winnow(rel, rules, remaining)
+		if err != nil {
+			return nil, err
+		}
+		if len(level) == 0 {
+			// Preference cycle among the remaining tuples.
+			levels = append(levels, append([]int(nil), remaining...))
+			break
+		}
+		levels = append(levels, level)
+		inLevel := make(map[int]bool, len(level))
+		for _, i := range level {
+			inLevel[i] = true
+		}
+		next := remaining[:0]
+		for _, i := range remaining {
+			if !inLevel[i] {
+				next = append(next, i)
+			}
+		}
+		remaining = next
+	}
+	return levels, nil
+}
+
+// Result is a context-resolved qualitative query answer.
+type Result struct {
+	// Resolution explains the matched state (zero if !Contextual).
+	Resolution Resolution
+	// Contextual is false when no stored state covered the query
+	// context; Best then holds every tuple (no preference applies).
+	Contextual bool
+	// Best holds the winnow result (tuple indexes in relation order).
+	Best []int
+	// Levels holds the full stratification, Levels[0] == Best.
+	Levels [][]int
+}
+
+// Query resolves the context state against the profile and evaluates
+// the matched rules over the relation.
+func Query(p *Profile, rel *relation.Relation, s ctxmodel.State, m distance.Metric) (*Result, error) {
+	res, ok, err := p.Resolve(s, m)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		all := make([]int, rel.Len())
+		for i := range all {
+			all[i] = i
+		}
+		return &Result{Best: all, Levels: [][]int{all}}, nil
+	}
+	levels, err := Stratify(rel, res.Rules)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Resolution: res, Contextual: true, Levels: levels}
+	if len(levels) > 0 {
+		out.Best = levels[0]
+	}
+	return out, nil
+}
+
+// SortedStates returns the stored states in key order; for diagnostics
+// and deterministic rendering.
+func (p *Profile) SortedStates() []ctxmodel.State {
+	out := make([]ctxmodel.State, 0, len(p.states))
+	for _, sr := range p.states {
+		out = append(out, sr.state.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

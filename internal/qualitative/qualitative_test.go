@@ -1,0 +1,359 @@
+package qualitative
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+	"contextpref/internal/relation"
+)
+
+func env(t *testing.T) *ctxmodel.Environment {
+	t.Helper()
+	e, err := ctxmodel.ReferenceEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func typeEq(v string) preference.Clause {
+	return preference.Clause{Attr: "type", Op: relation.OpEq, Val: relation.S(v)}
+}
+
+func poiRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	schema, err := relation.NewSchema("poi",
+		relation.Column{Name: "name", Kind: relation.KindString},
+		relation.Column{Name: "type", Kind: relation.KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := relation.New(schema)
+	rows := [][2]string{
+		{"Acropolis", "monument"},    // 0
+		{"Benaki", "museum"},         // 1
+		{"Plaka Brewery", "brewery"}, // 2
+		{"City Zoo", "zoo"},          // 3
+		{"Odeon", "theater"},         // 4
+	}
+	for _, r := range rows {
+		if _, err := rel.Insert(relation.S(r[0]), relation.S(r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel
+}
+
+// familyRules: with family, museums beat breweries and zoos beat
+// theaters.
+func familyRules(t *testing.T) []Rule {
+	t.Helper()
+	return []Rule{
+		{
+			Descriptor: ctxmodel.MustDescriptor(ctxmodel.Eq("accompanying_people", "family")),
+			Better:     typeEq("museum"),
+			Worse:      typeEq("brewery"),
+		},
+		{
+			Descriptor: ctxmodel.MustDescriptor(ctxmodel.Eq("accompanying_people", "family")),
+			Better:     typeEq("zoo"),
+			Worse:      typeEq("theater"),
+		},
+	}
+}
+
+func TestProfileAdd(t *testing.T) {
+	e := env(t)
+	p, err := NewProfile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Env() != e {
+		t.Error("Env round-trip failed")
+	}
+	for _, r := range familyRules(t) {
+		if err := p.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != 2 || p.NumStates() != 1 {
+		t.Errorf("Len=%d NumStates=%d", p.Len(), p.NumStates())
+	}
+	// Multi-state descriptor fans out.
+	r := Rule{
+		Descriptor: ctxmodel.MustDescriptor(ctxmodel.In("temperature", "warm", "hot")),
+		Better:     typeEq("park"),
+		Worse:      typeEq("museum"),
+	}
+	if err := p.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 3 {
+		t.Errorf("NumStates = %d, want 3", p.NumStates())
+	}
+	if got := len(p.SortedStates()); got != 3 {
+		t.Errorf("SortedStates = %d", got)
+	}
+	// Validation.
+	if _, err := NewProfile(nil); err == nil {
+		t.Error("nil env should fail")
+	}
+	if err := p.Add(Rule{Descriptor: ctxmodel.MustDescriptor(), Better: typeEq("x"), Worse: typeEq("x")}); err == nil {
+		t.Error("self-preferring rule should fail")
+	}
+	if err := p.Add(Rule{Descriptor: ctxmodel.MustDescriptor(), Worse: typeEq("x")}); err == nil {
+		t.Error("empty better clause should fail")
+	}
+	if err := p.Add(Rule{
+		Descriptor: ctxmodel.MustDescriptor(ctxmodel.Eq("location", "Atlantis")),
+		Better:     typeEq("a"), Worse: typeEq("b"),
+	}); err == nil {
+		t.Error("bad descriptor should fail")
+	}
+	if !strings.Contains(familyRules(t)[0].String(), "≻") {
+		t.Error("Rule.String missing ≻")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	e := env(t)
+	p, _ := NewProfile(e)
+	for _, r := range familyRules(t) {
+		if err := p.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exact state.
+	s, _ := e.NewState("all", "all", "family")
+	res, ok, err := p.Resolve(s, distance.Hierarchy{})
+	if err != nil || !ok {
+		t.Fatalf("Resolve exact: %v %v", ok, err)
+	}
+	if res.Distance != 0 || len(res.Rules) != 2 {
+		t.Errorf("exact resolution = %+v", res)
+	}
+	// Covered state.
+	s, _ = e.NewState("Plaka", "warm", "family")
+	res, ok, err = p.Resolve(s, distance.Hierarchy{})
+	if err != nil || !ok {
+		t.Fatalf("Resolve covered: %v %v", ok, err)
+	}
+	if res.Distance != 5 { // location 3 + temperature 2 + people 0
+		t.Errorf("distance = %v, want 5", res.Distance)
+	}
+	// Uncovered state.
+	s, _ = e.NewState("Plaka", "warm", "friends")
+	_, ok, err = p.Resolve(s, distance.Hierarchy{})
+	if err != nil || ok {
+		t.Errorf("Resolve uncovered: ok=%v err=%v", ok, err)
+	}
+	// Invalid state.
+	if _, _, err := p.Resolve(ctxmodel.State{"bad"}, distance.Hierarchy{}); err == nil {
+		t.Error("invalid state should fail")
+	}
+}
+
+func TestWinnow(t *testing.T) {
+	e := env(t)
+	rel := poiRelation(t)
+	rules := familyRules(t)
+	_ = e
+	best, err := Winnow(rel, rules, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominated: brewery (2) by museum, theater (4) by zoo.
+	want := []int{0, 1, 3}
+	if len(best) != len(want) {
+		t.Fatalf("winnow = %v, want %v", best, want)
+	}
+	for i := range want {
+		if best[i] != want[i] {
+			t.Fatalf("winnow = %v, want %v", best, want)
+		}
+	}
+	// Restricted subset: without any museum tuple, the brewery is
+	// undominated.
+	best, err = Winnow(rel, rules, []int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != 2 || best[0] != 2 || best[1] != 3 {
+		t.Errorf("restricted winnow = %v", best)
+	}
+	// No rules: everything survives.
+	best, _ = Winnow(rel, nil, nil)
+	if len(best) != rel.Len() {
+		t.Errorf("ruleless winnow = %v", best)
+	}
+	// Error propagation: clause over unknown column.
+	bad := []Rule{{Better: preference.Clause{Attr: "bogus", Op: relation.OpEq, Val: relation.S("x")}, Worse: typeEq("museum")}}
+	if _, err := Winnow(rel, bad, nil); err == nil {
+		t.Error("bad clause should fail")
+	}
+}
+
+func TestStratify(t *testing.T) {
+	rel := poiRelation(t)
+	rules := familyRules(t)
+	levels, err := Stratify(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 {
+		t.Fatalf("levels = %v", levels)
+	}
+	// Level 0: monument, museum, zoo; level 1: brewery, theater.
+	if len(levels[0]) != 3 || len(levels[1]) != 2 {
+		t.Errorf("levels = %v", levels)
+	}
+	// Partition check.
+	seen := map[int]bool{}
+	total := 0
+	for _, lv := range levels {
+		for _, i := range lv {
+			if seen[i] {
+				t.Fatalf("tuple %d in two levels", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != rel.Len() {
+		t.Errorf("stratification covers %d of %d tuples", total, rel.Len())
+	}
+}
+
+func TestStratifyCycle(t *testing.T) {
+	rel := poiRelation(t)
+	// museum ≻ brewery ≻ museum: a preference cycle.
+	rules := []Rule{
+		{Better: typeEq("museum"), Worse: typeEq("brewery")},
+		{Better: typeEq("brewery"), Worse: typeEq("museum")},
+	}
+	levels, err := Stratify(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 0: the three tuples outside the cycle; final level: the
+	// cyclic remainder.
+	if len(levels) != 2 {
+		t.Fatalf("levels = %v", levels)
+	}
+	if len(levels[1]) != 2 {
+		t.Errorf("cycle level = %v", levels[1])
+	}
+}
+
+func TestQuery(t *testing.T) {
+	e := env(t)
+	rel := poiRelation(t)
+	p, _ := NewProfile(e)
+	for _, r := range familyRules(t) {
+		if err := p.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Covered context.
+	s, _ := e.NewState("Plaka", "warm", "family")
+	res, err := Query(p, rel, s, distance.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contextual || len(res.Best) != 3 || len(res.Levels) != 2 {
+		t.Errorf("result = %+v", res)
+	}
+	if !res.Resolution.State.Equal(ctxmodel.State{"all", "all", "family"}) {
+		t.Errorf("resolved state = %v", res.Resolution.State)
+	}
+	// Uncovered context: everything, single level.
+	s, _ = e.NewState("Plaka", "warm", "friends")
+	res, err = Query(p, rel, s, distance.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contextual || len(res.Best) != rel.Len() {
+		t.Errorf("fallback result = %+v", res)
+	}
+	// Invalid state propagates.
+	if _, err := Query(p, rel, ctxmodel.State{"bad"}, distance.Jaccard{}); err == nil {
+		t.Error("invalid state should fail")
+	}
+}
+
+// Property: winnow returns exactly the undominated tuples, and
+// stratification is a partition whose level-0 equals winnow.
+func TestQuickWinnowSemantics(t *testing.T) {
+	rel := poiRelation(t)
+	types := []string{"monument", "museum", "brewery", "zoo", "theater"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var rules []Rule
+		for n := 1 + r.Intn(5); n > 0; n-- {
+			b, w := types[r.Intn(len(types))], types[r.Intn(len(types))]
+			if b == w {
+				continue
+			}
+			rules = append(rules, Rule{
+				Descriptor: ctxmodel.MustDescriptor(),
+				Better:     typeEq(b),
+				Worse:      typeEq(w),
+			})
+		}
+		best, err := Winnow(rel, rules, nil)
+		if err != nil {
+			return false
+		}
+		inBest := map[int]bool{}
+		for _, i := range best {
+			inBest[i] = true
+		}
+		// Check the winnow definition directly.
+		for i := 0; i < rel.Len(); i++ {
+			dominated := false
+			for j := 0; j < rel.Len() && !dominated; j++ {
+				if i == j {
+					continue
+				}
+				d, err := dominates(rel.Schema(), rules, rel.Tuple(j), rel.Tuple(i))
+				if err != nil {
+					return false
+				}
+				dominated = d
+			}
+			if inBest[i] == dominated {
+				return false
+			}
+		}
+		levels, err := Stratify(rel, rules)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, lv := range levels {
+			total += len(lv)
+		}
+		if total != rel.Len() {
+			return false
+		}
+		if len(best) == 0 {
+			// Every tuple dominated (a cycle covering the whole
+			// relation): Stratify's fallback puts everything in one
+			// level.
+			return len(levels) == 1 && len(levels[0]) == rel.Len()
+		}
+		if len(levels) == 0 || len(levels[0]) != len(best) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

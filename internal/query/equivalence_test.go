@@ -1,0 +1,109 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/dataset"
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+	"contextpref/internal/profiletree"
+	"contextpref/internal/relation"
+)
+
+// randomPrefs generates conflict-free preferences over the reference
+// environment (score derived from the clause value).
+func randomPrefs(e *ctxmodel.Environment, r *rand.Rand, n int) []preference.Preference {
+	types := dataset.POITypes
+	var out []preference.Preference
+	for len(out) < n {
+		var pds []ctxmodel.ParamDescriptor
+		for i := 0; i < e.NumParams(); i++ {
+			if r.Intn(2) == 0 {
+				continue
+			}
+			ed := e.Param(i).Hierarchy().ExtendedDomain()
+			pds = append(pds, ctxmodel.Eq(e.Param(i).Name(), ed[r.Intn(len(ed))]))
+		}
+		d, err := ctxmodel.NewDescriptor(pds...)
+		if err != nil {
+			continue
+		}
+		vi := r.Intn(len(types))
+		p, err := preference.New(d,
+			preference.Clause{Attr: "type", Op: relation.OpEq, Val: relation.S(types[vi])},
+			0.1+0.08*float64(vi))
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Property: the query engine produces identical ranked answers whether
+// the store is the profile tree or the sequential baseline — the index
+// is a pure optimization.
+func TestQuickEngineStoreEquivalence(t *testing.T) {
+	e, err := ctxmodel.ReferenceEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := relation.NewSchema("poi",
+		relation.Column{Name: "name", Kind: relation.KindString},
+		relation.Column{Name: "type", Kind: relation.KindString},
+	)
+	rel := relation.New(schema)
+	for i, tp := range dataset.POITypes {
+		for k := 0; k < 3; k++ {
+			rel.Insert(relation.S(string(rune('A'+i))+string(rune('0'+k))), relation.S(tp))
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prefs := randomPrefs(e, r, 1+r.Intn(25))
+		tr, _ := profiletree.New(e, nil)
+		sq, _ := profiletree.NewSequential(e)
+		for _, p := range prefs {
+			e1, e2 := tr.Insert(p), sq.Insert(p)
+			if (e1 == nil) != (e2 == nil) {
+				return false
+			}
+		}
+		for _, m := range distance.All() {
+			enTree, err1 := NewEngine(tr, rel, m, relation.CombineMax)
+			enSeq, err2 := NewEngine(sq, rel, m, relation.CombineMax)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			for q := 0; q < 6; q++ {
+				cur := make(ctxmodel.State, e.NumParams())
+				for i := range cur {
+					ed := e.Param(i).Hierarchy().ExtendedDomain()
+					cur[i] = ed[r.Intn(len(ed))]
+				}
+				a, err1 := enTree.Execute(Contextual{TopK: 10}, cur)
+				b, err2 := enSeq.Execute(Contextual{TopK: 10}, cur)
+				if err1 != nil || err2 != nil {
+					return false
+				}
+				if a.Contextual != b.Contextual || len(a.Tuples) != len(b.Tuples) {
+					return false
+				}
+				// Scores must agree pairwise; tuple identity can differ
+				// only within exact score ties.
+				for i := range a.Tuples {
+					if a.Tuples[i].Score != b.Tuples[i].Score {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

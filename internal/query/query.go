@@ -1,0 +1,186 @@
+// Package query implements contextual preference queries (Section 4 of
+// "Adding Context to Preferences", ICDE 2007): queries enhanced with
+// extended context descriptors, context resolution against a preference
+// store, and the Rank_CS algorithm (Algorithm 2) that annotates the
+// tuples of the underlying relation with interest scores.
+package query
+
+import (
+	"fmt"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/profiletree"
+	"contextpref/internal/relation"
+)
+
+// Store is a preference store capable of context resolution: both the
+// profile tree and the sequential baseline satisfy it.
+type Store interface {
+	// Env returns the store's context environment.
+	Env() *ctxmodel.Environment
+	// Resolve returns the best-matching candidate for the state under
+	// the metric, the number of cells accessed, and whether any stored
+	// state covers the searched one.
+	Resolve(s ctxmodel.State, m distance.Metric) (profiletree.Candidate, int, bool, error)
+}
+
+var (
+	_ Store = (*profiletree.Tree)(nil)
+	_ Store = (*profiletree.Sequential)(nil)
+)
+
+// Contextual is a contextual query CQ (Def. 9): a base query over the
+// relation (a conjunctive selection, possibly empty) enhanced with an
+// extended context descriptor.
+type Contextual struct {
+	// Ecod is the explicit context of the query. When empty, the
+	// query's implicit context — the current state passed to Execute —
+	// is used instead.
+	Ecod ctxmodel.ExtendedDescriptor
+	// Selection is the base selection σ of the underlying query; tuples
+	// failing it are never returned.
+	Selection []relation.Predicate
+	// TopK limits the ranked result (0 = unlimited). Per the paper's
+	// usability study, ties with the k-th score are included.
+	TopK int
+}
+
+// Resolution records how one context state of the query was resolved.
+type Resolution struct {
+	// Query is the searched context state.
+	Query ctxmodel.State
+	// Match is the best-matching stored candidate (zero if !Found).
+	Match profiletree.Candidate
+	// Found reports whether any stored state covered the query state.
+	Found bool
+	// Exact reports whether the match was exact (distance 0 and equal
+	// states).
+	Exact bool
+	// Accesses is the number of store cells examined.
+	Accesses int
+}
+
+// Result is the outcome of executing a contextual query.
+type Result struct {
+	// Tuples is the ranked answer.
+	Tuples []relation.ScoredTuple
+	// Resolutions describe the context resolution per query state, in
+	// the order the extended descriptor produced them.
+	Resolutions []Resolution
+	// Accesses is the total number of store cells examined.
+	Accesses int
+	// Contextual is false when the query fell back to non-contextual
+	// execution because no preference matched (Section 4.2).
+	Contextual bool
+}
+
+// Engine executes contextual queries against a preference store and a
+// relation.
+type Engine struct {
+	store    Store
+	rel      *relation.Relation
+	metric   distance.Metric
+	combiner relation.Combiner
+}
+
+// NewEngine wires a store, a relation, a distance metric and a score
+// combiner into a query engine.
+func NewEngine(store Store, rel *relation.Relation, m distance.Metric, c relation.Combiner) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("query: nil store")
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("query: nil relation")
+	}
+	if m == nil {
+		return nil, fmt.Errorf("query: nil metric")
+	}
+	return &Engine{store: store, rel: rel, metric: m, combiner: c}, nil
+}
+
+// Store returns the engine's preference store.
+func (en *Engine) Store() Store { return en.store }
+
+// Relation returns the engine's relation.
+func (en *Engine) Relation() *relation.Relation { return en.rel }
+
+// Metric returns the engine's distance metric.
+func (en *Engine) Metric() distance.Metric { return en.metric }
+
+// QueryStates determines the context states of a contextual query: the
+// expansion of its extended descriptor if present, otherwise the
+// current (implicit) state. A nil current state with an empty
+// descriptor yields no states — the query is non-contextual.
+func (en *Engine) QueryStates(cq Contextual, current ctxmodel.State) ([]ctxmodel.State, error) {
+	if len(cq.Ecod) > 0 {
+		return cq.Ecod.Context(en.store.Env())
+	}
+	if current == nil {
+		return nil, nil
+	}
+	if err := en.store.Env().Validate(current); err != nil {
+		return nil, err
+	}
+	return []ctxmodel.State{current.Clone()}, nil
+}
+
+// Execute runs the contextual query: it resolves every query state
+// against the store (Search_CS via Store.Resolve), turns the matched
+// leaf entries into scored selections over the relation (Rank_CS), and
+// ranks the union after combining duplicate-tuple scores. If no state
+// resolves, the query executes as a plain selection with no scores, as
+// Section 4.2 prescribes.
+func (en *Engine) Execute(cq Contextual, current ctxmodel.State) (*Result, error) {
+	states, err := en.QueryStates(cq, current)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	rs := relation.NewResultSet(en.rel)
+	matched := false
+	for _, s := range states {
+		cand, accesses, found, err := en.store.Resolve(s, en.metric)
+		res.Accesses += accesses
+		if err != nil {
+			return nil, err
+		}
+		r := Resolution{Query: s, Match: cand, Found: found, Accesses: accesses}
+		if found {
+			matched = true
+			r.Exact = cand.Distance == 0 && cand.State.Equal(s)
+			for _, leaf := range cand.Entries {
+				preds := append([]relation.Predicate{leaf.Clause.Predicate()}, cq.Selection...)
+				idxs, err := en.rel.Select(preds...)
+				if err != nil {
+					return nil, err
+				}
+				for _, idx := range idxs {
+					rs.Add(idx, leaf.Score)
+				}
+			}
+		}
+		res.Resolutions = append(res.Resolutions, r)
+	}
+	if !matched {
+		// Non-contextual fallback: plain selection, unranked.
+		idxs, err := en.rel.Select(cq.Selection...)
+		if err != nil {
+			return nil, err
+		}
+		for _, idx := range idxs {
+			res.Tuples = append(res.Tuples, relation.ScoredTuple{Index: idx, Tuple: en.rel.Tuple(idx)})
+		}
+		if cq.TopK > 0 && len(res.Tuples) > cq.TopK {
+			res.Tuples = res.Tuples[:cq.TopK]
+		}
+		return res, nil
+	}
+	res.Contextual = true
+	if cq.TopK > 0 {
+		res.Tuples = rs.Top(cq.TopK, en.combiner)
+	} else {
+		res.Tuples = rs.Ranked(en.combiner)
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// This file adds CSV import/export so the command-line tools can load
+// real datasets instead of generated ones. The header row must name the
+// schema's columns in order; values are parsed per column kind.
+
+// ReadCSV loads rows into a new relation over the schema. The first
+// record must be a header matching the schema's column names exactly.
+func ReadCSV(schema *Schema, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	if len(header) != schema.NumCols() {
+		return nil, fmt.Errorf("relation: CSV header has %d columns, schema %s has %d",
+			len(header), schema.Name(), schema.NumCols())
+	}
+	for i, name := range header {
+		if schema.Col(i).Name != name {
+			return nil, fmt.Errorf("relation: CSV column %d is %q, schema expects %q",
+				i, name, schema.Col(i).Name)
+		}
+	}
+	rel := New(schema)
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+		vals := make([]Value, len(record))
+		for i, text := range record {
+			v, err := Parse(schema.Col(i).Kind, text)
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d, column %s: %w",
+					line, schema.Col(i).Name, err)
+			}
+			vals[i] = v
+		}
+		if _, err := rel.Insert(vals...); err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation with a header row; ReadCSV reads it
+// back to an identical relation.
+func WriteCSV(rel *Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	schema := rel.Schema()
+	header := make([]string, schema.NumCols())
+	for i := range header {
+		header[i] = schema.Col(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	record := make([]string, schema.NumCols())
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Tuple(i)
+		for c := range record {
+			record[c] = t[c].String()
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("relation: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

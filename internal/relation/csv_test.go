@@ -1,0 +1,138 @@
+package relation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadCSV(t *testing.T) {
+	schema := poiSchema(t)
+	csvText := `pid,name,type,location,open_air,admission_cost
+1,Acropolis,monument,Acropolis_Area,true,20
+2,"Benaki, the Museum",museum,Plaka,false,12.5
+3,Plaka Brewery,brewery,Plaka,false,0
+`
+	rel, err := ReadCSV(schema, strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	name, _ := rel.Value(1, "name")
+	if name.Str() != "Benaki, the Museum" {
+		t.Errorf("quoted field = %q", name.Str())
+	}
+	cost, _ := rel.Value(1, "admission_cost")
+	if cost.Float() != 12.5 {
+		t.Errorf("float field = %v", cost.Float())
+	}
+	open, _ := rel.Value(0, "open_air")
+	if !open.Bool() {
+		t.Error("bool field wrong")
+	}
+	pid, _ := rel.Value(2, "pid")
+	if pid.Int() != 3 {
+		t.Errorf("int field = %v", pid.Int())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	schema := poiSchema(t)
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"short header", "pid,name\n"},
+		{"wrong column name", "pid,name,type,location,open_air,cost\n"},
+		{"bad int", "pid,name,type,location,open_air,admission_cost\nx,a,b,c,true,1\n"},
+		{"bad bool", "pid,name,type,location,open_air,admission_cost\n1,a,b,c,maybe,1\n"},
+		{"bad float", "pid,name,type,location,open_air,admission_cost\n1,a,b,c,true,x\n"},
+		{"ragged row", "pid,name,type,location,open_air,admission_cost\n1,a,b\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(schema, strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWriteReadCSVRoundTrip(t *testing.T) {
+	rel := poiRelation(t)
+	var b strings.Builder
+	if err := WriteCSV(rel, &b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(rel.Schema(), strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ReadCSV(WriteCSV): %v\n%s", err, b.String())
+	}
+	if back.Len() != rel.Len() {
+		t.Fatalf("round-trip Len = %d, want %d", back.Len(), rel.Len())
+	}
+	for i := 0; i < rel.Len(); i++ {
+		a, bt := rel.Tuple(i), back.Tuple(i)
+		for c := range a {
+			if !a[c].Equal(bt[c]) {
+				t.Fatalf("tuple %d col %d: %v vs %v", i, c, a[c], bt[c])
+			}
+		}
+	}
+}
+
+// Property: WriteCSV/ReadCSV round-trips random relations, including
+// strings with commas, quotes and newlines.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	schema, err := NewSchema("t",
+		Column{"s", KindString},
+		Column{"i", KindInt},
+		Column{"f", KindFloat},
+		Column{"b", KindBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chars := []string{"a", "b", ",", `"`, "\n", " ", "é"}
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		rel := New(schema)
+		for n := rnd.Intn(25); n > 0; n-- {
+			var sb strings.Builder
+			for l := rnd.Intn(8); l > 0; l-- {
+				sb.WriteString(chars[rnd.Intn(len(chars))])
+			}
+			_, err := rel.Insert(
+				S(sb.String()),
+				I(int64(rnd.Intn(1000)-500)),
+				F(float64(rnd.Intn(1000))/8),
+				B(rnd.Intn(2) == 0),
+			)
+			if err != nil {
+				return false
+			}
+		}
+		var buf strings.Builder
+		if err := WriteCSV(rel, &buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(schema, strings.NewReader(buf.String()))
+		if err != nil || back.Len() != rel.Len() {
+			return false
+		}
+		for i := 0; i < rel.Len(); i++ {
+			a, b := rel.Tuple(i), back.Tuple(i)
+			for c := range a {
+				if !a[c].Equal(b[c]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package relation
+
+import "fmt"
+
+// This file adds hash indexes on equality columns. Rank_CS turns every
+// matched preference into a selection σ_{A=a}(R); with an index on A
+// the selection reads one bucket instead of scanning the relation.
+// Indexes are maintained incrementally on Insert and are transparent:
+// Select's results are identical with or without them (verified by a
+// property test), only the work changes.
+
+// index is a hash index over one column. Value is a comparable struct,
+// so it can key a map directly.
+type index struct {
+	col     int
+	buckets map[Value][]int
+}
+
+// CreateIndex builds a hash index over the named column, indexing the
+// tuples already present. Creating an index twice is a no-op.
+func (r *Relation) CreateIndex(col string) error {
+	ci, ok := r.schema.ColIndex(col)
+	if !ok {
+		return fmt.Errorf("relation %s: unknown column %q", r.schema.name, col)
+	}
+	for _, ix := range r.indexes {
+		if ix.col == ci {
+			return nil
+		}
+	}
+	ix := &index{col: ci, buckets: make(map[Value][]int)}
+	for i, t := range r.tuples {
+		ix.buckets[t[ci]] = append(ix.buckets[t[ci]], i)
+	}
+	r.indexes = append(r.indexes, ix)
+	return nil
+}
+
+// IndexedColumns returns the names of indexed columns, in creation
+// order.
+func (r *Relation) IndexedColumns() []string {
+	out := make([]string, len(r.indexes))
+	for i, ix := range r.indexes {
+		out[i] = r.schema.cols[ix.col].Name
+	}
+	return out
+}
+
+// lookupIndex returns the index over the column, if any.
+func (r *Relation) lookupIndex(col int) *index {
+	for _, ix := range r.indexes {
+		if ix.col == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// selectIndexed answers a conjunctive selection using the smallest
+// available equality-index bucket as the candidate set, then filters
+// the remaining predicates. ok is false when no predicate is an
+// indexed equality; the caller then falls back to a scan.
+func (r *Relation) selectIndexed(preds []Predicate) ([]int, bool, error) {
+	best := -1
+	var bestBucket []int
+	for pi, p := range preds {
+		if p.Op != OpEq {
+			continue
+		}
+		ci, ok := r.schema.ColIndex(p.Col)
+		if !ok {
+			return nil, false, fmt.Errorf("relation %s: unknown column %q", r.schema.name, p.Col)
+		}
+		if p.Val.Kind() != r.schema.cols[ci].Kind {
+			return nil, false, fmt.Errorf("relation %s: cannot compare %s with %s",
+				r.schema.name, r.schema.cols[ci].Kind, p.Val.Kind())
+		}
+		ix := r.lookupIndex(ci)
+		if ix == nil {
+			continue
+		}
+		bucket := ix.buckets[p.Val]
+		if best < 0 || len(bucket) < len(bestBucket) {
+			best = pi
+			bestBucket = bucket
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	var out []int
+	for _, i := range bestBucket {
+		match := true
+		for pi, p := range preds {
+			if pi == best {
+				continue
+			}
+			ok, err := p.Eval(r.schema, r.tuples[i])
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, i)
+		}
+	}
+	return out, true, nil
+}

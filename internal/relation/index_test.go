@@ -1,0 +1,159 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func indexedRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := poiRelation(t)
+	if err := r.CreateIndex("type"); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCreateIndex(t *testing.T) {
+	r := indexedRelation(t)
+	if got := r.IndexedColumns(); !reflect.DeepEqual(got, []string{"type"}) {
+		t.Errorf("IndexedColumns = %v", got)
+	}
+	// Idempotent.
+	if err := r.CreateIndex("type"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.IndexedColumns()); got != 1 {
+		t.Errorf("duplicate CreateIndex grew the list: %d", got)
+	}
+	// Second index.
+	if err := r.CreateIndex("location"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.IndexedColumns()); got != 2 {
+		t.Errorf("IndexedColumns = %d", got)
+	}
+	// Unknown column.
+	if err := r.CreateIndex("bogus"); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestIndexedSelectMatchesScan(t *testing.T) {
+	r := indexedRelation(t)
+	plain := poiRelation(t)
+	cases := [][]Predicate{
+		{{Col: "type", Op: OpEq, Val: S("monument")}},
+		{{Col: "type", Op: OpEq, Val: S("nothing")}},
+		{{Col: "type", Op: OpEq, Val: S("monument")}, {Col: "admission_cost", Op: OpGt, Val: F(10)}},
+		{{Col: "location", Op: OpEq, Val: S("Plaka")}, {Col: "type", Op: OpEq, Val: S("brewery")}},
+		{{Col: "admission_cost", Op: OpLe, Val: F(5)}}, // no eq predicate → scan
+		{}, // no predicates → scan everything
+	}
+	for _, preds := range cases {
+		want, err1 := plain.Select(preds...)
+		got, err2 := r.Select(preds...)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch for %v: %v vs %v", preds, err1, err2)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Select(%v): indexed %v vs scan %v", preds, got, want)
+		}
+	}
+	// Both paths reject malformed predicates identically, even with an
+	// empty candidate bucket.
+	if _, err := r.Select(
+		Predicate{Col: "type", Op: OpEq, Val: S("nothing")},
+		Predicate{Col: "bogus", Op: OpEq, Val: S("x")},
+	); err == nil {
+		t.Error("unknown column should fail on the indexed path")
+	}
+	if _, err := r.Select(Predicate{Col: "type", Op: OpEq, Val: I(3)}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	r := indexedRelation(t)
+	idx, err := r.Insert(I(9), S("New Brewery"), S("brewery"), S("Kifisia"), B(false), F(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Select(Predicate{Col: "type", Op: OpEq, Val: S("brewery")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range got {
+		if i == idx {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new tuple missing from indexed select: %v", got)
+	}
+}
+
+// Property: for random data and random predicates, the indexed and
+// unindexed relations answer identically.
+func TestQuickIndexEquivalence(t *testing.T) {
+	schema, err := NewSchema("t",
+		Column{"a", KindString},
+		Column{"b", KindInt},
+		Column{"c", KindBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	letters := []string{"x", "y", "z", "w"}
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		plain := New(schema)
+		indexed := New(schema)
+		if err := indexed.CreateIndex("a"); err != nil {
+			return false
+		}
+		if err := indexed.CreateIndex("b"); err != nil {
+			return false
+		}
+		for n := rnd.Intn(60); n > 0; n-- {
+			row := []Value{
+				S(letters[rnd.Intn(len(letters))]),
+				I(int64(rnd.Intn(5))),
+				B(rnd.Intn(2) == 0),
+			}
+			if _, err := plain.Insert(row...); err != nil {
+				return false
+			}
+			if _, err := indexed.Insert(row...); err != nil {
+				return false
+			}
+		}
+		for q := 0; q < 10; q++ {
+			var preds []Predicate
+			if rnd.Intn(2) == 0 {
+				preds = append(preds, Predicate{Col: "a", Op: OpEq, Val: S(letters[rnd.Intn(len(letters))])})
+			}
+			if rnd.Intn(2) == 0 {
+				preds = append(preds, Predicate{Col: "b", Op: CmpOp(rnd.Intn(6)), Val: I(int64(rnd.Intn(5)))})
+			}
+			if rnd.Intn(2) == 0 {
+				preds = append(preds, Predicate{Col: "c", Op: OpEq, Val: B(rnd.Intn(2) == 0)})
+			}
+			want, err1 := plain.Select(preds...)
+			got, err2 := indexed.Select(preds...)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

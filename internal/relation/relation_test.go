@@ -1,0 +1,419 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func poiSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("points_of_interest",
+		Column{"pid", KindInt},
+		Column{"name", KindString},
+		Column{"type", KindString},
+		Column{"location", KindString},
+		Column{"open_air", KindBool},
+		Column{"admission_cost", KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func poiRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := New(poiSchema(t))
+	rows := []Tuple{
+		{I(1), S("Acropolis"), S("monument"), S("Acropolis_Area"), B(true), F(20)},
+		{I(2), S("Benaki Museum"), S("museum"), S("Plaka"), B(false), F(12)},
+		{I(3), S("Plaka Brewery"), S("brewery"), S("Plaka"), B(false), F(0)},
+		{I(4), S("National Garden"), S("park"), S("Plaka"), B(true), F(0)},
+		{I(5), S("Ioannina Castle"), S("monument"), S("Kastro"), B(true), F(5)},
+	}
+	for _, row := range rows {
+		if _, err := r.Insert(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{S("x"), KindString, "x"},
+		{I(-7), KindInt, "-7"},
+		{F(2.5), KindFloat, "2.5"},
+		{B(true), KindBool, "true"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind of %v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String of %v = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+	if S("a").Str() != "a" || I(3).Int() != 3 || F(1.5).Float() != 1.5 || !B(true).Bool() {
+		t.Error("payload accessors broken")
+	}
+	if !S("a").Equal(S("a")) || S("a").Equal(S("b")) || S("1").Equal(I(1)) {
+		t.Error("Equal broken")
+	}
+	for k, want := range map[Kind]string{KindString: "string", KindInt: "int", KindFloat: "float", KindBool: "bool"} {
+		if k.String() != want {
+			t.Errorf("Kind.String = %q, want %q", k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown Kind.String should embed code")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	lt := [][2]Value{
+		{S("a"), S("b")},
+		{I(1), I(2)},
+		{F(1.5), F(2.5)},
+		{B(false), B(true)},
+	}
+	for _, p := range lt {
+		c, err := p[0].Compare(p[1])
+		if err != nil || c != -1 {
+			t.Errorf("Compare(%v, %v) = %d, %v; want -1", p[0], p[1], c, err)
+		}
+		c, _ = p[1].Compare(p[0])
+		if c != 1 {
+			t.Errorf("Compare(%v, %v) = %d; want 1", p[1], p[0], c)
+		}
+		c, _ = p[0].Compare(p[0])
+		if c != 0 {
+			t.Errorf("Compare(%v, %v) = %d; want 0", p[0], p[0], c)
+		}
+	}
+	if _, err := S("a").Compare(I(1)); err == nil {
+		t.Error("cross-kind compare should fail")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		text string
+		want Value
+	}{
+		{KindString, "hello", S("hello")},
+		{KindInt, "42", I(42)},
+		{KindFloat, "2.5", F(2.5)},
+		{KindBool, "true", B(true)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.k, c.text)
+		if err != nil || !got.Equal(c.want) {
+			t.Errorf("Parse(%v, %q) = %v, %v; want %v", c.k, c.text, got, err, c.want)
+		}
+	}
+	for _, bad := range []struct {
+		k    Kind
+		text string
+	}{{KindInt, "x"}, {KindFloat, "x"}, {KindBool, "x"}, {Kind(9), "x"}} {
+		if _, err := Parse(bad.k, bad.text); err == nil {
+			t.Errorf("Parse(%v, %q) should fail", bad.k, bad.text)
+		}
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b Value
+		want bool
+	}{
+		{OpEq, I(1), I(1), true},
+		{OpEq, I(1), I(2), false},
+		{OpNe, I(1), I(2), true},
+		{OpLt, I(1), I(2), true},
+		{OpLe, I(2), I(2), true},
+		{OpGt, S("b"), S("a"), true},
+		{OpGe, F(2), F(2), true},
+		{OpGe, F(1), F(2), false},
+	}
+	for _, c := range cases {
+		got, err := c.op.Eval(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("%v.Eval(%v, %v) = %v, %v; want %v", c.op, c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := OpEq.Eval(I(1), S("1")); err == nil {
+		t.Error("cross-kind Eval should fail")
+	}
+	for s, want := range map[string]CmpOp{"=": OpEq, "==": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe} {
+		got, err := ParseCmpOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseCmpOp(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseCmpOp("~"); err == nil {
+		t.Error("ParseCmpOp(~) should fail")
+	}
+	for op, want := range map[CmpOp]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="} {
+		if op.String() != want {
+			t.Errorf("%d.String = %q, want %q", int(op), op.String(), want)
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := poiSchema(t)
+	if s.Name() != "points_of_interest" || s.NumCols() != 6 {
+		t.Errorf("schema basics wrong: %s %d", s.Name(), s.NumCols())
+	}
+	if i, ok := s.ColIndex("type"); !ok || i != 2 {
+		t.Errorf("ColIndex(type) = %d, %v", i, ok)
+	}
+	if _, ok := s.ColIndex("bogus"); ok {
+		t.Error("ColIndex(bogus) should be absent")
+	}
+	if s.Col(1).Name != "name" {
+		t.Errorf("Col(1) = %v", s.Col(1))
+	}
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Col(0).Name == "mutated" {
+		t.Error("Columns() exposed internal state")
+	}
+	if !strings.Contains(s.String(), "pid int") {
+		t.Errorf("String() = %q", s.String())
+	}
+	// Errors.
+	if _, err := NewSchema(""); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewSchema("r"); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := NewSchema("r", Column{"", KindInt}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := NewSchema("r", Column{"a", KindInt}, Column{"a", KindInt}); err == nil {
+		t.Error("duplicate columns should fail")
+	}
+}
+
+func TestRelationInsertAndAccess(t *testing.T) {
+	r := poiRelation(t)
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	if r.Schema().Name() != "points_of_interest" {
+		t.Error("Schema() round-trip failed")
+	}
+	v, err := r.Value(0, "name")
+	if err != nil || v.Str() != "Acropolis" {
+		t.Errorf("Value(0, name) = %v, %v", v, err)
+	}
+	if _, err := r.Value(0, "bogus"); err == nil {
+		t.Error("Value of unknown column should fail")
+	}
+	if _, err := r.Insert(I(9)); err == nil {
+		t.Error("short insert should fail")
+	}
+	if _, err := r.Insert(S("x"), S("y"), S("z"), S("w"), B(true), F(1)); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	idx, err := r.Insert(I(6), S("Zoo"), S("zoo"), S("Kifisia"), B(true), F(8))
+	if err != nil || idx != 5 {
+		t.Errorf("Insert = %d, %v", idx, err)
+	}
+	if got := r.Tuple(5)[1].Str(); got != "Zoo" {
+		t.Errorf("Tuple(5).name = %q", got)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := poiRelation(t)
+	idxs, err := r.Select(Predicate{"type", OpEq, S("monument")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 4}; !reflect.DeepEqual(idxs, want) {
+		t.Errorf("Select(type=monument) = %v, want %v", idxs, want)
+	}
+	// Conjunction.
+	idxs, err = r.Select(
+		Predicate{"location", OpEq, S("Plaka")},
+		Predicate{"admission_cost", OpEq, F(0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(idxs, want) {
+		t.Errorf("Select(Plaka ∧ free) = %v, want %v", idxs, want)
+	}
+	// Non-equality θ.
+	idxs, _ = r.Select(Predicate{"admission_cost", OpGt, F(4)})
+	if want := []int{0, 1, 4}; !reflect.DeepEqual(idxs, want) {
+		t.Errorf("Select(cost>4) = %v, want %v", idxs, want)
+	}
+	// No predicates selects everything.
+	idxs, _ = r.Select()
+	if len(idxs) != r.Len() {
+		t.Errorf("Select() = %d rows, want %d", len(idxs), r.Len())
+	}
+	// Unknown column errors.
+	if _, err := r.Select(Predicate{"bogus", OpEq, S("x")}); err == nil {
+		t.Error("unknown column should fail")
+	}
+	// Kind mismatch errors.
+	if _, err := r.Select(Predicate{"pid", OpEq, S("1")}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	if got := (Predicate{"type", OpEq, S("zoo")}).String(); got != "type = zoo" {
+		t.Errorf("Predicate.String = %q", got)
+	}
+}
+
+func TestCombiners(t *testing.T) {
+	scores := []float64{0.2, 0.8, 0.5}
+	if got := CombineMax.Combine(scores); got != 0.8 {
+		t.Errorf("max = %v", got)
+	}
+	if got := CombineMin.Combine(scores); got != 0.2 {
+		t.Errorf("min = %v", got)
+	}
+	if got := CombineAvg.Combine(scores); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("avg = %v", got)
+	}
+	if got := CombineMax.Combine(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	for c, want := range map[Combiner]string{CombineMax: "max", CombineMin: "min", CombineAvg: "avg"} {
+		if c.String() != want {
+			t.Errorf("Combiner.String = %q, want %q", c.String(), want)
+		}
+	}
+	if !strings.Contains(Combiner(9).String(), "9") {
+		t.Error("unknown Combiner.String should embed code")
+	}
+}
+
+func TestResultSetRanking(t *testing.T) {
+	r := poiRelation(t)
+	rs := NewResultSet(r)
+	rs.Add(0, 0.8)
+	rs.Add(2, 0.9)
+	rs.Add(2, 0.3) // duplicate match with a second score
+	rs.Add(4, 0.8)
+	if rs.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", rs.Len())
+	}
+	ranked := rs.Ranked(CombineMax)
+	// 2 (0.9), then 0 and 4 tied at 0.8 ordered by index.
+	if ranked[0].Index != 2 || ranked[1].Index != 0 || ranked[2].Index != 4 {
+		t.Errorf("Ranked order = %v", ranked)
+	}
+	if ranked[0].Score != 0.9 || ranked[1].Score != 0.8 {
+		t.Errorf("Ranked scores = %v", ranked)
+	}
+	if ranked[0].Tuple[1].Str() != "Plaka Brewery" {
+		t.Errorf("Ranked tuple = %v", ranked[0].Tuple)
+	}
+	// Min combiner demotes the duplicate-matched tuple.
+	ranked = rs.Ranked(CombineMin)
+	if ranked[len(ranked)-1].Index != 2 || ranked[len(ranked)-1].Score != 0.3 {
+		t.Errorf("min-ranked = %v", ranked)
+	}
+}
+
+func TestResultSetTopWithTies(t *testing.T) {
+	r := poiRelation(t)
+	rs := NewResultSet(r)
+	rs.Add(0, 0.9)
+	rs.Add(1, 0.8)
+	rs.Add(2, 0.8)
+	rs.Add(3, 0.8)
+	rs.Add(4, 0.1)
+	top := rs.Top(2, CombineMax)
+	// k=2 but indexes 1,2,3 all tie at 0.8 → 4 results.
+	if len(top) != 4 {
+		t.Fatalf("Top(2) = %d results, want 4 (ties included)", len(top))
+	}
+	if top[len(top)-1].Score != 0.8 {
+		t.Errorf("last of Top = %v", top[len(top)-1])
+	}
+	if got := rs.Top(0, CombineMax); len(got) != 5 {
+		t.Errorf("Top(0) = %d, want all 5", len(got))
+	}
+	if got := rs.Top(10, CombineMax); len(got) != 5 {
+		t.Errorf("Top(10) = %d, want all 5", len(got))
+	}
+}
+
+// Property: Ranked is totally ordered by (score desc, index asc) and
+// contains exactly the added indexes.
+func TestQuickRankedOrdering(t *testing.T) {
+	r := poiRelation(t)
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		rs := NewResultSet(r)
+		added := map[int]bool{}
+		for n := rnd.Intn(20); n > 0; n-- {
+			idx := rnd.Intn(r.Len())
+			rs.Add(idx, float64(rnd.Intn(10))/10)
+			added[idx] = true
+		}
+		ranked := rs.Ranked(CombineMax)
+		if len(ranked) != len(added) {
+			return false
+		}
+		for i := 1; i < len(ranked); i++ {
+			a, b := ranked[i-1], ranked[i]
+			if a.Score < b.Score {
+				return false
+			}
+			if a.Score == b.Score && a.Index >= b.Index {
+				return false
+			}
+		}
+		for _, st := range ranked {
+			if !added[st.Index] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: combiners bound — min ≤ avg ≤ max.
+func TestQuickCombinerBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = math.Abs(math.Mod(v, 1))
+			if math.IsNaN(scores[i]) {
+				scores[i] = 0
+			}
+		}
+		mn := CombineMin.Combine(scores)
+		av := CombineAvg.Combine(scores)
+		mx := CombineMax.Combine(scores)
+		return mn <= av+1e-9 && av <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

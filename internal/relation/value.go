@@ -1,0 +1,242 @@
+// Package relation is the in-memory relational substrate that the
+// contextual preference system of "Adding Context to Preferences"
+// (ICDE 2007) scores and ranks over. It provides typed values, schemas,
+// tuples, relations, selection predicates (the σ of Algorithm 2) and
+// score-annotated result sets with duplicate elimination under a
+// combining function (max/min/avg), as the paper's Rank_CS remark
+// prescribes.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the value types the substrate supports.
+type Kind int
+
+const (
+	// KindString is a UTF-8 string.
+	KindString Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is an immutable typed scalar.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// S builds a string value.
+func S(v string) Value { return Value{kind: KindString, s: v} }
+
+// I builds an integer value.
+func I(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// F builds a float value.
+func F(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// B builds a boolean value.
+func B(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind returns the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// Str returns the string payload; zero for other kinds.
+func (v Value) Str() string { return v.s }
+
+// Int returns the integer payload; zero for other kinds.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload; zero for other kinds.
+func (v Value) Float() float64 { return v.f }
+
+// Bool returns the boolean payload; false for other kinds.
+func (v Value) Bool() bool { return v.b }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(w Value) bool { return v == w }
+
+// Compare orders two values of the same kind: -1, 0 or +1. Booleans
+// order false < true. Comparing values of different kinds is an error.
+func (v Value) Compare(w Value) (int, error) {
+	if v.kind != w.kind {
+		return 0, fmt.Errorf("relation: cannot compare %s with %s", v.kind, w.kind)
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.s < w.s:
+			return -1, nil
+		case v.s > w.s:
+			return 1, nil
+		}
+	case KindInt:
+		switch {
+		case v.i < w.i:
+			return -1, nil
+		case v.i > w.i:
+			return 1, nil
+		}
+	case KindFloat:
+		switch {
+		case v.f < w.f:
+			return -1, nil
+		case v.f > w.f:
+			return 1, nil
+		}
+	case KindBool:
+		switch {
+		case !v.b && w.b:
+			return -1, nil
+		case v.b && !w.b:
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// String renders the payload.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	}
+	return "?"
+}
+
+// Parse converts text into a value of the given kind.
+func Parse(k Kind, text string) (Value, error) {
+	switch k {
+	case KindString:
+		return S(text), nil
+	case KindInt:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parse int %q: %w", text, err)
+		}
+		return I(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parse float %q: %w", text, err)
+		}
+		return F(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parse bool %q: %w", text, err)
+		}
+		return B(b), nil
+	}
+	return Value{}, fmt.Errorf("relation: parse: unknown kind %v", k)
+}
+
+// CmpOp is a comparison operator θ ∈ {=, ≠, <, ≤, >, ≥} as used in
+// attribute clauses (Def. 5).
+type CmpOp int
+
+const (
+	// OpEq is =.
+	OpEq CmpOp = iota
+	// OpNe is ≠.
+	OpNe
+	// OpLt is <.
+	OpLt
+	// OpLe is ≤.
+	OpLe
+	// OpGt is >.
+	OpGt
+	// OpGe is ≥.
+	OpGe
+)
+
+// String renders the operator symbol.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(op))
+}
+
+// ParseCmpOp reads an operator symbol.
+func ParseCmpOp(s string) (CmpOp, error) {
+	switch s {
+	case "=", "==":
+		return OpEq, nil
+	case "!=", "<>":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	}
+	return 0, fmt.Errorf("relation: unknown comparison operator %q", s)
+}
+
+// Eval applies the operator to two values of the same kind.
+func (op CmpOp) Eval(a, b Value) (bool, error) {
+	c, err := a.Compare(b)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case OpEq:
+		return c == 0, nil
+	case OpNe:
+		return c != 0, nil
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("relation: unknown operator %v", op)
+}

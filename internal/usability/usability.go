@@ -1,0 +1,594 @@
+// Package usability simulates the paper's Table 1 user study
+// (Section 5.1). The original study put 10 first-time users in front of
+// the system: each was assigned one of 12 default profiles by
+// demographic, modified it toward their actual tastes, and then ranked
+// contextual query results by hand; the paper reports the number of
+// modifications, the time spent, and the precision of the system's
+// top-20 against the user's own ranking for exact-match, single-cover
+// and multi-cover resolutions (the latter under both distances).
+//
+// We substitute simulated users: each user has a hidden ground-truth
+// profile (a perturbation of their demographic's default), performs a
+// meticulousness-dependent number of edits moving the default toward
+// the truth, and "hand-ranks" results by scoring tuples with the truth
+// profile plus small rating noise. This reproduces the study's
+// shape: precision is high overall, exact ≥ covers, more edits → better
+// results, and Jaccard ≥ Hierarchy on multi-cover ties (the paper
+// attributes Hierarchy's deficit to its many ties).
+package usability
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/dataset"
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+	"contextpref/internal/profiletree"
+	"contextpref/internal/query"
+	"contextpref/internal/relation"
+)
+
+// Config parameterizes the simulated study.
+type Config struct {
+	// NumUsers is the number of simulated users (paper: 10).
+	NumUsers int
+	// NumPOIs is the size of the generated POI database.
+	NumPOIs int
+	// QueriesPerCase is how many queries are evaluated per resolution
+	// category (exact / one cover / multiple covers).
+	QueriesPerCase int
+	// TopK is the result-list cutoff (paper: best 20, ties included).
+	TopK int
+	// Seed drives all randomness.
+	Seed int64
+	// NoiseProb is the probability the simulated user mis-rates one
+	// tuple while hand-ranking (the paper observed users deviating even
+	// from their own stated preferences).
+	NoiseProb float64
+	// NoiseMag is the magnitude of a mis-rating.
+	NoiseMag float64
+	// MinutesPerEdit converts modification counts to profile-editing
+	// time; OverheadMinutes models first-time system familiarization.
+	MinutesPerEdit float64
+	// OverheadMinutes is the fixed familiarization time.
+	OverheadMinutes float64
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		NumUsers:        10,
+		NumPOIs:         500,
+		QueriesPerCase:  20,
+		TopK:            20,
+		Seed:            2007,
+		NoiseProb:       0.06,
+		NoiseMag:        0.15,
+		MinutesPerEdit:  1.0,
+		OverheadMinutes: 8,
+	}
+}
+
+// UserResult is one row of Table 1.
+type UserResult struct {
+	// User is the 1-based user number.
+	User int
+	// Demographic is the default profile the user started from.
+	Demographic dataset.Demographic
+	// Updates is the number of profile modifications performed.
+	Updates int
+	// Minutes is the modeled profile-specification time.
+	Minutes int
+	// ExactPct is the precision (%) for exact-match queries.
+	ExactPct float64
+	// OneCoverPct is the precision (%) when exactly one state covers.
+	OneCoverPct float64
+	// MultiHierarchyPct is the multi-cover precision (%) under the
+	// hierarchy distance.
+	MultiHierarchyPct float64
+	// MultiJaccardPct is the multi-cover precision (%) under the
+	// Jaccard distance.
+	MultiJaccardPct float64
+}
+
+// StudyResult aggregates the simulated study.
+type StudyResult struct {
+	// Config echoes the configuration used.
+	Config Config
+	// Users holds one row per simulated user.
+	Users []UserResult
+}
+
+// Averages returns the column means across users.
+func (sr *StudyResult) Averages() UserResult {
+	var avg UserResult
+	n := float64(len(sr.Users))
+	if n == 0 {
+		return avg
+	}
+	for _, u := range sr.Users {
+		avg.Updates += u.Updates
+		avg.Minutes += u.Minutes
+		avg.ExactPct += u.ExactPct
+		avg.OneCoverPct += u.OneCoverPct
+		avg.MultiHierarchyPct += u.MultiHierarchyPct
+		avg.MultiJaccardPct += u.MultiJaccardPct
+	}
+	avg.Updates = int(math.Round(float64(avg.Updates) / n))
+	avg.Minutes = int(math.Round(float64(avg.Minutes) / n))
+	avg.ExactPct /= n
+	avg.OneCoverPct /= n
+	avg.MultiHierarchyPct /= n
+	avg.MultiJaccardPct /= n
+	return avg
+}
+
+// prefKey identifies a preference by its descriptor's context states
+// and its clause, the granularity at which edits apply.
+func prefKey(env *ctxmodel.Environment, p preference.Preference) (string, error) {
+	states, err := p.Descriptor.Context(env)
+	if err != nil {
+		return "", err
+	}
+	keys := make([]string, len(states))
+	for i, s := range states {
+		keys[i] = s.Key()
+	}
+	sort.Strings(keys)
+	key := p.Clause.Key()
+	for _, k := range keys {
+		key += "|" + k
+	}
+	return key, nil
+}
+
+// extraRulePool holds contextual preferences the ground-truth profiles
+// may add beyond the defaults — including location-dependent tastes the
+// defaults lack.
+func extraRulePool(env *ctxmodel.Environment) []preference.Preference {
+	mk := func(score float64, typ string, pds ...ctxmodel.ParamDescriptor) preference.Preference {
+		return preference.MustNew(
+			ctxmodel.MustDescriptor(pds...),
+			preference.Clause{Attr: "type", Op: relation.OpEq, Val: relation.S(typ)},
+			score)
+	}
+	return []preference.Preference{
+		mk(0.85, "restaurant", ctxmodel.Eq("location", "Athens")),
+		mk(0.80, "gallery", ctxmodel.Eq("location", "Thessaloniki")),
+		mk(0.75, "monument", ctxmodel.Eq("location", "Athens"), ctxmodel.Eq("time", "morning")),
+		mk(0.70, "park", ctxmodel.Eq("time", "afternoon")),
+		mk(0.65, "cafeteria", ctxmodel.Eq("time", "noon")),
+		mk(0.90, "theater", ctxmodel.Eq("accompanying_people", "friends"), ctxmodel.Eq("time", "night")),
+		mk(0.60, "archaeological_site", ctxmodel.Eq("location", "Thessaloniki"), ctxmodel.Eq("accompanying_people", "family")),
+		mk(0.65, "zoo", ctxmodel.Eq("time", "morning"), ctxmodel.Eq("accompanying_people", "family")),
+		mk(0.85, "brewery", ctxmodel.Eq("location", "Thessaloniki"), ctxmodel.Eq("accompanying_people", "friends")),
+		mk(0.60, "museum", ctxmodel.Eq("time", "noon")),
+		mk(0.80, "restaurant", ctxmodel.Eq("accompanying_people", "colleagues"), ctxmodel.Eq("time", "noon")),
+		mk(0.60, "monument", ctxmodel.Eq("time", "night")),
+	}
+}
+
+// user bundles one simulated user's state.
+type user struct {
+	demographic   dataset.Demographic
+	truth         []preference.Preference // hidden ground truth
+	edited        []preference.Preference // default profile after edits
+	meticulous    float64
+	updates       int
+	truthTree     *profiletree.Tree
+	editedTree    *profiletree.Tree
+	truthEngine   *query.Engine
+	editedEngines map[string]*query.Engine // by metric name
+}
+
+// simulateUser derives the truth profile, applies edits, and builds the
+// trees and engines.
+func simulateUser(env *ctxmodel.Environment, rel *relation.Relation, defaults []preference.Preference, d dataset.Demographic, r *rand.Rand) (*user, error) {
+	u := &user{demographic: d, meticulous: 0.7 + 0.3*r.Float64()}
+
+	// Ground truth: perturb default scores, drop a few, add extras.
+	pool := extraRulePool(env)
+	deleted := map[int]bool{}
+	for n := r.Intn(3); n > 0; n-- {
+		deleted[r.Intn(len(defaults))] = true
+	}
+	var truth []preference.Preference
+	for i, p := range defaults {
+		if deleted[i] {
+			continue
+		}
+		q := p
+		// Context-free base preferences are the demographic's general
+		// tastes, which users state accurately; what they get wrong —
+		// and later fix — is the context-dependent part.
+		contextual := len(p.Descriptor.ParamDescriptors()) > 0
+		if contextual && r.Float64() < 0.6 {
+			delta := (0.04 + 0.12*r.Float64())
+			if r.Intn(2) == 0 {
+				delta = -delta
+			}
+			s := q.Score + delta
+			if s < 0.05 {
+				s = 0.05
+			}
+			if s > 0.95 {
+				s = 0.95
+			}
+			q.Score = math.Round(s*100) / 100
+		}
+		truth = append(truth, q)
+	}
+	// Extras join the truth only if they do not conflict (Def. 6) with
+	// the perturbed defaults — e.g. an extra duplicating a default
+	// rule's context state and clause at a different score.
+	scratch, err := buildTree(env, truth)
+	if err != nil {
+		return nil, err
+	}
+	perm := r.Perm(len(pool))
+	for _, pi := range perm[:2+r.Intn(4)] {
+		if err := scratch.Insert(pool[pi]); err != nil {
+			var ce *preference.ConflictError
+			if errors.As(err, &ce) {
+				continue
+			}
+			return nil, err
+		}
+		truth = append(truth, pool[pi])
+	}
+	u.truth = truth
+
+	// Diffs between the default and the truth.
+	defKeys := make(map[string]int)
+	for i, p := range defaults {
+		k, err := prefKey(env, p)
+		if err != nil {
+			return nil, err
+		}
+		defKeys[k] = i
+	}
+	type edit struct {
+		kind string // "update", "insert", "delete"
+		idx  int    // index into defaults (update/delete) or truth (insert)
+	}
+	var edits []edit
+	truthKeys := make(map[string]bool)
+	for ti, p := range truth {
+		k, err := prefKey(env, p)
+		if err != nil {
+			return nil, err
+		}
+		truthKeys[k] = true
+		if di, ok := defKeys[k]; ok {
+			if defaults[di].Score != p.Score {
+				edits = append(edits, edit{"update", ti})
+			}
+		} else {
+			edits = append(edits, edit{"insert", ti})
+		}
+	}
+	for k, di := range defKeys {
+		if !truthKeys[k] {
+			edits = append(edits, edit{"delete", di})
+		}
+	}
+	r.Shuffle(len(edits), func(i, j int) { edits[i], edits[j] = edits[j], edits[i] })
+	// Users fix structural mismatches (missing preferences, stale
+	// preferences) before fine-tuning scores: a forgotten or stale
+	// preference distorts every query its context covers, while an
+	// off-by-a-bit score only reorders neighbours. The random order is
+	// kept within each kind.
+	rank := map[string]int{"insert": 0, "delete": 1, "update": 2}
+	sort.SliceStable(edits, func(i, j int) bool {
+		return rank[edits[i].kind] < rank[edits[j].kind]
+	})
+	m := int(math.Round(u.meticulous * float64(len(edits))))
+	if m > len(edits) {
+		m = len(edits)
+	}
+	u.updates = m
+
+	// Apply the first m edits to a copy of the default profile.
+	edited := append([]preference.Preference(nil), defaults...)
+	removed := map[int]bool{}
+	for _, e := range edits[:m] {
+		switch e.kind {
+		case "update":
+			k, err := prefKey(env, truth[e.idx])
+			if err != nil {
+				return nil, err
+			}
+			edited[defKeys[k]].Score = truth[e.idx].Score
+		case "insert":
+			edited = append(edited, truth[e.idx])
+		case "delete":
+			removed[e.idx] = true
+		}
+	}
+	var final []preference.Preference
+	for i, p := range edited {
+		if i < len(defaults) && removed[i] {
+			continue
+		}
+		final = append(final, p)
+	}
+	u.edited = final
+
+	// Build trees and engines.
+	if u.truthTree, err = buildTree(env, u.truth); err != nil {
+		return nil, err
+	}
+	if u.editedTree, err = buildTree(env, u.edited); err != nil {
+		return nil, err
+	}
+	if u.truthEngine, err = query.NewEngine(u.truthTree, rel, distance.Jaccard{}, relation.CombineMax); err != nil {
+		return nil, err
+	}
+	u.editedEngines = make(map[string]*query.Engine, 2)
+	for _, m := range distance.All() {
+		en, err := query.NewEngine(u.editedTree, rel, m, relation.CombineMax)
+		if err != nil {
+			return nil, err
+		}
+		u.editedEngines[m.Name()] = en
+	}
+	return u, nil
+}
+
+func buildTree(env *ctxmodel.Environment, prefs []preference.Preference) (*profiletree.Tree, error) {
+	tr, err := profiletree.New(env, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range prefs {
+		if err := tr.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// classify determines the resolution category of a query state against
+// the user's edited tree: "exact", "one" (single cover) or "multi".
+func (u *user) classify(s ctxmodel.State) (string, error) {
+	entries, _, err := u.editedTree.SearchExact(s)
+	if err != nil {
+		return "", err
+	}
+	if len(entries) > 0 {
+		return "exact", nil
+	}
+	cands, _, err := u.editedTree.SearchCover(s, distance.Hierarchy{})
+	if err != nil {
+		return "", err
+	}
+	switch len(cands) {
+	case 0:
+		return "none", nil
+	case 1:
+		return "one", nil
+	}
+	return "multi", nil
+}
+
+// handRank produces the user's own top-K list for a query state. A real
+// user ranks every result by their whole applicable taste, not by the
+// preferences of a single matched context state: for every clause, the
+// effective score comes from the most specific truth-profile state
+// covering the query (a cascade — the (all, ..., all) base preferences
+// are its least specific layer), with rating noise on top. This model
+// is metric-free, so neither system metric is privileged.
+func (u *user) handRank(s ctxmodel.State, topK int, noiseProb, noiseMag float64, r *rand.Rand) (map[int]bool, error) {
+	cands, _, err := u.truthTree.SearchCover(s, distance.Jaccard{})
+	if err != nil {
+		return nil, err
+	}
+	type eff struct {
+		distance    float64
+		specificity int
+		score       float64
+	}
+	// Per clause, the user applies the preference of the most relevant
+	// covering state — the most specific one, which Section 4.3
+	// identifies with the smallest Jaccard distance (cardinality breaks
+	// exact ties).
+	byClause := make(map[string]eff)
+	for _, c := range cands {
+		for _, leaf := range c.Entries {
+			k := leaf.Clause.Key()
+			cur, ok := byClause[k]
+			if !ok || c.Distance < cur.distance ||
+				(c.Distance == cur.distance && c.Specificity < cur.specificity) {
+				byClause[k] = eff{distance: c.Distance, specificity: c.Specificity, score: leaf.Score}
+			}
+		}
+	}
+	rel := u.truthEngine.Relation()
+	byIndex := make(map[int]float64)
+	for _, c := range cands {
+		for _, leaf := range c.Entries {
+			e := byClause[leaf.Clause.Key()]
+			idxs, err := rel.Select(leaf.Clause.Predicate())
+			if err != nil {
+				return nil, err
+			}
+			for _, idx := range idxs {
+				if e.score > byIndex[idx] {
+					byIndex[idx] = e.score
+				}
+			}
+		}
+	}
+	scored := make([]relation.ScoredTuple, 0, len(byIndex))
+	for idx, score := range byIndex {
+		scored = append(scored, relation.ScoredTuple{Index: idx, Score: score})
+	}
+	// Deterministic noise: fix the iteration order before drawing.
+	sort.Slice(scored, func(i, j int) bool { return scored[i].Index < scored[j].Index })
+	for i := range scored {
+		if r.Float64() < noiseProb {
+			delta := noiseMag * (r.Float64()*2 - 1)
+			scored[i].Score += delta
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].Index < scored[j].Index
+	})
+	cut := len(scored)
+	if topK > 0 && cut > topK {
+		cut = topK
+		for cut < len(scored) && scored[cut].Score == scored[topK-1].Score {
+			cut++
+		}
+	}
+	out := make(map[int]bool, cut)
+	for _, st := range scored[:cut] {
+		out[st.Index] = true
+	}
+	return out, nil
+}
+
+// queryRand derives a per-query random source so the user's hand
+// ranking of one query is identical no matter which system metric is
+// being evaluated against it — the metric comparison is paired.
+func queryRand(seed int64, userID int, s ctxmodel.State) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s", seed, userID, s.Key())
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// precision evaluates the system's top-K under the metric against the
+// user's hand ranking: the percentage of system results the user also
+// listed.
+func (u *user) precision(s ctxmodel.State, metricName string, cfg Config, userID int) (float64, bool, error) {
+	sys, err := u.editedEngines[metricName].Execute(query.Contextual{TopK: cfg.TopK}, s)
+	if err != nil {
+		return 0, false, err
+	}
+	if !sys.Contextual || len(sys.Tuples) == 0 {
+		return 0, false, nil
+	}
+	userSet, err := u.handRank(s, cfg.TopK, cfg.NoiseProb, cfg.NoiseMag, queryRand(cfg.Seed, userID, s))
+	if err != nil {
+		return 0, false, err
+	}
+	if len(userSet) == 0 {
+		return 0, false, nil
+	}
+	hit := 0
+	for _, st := range sys.Tuples {
+		if userSet[st.Index] {
+			hit++
+		}
+	}
+	return 100 * float64(hit) / float64(len(sys.Tuples)), true, nil
+}
+
+// Run executes the simulated study.
+func Run(cfg Config) (*StudyResult, error) {
+	if cfg.NumUsers <= 0 || cfg.NumPOIs <= 0 || cfg.QueriesPerCase <= 0 || cfg.TopK <= 0 {
+		return nil, fmt.Errorf("usability: non-positive config %+v", cfg)
+	}
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := dataset.POIs(env, cfg.NumPOIs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defaults, err := dataset.DefaultProfiles(env)
+	if err != nil {
+		return nil, err
+	}
+	demographics := dataset.Demographics()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	result := &StudyResult{Config: cfg}
+
+	for ui := 1; ui <= cfg.NumUsers; ui++ {
+		d := demographics[r.Intn(len(demographics))]
+		u, err := simulateUser(env, rel, defaults[d.Key()], d, r)
+		if err != nil {
+			return nil, fmt.Errorf("usability: user %d: %w", ui, err)
+		}
+		row := UserResult{
+			User:        ui,
+			Demographic: d,
+			Updates:     u.updates,
+			Minutes: int(math.Round(cfg.OverheadMinutes +
+				cfg.MinutesPerEdit*float64(u.updates)*(0.8+0.4*r.Float64()))),
+		}
+
+		// Collect queries per category.
+		var exactQs, oneQs, multiQs []ctxmodel.State
+		exactPool := u.editedTree.Paths()
+		r.Shuffle(len(exactPool), func(i, j int) { exactPool[i], exactPool[j] = exactPool[j], exactPool[i] })
+		for _, p := range exactPool {
+			if len(exactQs) >= cfg.QueriesPerCase {
+				break
+			}
+			exactQs = append(exactQs, p.State)
+		}
+		for attempts := 0; attempts < 4000 && (len(oneQs) < cfg.QueriesPerCase || len(multiQs) < cfg.QueriesPerCase); attempts++ {
+			qs, err := dataset.RandomQueries(env, 1, cfg.Seed+int64(ui*100000+attempts), 0.3)
+			if err != nil {
+				return nil, err
+			}
+			cat, err := u.classify(qs[0])
+			if err != nil {
+				return nil, err
+			}
+			switch cat {
+			case "one":
+				if len(oneQs) < cfg.QueriesPerCase {
+					oneQs = append(oneQs, qs[0])
+				}
+			case "multi":
+				if len(multiQs) < cfg.QueriesPerCase {
+					multiQs = append(multiQs, qs[0])
+				}
+			}
+		}
+
+		avg := func(qs []ctxmodel.State, metric string) (float64, error) {
+			total, n := 0.0, 0
+			for _, q := range qs {
+				p, ok, err := u.precision(q, metric, cfg, ui)
+				if err != nil {
+					return 0, err
+				}
+				if ok {
+					total += p
+					n++
+				}
+			}
+			if n == 0 {
+				return 0, nil
+			}
+			return total / float64(n), nil
+		}
+		if row.ExactPct, err = avg(exactQs, "hierarchy"); err != nil {
+			return nil, err
+		}
+		if row.OneCoverPct, err = avg(oneQs, "hierarchy"); err != nil {
+			return nil, err
+		}
+		if row.MultiHierarchyPct, err = avg(multiQs, "hierarchy"); err != nil {
+			return nil, err
+		}
+		if row.MultiJaccardPct, err = avg(multiQs, "jaccard"); err != nil {
+			return nil, err
+		}
+		result.Users = append(result.Users, row)
+	}
+	return result, nil
+}

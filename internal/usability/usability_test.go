@@ -1,0 +1,148 @@
+package usability
+
+import (
+	"testing"
+
+	"contextpref/internal/dataset"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumUsers = 4
+	cfg.NumPOIs = 150
+	cfg.QueriesPerCase = 4
+	return cfg
+}
+
+func TestRunShapes(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Users) != 4 {
+		t.Fatalf("users = %d", len(res.Users))
+	}
+	for _, u := range res.Users {
+		if u.Updates <= 0 {
+			t.Errorf("user %d: updates = %d", u.User, u.Updates)
+		}
+		if u.Minutes < int(res.Config.OverheadMinutes) {
+			t.Errorf("user %d: minutes = %d below overhead", u.User, u.Minutes)
+		}
+		for name, pct := range map[string]float64{
+			"exact": u.ExactPct, "one": u.OneCoverPct,
+			"multiH": u.MultiHierarchyPct, "multiJ": u.MultiJaccardPct,
+		} {
+			if pct < 0 || pct > 100 {
+				t.Errorf("user %d: %s = %v out of range", u.User, name, pct)
+			}
+		}
+		if u.Demographic.Key() == "" {
+			t.Errorf("user %d: empty demographic", u.User)
+		}
+	}
+	// Paper shape: on average precision is high and exact-match
+	// precision is at least in the ballpark of the cover cases.
+	avg := res.Averages()
+	if avg.ExactPct < 60 {
+		t.Errorf("average exact precision %v suspiciously low", avg.ExactPct)
+	}
+	if avg.MultiJaccardPct+10 < avg.MultiHierarchyPct {
+		t.Errorf("Jaccard (%v) should not trail Hierarchy (%v) by a wide margin",
+			avg.MultiJaccardPct, avg.MultiHierarchyPct)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatalf("user %d differs across runs: %+v vs %+v", i, a.Users[i], b.Users[i])
+		}
+	}
+	// Different seed should differ somewhere.
+	cfg.Seed++
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Users {
+		if a.Users[i] != c.Users[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical studies")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := smallConfig()
+	bad.NumUsers = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero users should fail")
+	}
+	bad = smallConfig()
+	bad.TopK = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero TopK should fail")
+	}
+}
+
+func TestAveragesEmpty(t *testing.T) {
+	sr := &StudyResult{}
+	if got := sr.Averages(); got.Updates != 0 || got.ExactPct != 0 {
+		t.Errorf("Averages on empty = %+v", got)
+	}
+}
+
+func TestPrefKeyDistinguishes(t *testing.T) {
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults, err := dataset.DefaultProfile(env, dataset.Demographic{Age: "under30", Sex: "male", Taste: "mainstream"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range defaults {
+		k, err := prefKey(env, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate pref key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestExtraRulePoolValid(t *testing.T) {
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := extraRulePool(env)
+	if len(pool) < 10 {
+		t.Fatalf("pool = %d rules", len(pool))
+	}
+	for i, p := range pool {
+		if _, err := p.Descriptor.Context(env); err != nil {
+			t.Errorf("rule %d invalid: %v", i, err)
+		}
+		if p.Score < 0 || p.Score > 1 {
+			t.Errorf("rule %d score %v", i, p.Score)
+		}
+	}
+}

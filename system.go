@@ -1,0 +1,263 @@
+package contextpref
+
+import (
+	"fmt"
+
+	"contextpref/internal/distance"
+	"contextpref/internal/preference"
+	"contextpref/internal/profiletree"
+	"contextpref/internal/query"
+	"contextpref/internal/querytree"
+	"contextpref/internal/relation"
+)
+
+// System is the assembled context-aware preference database: a profile
+// tree over a context environment, a relation to rank, a distance
+// metric for context resolution, and (optionally) a context query tree
+// caching results. It is not safe for concurrent mutation; wrap it in
+// your own synchronization if several goroutines add preferences.
+type System struct {
+	env      *Environment
+	rel      *Relation
+	tree     *ProfileTree
+	metric   Metric
+	combiner Combiner
+	engine   *query.Engine
+	cache    *querytree.Cache
+	cached   *querytree.Engine
+}
+
+// Option configures a System.
+type Option func(*options)
+
+type options struct {
+	metric    Metric
+	combiner  Combiner
+	treeOrder []int
+	cacheCap  int
+	useCache  bool
+}
+
+// WithMetric selects the context-resolution distance (default Jaccard,
+// which the paper's usability study found slightly more accurate).
+func WithMetric(m Metric) Option { return func(o *options) { o.metric = m } }
+
+// WithCombiner selects how duplicate-tuple scores merge (default max).
+func WithCombiner(c Combiner) Option { return func(o *options) { o.combiner = c } }
+
+// WithTreeOrder assigns context parameters to profile-tree levels
+// (default: identity). Larger domains lower in the tree yield smaller
+// trees (Fig. 5/6).
+func WithTreeOrder(order []int) Option {
+	return func(o *options) { o.treeOrder = append([]int(nil), order...) }
+}
+
+// WithQueryCache enables the context query tree with the given capacity
+// (0 = unbounded).
+func WithQueryCache(capacity int) Option {
+	return func(o *options) {
+		o.useCache = true
+		o.cacheCap = capacity
+	}
+}
+
+// NewSystem assembles a system over an environment and a relation.
+func NewSystem(env *Environment, rel *Relation, opts ...Option) (*System, error) {
+	if env == nil {
+		return nil, fmt.Errorf("contextpref: nil environment")
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("contextpref: nil relation")
+	}
+	o := options{metric: distance.Jaccard{}, combiner: relation.CombineMax}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	tree, err := profiletree.New(env, o.treeOrder)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := query.NewEngine(tree, rel, o.metric, o.combiner)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		env:      env,
+		rel:      rel,
+		tree:     tree,
+		metric:   o.metric,
+		combiner: o.combiner,
+		engine:   engine,
+	}
+	if o.useCache {
+		cache, err := querytree.New(env, o.treeOrder, o.cacheCap)
+		if err != nil {
+			return nil, err
+		}
+		cached, err := querytree.NewEngine(engine, cache)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+		s.cached = cached
+	}
+	return s, nil
+}
+
+// Env returns the system's context environment.
+func (s *System) Env() *Environment { return s.env }
+
+// Relation returns the relation queries rank.
+func (s *System) Relation() *Relation { return s.rel }
+
+// Tree returns the underlying profile tree (e.g. for size statistics).
+func (s *System) Tree() *ProfileTree { return s.tree }
+
+// Metric returns the context-resolution metric.
+func (s *System) Metric() Metric { return s.metric }
+
+// AddPreference inserts one contextual preference, detecting conflicts
+// (Def. 6) during the profile-tree insertion; a *ConflictError reports
+// the state and the clashing preference. Cached query results are
+// invalidated, since rankings embed preference scores.
+func (s *System) AddPreference(p Preference) error {
+	if err := s.tree.Insert(p); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.Invalidate()
+	}
+	return nil
+}
+
+// RemovePreference deletes the preference's entries from every context
+// state its descriptor denotes (see profiletree.Tree.Delete for the
+// shared-entry semantics) and invalidates cached query results. It
+// returns how many entries were removed.
+func (s *System) RemovePreference(p Preference) (int, error) {
+	removed, err := s.tree.Delete(p)
+	if err != nil {
+		return removed, err
+	}
+	if removed > 0 && s.cache != nil {
+		s.cache.Invalidate()
+	}
+	return removed, nil
+}
+
+// AddPreferences inserts a batch, stopping at the first error.
+func (s *System) AddPreferences(ps ...Preference) error {
+	for i, p := range ps {
+		if err := s.AddPreference(p); err != nil {
+			return fmt.Errorf("preference %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AddProfile inserts every preference of a profile.
+func (s *System) AddProfile(pr *Profile) error {
+	return s.AddPreferences(pr.Preferences()...)
+}
+
+// LoadProfile parses the line encoding ("[desc] => clause : score" per
+// line) and inserts every preference.
+func (s *System) LoadProfile(text string) error {
+	pr, err := preference.ParseProfile(s.env, text)
+	if err != nil {
+		return err
+	}
+	return s.AddProfile(pr)
+}
+
+// NumPreferences returns how many preferences the system stores.
+func (s *System) NumPreferences() int { return s.tree.NumPreferences() }
+
+// NewState validates values against the environment.
+func (s *System) NewState(values ...string) (State, error) {
+	return s.env.NewState(values...)
+}
+
+// Resolve performs context resolution for one state: the stored
+// preferences most relevant to it, per Section 4.4. ok is false when
+// nothing covers the state.
+func (s *System) Resolve(st State) (Candidate, bool, error) {
+	cand, _, ok, err := s.tree.Resolve(st, s.metric)
+	return cand, ok, err
+}
+
+// ResolveAll returns every stored state covering st, most relevant
+// first — the paper's alternative of presenting all qualifying matches
+// to the user instead of auto-selecting one.
+func (s *System) ResolveAll(st State) ([]Candidate, error) {
+	cands, _, err := s.tree.ResolveAll(st, s.metric)
+	return cands, err
+}
+
+// ExportProfile renders the stored preferences in the line encoding
+// (one line per state and clause), suitable for LoadProfile.
+func (s *System) ExportProfile() (string, error) {
+	return s.tree.Encode()
+}
+
+// SuggestTreeOrder proposes a parameter-to-level assignment for a
+// preference workload: parameters with fewer distinct used values go
+// higher in the tree. It generalizes the paper's "larger domains lower"
+// rule (Fig. 5/6) with the Fig. 6 (right) skew refinement. Pass the
+// result to WithTreeOrder when building the System.
+func SuggestTreeOrder(env *Environment, prefs []Preference) ([]int, error) {
+	return profiletree.SuggestOrder(env, prefs)
+}
+
+// Query executes a contextual query. current is the implicit context
+// (may be nil when the query carries an explicit extended descriptor).
+// With a cache enabled, single-state queries are served from and stored
+// into the context query tree.
+func (s *System) Query(q Query, current State) (*Result, error) {
+	if s.cached != nil {
+		res, _, err := s.cached.Execute(q, current)
+		return res, err
+	}
+	return s.engine.Execute(q, current)
+}
+
+// QueryCached is Query that additionally reports whether the answer
+// came from the context query tree.
+func (s *System) QueryCached(q Query, current State) (*Result, bool, error) {
+	if s.cached == nil {
+		res, err := s.engine.Execute(q, current)
+		return res, false, err
+	}
+	return s.cached.Execute(q, current)
+}
+
+// CacheStats returns the context query tree counters (zero Stats when
+// no cache is configured).
+func (s *System) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// Stats summarizes the profile-tree storage.
+type Stats struct {
+	// Preferences is the number of inserted preferences.
+	Preferences int
+	// States is the number of distinct context states stored.
+	States int
+	// Cells is the paper's cell count (internal cells + leaf entries).
+	Cells int
+	// Bytes is the modeled size with 8-byte pointers.
+	Bytes int
+}
+
+// Stats returns the current storage statistics.
+func (s *System) Stats() Stats {
+	return Stats{
+		Preferences: s.tree.NumPreferences(),
+		States:      s.tree.NumPaths(),
+		Cells:       s.tree.NumCells(),
+		Bytes:       s.tree.Bytes(),
+	}
+}
