@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz fmt vet clean
+.PHONY: all build test race cover bench experiments fuzz fuzz-smoke verify fmt vet clean
 
 all: build test
 
@@ -30,6 +30,13 @@ experiments:
 fuzz:
 	$(GO) test -fuzz=FuzzParseLine -fuzztime=30s ./internal/preference/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cpql/
+
+# Quick fuzz smoke of the query parser, cheap enough for CI.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/cpql/
+
+# The pre-merge gate: static checks, the race detector, and a fuzz smoke.
+verify: vet race fuzz-smoke
 
 fmt:
 	gofmt -w .

@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	cpserver [-addr :8080] [-pois 300] [-seed 7] [-metric jaccard] [-profile file] [-cache 64]
+//	cpserver [-addr :8080] [-pois 300] [-seed 7] [-metric jaccard]
+//	         [-profile file] [-cache 64] [-store dir] [-multiuser]
+//	         [-max-inflight 256] [-shutdown-timeout 10s]
 //
 // Endpoints (see the httpapi package for payloads):
 //
@@ -11,8 +13,27 @@
 //	GET  /stats
 //	GET  /preferences
 //	POST /preferences
+//	DELETE /preferences
 //	POST /query
 //	GET  /resolve?state=v1,v2,v3
+//	GET  /healthz
+//	GET  /readyz
+//
+// Durability. With -store dir, every profile mutation is journaled to
+// dir/journal.cpj (fsync'd, see the internal/journal package for the
+// record format) before it is applied; on startup the server replays
+// the snapshot and the journal — tolerating a torn final record from a
+// crash mid-write — and recovers the exact profile state, including
+// every per-user profile in -multiuser mode. On a store that already
+// holds state, -profile is ignored in single-user mode (the store is
+// the source of truth); on a fresh store, -profile seeds it and the
+// seed is journaled. At graceful shutdown the journal is compacted into
+// a snapshot.
+//
+// Shutdown. SIGINT/SIGTERM starts a graceful drain: /readyz flips to
+// 503 so load balancers stop routing, in-flight requests are served to
+// completion (bounded by -shutdown-timeout), then the journal is
+// snapshotted and closed.
 //
 // Example:
 //
@@ -23,49 +44,152 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"contextpref"
 	"contextpref/httpapi"
 	"contextpref/internal/dataset"
+	"contextpref/internal/journal"
 )
 
+// config collects everything build needs; it mirrors the flags.
+type config struct {
+	pois            int
+	seed            int64
+	metric          string
+	profile         string
+	cache           int
+	data            string
+	multi           bool
+	store           string
+	maxInflight     int
+	readTimeout     time.Duration
+	writeTimeout    time.Duration
+	idleTimeout     time.Duration
+	shutdownTimeout time.Duration
+}
+
+// app is a built server plus its durability hooks.
+type app struct {
+	api *httpapi.Server
+	// journal is non-nil when -store is set; shutdown snapshots and
+	// closes it.
+	journal *journal.Journal
+	// snapshot renders the current state for compaction.
+	snapshot func() ([]journal.Record, error)
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		pois    = flag.Int("pois", 300, "number of points of interest to generate")
-		seed    = flag.Int64("seed", 7, "random seed for the demo database")
-		metric  = flag.String("metric", "jaccard", "context-resolution metric: jaccard or hierarchy")
-		profile = flag.String("profile", "", "profile file to load at startup")
-		cache   = flag.Int("cache", 64, "context query tree capacity (0 = unbounded, -1 = disabled)")
-		data    = flag.String("data", "", "CSV file with points of interest (header: pid,name,type,location,open_air,hours_of_operation,admission_cost)")
-		multi   = flag.Bool("multiuser", false, "serve per-user profiles selected by ?user=name")
-	)
+	var cfg config
+	var addr string
+	flag.StringVar(&addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.pois, "pois", 300, "number of points of interest to generate")
+	flag.Int64Var(&cfg.seed, "seed", 7, "random seed for the demo database")
+	flag.StringVar(&cfg.metric, "metric", "jaccard", "context-resolution metric: jaccard or hierarchy")
+	flag.StringVar(&cfg.profile, "profile", "", "profile file to load at startup (ignored when -store already holds state)")
+	flag.IntVar(&cfg.cache, "cache", 64, "context query tree capacity (0 = unbounded, -1 = disabled)")
+	flag.StringVar(&cfg.data, "data", "", "CSV file with points of interest (header: pid,name,type,location,open_air,hours_of_operation,admission_cost)")
+	flag.BoolVar(&cfg.multi, "multiuser", false, "serve per-user profiles selected by ?user=name")
+	flag.StringVar(&cfg.store, "store", "", "directory for the durable profile journal (empty = in-memory only)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "maximum concurrently served requests (0 = unlimited)")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "HTTP write timeout")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 120*time.Second, "HTTP idle connection timeout")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 	flag.Parse()
-	srv, err := build(*pois, *seed, *metric, *profile, *cache, *data, *multi)
+
+	a, err := build(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cpserver:", err)
 		os.Exit(1)
 	}
-	log.Printf("cpserver listening on %s (%d POIs, metric %s)", *addr, *pois, *metric)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpserver:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("cpserver listening on %s (%d POIs, metric %s, store %q)",
+		ln.Addr(), cfg.pois, cfg.metric, cfg.store)
+	if err := serve(ctx, a, ln, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cpserver:", err)
+		os.Exit(1)
+	}
 }
 
-// build assembles the system and the HTTP server; split from main for
-// testability.
-func build(pois int, seed int64, metricName, profilePath string, cacheCap int, dataPath string, multi bool) (*httpapi.Server, error) {
+// serve runs the hardened HTTP server on the listener until ctx is
+// cancelled (SIGINT/SIGTERM in main), then drains gracefully: readiness
+// flips to draining, in-flight requests finish within
+// cfg.shutdownTimeout, and the journal — when present — is compacted
+// into a snapshot and closed. Split from main for testability.
+func serve(ctx context.Context, a *app, ln net.Listener, cfg config) error {
+	hs := &http.Server{
+		Handler:           a.api,
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("cpserver: shutdown requested, draining (timeout %s)", cfg.shutdownTimeout)
+	a.api.SetDraining(true)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+	defer cancel()
+	shutdownErr := hs.Shutdown(sctx)
+	if shutdownErr != nil {
+		log.Printf("cpserver: drain incomplete: %v", shutdownErr)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+
+	if a.journal != nil {
+		// All handlers have returned (or been abandoned by the drain
+		// deadline — their mutations are journaled before they apply, so
+		// the log is still consistent). Compact and close.
+		if state, err := a.snapshot(); err != nil {
+			log.Printf("cpserver: snapshot state: %v", err)
+		} else if err := a.journal.Snapshot(state); err != nil {
+			log.Printf("cpserver: snapshot write: %v", err)
+		}
+		if err := a.journal.Close(); err != nil {
+			return fmt.Errorf("closing journal: %w", err)
+		}
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	return nil
+}
+
+// build assembles the system, the optional journal, and the HTTP
+// server; split from main for testability.
+func build(cfg config) (*app, error) {
 	env, err := dataset.RealEnvironment()
 	if err != nil {
 		return nil, err
 	}
 	var rel *contextpref.Relation
-	if dataPath != "" {
-		f, err := os.Open(dataPath)
+	if cfg.data != "" {
+		f, err := os.Open(cfg.data)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +199,7 @@ func build(pois int, seed int64, metricName, profilePath string, cacheCap int, d
 			return nil, err
 		}
 	} else {
-		rel, err = dataset.POIs(env, pois, seed)
+		rel, err = dataset.POIs(env, cfg.pois, cfg.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -83,36 +207,59 @@ func build(pois int, seed int64, metricName, profilePath string, cacheCap int, d
 	if err := rel.CreateIndex("type"); err != nil {
 		return nil, err
 	}
-	metric, err := contextpref.MetricByName(metricName)
+	metric, err := contextpref.MetricByName(cfg.metric)
 	if err != nil {
 		return nil, err
 	}
 	opts := []contextpref.Option{contextpref.WithMetric(metric)}
-	if cacheCap >= 0 {
-		opts = append(opts, contextpref.WithQueryCache(cacheCap))
+	if cfg.cache >= 0 {
+		opts = append(opts, contextpref.WithQueryCache(cfg.cache))
 	}
-	var seed2 string
-	if profilePath != "" {
-		text, err := os.ReadFile(profilePath)
+	var seedProfile string
+	if cfg.profile != "" {
+		text, err := os.ReadFile(cfg.profile)
 		if err != nil {
 			return nil, err
 		}
-		seed2 = string(text)
+		seedProfile = string(text)
 	}
-	if multi {
+
+	var j *journal.Journal
+	var recovered []journal.Record
+	if cfg.store != "" {
+		j, recovered, err = journal.Open(cfg.store)
+		if err != nil {
+			return nil, fmt.Errorf("opening store: %w", err)
+		}
+		if len(recovered) > 0 {
+			log.Printf("cpserver: recovered %d journal records from %s", len(recovered), cfg.store)
+		}
+	}
+	fail := func(err error) (*app, error) {
+		if j != nil {
+			j.Close()
+		}
+		return nil, err
+	}
+	var sopts []httpapi.ServerOption
+	if cfg.maxInflight > 0 {
+		sopts = append(sopts, httpapi.WithMaxInflight(cfg.maxInflight))
+	}
+
+	if cfg.multi {
 		dopts := []contextpref.DirectoryOption{contextpref.WithSystemOptions(opts...)}
-		if seed2 != "" {
+		if seedProfile != "" {
 			// Every new user starts from the given profile; parse it
 			// once here so per-user seeding is just a copy.
 			var seedPrefs []contextpref.Preference
-			for _, line := range strings.Split(seed2, "\n") {
+			for _, line := range strings.Split(seedProfile, "\n") {
 				line = strings.TrimSpace(line)
 				if line == "" || strings.HasPrefix(line, "#") {
 					continue
 				}
 				p, err := contextpref.ParsePreference(line)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				seedPrefs = append(seedPrefs, p)
 			}
@@ -122,18 +269,49 @@ func build(pois int, seed int64, metricName, profilePath string, cacheCap int, d
 		}
 		dir, err := contextpref.NewDirectory(env, rel, dopts...)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
-		return httpapi.NewMultiUser(dir)
+		if j != nil {
+			// Replay before attaching the persister, or replay would
+			// re-journal its own input. Recovered users keep their
+			// journaled profiles; -profile still seeds users created
+			// after startup.
+			if err := dir.Replay(recovered); err != nil {
+				return fail(fmt.Errorf("replaying store: %w", err))
+			}
+			dir.SetPersister(contextpref.NewJournalPersister(j))
+		}
+		api, err := httpapi.NewMultiUser(dir, sopts...)
+		if err != nil {
+			return fail(err)
+		}
+		return &app{api: api, journal: j, snapshot: dir.SnapshotRecords}, nil
 	}
+
 	sys, err := contextpref.NewSystem(env, rel, opts...)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	if seed2 != "" {
-		if err := sys.LoadProfile(seed2); err != nil {
-			return nil, err
+	if j != nil {
+		if err := sys.Replay(recovered); err != nil {
+			return fail(fmt.Errorf("replaying store: %w", err))
+		}
+		sys.SetPersister(contextpref.NewJournalPersister(j), "")
+	}
+	if seedProfile != "" {
+		if len(recovered) > 0 {
+			// The store is the source of truth; re-loading the seed
+			// would conflict with the recovered preferences.
+			log.Printf("cpserver: store holds state, ignoring -profile")
+		} else if err := sys.LoadProfile(seedProfile); err != nil {
+			return fail(err)
 		}
 	}
-	return httpapi.New(sys)
+	api, err := httpapi.New(sys, sopts...)
+	if err != nil {
+		return fail(err)
+	}
+	a := &app{api: api, journal: j}
+	a.snapshot = func() ([]journal.Record, error) { return api.System().SnapshotRecords("") }
+	return a, nil
 }

@@ -1,12 +1,40 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
+
+// cfg returns a config mirroring the old positional build arguments,
+// with serving-layer knobs at test-friendly defaults.
+func cfg(pois int, seed int64, metric, profile string, cache int, data string, multi bool) config {
+	return config{
+		pois: pois, seed: seed, metric: metric, profile: profile,
+		cache: cache, data: data, multi: multi,
+		readTimeout: 5 * time.Second, writeTimeout: 5 * time.Second,
+		idleTimeout: 5 * time.Second, shutdownTimeout: 5 * time.Second,
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
 
 func TestBuildAndServe(t *testing.T) {
 	dir := t.TempDir()
@@ -15,44 +43,49 @@ func TestBuildAndServe(t *testing.T) {
 		[]byte("[accompanying_people = friends] => type = brewery : 0.9\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := build(50, 7, "hierarchy", profile, 16, "", false)
+	a, err := build(cfg(50, 7, "hierarchy", profile, 16, "", false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv)
+	ts := httptest.NewServer(a.api)
 	defer ts.Close()
 
 	resp, err := ts.Client().Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	buf := make([]byte, 4096)
-	n, _ := resp.Body.Read(buf)
-	if !strings.Contains(string(buf[:n]), `"Preferences":1`) {
-		t.Errorf("stats = %s", buf[:n])
+	if body := readBody(t, resp); !strings.Contains(body, `"Preferences":1`) {
+		t.Errorf("stats = %s", body)
 	}
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, err := build(0, 1, "jaccard", "", 0, "", false); err == nil {
+	if _, err := build(cfg(0, 1, "jaccard", "", 0, "", false)); err == nil {
 		t.Error("zero POIs should fail")
 	}
-	if _, err := build(10, 1, "euclidean", "", 0, "", false); err == nil {
+	if _, err := build(cfg(10, 1, "euclidean", "", 0, "", false)); err == nil {
 		t.Error("unknown metric should fail")
 	}
-	if _, err := build(10, 1, "jaccard", "/nonexistent", 0, "", false); err == nil {
+	if _, err := build(cfg(10, 1, "jaccard", "/nonexistent", 0, "", false)); err == nil {
 		t.Error("missing profile should fail")
 	}
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.cp")
 	os.WriteFile(bad, []byte("garbage"), 0o644)
-	if _, err := build(10, 1, "jaccard", bad, 0, "", false); err == nil {
+	if _, err := build(cfg(10, 1, "jaccard", bad, 0, "", false)); err == nil {
 		t.Error("bad profile should fail")
 	}
 	// Cache disabled still builds.
-	if _, err := build(10, 1, "jaccard", "", -1, "", false); err != nil {
+	if _, err := build(cfg(10, 1, "jaccard", "", -1, "", false)); err != nil {
 		t.Errorf("cache disabled: %v", err)
+	}
+	// A store path that is an existing file fails cleanly.
+	blocked := filepath.Join(dir, "file-not-dir")
+	os.WriteFile(blocked, nil, 0o644)
+	c := cfg(10, 1, "jaccard", "", 0, "", false)
+	c.store = blocked
+	if _, err := build(c); err == nil {
+		t.Error("store at a regular file should fail")
 	}
 }
 
@@ -66,28 +99,28 @@ func TestBuildWithCSVData(t *testing.T) {
 	if err := os.WriteFile(data, []byte(csvText), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := build(0, 0, "jaccard", "", 16, data, false)
+	a, err := build(cfg(0, 0, "jaccard", "", 16, data, false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv)
+	ts := httptest.NewServer(a.api)
 	defer ts.Close()
 	resp, err := ts.Client().Post(ts.URL+"/query", "application/json",
 		strings.NewReader(`{"query": "top 5 context location = Athens"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("query status = %d", resp.StatusCode)
 	}
 	// Bad CSV fails.
 	bad := filepath.Join(dir, "bad.csv")
 	os.WriteFile(bad, []byte("nope"), 0o644)
-	if _, err := build(0, 0, "jaccard", "", 16, bad, false); err == nil {
+	if _, err := build(cfg(0, 0, "jaccard", "", 16, bad, false)); err == nil {
 		t.Error("bad CSV should fail")
 	}
-	if _, err := build(0, 0, "jaccard", "", 16, "/nonexistent.csv", false); err == nil {
+	if _, err := build(cfg(0, 0, "jaccard", "", 16, "/nonexistent.csv", false)); err == nil {
 		t.Error("missing CSV should fail")
 	}
 }
@@ -96,11 +129,11 @@ func TestBuildMultiUser(t *testing.T) {
 	dir := t.TempDir()
 	profile := filepath.Join(dir, "seed.cp")
 	os.WriteFile(profile, []byte("# seed\n[accompanying_people = friends] => type = brewery : 0.9\n"), 0o644)
-	srv, err := build(30, 7, "jaccard", profile, 16, "", true)
+	a, err := build(cfg(30, 7, "jaccard", profile, 16, "", true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv)
+	ts := httptest.NewServer(a.api)
 	defer ts.Close()
 	// Two users, both seeded, isolated.
 	for _, user := range []string{"alice", "bob"} {
@@ -108,17 +141,263 @@ func TestBuildMultiUser(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		buf := make([]byte, 4096)
-		n, _ := resp.Body.Read(buf)
-		resp.Body.Close()
-		if !strings.Contains(string(buf[:n]), `"Preferences":1`) {
-			t.Errorf("%s stats = %s", user, buf[:n])
+		if body := readBody(t, resp); !strings.Contains(body, `"Preferences":1`) {
+			t.Errorf("%s stats = %s", user, body)
 		}
 	}
 	// Bad seed profile fails at build time in multi mode too.
 	badSeed := filepath.Join(dir, "bad.cp")
 	os.WriteFile(badSeed, []byte("garbage"), 0o644)
-	if _, err := build(30, 7, "jaccard", badSeed, 16, "", true); err == nil {
+	if _, err := build(cfg(30, 7, "jaccard", badSeed, 16, "", true)); err == nil {
 		t.Error("bad multi-user seed should fail")
+	}
+}
+
+// TestCrashRecoveryHTTP is the acceptance path: load a profile over
+// HTTP, crash the server without a snapshot — including a torn final
+// journal record — restart on the same store, and get identical
+// /preferences and /stats.
+func TestCrashRecoveryHTTP(t *testing.T) {
+	store := t.TempDir()
+	c := cfg(50, 7, "jaccard", "", 16, "", false)
+	c.store = store
+
+	a, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.api)
+	profile := `[accompanying_people = friends] => type = brewery : 0.9
+[time in {t01, t02}] => type = museum : 0.8
+[] => type = park : 0.4`
+	resp, err := ts.Client().Post(ts.URL+"/preferences", "text/plain", strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != 200 {
+		t.Fatalf("add = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/preferences", strings.NewReader("[] => type = park : 0.4"))
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != 200 {
+		t.Fatalf("remove = %d", resp.StatusCode)
+	}
+	resp, _ = ts.Client().Get(ts.URL + "/preferences")
+	wantExport := readBody(t, resp)
+	resp, _ = ts.Client().Get(ts.URL + "/stats")
+	wantStats := readBody(t, resp)
+	ts.Close()
+	// Crash: close the journal without snapshotting, then tear the tail
+	// by appending half a record, as if the process died mid-write.
+	a.journal.Close()
+	jpath := filepath.Join(store, "journal.cpj")
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("A\t99\t\"\"\tdead"); err != nil { // no newline, no payload
+		t.Fatal(err)
+	}
+	f.Close()
+
+	a2, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.journal.Close()
+	ts2 := httptest.NewServer(a2.api)
+	defer ts2.Close()
+	resp, _ = ts2.Client().Get(ts2.URL + "/preferences")
+	if got := readBody(t, resp); got != wantExport {
+		t.Errorf("recovered export:\n%s\nwant:\n%s", got, wantExport)
+	}
+	resp, _ = ts2.Client().Get(ts2.URL + "/stats")
+	if got := readBody(t, resp); got != wantStats {
+		t.Errorf("recovered stats = %s, want %s", got, wantStats)
+	}
+}
+
+// TestStoreIgnoresProfileWhenRecovered: on a store that already holds
+// state, -profile is not re-loaded (it would conflict with itself).
+func TestStoreIgnoresProfileWhenRecovered(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	seed := filepath.Join(dir, "seed.cp")
+	os.WriteFile(seed, []byte("[accompanying_people = friends] => type = brewery : 0.9\n"), 0o644)
+
+	c := cfg(30, 7, "jaccard", seed, 16, "", false)
+	c.store = store
+	a, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.api.System().NumPreferences()
+	if n != 1 {
+		t.Fatalf("fresh store seeded %d preferences", n)
+	}
+	a.journal.Close()
+
+	a2, err := build(c) // same store, same -profile
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.journal.Close()
+	if got := a2.api.System().NumPreferences(); got != 1 {
+		t.Errorf("restart with -profile doubled the profile: %d preferences", got)
+	}
+}
+
+// TestServeGracefulShutdown: cancelling the serve context (what SIGTERM
+// does in main) drains in-flight requests to completion, flips /readyz
+// to draining, and compacts the journal into a snapshot.
+func TestServeGracefulShutdown(t *testing.T) {
+	store := t.TempDir()
+	c := cfg(30, 7, "jaccard", "", 16, "", false)
+	c.store = store
+	a, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, a, ln, c) }()
+
+	// Wait for the server to accept.
+	var up bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("server never came up")
+	}
+
+	// An in-flight request that trickles its body in while shutdown
+	// begins; it must complete with 200, not be cut off.
+	pr, pw := io.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	inflight := make(chan int, 1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequest("POST", base+"/preferences", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	pw.Write([]byte("[accompanying_people = friends] "))
+	time.Sleep(20 * time.Millisecond) // let the handler start reading
+
+	cancel() // SIGTERM
+
+	// While draining, readiness reports 503 (new connections are still
+	// accepted until Shutdown closes the listener, so this may race with
+	// the listener closing; either observation is a pass).
+	if resp, err := http.Get(base + "/readyz"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("readyz during drain = %d %s", resp.StatusCode, body)
+		}
+	}
+
+	// Finish the in-flight request.
+	pw.Write([]byte("=> type = brewery : 0.9\n"))
+	pw.Close()
+	wg.Wait()
+	if got := <-inflight; got != http.StatusOK {
+		t.Errorf("in-flight request during drain = %d, want 200", got)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+
+	// The shutdown snapshot compacted the journal: state lives in
+	// snapshot.cpj and the in-flight preference survives a restart.
+	snap, err := os.ReadFile(filepath.Join(store, "snapshot.cpj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(snap), "brewery") {
+		t.Errorf("snapshot missing drained mutation:\n%s", snap)
+	}
+	a2, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.journal.Close()
+	if got := a2.api.System().NumPreferences(); got != 1 {
+		t.Errorf("restart after graceful shutdown: %d preferences, want 1", got)
+	}
+}
+
+// TestServeMultiUserStore: end-to-end multi-user durability through
+// build/serve, including a dropped-in preference per user.
+func TestServeMultiUserStore(t *testing.T) {
+	store := t.TempDir()
+	c := cfg(30, 7, "jaccard", "", 16, "", true)
+	c.store = store
+	a, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.api)
+	for i, user := range []string{"alice", "bob"} {
+		pref := fmt.Sprintf("[time = t%02d] => type = museum : 0.%d", i+1, i+5)
+		resp, err := ts.Client().Post(ts.URL+"/preferences?user="+user, "text/plain", strings.NewReader(pref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if readBody(t, resp); resp.StatusCode != 200 {
+			t.Fatalf("add for %s = %d", user, resp.StatusCode)
+		}
+	}
+	ts.Close()
+	a.journal.Close() // crash
+
+	a2, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.journal.Close()
+	ts2 := httptest.NewServer(a2.api)
+	defer ts2.Close()
+	resp, err := ts2.Client().Get(ts2.URL + "/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); !strings.Contains(body, "alice") || !strings.Contains(body, "bob") {
+		t.Errorf("recovered users = %s", body)
+	}
+	for _, user := range []string{"alice", "bob"} {
+		resp, err := ts2.Client().Get(ts2.URL + "/stats?user=" + user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body := readBody(t, resp); !strings.Contains(body, `"Preferences":1`) {
+			t.Errorf("%s recovered stats = %s", user, body)
+		}
 	}
 }

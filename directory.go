@@ -19,6 +19,9 @@ type Directory struct {
 	systems map[string]*SafeSystem
 	// defaults, when set, seeds each new user's profile.
 	defaults func(user string) ([]Preference, error)
+	// persist, when set via SetPersister, journals user lifecycle
+	// events and is attached to every per-user system.
+	persist Persister
 }
 
 // DirectoryOption configures a Directory.
@@ -61,8 +64,17 @@ func (d *Directory) Env() *Environment { return d.env }
 func (d *Directory) Relation() *Relation { return d.rel }
 
 // User returns the named user's system, creating (and seeding) it on
-// first access. User names must be non-empty.
+// first access. User names must be non-empty. With a persister
+// attached, the creation and the seed preferences are journaled, so a
+// restarted directory recovers the user exactly.
 func (d *Directory) User(name string) (*SafeSystem, error) {
+	return d.user(name, true)
+}
+
+// user implements User; seed false skips default-profile seeding and
+// creation journaling, which is what journal replay needs (the seeds
+// and the creation were journaled when the user first appeared).
+func (d *Directory) user(name string, seed bool) (*SafeSystem, error) {
 	if name == "" {
 		return nil, fmt.Errorf("contextpref: empty user name")
 	}
@@ -81,14 +93,27 @@ func (d *Directory) User(name string) (*SafeSystem, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d.defaults != nil {
-		prefs, err := d.defaults(name)
-		if err != nil {
-			return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+	if seed {
+		// Journal the creation before the seeds so replay re-creates
+		// the user first; attach the persister before seeding so the
+		// seed preferences are journaled too.
+		if d.persist != nil {
+			if err := d.persist.PersistCreateUser(name); err != nil {
+				return nil, &PersistError{Op: "create user", Err: err}
+			}
+			inner.SetPersister(d.persist, name)
 		}
-		if err := inner.AddPreferences(prefs...); err != nil {
-			return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+		if d.defaults != nil {
+			prefs, err := d.defaults(name)
+			if err != nil {
+				return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+			}
+			if err := inner.AddPreferences(prefs...); err != nil {
+				return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+			}
 		}
+	} else if d.persist != nil {
+		inner.SetPersister(d.persist, name)
 	}
 	sys = Synchronized(inner)
 	d.systems[name] = sys
@@ -104,12 +129,36 @@ func (d *Directory) Lookup(name string) (*SafeSystem, bool) {
 }
 
 // Remove deletes a user's profile; it reports whether the user existed.
+// It is RemoveUser discarding the persistence error, kept for callers
+// that do not journal.
 func (d *Directory) Remove(name string) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	_, ok := d.systems[name]
-	delete(d.systems, name)
+	ok, _ := d.RemoveUser(name)
 	return ok
+}
+
+// RemoveUser deletes a user's profile and journals the drop. The
+// removed system is detached from the persister before the drop record
+// is written, so a concurrent writer holding the old handle cannot
+// journal mutations that would resurrect the user on replay.
+func (d *Directory) RemoveUser(name string) (bool, error) {
+	d.mu.Lock()
+	sys, ok := d.systems[name]
+	delete(d.systems, name)
+	persist := d.persist
+	d.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	// Waits for in-flight mutations on the removed system: their
+	// journal records land before our drop record, so replay nets out
+	// to "user gone" exactly like the in-memory state.
+	sys.SetPersister(nil, "")
+	if persist != nil {
+		if err := persist.PersistDropUser(name); err != nil {
+			return true, &PersistError{Op: "drop user", Err: err}
+		}
+	}
+	return true, nil
 }
 
 // Users lists the known user names, sorted.

@@ -12,17 +12,40 @@
 //	DELETE /preferences        remove preferences (same body format)
 //	POST /query                run a contextual query (JSON body, see QueryRequest)
 //	GET  /resolve?state=v1,v2  context resolution for a state (all candidates)
+//	GET  /healthz              liveness: always {"status":"ok"} while the process serves
+//	GET  /readyz               readiness: 200 {"status":"ready"}, or 503
+//	                           {"status":"draining"} once shutdown has begun
 //
-// Errors return JSON {"error": "..."} with 400 for bad input and 409
-// for preference conflicts.
+// Errors return JSON {"error": "...", "code": "..."} where code is one
+// of "bad_request" (400), "conflict" (409, a Def. 6 preference
+// conflict, detected via errors.As on *contextpref.ConflictError),
+// "overloaded" (503, the concurrency limiter shed the request),
+// "unavailable" (503, persisting the mutation to the journal failed —
+// the in-memory state was not modified), and "internal" (500).
+//
+// Hardening. Every request passes through a middleware chain: a
+// request-ID middleware (honoring an incoming X-Request-ID header,
+// minting one otherwise, and echoing it on the response), a
+// panic-recovery middleware that converts handler panics into 500
+// responses instead of tearing down the connection, and — when
+// WithMaxInflight is set — a semaphore-based concurrency limiter that
+// sheds excess load with 503 + Retry-After rather than collapsing under
+// it. /healthz and /readyz bypass the limiter so probes see the truth
+// even when the server is saturated. SetDraining flips /readyz to 503
+// so load balancers stop routing new traffic during graceful shutdown.
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"contextpref"
 )
@@ -34,11 +57,29 @@ type Server struct {
 	directory   *contextpref.Directory  // multi-user mode
 	environment *contextpref.Environment
 	mux         *http.ServeMux
+
+	sem      chan struct{} // nil = unlimited
+	draining atomic.Bool
+	nextID   atomic.Uint64
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxInflight bounds the number of concurrently served requests;
+// excess requests are shed with 503 ("overloaded") instead of queueing
+// without bound. n <= 0 means unlimited.
+func WithMaxInflight(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
 }
 
 // New wraps one system (which must not be mutated elsewhere afterwards)
 // and builds the routes.
-func New(sys *contextpref.System) (*Server, error) {
+func New(sys *contextpref.System, opts ...ServerOption) (*Server, error) {
 	if sys == nil {
 		return nil, fmt.Errorf("httpapi: nil system")
 	}
@@ -46,21 +87,44 @@ func New(sys *contextpref.System) (*Server, error) {
 		single:      contextpref.Synchronized(sys),
 		environment: sys.Env(),
 	}
-	s.routes()
+	s.init(opts)
 	return s, nil
 }
 
 // NewMultiUser serves a directory of per-user profiles: every endpoint
 // (except /env) takes a ?user=name parameter, defaulting to "default".
 // Unknown users are created on first write and on first read.
-func NewMultiUser(dir *contextpref.Directory) (*Server, error) {
+func NewMultiUser(dir *contextpref.Directory, opts ...ServerOption) (*Server, error) {
 	if dir == nil {
 		return nil, fmt.Errorf("httpapi: nil directory")
 	}
 	s := &Server{directory: dir, environment: dir.Env()}
-	s.routes()
+	s.init(opts)
 	return s, nil
 }
+
+func (s *Server) init(opts []ServerOption) {
+	for _, o := range opts {
+		o(s)
+	}
+	s.routes()
+}
+
+// SetDraining marks the server as shutting down (or not): while
+// draining, /readyz answers 503 so load balancers stop routing new
+// traffic; in-flight and already-accepted requests are still served.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Directory returns the directory in multi-user mode (nil otherwise);
+// the serving binary uses it to snapshot state at shutdown.
+func (s *Server) Directory() *contextpref.Directory { return s.directory }
+
+// System returns the wrapped system in single-user mode (nil
+// otherwise).
+func (s *Server) System() *contextpref.SafeSystem { return s.single }
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
@@ -71,6 +135,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /preferences", s.handleRemove)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /resolve", s.handleResolve)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.directory != nil {
 		s.mux.HandleFunc("GET /users", s.handleUsers)
 	}
@@ -92,8 +158,57 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.directory.Users())
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// isProbe reports whether the request targets a health endpoint, which
+// bypasses the concurrency limiter.
+func isProbe(r *http.Request) bool {
+	return r.URL.Path == "/healthz" || r.URL.Path == "/readyz"
+}
+
+// ServeHTTP implements http.Handler: request-ID tagging, panic
+// recovery, load shedding, then the route mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = strconv.FormatUint(s.nextID.Add(1), 10)
+	}
+	w.Header().Set("X-Request-ID", rid)
+
+	defer func() {
+		if p := recover(); p != nil {
+			log.Printf("httpapi: panic serving %s %s (request %s): %v\n%s",
+				r.Method, r.URL.Path, rid, p, debug.Stack())
+			// Best-effort: if the handler already wrote headers this is
+			// a no-op on the status line.
+			writeError(w, http.StatusInternalServerError, "internal",
+				fmt.Errorf("httpapi: internal server error (request %s)", rid))
+		}
+	}()
+
+	if s.sem != nil && !isProbe(r) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "overloaded",
+				fmt.Errorf("httpapi: server overloaded, retry later"))
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // writeJSON sends a JSON response.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -102,9 +217,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError sends a JSON error.
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError sends a structured JSON error with a machine-readable
+// code.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}
+
+// mutationError classifies an error from a profile mutation: Def. 6
+// conflicts (typed, via errors.As) are 409, journal failures are 503,
+// anything else is the caller's bad input.
+func mutationError(w http.ResponseWriter, err error) {
+	var conflict *contextpref.ConflictError
+	if errors.As(err, &conflict) {
+		writeError(w, http.StatusConflict, "conflict", err)
+		return
+	}
+	var persist *contextpref.PersistError
+	if errors.As(err, &persist) {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_request", err)
 }
 
 // EnvParameter describes one context parameter in GET /env.
@@ -144,7 +277,7 @@ func (s *Server) handleEnv(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sys, err := s.system(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		mutationError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sys.Stats())
@@ -153,12 +286,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	sys, err := s.system(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		mutationError(w, err)
 		return
 	}
 	text, err := sys.ExportProfile()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -168,20 +301,16 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	sys, err := s.system(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		mutationError(w, err)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	if err := sys.LoadProfile(string(body)); err != nil {
-		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "conflict") {
-			status = http.StatusConflict
-		}
-		writeError(w, status, err)
+		mutationError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"preferences": sys.NumPreferences()})
@@ -193,12 +322,12 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	sys, err := s.system(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		mutationError(w, err)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	removed := 0
@@ -209,12 +338,12 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		}
 		p, err := contextpref.ParsePreference(line)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		n, err := sys.RemovePreference(p)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			mutationError(w, err)
 			return
 		}
 		removed += n
@@ -257,35 +386,35 @@ type QueryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sys, err := s.system(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		mutationError(w, err)
 		return
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	cq, err := contextpref.ParseQuery(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	var current contextpref.State
 	if len(req.Current) > 0 {
 		current, err = sys.NewState(req.Current...)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 	}
 	if len(cq.Ecod) == 0 && current == nil {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Errorf("httpapi: query needs a context clause or a current state"))
 		return
 	}
 	res, err := sys.Query(cq, current)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	resp := QueryResponse{Contextual: res.Contextual}
@@ -320,22 +449,22 @@ type ResolveCandidate struct {
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	sys, err := s.system(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		mutationError(w, err)
 		return
 	}
 	raw := r.URL.Query().Get("state")
 	if raw == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: missing state parameter"))
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("httpapi: missing state parameter"))
 		return
 	}
 	st, err := sys.NewState(strings.Split(raw, ",")...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	cands, err := sys.ResolveAll(st)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	out := make([]ResolveCandidate, 0, len(cands))

@@ -1,0 +1,398 @@
+// Package journal implements an append-only, fsync'd write-ahead log
+// of preference mutations, giving the in-memory preference database a
+// durable, crash-safe persistence layer.
+//
+// # File format
+//
+// A store directory holds two line-oriented text files:
+//
+//	journal.cpj    the write-ahead log, appended (and fsync'd) per batch
+//	snapshot.cpj   a compacted rendering of the full state, replaced
+//	               atomically (write-temp-then-rename) by Snapshot
+//
+// Every record is one line of five tab-separated fields:
+//
+//	<op> TAB <seq> TAB <quoted-user> TAB <crc32-hex> TAB <payload>
+//
+// where op is one of
+//
+//	U   user created (payload empty)
+//	A   preference added (payload: the preference line encoding)
+//	R   preference removed (payload: the preference line encoding)
+//	D   user dropped (payload empty)
+//
+// seq is a monotonically increasing decimal sequence number, user is a
+// Go-quoted user name ("" in single-user deployments) and crc32-hex is
+// the IEEE CRC-32 of the payload bytes in fixed-width hex. Blank lines
+// and lines starting with '#' are ignored. The payload reuses the
+// preference line encoding of internal/preference, e.g.
+//
+//	A	7	"alice"	89e2c90c	[accompanying_people = friends] => type = brewery : 0.9
+//
+// # Crash recovery
+//
+// Open replays the snapshot first and then every journal record whose
+// sequence number is newer than the snapshot's. A torn final journal
+// record — a line missing its trailing newline, with missing fields, or
+// whose checksum does not match, as left behind by a crash mid-append —
+// is tolerated: the journal is truncated back to the end of the last
+// valid record and recovery proceeds with the valid prefix.
+//
+// Snapshot writes the compacted state to a temporary file, fsyncs it,
+// renames it over snapshot.cpj, fsyncs the directory, and only then
+// truncates the journal. A crash between the rename and the truncation
+// merely leaves already-snapshotted records in the journal; their stale
+// sequence numbers make the next Open skip them.
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Op identifies a journal record type.
+type Op byte
+
+// The journal record types.
+const (
+	// OpUser records the creation of a user profile.
+	OpUser Op = 'U'
+	// OpAdd records an added preference (payload: line encoding).
+	OpAdd Op = 'A'
+	// OpRemove records a removed preference (payload: line encoding).
+	OpRemove Op = 'R'
+	// OpDrop records the deletion of a user profile.
+	OpDrop Op = 'D'
+)
+
+func (op Op) valid() bool {
+	switch op {
+	case OpUser, OpAdd, OpRemove, OpDrop:
+		return true
+	}
+	return false
+}
+
+// Record is one journaled preference mutation.
+type Record struct {
+	// Op is the mutation type.
+	Op Op
+	// User is the owning user name ("" in single-user deployments).
+	User string
+	// Line is the preference in the line encoding; empty for OpUser
+	// and OpDrop.
+	Line string
+}
+
+const (
+	journalFile  = "journal.cpj"
+	snapshotFile = "snapshot.cpj"
+	snapshotTemp = "snapshot.cpj.tmp"
+	fileHeader   = "# cpjournal v1"
+	// metaPrefix introduces the snapshot's last-compacted sequence
+	// number ("!lastseq <n>").
+	metaPrefix = "!lastseq "
+)
+
+// Journal is an open write-ahead log. It is safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	dir     string
+	f       *os.File
+	nextSeq uint64
+	closed  bool
+}
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Open opens (creating it if needed) the store directory, recovers the
+// persisted records — snapshot first, then the journal tail — and
+// returns the journal ready for appending. A torn final journal record
+// is truncated away; see the package comment.
+func Open(dir string) (*Journal, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	// A stale temp file is debris from a crashed snapshot; the rename
+	// never happened, so it is dead weight.
+	_ = os.Remove(filepath.Join(dir, snapshotTemp))
+
+	recs, lastSeq, err := readSnapshot(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	jpath := filepath.Join(dir, journalFile)
+	jrecs, seqs, validLen, err := readJournal(jpath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st, err := os.Stat(jpath); err == nil && st.Size() > validLen {
+		// Torn or corrupt tail: truncate back to the last valid record.
+		if err := os.Truncate(jpath, validLen); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	nextSeq := lastSeq + 1
+	for i, r := range jrecs {
+		if seqs[i] <= lastSeq {
+			continue // already folded into the snapshot
+		}
+		recs = append(recs, r)
+		if seqs[i] >= nextSeq {
+			nextSeq = seqs[i] + 1
+		}
+	}
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		if _, err := f.WriteString(fileHeader + "\n"); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	return &Journal{dir: dir, f: f, nextSeq: nextSeq}, recs, nil
+}
+
+// Dir returns the store directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append durably writes the records as one batch: all lines are written
+// with consecutive sequence numbers and a single fsync. On error the
+// caller must assume none of the batch is durable.
+func (j *Journal) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	var b strings.Builder
+	for _, r := range recs {
+		line, err := marshal(r, j.nextSeq)
+		if err != nil {
+			return err
+		}
+		b.WriteString(line)
+		j.nextSeq++
+	}
+	if _, err := j.f.WriteString(b.String()); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Snapshot atomically replaces the snapshot with the given compacted
+// state and truncates the journal. state should reconstruct the full
+// current database when replayed (typically OpUser + OpAdd records).
+func (j *Journal) Snapshot(state []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	lastSeq := j.nextSeq - 1
+	var b strings.Builder
+	b.WriteString(fileHeader + " snapshot\n")
+	fmt.Fprintf(&b, "%s%d\n", metaPrefix, lastSeq)
+	for _, r := range state {
+		line, err := marshal(r, lastSeq)
+		if err != nil {
+			return err
+		}
+		b.WriteString(line)
+	}
+	tmp := filepath.Join(j.dir, snapshotTemp)
+	if err := writeFileSync(tmp, b.String()); err != nil {
+		return err
+	}
+	final := filepath.Join(j.dir, snapshotFile)
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("journal: snapshot rename: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	// Compaction: the snapshot now owns everything up to lastSeq, so
+	// the journal restarts empty.
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	if _, err := j.f.WriteString(fileHeader + "\n"); err != nil {
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal. Further operations return
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return j.f.Close()
+}
+
+// marshal renders one record line.
+func marshal(r Record, seq uint64) (string, error) {
+	if !r.Op.valid() {
+		return "", fmt.Errorf("journal: invalid op %q", string(rune(r.Op)))
+	}
+	if strings.ContainsAny(r.Line, "\n\r") {
+		return "", fmt.Errorf("journal: payload contains a line break: %q", r.Line)
+	}
+	return fmt.Sprintf("%c\t%d\t%s\t%08x\t%s\n",
+		byte(r.Op), seq, strconv.Quote(r.User), crc32.ChecksumIEEE([]byte(r.Line)), r.Line), nil
+}
+
+// parseRecord reads one record line (without its trailing newline).
+func parseRecord(line string) (Record, uint64, error) {
+	parts := strings.SplitN(line, "\t", 5)
+	if len(parts) != 5 {
+		return Record{}, 0, fmt.Errorf("journal: %d fields, want 5", len(parts))
+	}
+	if len(parts[0]) != 1 || !Op(parts[0][0]).valid() {
+		return Record{}, 0, fmt.Errorf("journal: invalid op %q", parts[0])
+	}
+	seq, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("journal: bad sequence number %q", parts[1])
+	}
+	user, err := strconv.Unquote(parts[2])
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("journal: bad user field %q", parts[2])
+	}
+	sum, err := strconv.ParseUint(parts[3], 16, 32)
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("journal: bad checksum field %q", parts[3])
+	}
+	if got := crc32.ChecksumIEEE([]byte(parts[4])); got != uint32(sum) {
+		return Record{}, 0, fmt.Errorf("journal: checksum mismatch (%08x != %08x)", got, sum)
+	}
+	return Record{Op: Op(parts[0][0]), User: user, Line: parts[4]}, seq, nil
+}
+
+// readSnapshot strictly parses the snapshot file (it is written
+// atomically, so any damage is real corruption, not a torn write).
+// Missing file means empty state.
+func readSnapshot(path string) ([]Record, uint64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: reading snapshot: %w", err)
+	}
+	var recs []Record
+	var lastSeq uint64
+	for ln, raw := range strings.Split(string(data), "\n") {
+		// Only trim the line ending: a record with an empty payload
+		// legitimately ends in a tab.
+		line := strings.TrimRight(raw, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, metaPrefix); ok {
+			lastSeq, err = strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("journal: snapshot line %d: bad lastseq: %w", ln+1, err)
+			}
+			continue
+		}
+		r, _, err := parseRecord(line)
+		if err != nil {
+			return nil, 0, fmt.Errorf("journal: snapshot line %d: %w", ln+1, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, lastSeq, nil
+}
+
+// readJournal tolerantly parses the journal: it stops at the first
+// invalid or unterminated line and reports the byte length of the valid
+// prefix so the caller can truncate the torn tail away.
+func readJournal(path string) (recs []Record, seqs []uint64, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, 0, nil
+	}
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("journal: reading journal: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated final line: torn write
+		}
+		end := off + nl + 1
+		line := strings.TrimRight(string(data[off:off+nl]), "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			validLen, off = int64(end), end
+			continue
+		}
+		r, seq, perr := parseRecord(line)
+		if perr != nil {
+			break // corrupt record: keep only the prefix before it
+		}
+		recs = append(recs, r)
+		seqs = append(seqs, seq)
+		validLen, off = int64(end), end
+	}
+	return recs, seqs, validLen, nil
+}
+
+// writeFileSync writes content to path and fsyncs it.
+func writeFileSync(path, content string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.WriteString(content); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync dir: %w", err)
+	}
+	return nil
+}

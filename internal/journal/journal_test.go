@@ -1,0 +1,281 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs
+}
+
+func TestAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := mustOpen(t, dir)
+	if len(recs) != 0 {
+		t.Fatalf("fresh store replayed %d records", len(recs))
+	}
+	batch := []Record{
+		{Op: OpUser, User: "alice"},
+		{Op: OpAdd, User: "alice", Line: "[time = morning] => type = museum : 0.8"},
+		{Op: OpAdd, User: "alice", Line: "[] => type = park : 0.4"},
+		{Op: OpRemove, User: "alice", Line: "[] => type = park : 0.4"},
+		{Op: OpDrop, User: "bob"},
+	}
+	if err := j.Append(batch...); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := mustOpen(t, dir)
+	defer j2.Close()
+	if len(recs) != len(batch) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(batch))
+	}
+	for i, r := range recs {
+		if r != batch[i] {
+			t.Errorf("record %d = %+v, want %+v", i, r, batch[i])
+		}
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir())
+	j.Close()
+	if err := j.Append(Record{Op: OpUser, User: "x"}); err != ErrClosed {
+		t.Errorf("append after close = %v, want ErrClosed", err)
+	}
+	if err := j.Snapshot(nil); err != ErrClosed {
+		t.Errorf("snapshot after close = %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestRejectsBadRecords(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir())
+	defer j.Close()
+	if err := j.Append(Record{Op: 'X', User: "u"}); err == nil {
+		t.Error("invalid op accepted")
+	}
+	if err := j.Append(Record{Op: OpAdd, User: "u", Line: "a\nb"}); err == nil {
+		t.Error("payload with newline accepted")
+	}
+}
+
+// TestTornTail simulates a crash mid-append: the final record is
+// truncated at every possible byte boundary and recovery must keep
+// exactly the valid prefix.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	full := []Record{
+		{Op: OpAdd, User: "u", Line: "[time = morning] => type = museum : 0.8"},
+		{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
+	}
+	if err := j.Append(full...); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	jpath := filepath.Join(dir, "journal.cpj")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte offset where the last record starts.
+	body := string(data)
+	lastStart := strings.LastIndex(strings.TrimRight(body, "\n"), "\n") + 1
+
+	for cut := lastStart; cut < len(data); cut++ {
+		work := t.TempDir()
+		wpath := filepath.Join(work, "journal.cpj")
+		if err := os.WriteFile(wpath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs, err := Open(work)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(recs) != 1 || recs[0] != full[0] {
+			t.Fatalf("cut at %d: replayed %+v, want only first record", cut, recs)
+		}
+		// The torn tail must be gone: appending and reopening stays clean.
+		if err := j2.Append(Record{Op: OpDrop, User: "u"}); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		_, recs2, err := Open(work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs2) != 2 || recs2[1].Op != OpDrop {
+			t.Fatalf("cut at %d: after repair replayed %+v", cut, recs2)
+		}
+	}
+}
+
+func TestCorruptMidRecordTruncates(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	if err := j.Append(
+		Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
+		Record{Op: OpAdd, User: "u", Line: "[] => type = museum : 0.6"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	jpath := filepath.Join(dir, "journal.cpj")
+	data, _ := os.ReadFile(jpath)
+	// Flip a payload byte of the last record: its checksum must fail.
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)-3] ^= 0xff
+	if err := os.WriteFile(jpath, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	st, _ := os.Stat(jpath)
+	if int64(len(data)) <= st.Size() {
+		t.Errorf("corrupt tail not truncated: %d -> %d bytes", len(data), st.Size())
+	}
+}
+
+func TestSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	if err := j.Append(
+		Record{Op: OpUser, User: "alice"},
+		Record{Op: OpAdd, User: "alice", Line: "[] => type = park : 0.4"},
+		Record{Op: OpRemove, User: "alice", Line: "[] => type = park : 0.4"},
+		Record{Op: OpAdd, User: "alice", Line: "[] => type = museum : 0.6"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	compacted := []Record{
+		{Op: OpUser, User: "alice"},
+		{Op: OpAdd, User: "alice", Line: "[] => type = museum : 0.6"},
+	}
+	if err := j.Snapshot(compacted); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot appends land in the (now empty) journal.
+	if err := j.Append(Record{Op: OpAdd, User: "alice", Line: "[] => type = zoo : 0.2"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, recs := mustOpen(t, dir)
+	defer j2.Close()
+	want := append(append([]Record(nil), compacted...),
+		Record{Op: OpAdd, User: "alice", Line: "[] => type = zoo : 0.2"})
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %+v, want %+v", recs, want)
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+// TestStaleJournalAfterSnapshot simulates a crash between the snapshot
+// rename and the journal truncation: records already folded into the
+// snapshot remain in the journal but must be skipped on recovery via
+// their sequence numbers.
+func TestStaleJournalAfterSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	if err := j.Append(
+		Record{Op: OpUser, User: "u"},
+		Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, "journal.cpj")
+	preSnapshot, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Snapshot([]Record{
+		{Op: OpUser, User: "u"},
+		{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Undo the truncation, as if the crash hit before it.
+	if err := os.WriteFile(jpath, preSnapshot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := mustOpen(t, dir)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (stale journal records not skipped): %+v", len(recs), recs)
+	}
+	// New appends must get sequence numbers beyond the stale ones.
+	if err := j2.Append(Record{Op: OpDrop, User: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs3) != 3 || recs3[2].Op != OpDrop {
+		t.Fatalf("after stale recovery replayed %+v", recs3)
+	}
+}
+
+func TestUserNamesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	users := []string{"", "plain", "with space", "tab\tand\nnewline", `quote"back\slash`}
+	for _, u := range users {
+		if err := j.Append(Record{Op: OpUser, User: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	_, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(users) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(users))
+	}
+	for i, u := range users {
+		if recs[i].User != u {
+			t.Errorf("user %d = %q, want %q", i, recs[i].User, u)
+		}
+	}
+}
+
+func TestOpenCleansStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "snapshot.cpj.tmp")
+	if err := os.WriteFile(tmp, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs := mustOpen(t, dir)
+	defer j.Close()
+	if len(recs) != 0 {
+		t.Errorf("stale temp produced records: %+v", recs)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("stale snapshot temp file not removed")
+	}
+}

@@ -1,0 +1,129 @@
+package profiletree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/preference"
+)
+
+func batchEnv(t *testing.T) *ctxmodel.Environment {
+	t.Helper()
+	env, err := ctxmodel.ReferenceEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func pref(t *testing.T, line string) preference.Preference {
+	t.Helper()
+	p, err := preference.ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestInsertAllAtomic: a batch whose later member conflicts with stored
+// state must leave the tree exactly as it was — no partial application.
+func TestInsertAllAtomic(t *testing.T) {
+	env := batchEnv(t)
+	tr, err := New(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(pref(t, `[location = Plaka] => type = museum : 0.8`)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforePrefs, beforeCells := tr.NumPreferences(), tr.NumCells()
+
+	err = tr.InsertAll(
+		pref(t, `[temperature = warm] => type = park : 0.5`),               // valid
+		pref(t, `[location = Plaka] => type = museum : 0.1`),               // conflicts with stored
+		pref(t, `[accompanying_people = friends] => type = brewery : 0.9`), // never reached
+	)
+	var ce *preference.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("InsertAll = %v, want ConflictError", err)
+	}
+	if !strings.Contains(err.Error(), "preference 1") {
+		t.Errorf("error does not name the failing index: %v", err)
+	}
+	after, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Errorf("failed batch mutated the tree:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	if tr.NumPreferences() != beforePrefs || tr.NumCells() != beforeCells {
+		t.Errorf("counters drifted: prefs %d->%d cells %d->%d",
+			beforePrefs, tr.NumPreferences(), beforeCells, tr.NumCells())
+	}
+}
+
+// TestInsertAllIntraBatchConflict: two members of the same batch that
+// conflict with each other must be rejected even though neither
+// conflicts with stored state.
+func TestInsertAllIntraBatchConflict(t *testing.T) {
+	env := batchEnv(t)
+	tr, err := New(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tr.InsertAll(
+		pref(t, `[location = Plaka] => type = museum : 0.8`),
+		pref(t, `[location in {Plaka, Kifisia}] => type = museum : 0.3`),
+	)
+	var ce *preference.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("intra-batch conflict not detected: %v", err)
+	}
+	if tr.NumPreferences() != 0 || tr.NumCells() != 0 {
+		t.Errorf("rejected batch left residue: prefs=%d cells=%d", tr.NumPreferences(), tr.NumCells())
+	}
+}
+
+func TestCheckInsertDoesNotMutate(t *testing.T) {
+	env := batchEnv(t)
+	tr, err := New(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []preference.Preference{
+		pref(t, `[location = Plaka] => type = museum : 0.8`),
+		pref(t, `[] => type = park : 0.4`),
+	}
+	if err := tr.CheckInsert(batch...); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPreferences() != 0 || tr.NumCells() != 0 || tr.NumPaths() != 0 {
+		t.Errorf("CheckInsert mutated the tree: prefs=%d cells=%d", tr.NumPreferences(), tr.NumCells())
+	}
+	if err := tr.InsertAll(batch...); err != nil {
+		t.Fatalf("validated batch failed to apply: %v", err)
+	}
+	if tr.NumPreferences() != 2 {
+		t.Errorf("NumPreferences = %d, want 2", tr.NumPreferences())
+	}
+	// Same-score overlap within a batch is a harmless duplicate, not a
+	// conflict (Def. 6 requires differing scores).
+	if err := tr.CheckInsert(
+		pref(t, `[temperature = warm] => name = "Lake" : 0.6`),
+		pref(t, `[temperature = warm] => name = "Lake" : 0.6`),
+	); err != nil {
+		t.Errorf("duplicate scores flagged as conflict: %v", err)
+	}
+	// A single-preference batch keeps the bare (unwrapped) error.
+	err = tr.CheckInsert(pref(t, `[location = Plaka] => type = museum : 0.2`))
+	if err == nil || strings.Contains(err.Error(), "preference 0") {
+		t.Errorf("single check error = %v, want bare conflict", err)
+	}
+}

@@ -238,6 +238,18 @@ func (t *Tree) toEnvOrder(path []string) ctxmodel.State {
 // *preference.ConflictError and the tree is left unchanged. Re-inserting
 // an identical (state, clause, score) triple is a no-op for that state.
 func (t *Tree) Insert(p preference.Preference) error {
+	if err := t.checkInsert(p, nil); err != nil {
+		return err
+	}
+	t.applyInsert(p)
+	return nil
+}
+
+// checkInsert validates one preference without mutating the tree: score
+// range, descriptor validity, and Def. 6 conflicts against both the
+// stored entries and — when pending is non-nil — entries accumulated by
+// earlier members of the same batch.
+func (t *Tree) checkInsert(p preference.Preference, pending map[string]float64) error {
 	if p.Score < 0 || p.Score > 1 {
 		return fmt.Errorf("profiletree: interest score %v outside [0, 1]", p.Score)
 	}
@@ -245,7 +257,6 @@ func (t *Tree) Insert(p preference.Preference) error {
 	if err != nil {
 		return err
 	}
-	// Pass 1: conflict detection, so insertion is atomic.
 	for _, s := range states {
 		if leafNode, _, _ := t.descendExact(s); leafNode != nil {
 			for _, e := range leafNode.entries {
@@ -258,8 +269,59 @@ func (t *Tree) Insert(p preference.Preference) error {
 				}
 			}
 		}
+		if pending != nil {
+			k := s.Key() + "\x1f" + p.Clause.Key()
+			if sc, ok := pending[k]; ok && sc != p.Score {
+				return &preference.ConflictError{
+					New:      p,
+					Existing: preference.Preference{Descriptor: p.Descriptor, Clause: p.Clause, Score: sc},
+					State:    s,
+				}
+			}
+			pending[k] = p.Score
+		}
 	}
-	// Pass 2: insertion with incremental counter maintenance.
+	return nil
+}
+
+// CheckInsert reports the error InsertAll would return for the batch
+// without mutating the tree: each preference is validated against the
+// stored state and against the earlier members of the batch. A nil
+// return guarantees InsertAll on the same batch succeeds (absent
+// intervening mutations). Batch errors are annotated with the failing
+// index ("preference %d: ...").
+func (t *Tree) CheckInsert(ps ...preference.Preference) error {
+	pending := make(map[string]float64)
+	for i, p := range ps {
+		if err := t.checkInsert(p, pending); err != nil {
+			if len(ps) > 1 {
+				return fmt.Errorf("preference %d: %w", i, err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertAll inserts a batch atomically: the whole batch is validated
+// with CheckInsert first, and only then applied, so a failing batch
+// leaves the tree completely unchanged — callers never observe a
+// half-applied profile.
+func (t *Tree) InsertAll(ps ...preference.Preference) error {
+	if err := t.CheckInsert(ps...); err != nil {
+		return err
+	}
+	for _, p := range ps {
+		t.applyInsert(p)
+	}
+	return nil
+}
+
+// applyInsert performs the insertion with incremental counter
+// maintenance. It must only run after checkInsert passed, which makes
+// the descriptor expansion infallible.
+func (t *Tree) applyInsert(p preference.Preference) {
+	states, _ := p.Descriptor.Context(t.env)
 	for _, s := range states {
 		path := t.toTreeOrder(s)
 		nd := t.root
@@ -286,7 +348,6 @@ func (t *Tree) Insert(p preference.Preference) error {
 		}
 	}
 	t.numPrefs++
-	return nil
 }
 
 // Delete removes the preference's (clause, score) entry from every
@@ -356,15 +417,10 @@ func (t *Tree) deletePath(nd *node, path []string, level int, p preference.Prefe
 	return false
 }
 
-// InsertProfile inserts every preference of the profile, stopping at
-// the first error.
+// InsertProfile inserts every preference of the profile atomically: on
+// error nothing is inserted.
 func (t *Tree) InsertProfile(pr *preference.Profile) error {
-	for i := 0; i < pr.Len(); i++ {
-		if err := t.Insert(pr.Pref(i)); err != nil {
-			return fmt.Errorf("preference %d: %w", i, err)
-		}
-	}
-	return nil
+	return t.InsertAll(pr.Preferences()...)
 }
 
 // descendExact follows the exact path for a state, returning the leaf

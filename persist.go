@@ -1,0 +1,240 @@
+package contextpref
+
+// This file is the durability seam between the in-memory preference
+// database and the append-only journal of internal/journal: a Persister
+// hook that System/SafeSystem/Directory invoke on every committed
+// mutation, the journal-backed implementation of that hook, and the
+// replay/snapshot helpers a server needs to recover full state after a
+// crash and to compact the log.
+//
+// Mutation ordering is validate → persist → apply: a mutation is first
+// validated against the in-memory state (so applying it cannot fail),
+// then journaled (fsync'd), and only then applied. A persist failure
+// therefore leaves the in-memory state untouched and surfaces as a
+// *PersistError; a crash after the journal write is recovered by
+// replay, which re-applies the already-validated record.
+
+import (
+	"fmt"
+	"strings"
+
+	"contextpref/internal/journal"
+)
+
+// Persister observes committed profile mutations so they can be made
+// durable. user is "" in single-user deployments and the directory key
+// in multi-user ones. Implementations must be safe for concurrent use.
+type Persister interface {
+	// PersistCreateUser records the creation of a user profile.
+	PersistCreateUser(user string) error
+	// PersistAdd records an added preference batch. The batch must be
+	// made durable atomically (all or nothing).
+	PersistAdd(user string, ps ...Preference) error
+	// PersistRemove records a removed preference.
+	PersistRemove(user string, p Preference) error
+	// PersistDropUser records the deletion of a user profile.
+	PersistDropUser(user string) error
+}
+
+// PersistError wraps a failure to persist a mutation. The in-memory
+// state was not modified; callers can safely retry or surface the
+// storage failure (HTTP servers map it to 503).
+type PersistError struct {
+	// Op names the failed operation ("add", "remove", "create user",
+	// "drop user").
+	Op string
+	// Err is the underlying storage error.
+	Err error
+}
+
+// Error implements error.
+func (e *PersistError) Error() string {
+	return fmt.Sprintf("contextpref: persisting %s: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying storage error to errors.Is/As.
+func (e *PersistError) Unwrap() error { return e.Err }
+
+// JournalPersister adapts a *journal.Journal to the Persister
+// interface, encoding each mutation with the preference line codec.
+type JournalPersister struct {
+	j *journal.Journal
+}
+
+// NewJournalPersister wraps an open journal.
+func NewJournalPersister(j *journal.Journal) *JournalPersister {
+	return &JournalPersister{j: j}
+}
+
+// Journal returns the wrapped journal.
+func (jp *JournalPersister) Journal() *journal.Journal { return jp.j }
+
+// PersistCreateUser appends a user-created record.
+func (jp *JournalPersister) PersistCreateUser(user string) error {
+	return jp.j.Append(journal.Record{Op: journal.OpUser, User: user})
+}
+
+// PersistAdd appends one add-record per preference as a single fsync'd
+// batch.
+func (jp *JournalPersister) PersistAdd(user string, ps ...Preference) error {
+	recs := make([]journal.Record, len(ps))
+	for i, p := range ps {
+		recs[i] = journal.Record{Op: journal.OpAdd, User: user, Line: FormatPreference(p)}
+	}
+	return jp.j.Append(recs...)
+}
+
+// PersistRemove appends a remove-record.
+func (jp *JournalPersister) PersistRemove(user string, p Preference) error {
+	return jp.j.Append(journal.Record{Op: journal.OpRemove, User: user, Line: FormatPreference(p)})
+}
+
+// PersistDropUser appends a user-dropped record.
+func (jp *JournalPersister) PersistDropUser(user string) error {
+	return jp.j.Append(journal.Record{Op: journal.OpDrop, User: user})
+}
+
+// SetPersister attaches a persistence hook to the system; subsequent
+// mutations are persisted under the given user name before they are
+// applied. Attach the hook after replaying recovered records, never
+// before, or replay would re-journal its own input. A nil persister
+// detaches the hook.
+func (s *System) SetPersister(p Persister, user string) {
+	s.persist = p
+	s.persistUser = user
+}
+
+// SetPersister attaches a persistence hook under the write lock.
+func (s *SafeSystem) SetPersister(p Persister, user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.SetPersister(p, user)
+}
+
+// SetPersister attaches a persistence hook to the directory: every
+// existing and future per-user system persists under its user name, and
+// RemoveUser journals profile drops. Attach after Replay.
+func (d *Directory) SetPersister(p Persister) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.persist = p
+	for name, sys := range d.systems {
+		sys.SetPersister(p, name)
+	}
+}
+
+// Replay applies recovered journal records to a single-user system,
+// ignoring the records' user field. Call before SetPersister. Replay of
+// a journal produced by this package cannot conflict; an error
+// indicates a corrupt or foreign journal.
+func (s *System) Replay(recs []journal.Record) error {
+	for i, r := range recs {
+		if err := replayOne(s, r); err != nil {
+			return fmt.Errorf("contextpref: replaying record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Replay applies recovered journal records to the directory, recreating
+// per-user profiles exactly as journaled: replayed users are created
+// without default-profile seeding, because their seed preferences were
+// themselves journaled when the user was first created. Call before
+// SetPersister.
+func (d *Directory) Replay(recs []journal.Record) error {
+	for i, r := range recs {
+		if r.Op == journal.OpDrop {
+			d.mu.Lock()
+			delete(d.systems, r.User)
+			d.mu.Unlock()
+			continue
+		}
+		sys, err := d.user(r.User, false)
+		if err != nil {
+			return fmt.Errorf("contextpref: replaying record %d: %w", i, err)
+		}
+		if r.Op == journal.OpUser {
+			continue // creation was the whole effect
+		}
+		if err := replayOne(sys.sys, r); err != nil {
+			return fmt.Errorf("contextpref: replaying record %d (user %q): %w", i, r.User, err)
+		}
+	}
+	return nil
+}
+
+// replayOne applies one add/remove record to a bare system.
+func replayOne(s *System, r journal.Record) error {
+	switch r.Op {
+	case journal.OpUser:
+		return nil
+	case journal.OpAdd, journal.OpRemove:
+		p, err := ParsePreference(r.Line)
+		if err != nil {
+			return err
+		}
+		if r.Op == journal.OpAdd {
+			return s.AddPreference(p)
+		}
+		_, err = s.RemovePreference(p)
+		return err
+	case journal.OpDrop:
+		return fmt.Errorf("contextpref: drop-user record in single-user journal")
+	default:
+		return fmt.Errorf("contextpref: unknown journal op %q", string(rune(r.Op)))
+	}
+}
+
+// SnapshotRecords renders the system's current profile as add-records
+// suitable for journal.Snapshot: one record per stored (state, clause,
+// score) entry. Compaction therefore normalizes the preference count to
+// the number of stored entries; the tree, and with it all resolution
+// and query semantics, round-trips exactly.
+func (s *System) SnapshotRecords(user string) ([]journal.Record, error) {
+	text, err := s.ExportProfile()
+	if err != nil {
+		return nil, err
+	}
+	return profileRecords(user, text), nil
+}
+
+// SnapshotRecords renders the system's current profile under the shared
+// lock.
+func (s *SafeSystem) SnapshotRecords(user string) ([]journal.Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.SnapshotRecords(user)
+}
+
+// SnapshotRecords renders every user's profile as user-created and
+// add-records, suitable for journal.Snapshot. Users with empty profiles
+// are preserved (as a bare user-created record).
+func (d *Directory) SnapshotRecords() ([]journal.Record, error) {
+	var out []journal.Record
+	for _, name := range d.Users() {
+		sys, ok := d.Lookup(name)
+		if !ok {
+			continue // removed concurrently
+		}
+		out = append(out, journal.Record{Op: journal.OpUser, User: name})
+		recs, err := sys.SnapshotRecords(name)
+		if err != nil {
+			return nil, fmt.Errorf("contextpref: snapshotting user %q: %w", name, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// profileRecords converts an exported profile to add-records.
+func profileRecords(user, text string) []journal.Record {
+	var out []journal.Record
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, journal.Record{Op: journal.OpAdd, User: user, Line: line})
+	}
+	return out
+}

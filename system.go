@@ -25,6 +25,11 @@ type System struct {
 	engine   *query.Engine
 	cache    *querytree.Cache
 	cached   *querytree.Engine
+
+	// persist, when set via SetPersister, journals every committed
+	// mutation under persistUser before it is applied.
+	persist     Persister
+	persistUser string
 }
 
 // Option configures a System.
@@ -119,22 +124,29 @@ func (s *System) Metric() Metric { return s.metric }
 // AddPreference inserts one contextual preference, detecting conflicts
 // (Def. 6) during the profile-tree insertion; a *ConflictError reports
 // the state and the clashing preference. Cached query results are
-// invalidated, since rankings embed preference scores.
+// invalidated, since rankings embed preference scores. With a persister
+// attached, the mutation is journaled before it is applied.
 func (s *System) AddPreference(p Preference) error {
-	if err := s.tree.Insert(p); err != nil {
-		return err
-	}
-	if s.cache != nil {
-		s.cache.Invalidate()
-	}
-	return nil
+	return s.AddPreferences(p)
 }
 
 // RemovePreference deletes the preference's entries from every context
 // state its descriptor denotes (see profiletree.Tree.Delete for the
 // shared-entry semantics) and invalidates cached query results. It
-// returns how many entries were removed.
+// returns how many entries were removed. With a persister attached, the
+// removal is journaled before it is applied (replaying a removal that
+// matched nothing is a harmless no-op).
 func (s *System) RemovePreference(p Preference) (int, error) {
+	// Validate the descriptor up front so the post-journal delete
+	// cannot fail.
+	if _, err := p.Descriptor.Context(s.env); err != nil {
+		return 0, err
+	}
+	if s.persist != nil {
+		if err := s.persist.PersistRemove(s.persistUser, p); err != nil {
+			return 0, &PersistError{Op: "remove", Err: err}
+		}
+	}
 	removed, err := s.tree.Delete(p)
 	if err != nil {
 		return removed, err
@@ -145,12 +157,31 @@ func (s *System) RemovePreference(p Preference) (int, error) {
 	return removed, nil
 }
 
-// AddPreferences inserts a batch, stopping at the first error.
+// AddPreferences inserts a batch atomically: the whole batch is
+// validated first (against both the stored profile and the batch
+// itself), then journaled as one durable unit when a persister is
+// attached, and only then applied — so a failing batch never leaves a
+// half-applied profile and replay of the journal reproduces exactly the
+// committed state. Errors are annotated with the failing index
+// ("preference 1: ...").
 func (s *System) AddPreferences(ps ...Preference) error {
-	for i, p := range ps {
-		if err := s.AddPreference(p); err != nil {
-			return fmt.Errorf("preference %d: %w", i, err)
+	if len(ps) == 0 {
+		return nil
+	}
+	if err := s.tree.CheckInsert(ps...); err != nil {
+		return err
+	}
+	if s.persist != nil {
+		if err := s.persist.PersistAdd(s.persistUser, ps...); err != nil {
+			return &PersistError{Op: "add", Err: err}
 		}
+	}
+	if err := s.tree.InsertAll(ps...); err != nil {
+		// Unreachable after CheckInsert; kept as a guard.
+		return err
+	}
+	if s.cache != nil {
+		s.cache.Invalidate()
 	}
 	return nil
 }
