@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz fuzz-smoke verify fmt vet clean
+.PHONY: all build test race cover bench bench-json experiments fuzz fuzz-smoke verify fmt vet clean
 
 all: build test
 
@@ -21,6 +21,10 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Tier-1 benchmarks as machine-readable JSON, for diffing in CI.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 
 # Regenerates every table and figure of the paper's evaluation.
 experiments:

@@ -1,0 +1,39 @@
+package contextpref
+
+import (
+	"testing"
+
+	"contextpref/internal/distance"
+	"contextpref/internal/profiletree"
+	"contextpref/internal/telemetry"
+)
+
+// BenchmarkResolveInstrumentation quantifies the telemetry overhead on
+// the resolution hot path over the real profile tree: "off" runs the
+// plain tree, "on" attaches the full cp_resolve_* instrument set
+// (outcome counter vec, two counters, one histogram). The telemetry
+// layer's acceptance bar is "on" within 5% of "off".
+func BenchmarkResolveInstrumentation(b *testing.B) {
+	m := distance.Jaccard{}
+	run := func(b *testing.B, metrics *profiletree.Metrics) {
+		fx := newRealFixture(b)
+		fx.tree.SetMetrics(metrics)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := fx.coverQs[i%len(fx.coverQs)]
+			if _, _, _, err := fx.tree.Resolve(q, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		run(b, &profiletree.Metrics{
+			Resolutions:     reg.CounterVec("bench_resolve_total", "", "outcome"),
+			CellsVisited:    reg.Counter("bench_resolve_cells_total", ""),
+			CandidatesFound: reg.Counter("bench_resolve_candidates_total", ""),
+			CellsPerResolve: reg.Histogram("bench_resolve_cells", "", telemetry.ExpBuckets(1, 2, 14)),
+		})
+	})
+}

@@ -1,0 +1,93 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON array on stdout, one object per benchmark result:
+//
+//	go test -run='^$' -bench=. -benchmem . | go run ./cmd/benchjson
+//
+// Each object carries the benchmark name (with the -N GOMAXPROCS
+// suffix stripped), iteration count, ns/op, and — when -benchmem was
+// set — B/op and allocs/op. Non-benchmark lines (goos/goarch headers,
+// PASS, ok) are ignored, so the tool can sit at the end of any `go
+// test` pipeline. Machine-readable benchmark files make perf
+// regressions diffable in CI instead of eyeballed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// parseLine parses one "BenchmarkName-8   1000   1234 ns/op ..." line,
+// returning ok=false for anything that is not a benchmark result.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters}
+	// The remainder comes in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return result{}, false
+	}
+	return r, true
+}
+
+func run(in *bufio.Scanner, out *json.Encoder) error {
+	results := []result{}
+	for in.Scan() {
+		if r, ok := parseLine(in.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := in.Err(); err != nil {
+		return err
+	}
+	return out.Encode(results)
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := run(sc, enc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkResolve/cover-8   \t  50000\t     31415 ns/op\t    1024 B/op\t      12 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	want := result{Name: "BenchmarkResolve/cover", Iterations: 50000,
+		NsPerOp: 31415, BytesPerOp: 1024, AllocsPerOp: 12}
+	if r != want {
+		t.Errorf("parsed %+v, want %+v", r, want)
+	}
+
+	// Without -benchmem there are no B/op or allocs/op columns.
+	r, ok = parseLine("BenchmarkAppend-4   1000   98765.4 ns/op")
+	if !ok || r.Name != "BenchmarkAppend" || r.NsPerOp != 98765.4 || r.BytesPerOp != 0 {
+		t.Errorf("memless line parsed as %+v ok=%v", r, ok)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tcontextpref\t12.3s",
+		"",
+		"Benchmark",               // name only
+		"BenchmarkX-8 notanumber", // bad iteration count
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-result line parsed: %q", line)
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: contextpref
+BenchmarkResolveInstrumentation/off-8         	  146804	     16784 ns/op
+BenchmarkResolveInstrumentation/on-8          	  131685	     16361 ns/op
+PASS
+ok  	contextpref	15.159s
+`
+	var out bytes.Buffer
+	if err := run(bufio.NewScanner(strings.NewReader(in)), json.NewEncoder(&out)); err != nil {
+		t.Fatal(err)
+	}
+	var results []result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkResolveInstrumentation/off" || results[0].NsPerOp != 16784 {
+		t.Errorf("first result = %+v", results[0])
+	}
+
+	// No benchmarks at all still yields a valid (empty) JSON array.
+	out.Reset()
+	if err := run(bufio.NewScanner(strings.NewReader("PASS\n")), json.NewEncoder(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("empty input produced %q", got)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+// The admin listener: operational endpoints kept off the public API
+// port so a load balancer never routes user traffic to them and a
+// firewall can keep them private. Enabled with -admin-addr.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"contextpref"
+)
+
+// adminHandler serves /metrics (Prometheus text format), /varz (JSON),
+// and the net/http/pprof profiling suite under /debug/pprof/.
+func adminHandler(reg *contextpref.TelemetryRegistry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.MetricsHandler())
+	mux.Handle("GET /varz", reg.VarzHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// registerProcessMetrics adds process-level gauges every deployment
+// wants on a dashboard regardless of workload.
+func registerProcessMetrics(reg *contextpref.TelemetryRegistry) {
+	start := time.Now()
+	reg.GaugeFunc("cp_uptime_seconds",
+		"Seconds since the server process started.", func() float64 {
+			return time.Since(start).Seconds()
+		})
+	reg.GaugeFunc("cp_go_goroutines",
+		"Goroutines currently live in the process.", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+	reg.GaugeFunc("cp_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}

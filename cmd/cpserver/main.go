@@ -6,6 +6,7 @@
 //	cpserver [-addr :8080] [-pois 300] [-seed 7] [-metric jaccard]
 //	         [-profile file] [-cache 64] [-store dir] [-multiuser]
 //	         [-max-inflight 256] [-shutdown-timeout 10s]
+//	         [-admin-addr :8081] [-slow-request 500ms] [-log-level info]
 //
 // Endpoints (see the httpapi package for payloads):
 //
@@ -18,6 +19,19 @@
 //	GET  /resolve?state=v1,v2,v3
 //	GET  /healthz
 //	GET  /readyz
+//
+// Observability. With -admin-addr a second listener serves the
+// operational endpoints, kept off the public port:
+//
+//	GET /metrics        Prometheus text format (cp_http_*, cp_resolve_*,
+//	                    cp_journal_*, cp_directory_*, process gauges)
+//	GET /varz           the same registry as JSON
+//	GET /debug/pprof/   the net/http/pprof profiling suite
+//
+// All server logs are structured (log/slog, text format, level set by
+// -log-level) and request-scoped lines carry the request ID. Requests
+// slower than -slow-request are logged at Warn level; 0 disables the
+// slow-request log.
 //
 // Durability. With -store dir, every profile mutation is journaled to
 // dir/journal.cpj (fsync'd, see the internal/journal package for the
@@ -48,7 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -78,9 +92,11 @@ type config struct {
 	writeTimeout    time.Duration
 	idleTimeout     time.Duration
 	shutdownTimeout time.Duration
+	slowRequest     time.Duration
+	logLevel        string
 }
 
-// app is a built server plus its durability hooks.
+// app is a built server plus its durability and observability hooks.
 type app struct {
 	api *httpapi.Server
 	// journal is non-nil when -store is set; shutdown snapshots and
@@ -88,12 +104,31 @@ type app struct {
 	journal *journal.Journal
 	// snapshot renders the current state for compaction.
 	snapshot func() ([]journal.Record, error)
+	// reg is the telemetry registry every layer reports into.
+	reg *contextpref.TelemetryRegistry
+	// admin serves /metrics, /varz, and pprof on the -admin-addr
+	// listener.
+	admin http.Handler
+	// logger is the structured logger shared with the HTTP layer.
+	logger *slog.Logger
+}
+
+// newLogger builds the process logger at the named level ("" = info).
+func newLogger(level string) (*slog.Logger, error) {
+	var l slog.Level
+	if level != "" {
+		if err := l.UnmarshalText([]byte(level)); err != nil {
+			return nil, fmt.Errorf("invalid -log-level %q: %w", level, err)
+		}
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
 }
 
 func main() {
 	var cfg config
-	var addr string
+	var addr, adminAddr string
 	flag.StringVar(&addr, "addr", ":8080", "listen address")
+	flag.StringVar(&adminAddr, "admin-addr", "", "admin listener address for /metrics, /varz, /debug/pprof (empty = disabled)")
 	flag.IntVar(&cfg.pois, "pois", 300, "number of points of interest to generate")
 	flag.Int64Var(&cfg.seed, "seed", 7, "random seed for the demo database")
 	flag.StringVar(&cfg.metric, "metric", "jaccard", "context-resolution metric: jaccard or hierarchy")
@@ -107,6 +142,8 @@ func main() {
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "HTTP write timeout")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 120*time.Second, "HTTP idle connection timeout")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
+	flag.DurationVar(&cfg.slowRequest, "slow-request", 500*time.Millisecond, "log requests served slower than this at Warn level (0 = disabled)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
 
 	a, err := build(cfg)
@@ -119,22 +156,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cpserver:", err)
 		os.Exit(1)
 	}
+	var adminLn net.Listener
+	if adminAddr != "" {
+		adminLn, err = net.Listen("tcp", adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpserver:", err)
+			os.Exit(1)
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	log.Printf("cpserver listening on %s (%d POIs, metric %s, store %q)",
-		ln.Addr(), cfg.pois, cfg.metric, cfg.store)
-	if err := serve(ctx, a, ln, cfg); err != nil {
+	a.logger.Info("cpserver listening",
+		"addr", ln.Addr().String(),
+		"admin_addr", adminAddr,
+		"pois", cfg.pois,
+		"metric", cfg.metric,
+		"store", cfg.store)
+	if err := serve(ctx, a, ln, adminLn, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cpserver:", err)
 		os.Exit(1)
 	}
 }
 
-// serve runs the hardened HTTP server on the listener until ctx is
-// cancelled (SIGINT/SIGTERM in main), then drains gracefully: readiness
-// flips to draining, in-flight requests finish within
-// cfg.shutdownTimeout, and the journal — when present — is compacted
-// into a snapshot and closed. Split from main for testability.
-func serve(ctx context.Context, a *app, ln net.Listener, cfg config) error {
+// serve runs the hardened HTTP server on the listener — plus, when
+// adminLn is non-nil, the admin server for /metrics, /varz, and pprof —
+// until ctx is cancelled (SIGINT/SIGTERM in main), then drains
+// gracefully: readiness flips to draining, in-flight requests finish
+// within cfg.shutdownTimeout, and the journal — when present — is
+// compacted into a snapshot and closed. The admin listener stays up
+// through the drain so the shutdown itself can be observed, and closes
+// last. Split from main for testability.
+func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) error {
 	hs := &http.Server{
 		Handler:           a.api,
 		ReadTimeout:       cfg.readTimeout,
@@ -145,30 +197,48 @@ func serve(ctx context.Context, a *app, ln net.Listener, cfg config) error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	var adminSrv *http.Server
+	if adminLn != nil {
+		adminSrv = &http.Server{Handler: a.admin, ReadHeaderTimeout: cfg.readTimeout}
+		go func() {
+			if err := adminSrv.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				a.logger.Error("admin server failed", "error", err)
+			}
+		}()
+		defer adminSrv.Close()
+	}
+
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
 
-	log.Printf("cpserver: shutdown requested, draining (timeout %s)", cfg.shutdownTimeout)
+	a.logger.Info("shutdown requested, draining", "timeout", cfg.shutdownTimeout)
 	a.api.SetDraining(true)
 	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 	defer cancel()
 	shutdownErr := hs.Shutdown(sctx)
 	if shutdownErr != nil {
-		log.Printf("cpserver: drain incomplete: %v", shutdownErr)
+		a.logger.Warn("drain incomplete", "error", shutdownErr)
 	}
 	<-errc // Serve has returned http.ErrServerClosed
 
 	if a.journal != nil {
 		// All handlers have returned (or been abandoned by the drain
 		// deadline — their mutations are journaled before they apply, so
-		// the log is still consistent). Compact and close.
+		// the log is still consistent). Compact and close, reporting how
+		// long compaction took and what it left behind.
+		compactStart := time.Now()
 		if state, err := a.snapshot(); err != nil {
-			log.Printf("cpserver: snapshot state: %v", err)
+			a.logger.Error("snapshot state failed", "error", err)
 		} else if err := a.journal.Snapshot(state); err != nil {
-			log.Printf("cpserver: snapshot write: %v", err)
+			a.logger.Error("snapshot write failed", "error", err)
+		} else {
+			a.logger.Info("journal compacted",
+				"duration", time.Since(compactStart),
+				"records", len(state),
+				"journal_size_bytes", a.journal.Size())
 		}
 		if err := a.journal.Close(); err != nil {
 			return fmt.Errorf("closing journal: %w", err)
@@ -180,9 +250,17 @@ func serve(ctx context.Context, a *app, ln net.Listener, cfg config) error {
 	return nil
 }
 
-// build assembles the system, the optional journal, and the HTTP
-// server; split from main for testability.
+// build assembles the system, the optional journal, the telemetry
+// registry, and the HTTP and admin servers; split from main for
+// testability.
 func build(cfg config) (*app, error) {
+	logger, err := newLogger(cfg.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	reg := contextpref.NewTelemetryRegistry()
+	registerProcessMetrics(reg)
+
 	env, err := dataset.RealEnvironment()
 	if err != nil {
 		return nil, err
@@ -211,7 +289,7 @@ func build(cfg config) (*app, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := []contextpref.Option{contextpref.WithMetric(metric)}
+	opts := []contextpref.Option{contextpref.WithMetric(metric), contextpref.WithTelemetry(reg)}
 	if cfg.cache >= 0 {
 		opts = append(opts, contextpref.WithQueryCache(cfg.cache))
 	}
@@ -231,8 +309,10 @@ func build(cfg config) (*app, error) {
 		if err != nil {
 			return nil, fmt.Errorf("opening store: %w", err)
 		}
+		j.SetMetrics(contextpref.NewJournalMetrics(reg))
 		if len(recovered) > 0 {
-			log.Printf("cpserver: recovered %d journal records from %s", len(recovered), cfg.store)
+			logger.Info("recovered journal records",
+				"records", len(recovered), "store", cfg.store)
 		}
 	}
 	fail := func(err error) (*app, error) {
@@ -241,13 +321,20 @@ func build(cfg config) (*app, error) {
 		}
 		return nil, err
 	}
-	var sopts []httpapi.ServerOption
+	sopts := []httpapi.ServerOption{
+		httpapi.WithTelemetry(reg),
+		httpapi.WithLogger(logger),
+		httpapi.WithSlowRequestThreshold(cfg.slowRequest),
+	}
 	if cfg.maxInflight > 0 {
 		sopts = append(sopts, httpapi.WithMaxInflight(cfg.maxInflight))
 	}
 
 	if cfg.multi {
-		dopts := []contextpref.DirectoryOption{contextpref.WithSystemOptions(opts...)}
+		dopts := []contextpref.DirectoryOption{
+			contextpref.WithSystemOptions(opts...),
+			contextpref.WithDirectoryTelemetry(reg),
+		}
 		if seedProfile != "" {
 			// Every new user starts from the given profile; parse it
 			// once here so per-user seeding is just a copy.
@@ -285,7 +372,10 @@ func build(cfg config) (*app, error) {
 		if err != nil {
 			return fail(err)
 		}
-		return &app{api: api, journal: j, snapshot: dir.SnapshotRecords}, nil
+		return &app{
+			api: api, journal: j, snapshot: dir.SnapshotRecords,
+			reg: reg, admin: adminHandler(reg), logger: logger,
+		}, nil
 	}
 
 	sys, err := contextpref.NewSystem(env, rel, opts...)
@@ -302,7 +392,7 @@ func build(cfg config) (*app, error) {
 		if len(recovered) > 0 {
 			// The store is the source of truth; re-loading the seed
 			// would conflict with the recovered preferences.
-			log.Printf("cpserver: store holds state, ignoring -profile")
+			logger.Info("store holds state, ignoring -profile")
 		} else if err := sys.LoadProfile(seedProfile); err != nil {
 			return fail(err)
 		}
@@ -311,7 +401,7 @@ func build(cfg config) (*app, error) {
 	if err != nil {
 		return fail(err)
 	}
-	a := &app{api: api, journal: j}
+	a := &app{api: api, journal: j, reg: reg, admin: adminHandler(reg), logger: logger}
 	a.snapshot = func() ([]journal.Record, error) { return api.System().SnapshotRecords("") }
 	return a, nil
 }

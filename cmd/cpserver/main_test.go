@@ -268,7 +268,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	base := "http://" + ln.Addr().String()
 	ctx, cancel := context.WithCancel(context.Background())
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serve(ctx, a, ln, c) }()
+	go func() { serveErr <- serve(ctx, a, ln, nil, c) }()
 
 	// Wait for the server to accept.
 	var up bool

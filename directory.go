@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"contextpref/internal/telemetry"
 )
 
 // Directory manages per-user preference profiles over one shared
@@ -22,6 +24,10 @@ type Directory struct {
 	// persist, when set via SetPersister, journals user lifecycle
 	// events and is attached to every per-user system.
 	persist Persister
+	// usersCreated/usersDropped, when set via WithDirectoryTelemetry,
+	// count profile lifecycle events; nil handles are no-ops.
+	usersCreated *telemetry.Counter
+	usersDropped *telemetry.Counter
 }
 
 // DirectoryOption configures a Directory.
@@ -117,6 +123,7 @@ func (d *Directory) user(name string, seed bool) (*SafeSystem, error) {
 	}
 	sys = Synchronized(inner)
 	d.systems[name] = sys
+	d.usersCreated.Inc()
 	return sys, nil
 }
 
@@ -149,6 +156,7 @@ func (d *Directory) RemoveUser(name string) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	d.usersDropped.Inc()
 	// Waits for in-flight mutations on the removed system: their
 	// journal records land before our drop record, so replay nets out
 	// to "user gone" exactly like the in-memory state.

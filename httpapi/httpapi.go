@@ -33,6 +33,14 @@
 // it. /healthz and /readyz bypass the limiter so probes see the truth
 // even when the server is saturated. SetDraining flips /readyz to 503
 // so load balancers stop routing new traffic during graceful shutdown.
+//
+// Observability. With WithTelemetry the chain reports per-endpoint
+// request counts, latency histograms, in-flight gauge, shed and panic
+// counters into a telemetry registry (see internal/telemetry); without
+// it every hook is a nil-safe no-op. All serving logs go through a
+// structured slog logger (WithLogger) and carry the request ID, so a
+// panic stack or a slow-request warning (WithSlowRequestThreshold) is
+// correlatable with the response a client saw.
 package httpapi
 
 import (
@@ -40,12 +48,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"contextpref"
 )
@@ -61,6 +70,10 @@ type Server struct {
 	sem      chan struct{} // nil = unlimited
 	draining atomic.Bool
 	nextID   atomic.Uint64
+
+	logger        *slog.Logger // never nil after init
+	slowThreshold time.Duration
+	metrics       *httpMetrics // nil = telemetry disabled
 }
 
 // ServerOption configures a Server.
@@ -104,6 +117,7 @@ func NewMultiUser(dir *contextpref.Directory, opts ...ServerOption) (*Server, er
 }
 
 func (s *Server) init(opts []ServerOption) {
+	s.logger = slog.Default()
 	for _, o := range opts {
 		o(s)
 	}
@@ -176,8 +190,8 @@ func isProbe(r *http.Request) bool {
 	return r.URL.Path == "/healthz" || r.URL.Path == "/readyz"
 }
 
-// ServeHTTP implements http.Handler: request-ID tagging, panic
-// recovery, load shedding, then the route mux.
+// ServeHTTP implements http.Handler: request-ID tagging, telemetry and
+// panic recovery, load shedding, then the route mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rid := r.Header.Get("X-Request-ID")
 	if rid == "" {
@@ -185,14 +199,39 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-ID", rid)
 
+	start := time.Now()
+	endpoint := endpointLabel(r.URL.Path)
+	rec := &statusRecorder{ResponseWriter: w}
+	s.metrics.begin()
+
 	defer func() {
 		if p := recover(); p != nil {
-			log.Printf("httpapi: panic serving %s %s (request %s): %v\n%s",
-				r.Method, r.URL.Path, rid, p, debug.Stack())
+			s.metrics.panicked()
+			s.logger.Error("panic serving request",
+				"request_id", rid,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"panic", p,
+				"stack", string(debug.Stack()))
 			// Best-effort: if the handler already wrote headers this is
 			// a no-op on the status line.
-			writeError(w, http.StatusInternalServerError, "internal",
+			writeError(rec, http.StatusInternalServerError, "internal",
 				fmt.Errorf("httpapi: internal server error (request %s)", rid))
+		}
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing
+		}
+		elapsed := time.Since(start)
+		s.metrics.done(endpoint, r.Method, status, elapsed)
+		if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
+			s.logger.Warn("slow request",
+				"request_id", rid,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", status,
+				"duration", elapsed,
+				"bytes", rec.bytes)
 		}
 	}()
 
@@ -201,13 +240,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "overloaded",
+			s.metrics.shedded()
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, http.StatusServiceUnavailable, "overloaded",
 				fmt.Errorf("httpapi: server overloaded, retry later"))
 			return
 		}
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(rec, r)
 }
 
 // writeJSON sends a JSON response.

@@ -56,6 +56,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"contextpref/internal/telemetry"
 )
 
 // Op identifies a journal record type.
@@ -108,7 +111,54 @@ type Journal struct {
 	dir     string
 	f       *os.File
 	nextSeq uint64
+	size    int64 // current journal file size in bytes
 	closed  bool
+
+	// metrics, when set, observes append/fsync/compaction cost; nil
+	// (the default) is a no-op.
+	metrics *Metrics
+}
+
+// Metrics are the durability cost instruments a Journal reports. Every
+// field is optional; nil fields — and a nil *Metrics — are no-ops, so a
+// journal embedded without telemetry pays only a nil check per append.
+type Metrics struct {
+	// AppendSeconds times whole append batches (marshal + write +
+	// fsync).
+	AppendSeconds *telemetry.Histogram
+	// FsyncSeconds times the fsync alone, isolating stalls caused by
+	// the storage device from the cheap in-memory framing.
+	FsyncSeconds *telemetry.Histogram
+	// AppendBytes counts journal bytes written by appends.
+	AppendBytes *telemetry.Counter
+	// AppendRecords counts journaled records.
+	AppendRecords *telemetry.Counter
+	// SnapshotSeconds times compactions (snapshot write + rename +
+	// journal truncation).
+	SnapshotSeconds *telemetry.Histogram
+	// SnapshotBytes reports the size of the last written snapshot.
+	SnapshotBytes *telemetry.Gauge
+	// SizeBytes tracks the current journal file size; compaction drops
+	// it back to the header.
+	SizeBytes *telemetry.Gauge
+}
+
+// SetMetrics attaches (or, with nil, detaches) durability cost
+// instruments and primes the size gauge with the current journal size.
+func (j *Journal) SetMetrics(m *Metrics) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.metrics = m
+	if m != nil {
+		m.SizeBytes.Set(float64(j.size))
+	}
+}
+
+// Size returns the current journal file size in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
 }
 
 // ErrClosed is returned by operations on a closed journal.
@@ -161,7 +211,11 @@ func Open(dir string) (*Journal, []Record, error) {
 			return nil, nil, fmt.Errorf("journal: %w", err)
 		}
 	}
-	return &Journal{dir: dir, f: f, nextSeq: nextSeq}, recs, nil
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	return &Journal{dir: dir, f: f, nextSeq: nextSeq, size: size}, recs, nil
 }
 
 // Dir returns the store directory.
@@ -179,6 +233,10 @@ func (j *Journal) Append(recs ...Record) error {
 	if j.closed {
 		return ErrClosed
 	}
+	var start time.Time
+	if j.metrics != nil {
+		start = time.Now()
+	}
 	var b strings.Builder
 	for _, r := range recs {
 		line, err := marshal(r, j.nextSeq)
@@ -191,8 +249,20 @@ func (j *Journal) Append(recs ...Record) error {
 	if _, err := j.f.WriteString(b.String()); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
+	var syncStart time.Time
+	if j.metrics != nil {
+		syncStart = time.Now()
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.size += int64(b.Len())
+	if m := j.metrics; m != nil {
+		m.FsyncSeconds.ObserveSince(syncStart)
+		m.AppendSeconds.ObserveSince(start)
+		m.AppendBytes.Add(b.Len())
+		m.AppendRecords.Add(len(recs))
+		m.SizeBytes.Set(float64(j.size))
 	}
 	return nil
 }
@@ -205,6 +275,10 @@ func (j *Journal) Snapshot(state []Record) error {
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
+	}
+	var start time.Time
+	if j.metrics != nil {
+		start = time.Now()
 	}
 	lastSeq := j.nextSeq - 1
 	var b strings.Builder
@@ -238,6 +312,12 @@ func (j *Journal) Snapshot(state []Record) error {
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.size = int64(len(fileHeader) + 1)
+	if m := j.metrics; m != nil {
+		m.SnapshotSeconds.ObserveSince(start)
+		m.SnapshotBytes.Set(float64(b.Len()))
+		m.SizeBytes.Set(float64(j.size))
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"contextpref/internal/ctxmodel"
 	"contextpref/internal/distance"
 	"contextpref/internal/preference"
+	"contextpref/internal/telemetry"
 )
 
 // PointerBytes is the byte cost charged per internal cell pointer.
@@ -86,7 +87,50 @@ type Tree struct {
 	numInternalCells int
 	numLeafEntries   int
 	numPrefs         int
+
+	// metrics, when set, observes the paper's cost model live; nil (the
+	// default) costs one pointer check per resolution.
+	metrics *Metrics
 }
+
+// Metrics are the resolution cost counters a Tree reports, mirroring
+// the paper's Section 5 cost model (cells accessed per resolution,
+// candidates per resolution). Every field is optional: nil fields — and
+// a nil *Metrics — are no-ops, so instrumentation can be switched off
+// entirely or per metric.
+type Metrics struct {
+	// Resolutions counts Resolve/ResolveAll calls by outcome ("hit",
+	// "miss"): a hit found at least one covering state.
+	Resolutions *telemetry.CounterVec
+	// CellsVisited counts profile-tree cells accessed during
+	// resolution — the paper's per-query cost metric, aggregated.
+	CellsVisited *telemetry.Counter
+	// CandidatesFound counts covering states discovered.
+	CandidatesFound *telemetry.Counter
+	// CellsPerResolve is the per-resolution distribution of cells
+	// accessed.
+	CellsPerResolve *telemetry.Histogram
+}
+
+// observe records one resolution's cost; nil-safe.
+func (m *Metrics) observe(cells, candidates int, hit bool) {
+	if m == nil {
+		return
+	}
+	outcome := "miss"
+	if hit {
+		outcome = "hit"
+	}
+	m.Resolutions.With(outcome).Inc()
+	m.CellsVisited.Add(cells)
+	m.CandidatesFound.Add(candidates)
+	m.CellsPerResolve.Observe(float64(cells))
+}
+
+// SetMetrics attaches (or, with nil, detaches) resolution cost
+// counters. Call before serving; the Tree does not synchronize metric
+// swaps with concurrent searches.
+func (t *Tree) SetMetrics(m *Metrics) { t.metrics = m }
 
 // New creates an empty profile tree. order maps tree levels to
 // environment parameter indexes (order[0] is the parameter indexed at
@@ -653,6 +697,7 @@ func (t *Tree) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, boo
 		return Candidate{}, 0, false, err
 	}
 	if len(entries) > 0 {
+		t.metrics.observe(accesses, 1, true)
 		return Candidate{State: s.Clone(), Entries: entries, Distance: 0}, accesses, true, nil
 	}
 	cands, more, err := t.SearchCover(s, m)
@@ -661,6 +706,7 @@ func (t *Tree) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, boo
 		return Candidate{}, accesses, false, err
 	}
 	best, ok := Best(cands)
+	t.metrics.observe(accesses, len(cands), ok)
 	return best, accesses, ok, nil
 }
 
@@ -674,6 +720,7 @@ func (t *Tree) ResolveAll(s ctxmodel.State, m distance.Metric) ([]Candidate, int
 	if err != nil {
 		return nil, accesses, err
 	}
+	t.metrics.observe(accesses, len(cands), len(cands) > 0)
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
 		if a.Distance != b.Distance {

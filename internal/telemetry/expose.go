@@ -1,0 +1,79 @@
+package telemetry
+
+// Exposition: the Prometheus text format for GET /metrics and a JSON
+// rendering for GET /varz. Both render from the same registry snapshot,
+// so a scrape and a varz poll always agree on metric names.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), families sorted by name, each
+// preceded by its HELP and TYPE lines. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, m := range r.sorted() {
+		name, help, typ := m.meta()
+		if help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(typ)
+		b.WriteByte('\n')
+		m.writeProm(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns a point-in-time JSON-marshalable view of every
+// registered metric: counters and gauges as numbers, vectors as
+// {labels: value} maps, histograms as {count, sum, buckets}. A nil
+// registry returns an empty map.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		name, _, _ := m.meta()
+		out[name] = m.varz()
+	}
+	return out
+}
+
+// MetricsHandler serves the registry in the Prometheus text format.
+// Safe on a nil registry (serves an empty body).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarzHandler serves the registry snapshot as indented JSON. Safe on a
+// nil registry (serves "{}").
+func (r *Registry) VarzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// escapeHelp escapes a help string per the text format (backslash and
+// newline).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}

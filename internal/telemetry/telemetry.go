@@ -1,0 +1,592 @@
+// Package telemetry is a dependency-free metrics substrate for the
+// context-aware preference database: a registry of counters, gauges,
+// and fixed-bucket histograms, exposed in the Prometheus text format
+// (GET /metrics) and as JSON (GET /varz).
+//
+// The paper's own evaluation (Section 5) is built around cost metrics —
+// cells visited per resolution, tree size per parameter ordering — and
+// this package is how the running service reports the same quantities
+// continuously instead of only in offline experiments.
+//
+// # Nil safety
+//
+// Every constructor and every metric method is a no-op on a nil
+// receiver: a nil *Registry returns nil metric handles, and Inc, Add,
+// Set, and Observe on nil handles do nothing. Instrumented packages can
+// therefore hold plain metric fields and update them unconditionally;
+// when telemetry is disabled the whole hot-path cost is one nil check
+// per update, keeping the library embeddable without build tags or
+// interface indirection.
+//
+// # Concurrency
+//
+// All metric updates are lock-free atomics and safe for concurrent use.
+// Registration takes a registry-wide mutex and is idempotent: asking
+// for an already-registered name of the same kind returns the existing
+// metric, so several subsystems (e.g. per-user systems in a Directory)
+// can share one counter by name. Re-registering a name as a different
+// kind panics — that is a programming error, not a runtime condition.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metric is one registered family: a scalar metric or a labeled vector.
+type metric interface {
+	// meta returns the family name, help text, and Prometheus type
+	// ("counter", "gauge", "histogram").
+	meta() (name, help, typ string)
+	// writeProm appends the family's sample lines (without HELP/TYPE).
+	writeProm(b *strings.Builder)
+	// varz returns the family's JSON value for /varz.
+	varz() any
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. A nil *Registry is a valid "telemetry disabled"
+// registry: every constructor returns a nil handle.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// register returns the existing metric under name or installs the one
+// built by mk. It panics on an invalid name or a kind mismatch.
+func register[M metric](r *Registry, name string, mk func() M) M {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.metrics[name]; ok {
+		m, ok := existing.(M)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as a different kind", name))
+		}
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	return m
+}
+
+// validName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the registered monotonically increasing counter,
+// creating it if absent. Nil registry → nil handle.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *Counter { return &Counter{name: name, help: help} })
+}
+
+// CounterVec returns the registered counter family with the given label
+// names, creating it if absent. Nil registry → nil handle.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *CounterVec {
+		return &CounterVec{name: name, help: help, labels: labels, kids: map[string]*Counter{}}
+	})
+}
+
+// Gauge returns the registered gauge, creating it if absent. Nil
+// registry → nil handle.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *Gauge { return &Gauge{name: name, help: help} })
+}
+
+// GaugeFunc registers a gauge whose value is computed by f at scrape
+// time (e.g. goroutine counts, directory sizes). Re-registering a name
+// keeps the first function. Nil registry or nil f → no-op.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	if r == nil || f == nil {
+		return
+	}
+	register(r, name, func() *gaugeFunc { return &gaugeFunc{name: name, help: help, f: f} })
+}
+
+// Histogram returns the registered fixed-bucket histogram, creating it
+// if absent; buckets are upper bounds in increasing order (an implicit
+// +Inf bucket is appended). Nil registry → nil handle.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *Histogram { return newHistogram(name, help, buckets) })
+}
+
+// HistogramVec returns the registered histogram family with the given
+// label names, creating it if absent. Nil registry → nil handle.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *HistogramVec {
+		return &HistogramVec{
+			name: name, help: help, labels: labels,
+			buckets: checkBuckets(buckets), kids: map[string]*Histogram{},
+		}
+	})
+}
+
+// sorted returns the registered metrics ordered by name.
+func (r *Registry) sorted() []metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]metric, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.metrics[n])
+	}
+	return out
+}
+
+// Counter is a monotonically increasing counter. All methods are no-ops
+// on a nil receiver.
+type Counter struct {
+	n           atomic.Uint64
+	name, help  string
+	labelValues []string // non-nil only for vec children
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n.Add(1)
+	}
+}
+
+// Add adds n (which must be non-negative for the counter to remain
+// monotonic; negative deltas are ignored).
+func (c *Counter) Add(n int) {
+	if c != nil && n > 0 {
+		c.n.Add(uint64(n))
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+func (c *Counter) meta() (string, string, string) { return c.name, c.help, "counter" }
+
+func (c *Counter) writeProm(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %d\n", c.name, c.n.Load())
+}
+
+func (c *Counter) varz() any { return c.n.Load() }
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	name, help string
+	labels     []string
+	mu         sync.RWMutex
+	kids       map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per
+// label name, in declaration order), creating it on first use. A nil
+// receiver or a label-arity mismatch returns nil, which is itself a
+// safe no-op handle.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.RLock()
+	c, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[key]; ok {
+		return c
+	}
+	c = &Counter{name: v.name, help: v.help, labelValues: append([]string(nil), values...)}
+	v.kids[key] = c
+	return c
+}
+
+func (v *CounterVec) meta() (string, string, string) { return v.name, v.help, "counter" }
+
+func (v *CounterVec) writeProm(b *strings.Builder) {
+	for _, c := range v.children() {
+		fmt.Fprintf(b, "%s%s %d\n", v.name, labelString(v.labels, c.labelValues), c.n.Load())
+	}
+}
+
+func (v *CounterVec) varz() any {
+	out := make(map[string]uint64)
+	for _, c := range v.children() {
+		out[labelString(v.labels, c.labelValues)] = c.n.Load()
+	}
+	return out
+}
+
+// children returns the child counters sorted by label key.
+func (v *CounterVec) children() []*Counter {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Counter, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, v.kids[k])
+	}
+	return out
+}
+
+// Gauge is a value that can go up and down. All methods are no-ops on a
+// nil receiver.
+type Gauge struct {
+	bits       atomic.Uint64 // float64 bits
+	name, help string
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) meta() (string, string, string) { return g.name, g.help, "gauge" }
+
+func (g *Gauge) writeProm(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s\n", g.name, formatFloat(g.Value()))
+}
+
+func (g *Gauge) varz() any { return g.Value() }
+
+// gaugeFunc is a gauge computed at scrape time.
+type gaugeFunc struct {
+	name, help string
+	f          func() float64
+}
+
+func (g *gaugeFunc) meta() (string, string, string) { return g.name, g.help, "gauge" }
+
+func (g *gaugeFunc) writeProm(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s\n", g.name, formatFloat(g.f()))
+}
+
+func (g *gaugeFunc) varz() any { return g.f() }
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (typically latencies in seconds, following the Prometheus
+// convention). All methods are no-ops on a nil receiver.
+type Histogram struct {
+	name, help  string
+	labelValues []string
+	buckets     []float64 // upper bounds, increasing; +Inf is implicit
+	counts      []atomic.Uint64
+	sum         atomic.Uint64 // float64 bits
+	count       atomic.Uint64
+}
+
+// checkBuckets validates bucket upper bounds: increasing, no NaN, and a
+// trailing +Inf is stripped (it is implicit).
+func checkBuckets(buckets []float64) []float64 {
+	out := append([]float64(nil), buckets...)
+	if n := len(out); n > 0 && math.IsInf(out[n-1], +1) {
+		out = out[:n-1]
+	}
+	for i, b := range out {
+		if math.IsNaN(b) || (i > 0 && out[i-1] >= b) {
+			panic(fmt.Sprintf("telemetry: histogram buckets %v not strictly increasing", buckets))
+		}
+	}
+	return out
+}
+
+func newHistogram(name, help string, buckets []float64) *Histogram {
+	bs := checkBuckets(buckets)
+	return &Histogram{name: name, help: help, buckets: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start; it is the
+// idiomatic way to time a code path:
+//
+//	defer h.ObserveSince(time.Now())
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+func (h *Histogram) meta() (string, string, string) { return h.name, h.help, "histogram" }
+
+func (h *Histogram) writeProm(b *strings.Builder) {
+	h.writePromLabeled(b, nil, nil)
+}
+
+// writePromLabeled renders the histogram's sample lines with the given
+// extra labels (used by HistogramVec children).
+func (h *Histogram) writePromLabeled(b *strings.Builder, labels, values []string) {
+	ls := make([]string, len(labels)+1)
+	copy(ls, labels)
+	ls[len(labels)] = "le"
+	vs := make([]string, len(values)+1)
+	copy(vs, values)
+	cum := uint64(0)
+	for i, bound := range h.buckets {
+		cum += h.counts[i].Load()
+		vs[len(values)] = formatFloat(bound)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", h.name, labelString(ls, vs), cum)
+	}
+	cum += h.counts[len(h.buckets)].Load()
+	vs[len(values)] = "+Inf"
+	fmt.Fprintf(b, "%s_bucket%s %d\n", h.name, labelString(ls, vs), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", h.name, labelString(labels, values), formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", h.name, labelString(labels, values), h.count.Load())
+}
+
+// varzValue is the JSON rendering of one histogram.
+func (h *Histogram) varzValue() map[string]any {
+	buckets := make(map[string]uint64, len(h.buckets)+1)
+	cum := uint64(0)
+	for i, bound := range h.buckets {
+		cum += h.counts[i].Load()
+		buckets[formatFloat(bound)] = cum
+	}
+	cum += h.counts[len(h.buckets)].Load()
+	buckets["+Inf"] = cum
+	return map[string]any{"count": h.count.Load(), "sum": h.Sum(), "buckets": buckets}
+}
+
+func (h *Histogram) varz() any { return h.varzValue() }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct {
+	name, help string
+	labels     []string
+	buckets    []float64
+	mu         sync.RWMutex
+	kids       map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values, creating
+// it on first use; nil receiver or arity mismatch returns a nil no-op
+// handle.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.RLock()
+	h, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.kids[key]; ok {
+		return h
+	}
+	h = newHistogram(v.name, v.help, v.buckets)
+	h.labelValues = append([]string(nil), values...)
+	v.kids[key] = h
+	return h
+}
+
+func (v *HistogramVec) meta() (string, string, string) { return v.name, v.help, "histogram" }
+
+func (v *HistogramVec) writeProm(b *strings.Builder) {
+	for _, h := range v.children() {
+		h.writePromLabeled(b, v.labels, h.labelValues)
+	}
+}
+
+func (v *HistogramVec) varz() any {
+	out := make(map[string]any)
+	for _, h := range v.children() {
+		out[labelString(v.labels, h.labelValues)] = h.varzValue()
+	}
+	return out
+}
+
+func (v *HistogramVec) children() []*Histogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Histogram, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, v.kids[k])
+	}
+	return out
+}
+
+// DefBuckets are the standard request-latency buckets in seconds
+// (Prometheus' defaults).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// IOBuckets resolve sub-millisecond storage operations (fsyncs, tree
+// searches) that DefBuckets would lump into the first bucket.
+var IOBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, 1}
+
+// ExpBuckets returns count buckets starting at start and growing by
+// factor, for size- and cost-shaped distributions (bytes, cells).
+func ExpBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// labelString renders {k1="v1",k2="v2"}, or "" with no labels.
+func labelString(labels, values []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}

@@ -1,0 +1,313 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Registration is idempotent: same name, same handle.
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-2.5)
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Errorf("sum = %v, want 56.05", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_sum 56.05`,
+		`test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := NewRegistry().Histogram("t_seconds", "", DefBuckets)
+	h.ObserveSince(time.Now().Add(-50 * time.Millisecond))
+	if h.Count() != 1 || h.Sum() < 0.05 || h.Sum() > 5 {
+		t.Errorf("ObserveSince: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestVectors(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "endpoint", "code")
+	v.With("/query", "200").Add(3)
+	v.With("/query", "400").Inc()
+	v.With("/resolve", "200").Inc()
+	// Same labels → same child.
+	if v.With("/query", "200").Value() != 3 {
+		t.Error("vec child not shared")
+	}
+	// Arity mismatch is a safe no-op handle.
+	v.With("/query").Inc()
+
+	hv := r.HistogramVec("req_seconds", "latency", []float64{0.1, 1}, "endpoint")
+	hv.With("/query").Observe(0.05)
+	hv.With("/query").Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`req_total{endpoint="/query",code="200"} 3`,
+		`req_total{endpoint="/query",code="400"} 1`,
+		`req_total{endpoint="/resolve",code="200"} 1`,
+		`req_seconds_bucket{endpoint="/query",le="0.1"} 1`,
+		`req_seconds_bucket{endpoint="/query",le="+Inf"} 2`,
+		`req_seconds_count{endpoint="/query"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusFormat checks the output is line-parseable: every
+// non-comment line is "name{labels} value" with a numeric value, and
+// every family has a TYPE line before its samples.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a").Inc()
+	r.Gauge("b_current", "level of b").Set(2.5)
+	r.Histogram("c_seconds", "timing of c", DefBuckets).Observe(0.3)
+	r.GaugeFunc("d_info", "computed", func() float64 { return 42 })
+	r.CounterVec("e_total", "labeled", "x").With(`we"ird\`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			typed[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{...} value — split at the last space.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("non-numeric value in %q", line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[family] {
+			t.Errorf("sample %q has no preceding TYPE line", line)
+		}
+	}
+	for _, want := range []string{"a_total", "b_current", "c_seconds", "d_info", "e_total"} {
+		if !typed[want] {
+			t.Errorf("family %s missing a TYPE line", want)
+		}
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Add(7)
+	r.Histogram("h_seconds", "t", []float64{1}).Observe(0.5)
+
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 7\n") {
+		t.Errorf("metrics body:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.VarzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/varz", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("varz content-type = %q", ct)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("varz not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if m["h_total"] != float64(7) {
+		t.Errorf("varz h_total = %v", m["h_total"])
+	}
+	hist, ok := m["h_seconds"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Errorf("varz h_seconds = %v", m["h_seconds"])
+	}
+}
+
+// TestNilSafety: a nil registry hands out nil metric handles and every
+// operation on them — including exposition — is a safe no-op. This is
+// the "telemetry disabled" embeddable mode.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := r.Gauge("x", "")
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	g.Add(2)
+	_ = g.Value()
+	h := r.Histogram("x_seconds", "", DefBuckets)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded")
+	}
+	r.GaugeFunc("x_func", "", func() float64 { return 1 })
+	cv := r.CounterVec("x_vec_total", "", "l")
+	cv.With("v").Inc()
+	hv := r.HistogramVec("x_vec_seconds", "", DefBuckets, "l")
+	hv.With("v").Observe(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry wrote %q (err %v)", b.String(), err)
+	}
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Errorf("nil registry snapshot = %v", snap)
+	}
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	rec = httptest.NewRecorder()
+	r.VarzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/varz", nil))
+	if strings.TrimSpace(rec.Body.String()) != "{}" {
+		t.Errorf("nil varz = %q", rec.Body.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("invalid name", func() { r.Counter("bad name!", "") })
+	r.Counter("dup", "")
+	mustPanic("kind mismatch", func() { r.Gauge("dup", "") })
+	mustPanic("bad buckets", func() { r.Histogram("hb", "", []float64{1, 1}) })
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_seconds", "", DefBuckets)
+	v := r.CounterVec("conc_vec_total", "", "w")
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) / 100)
+				v.With(strconv.Itoa(w % 2)).Inc()
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WritePrometheus(&b)
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	sum := v.With("0").Value() + v.With("1").Value()
+	if sum != workers*iters {
+		t.Errorf("vec sum = %d, want %d", sum, workers*iters)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package contextpref
+
+// This file wires the internal/telemetry registry into the library's
+// hot paths: a System option that attaches the paper's resolution cost
+// counters to the profile tree, a Directory option that tracks the
+// per-user system population, and the metric constructors the serving
+// binary shares (journal instruments). All registration is idempotent,
+// so every per-user System in a Directory reports into the same
+// counters; with no registry attached every hook is a nil-safe no-op
+// and the library stays embeddable.
+
+import (
+	"contextpref/internal/journal"
+	"contextpref/internal/profiletree"
+	"contextpref/internal/telemetry"
+)
+
+// TelemetryRegistry is the metrics registry instrumented components
+// report into; see internal/telemetry. A nil registry disables
+// telemetry everywhere it is passed.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry creates an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// WithTelemetry attaches resolution cost counters (cp_resolve_*) to the
+// system's profile tree. Passing the same registry to several systems —
+// as a Directory does for its per-user systems — aggregates their cost
+// into shared counters.
+func WithTelemetry(reg *TelemetryRegistry) Option {
+	return func(o *options) { o.telemetry = reg }
+}
+
+// resolveMetrics builds (or finds) the shared resolution counters.
+func resolveMetrics(reg *TelemetryRegistry) *profiletree.Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &profiletree.Metrics{
+		Resolutions: reg.CounterVec("cp_resolve_total",
+			"Context resolutions by outcome (hit = a covering state was found).", "outcome"),
+		CellsVisited: reg.Counter("cp_resolve_cells_total",
+			"Profile-tree cells accessed during context resolution (the paper's Section 5 cost metric)."),
+		CandidatesFound: reg.Counter("cp_resolve_candidates_total",
+			"Covering candidate states discovered during context resolution."),
+		CellsPerResolve: reg.Histogram("cp_resolve_cells",
+			"Distribution of cells accessed per resolution.", telemetry.ExpBuckets(1, 2, 14)),
+	}
+}
+
+// WithDirectoryTelemetry tracks the per-user system population
+// (cp_directory_users gauge, created/dropped counters) and forwards the
+// registry to every per-user System, aggregating their resolution cost.
+func WithDirectoryTelemetry(reg *TelemetryRegistry) DirectoryOption {
+	return func(d *Directory) {
+		if reg == nil {
+			return
+		}
+		d.opts = append(d.opts, WithTelemetry(reg))
+		d.usersCreated = reg.Counter("cp_directory_users_created_total",
+			"User profiles created in the directory.")
+		d.usersDropped = reg.Counter("cp_directory_users_dropped_total",
+			"User profiles dropped from the directory.")
+		reg.GaugeFunc("cp_directory_users",
+			"Per-user preference systems currently resident.", func() float64 {
+				d.mu.RLock()
+				defer d.mu.RUnlock()
+				return float64(len(d.systems))
+			})
+	}
+}
+
+// NewJournalMetrics builds (or finds) the durability instruments
+// (cp_journal_*) for journal.SetMetrics. A nil registry returns nil,
+// which the journal treats as "telemetry disabled".
+func NewJournalMetrics(reg *TelemetryRegistry) *journal.Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &journal.Metrics{
+		AppendSeconds: reg.Histogram("cp_journal_append_seconds",
+			"Journal append batch latency (marshal + write + fsync).", telemetry.IOBuckets),
+		FsyncSeconds: reg.Histogram("cp_journal_fsync_seconds",
+			"Journal fsync latency.", telemetry.IOBuckets),
+		AppendBytes: reg.Counter("cp_journal_append_bytes_total",
+			"Bytes appended to the journal."),
+		AppendRecords: reg.Counter("cp_journal_append_records_total",
+			"Records appended to the journal."),
+		SnapshotSeconds: reg.Histogram("cp_journal_snapshot_seconds",
+			"Journal compaction latency (snapshot write + rename + truncate).", telemetry.DefBuckets),
+		SnapshotBytes: reg.Gauge("cp_journal_snapshot_bytes",
+			"Size of the last written snapshot."),
+		SizeBytes: reg.Gauge("cp_journal_size_bytes",
+			"Current journal file size; compaction resets it to the header."),
+	}
+}

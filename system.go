@@ -41,6 +41,7 @@ type options struct {
 	treeOrder []int
 	cacheCap  int
 	useCache  bool
+	telemetry *TelemetryRegistry
 }
 
 // WithMetric selects the context-resolution distance (default Jaccard,
@@ -81,6 +82,9 @@ func NewSystem(env *Environment, rel *Relation, opts ...Option) (*System, error)
 	tree, err := profiletree.New(env, o.treeOrder)
 	if err != nil {
 		return nil, err
+	}
+	if o.telemetry != nil {
+		tree.SetMetrics(resolveMetrics(o.telemetry))
 	}
 	engine, err := query.NewEngine(tree, rel, o.metric, o.combiner)
 	if err != nil {
