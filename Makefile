@@ -23,21 +23,25 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Tier-1 benchmarks as machine-readable JSON, for diffing in CI.
+BENCH_OUT ?= BENCH_PR3.json
 bench-json:
-	$(GO) test -run='^$$' -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	$(GO) test -run='^$$' -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # Regenerates every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/experiments -run all
 
-# Short fuzzing sessions over the two text parsers.
+# Short fuzzing sessions over the text parsers and journal recovery.
 fuzz:
 	$(GO) test -fuzz=FuzzParseLine -fuzztime=30s ./internal/preference/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cpql/
+	$(GO) test -fuzz=FuzzJournalRecovery -fuzztime=30s ./internal/journal/
 
-# Quick fuzz smoke of the query parser, cheap enough for CI.
+# Quick fuzz smoke of the query parser and journal recovery, cheap
+# enough for CI.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/cpql/
+	$(GO) test -fuzz=FuzzJournalRecovery -fuzztime=5s ./internal/journal/
 
 # The pre-merge gate: static checks, the race detector, and a fuzz smoke.
 verify: vet race fuzz-smoke

@@ -1,0 +1,67 @@
+package contextpref
+
+// Journal durability micro-benchmarks. The journal now performs every
+// filesystem operation through the internal/faultfs seam; the on-disk
+// benchmark exercises the production faultfs.OS path (so the PR that
+// introduced the seam is accountable for its overhead in BENCH_*.json),
+// and the in-memory variants isolate the seam's dispatch cost — the
+// difference between Mem and MemInjected is exactly the injector's
+// bookkeeping with no fault rules installed.
+
+import (
+	"fmt"
+	"testing"
+
+	"contextpref/internal/faultfs"
+	"contextpref/internal/journal"
+)
+
+func benchAppend(b *testing.B, j *journal.Journal) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(journal.Record{
+			Op:   journal.OpAdd,
+			User: "bench",
+			Line: fmt.Sprintf("[accompanying_people = friends] => type = museum : 0.%d", i%9+1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalAppend measures the full durable append path (write
+// + fsync) on the real filesystem through the faultfs.OS passthrough.
+func BenchmarkJournalAppend(b *testing.B) {
+	j, _, err := journal.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	benchAppend(b, j)
+}
+
+// BenchmarkJournalAppendMem is the same append path on the in-memory
+// filesystem: no disk, so what remains is marshalling plus the faultfs
+// seam itself.
+func BenchmarkJournalAppendMem(b *testing.B) {
+	j, _, err := journal.OpenFS(faultfs.NewMemFS(), "/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	benchAppend(b, j)
+}
+
+// BenchmarkJournalAppendMemInjected adds a passthrough fault injector
+// (no rules) over the in-memory filesystem; its delta over
+// BenchmarkJournalAppendMem is the injection hook's cost.
+func BenchmarkJournalAppendMemInjected(b *testing.B) {
+	j, _, err := journal.OpenFS(faultfs.NewInject(faultfs.NewMemFS()), "/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	benchAppend(b, j)
+}

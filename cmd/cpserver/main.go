@@ -5,8 +5,9 @@
 //
 //	cpserver [-addr :8080] [-pois 300] [-seed 7] [-metric jaccard]
 //	         [-profile file] [-cache 64] [-store dir] [-multiuser]
-//	         [-max-inflight 256] [-shutdown-timeout 10s]
-//	         [-admin-addr :8081] [-slow-request 500ms] [-log-level info]
+//	         [-max-inflight 256] [-max-body 1048576] [-shutdown-timeout 10s]
+//	         [-probe-interval 2s] [-admin-addr :8081] [-slow-request 500ms]
+//	         [-log-level info]
 //
 // Endpoints (see the httpapi package for payloads):
 //
@@ -36,13 +37,22 @@
 // Durability. With -store dir, every profile mutation is journaled to
 // dir/journal.cpj (fsync'd, see the internal/journal package for the
 // record format) before it is applied; on startup the server replays
-// the snapshot and the journal — tolerating a torn final record from a
+// the snapshot and the journal — tolerating a torn final batch from a
 // crash mid-write — and recovers the exact profile state, including
 // every per-user profile in -multiuser mode. On a store that already
 // holds state, -profile is ignored in single-user mode (the store is
 // the source of truth); on a fresh store, -profile seeds it and the
 // seed is journaled. At graceful shutdown the journal is compacted into
 // a snapshot.
+//
+// Degraded mode. When a journal write fails (disk full, I/O error),
+// the store flips read-only instead of crashing: mutations answer 503
+// {"code":"degraded"} with a Retry-After hint while reads, resolution,
+// and queries keep serving from memory, and /readyz reports
+// {"status":"degraded"} so load balancers can route writes elsewhere.
+// A background probe re-tests the store every -probe-interval and the
+// server returns to healthy automatically once writes succeed again
+// (cp_health_* metrics track the state and transitions).
 //
 // Shutdown. SIGINT/SIGTERM starts a graceful drain: /readyz flips to
 // 503 so load balancers stop routing, in-flight requests are served to
@@ -88,6 +98,8 @@ type config struct {
 	multi           bool
 	store           string
 	maxInflight     int
+	maxBody         int64
+	probeInterval   time.Duration
 	readTimeout     time.Duration
 	writeTimeout    time.Duration
 	idleTimeout     time.Duration
@@ -104,6 +116,9 @@ type app struct {
 	journal *journal.Journal
 	// snapshot renders the current state for compaction.
 	snapshot func() ([]journal.Record, error)
+	// health tracks degraded (read-only) mode; non-nil exactly when
+	// journal is.
+	health *contextpref.Health
 	// reg is the telemetry registry every layer reports into.
 	reg *contextpref.TelemetryRegistry
 	// admin serves /metrics, /varz, and pprof on the -admin-addr
@@ -138,6 +153,8 @@ func main() {
 	flag.BoolVar(&cfg.multi, "multiuser", false, "serve per-user profiles selected by ?user=name")
 	flag.StringVar(&cfg.store, "store", "", "directory for the durable profile journal (empty = in-memory only)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "maximum concurrently served requests (0 = unlimited)")
+	flag.Int64Var(&cfg.maxBody, "max-body", 1<<20, "maximum request body size in bytes")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", 2*time.Second, "how often to probe a degraded store for recovery")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "HTTP write timeout")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 120*time.Second, "HTTP idle connection timeout")
@@ -196,6 +213,13 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+
+	// Background store probe: while degraded, re-test the journal every
+	// probe interval and flip back to healthy on the first success. The
+	// goroutine exits with the serve context at shutdown.
+	if a.health != nil && a.journal != nil {
+		go a.health.Run(ctx, cfg.probeInterval, a.journal.Probe)
+	}
 
 	var adminSrv *http.Server
 	if adminLn != nil {
@@ -304,6 +328,7 @@ func build(cfg config) (*app, error) {
 
 	var j *journal.Journal
 	var recovered []journal.Record
+	var health *contextpref.Health
 	if cfg.store != "" {
 		j, recovered, err = journal.Open(cfg.store)
 		if err != nil {
@@ -314,6 +339,15 @@ func build(cfg config) (*app, error) {
 			logger.Info("recovered journal records",
 				"records", len(recovered), "store", cfg.store)
 		}
+		health = contextpref.NewHealth()
+		contextpref.RegisterHealthTelemetry(health, reg)
+		health.OnChange(func(degraded bool, cause error) {
+			if degraded {
+				logger.Error("store degraded, serving read-only", "cause", cause)
+			} else {
+				logger.Info("store recovered, serving mutations again")
+			}
+		})
 	}
 	fail := func(err error) (*app, error) {
 		if j != nil {
@@ -325,9 +359,13 @@ func build(cfg config) (*app, error) {
 		httpapi.WithTelemetry(reg),
 		httpapi.WithLogger(logger),
 		httpapi.WithSlowRequestThreshold(cfg.slowRequest),
+		httpapi.WithHealth(health),
 	}
 	if cfg.maxInflight > 0 {
 		sopts = append(sopts, httpapi.WithMaxInflight(cfg.maxInflight))
+	}
+	if cfg.maxBody > 0 {
+		sopts = append(sopts, httpapi.WithMaxBodyBytes(cfg.maxBody))
 	}
 
 	if cfg.multi {
@@ -367,13 +405,14 @@ func build(cfg config) (*app, error) {
 				return fail(fmt.Errorf("replaying store: %w", err))
 			}
 			dir.SetPersister(contextpref.NewJournalPersister(j))
+			dir.SetHealth(health)
 		}
 		api, err := httpapi.NewMultiUser(dir, sopts...)
 		if err != nil {
 			return fail(err)
 		}
 		return &app{
-			api: api, journal: j, snapshot: dir.SnapshotRecords,
+			api: api, journal: j, snapshot: dir.SnapshotRecords, health: health,
 			reg: reg, admin: adminHandler(reg), logger: logger,
 		}, nil
 	}
@@ -387,6 +426,7 @@ func build(cfg config) (*app, error) {
 			return fail(fmt.Errorf("replaying store: %w", err))
 		}
 		sys.SetPersister(contextpref.NewJournalPersister(j), "")
+		sys.SetHealth(health)
 	}
 	if seedProfile != "" {
 		if len(recovered) > 0 {
@@ -401,7 +441,7 @@ func build(cfg config) (*app, error) {
 	if err != nil {
 		return fail(err)
 	}
-	a := &app{api: api, journal: j, reg: reg, admin: adminHandler(reg), logger: logger}
+	a := &app{api: api, journal: j, health: health, reg: reg, admin: adminHandler(reg), logger: logger}
 	a.snapshot = func() ([]journal.Record, error) { return api.System().SnapshotRecords("") }
 	return a, nil
 }

@@ -401,3 +401,97 @@ func TestServeMultiUserStore(t *testing.T) {
 		}
 	}
 }
+
+// TestServeDegradedRecovery: a degraded store flips /readyz and
+// mutations to 503 while reads keep serving, and the background probe
+// loop started by serve() returns the server to healthy automatically.
+func TestServeDegradedRecovery(t *testing.T) {
+	store := t.TempDir()
+	c := cfg(30, 7, "jaccard", "", 16, "", false)
+	c.store = store
+	c.probeInterval = 10 * time.Millisecond
+	a, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.health == nil {
+		t.Fatal("build with -store did not create a health tracker")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, a, ln, nil, c) }()
+	var up bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("server never came up")
+	}
+
+	// Simulate a persistence failure: the store goes read-only.
+	a.health.MarkDegraded(fmt.Errorf("synthetic disk failure"))
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "degraded") {
+		t.Fatalf("readyz while degraded = %d: %s", resp.StatusCode, body)
+	}
+	resp, err = http.Post(base+"/preferences", "text/plain",
+		strings.NewReader("[] => type = park : 0.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "degraded") {
+		t.Fatalf("POST while degraded = %d: %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/preferences")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET while degraded = %d", resp.StatusCode)
+	}
+
+	// The journal on disk is fine, so the probe loop recovers the store.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		readBody(t, resp)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never recovered the store")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err = http.Post(base+"/preferences", "text/plain",
+		strings.NewReader("[] => type = park : 0.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST after recovery = %d: %s", resp.StatusCode, body)
+	}
+	cancel()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}

@@ -1,0 +1,254 @@
+package contextpref
+
+// Crash-consistency torture test: a randomized (but deterministic)
+// mutation workload runs against a journaled system on an in-memory
+// filesystem, a simulated crash is injected at every filesystem
+// operation index in turn, and after each crash the store is reopened
+// and checked for prefix consistency — the recovered state must equal
+// the state after some prefix of batches, and every batch the workload
+// acknowledged before the crash must be present. This is the paper
+// system's durability contract end to end: validate → journal+fsync →
+// apply, batch-atomic commit framing, torn-tail truncation, and
+// stale-journal-after-snapshot sequencing all under one adversary.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"contextpref/internal/faultfs"
+	"contextpref/internal/journal"
+)
+
+// crashBatch is one workload step: either an add of 1–3 preferences or
+// a removal of a previously added one, optionally followed by a
+// snapshot compaction.
+type crashBatch struct {
+	add           []Preference
+	remove        *Preference
+	snapshotAfter bool
+}
+
+// buildCrashWorkload generates a deterministic ~70/30 add/remove mix
+// over unique detailed context states (so no two batches can ever
+// conflict), with a compaction every 64 batches.
+func buildCrashWorkload(t *testing.T, env *Environment, batches int) []crashBatch {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var names []string
+	var domains [][]string
+	for i := 0; i < env.NumParams(); i++ {
+		names = append(names, env.Param(i).Name())
+		domains = append(domains, env.Param(i).Hierarchy().DetailedValues())
+	}
+	// Unique full-detail states, shuffled; each add consumes fresh ones.
+	var states []string
+	for _, a := range domains[0] {
+		for _, b := range domains[1] {
+			for _, c := range domains[2] {
+				states = append(states, fmt.Sprintf("%s = %s; %s = %s; %s = %s",
+					names[0], a, names[1], b, names[2], c))
+			}
+		}
+	}
+	rng.Shuffle(len(states), func(i, j int) { states[i], states[j] = states[j], states[i] })
+
+	kinds := []string{"museum", "park", "zoo", "brewery", "cinema"}
+	var out []crashBatch
+	var live []Preference
+	next := 0
+	for bi := 0; bi < batches; bi++ {
+		b := crashBatch{snapshotAfter: (bi+1)%64 == 0}
+		if len(live) > 0 && rng.Float64() < 0.3 {
+			k := rng.Intn(len(live))
+			p := live[k]
+			live = append(live[:k], live[k+1:]...)
+			b.remove = &p
+		} else {
+			n := 1 + rng.Intn(3)
+			for i := 0; i < n && next < len(states); i++ {
+				line := fmt.Sprintf("[%s] => type = %s : 0.%d",
+					states[next], kinds[rng.Intn(len(kinds))], 1+rng.Intn(9))
+				next++
+				p, err := ParsePreference(line)
+				if err != nil {
+					t.Fatalf("generated bad preference %q: %v", line, err)
+				}
+				b.add = append(b.add, p)
+				live = append(live, p)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// canonical renders an exported profile insertion-order-independent:
+// compaction replays records in export order, so recovered and golden
+// trees may differ in insertion history while storing the same profile.
+func canonical(t *testing.T, export string) string {
+	t.Helper()
+	var lines []string
+	for _, line := range strings.Split(export, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// runCrashWorkload drives the batches against a fresh journaled system
+// on fsys and returns how many batches were acknowledged (persisted
+// and applied). The first failed batch stops the run: after a crash
+// every journal write fails, so nothing later can commit. Snapshot
+// failures are tolerated — compaction is an optimization, not a
+// mutation.
+func runCrashWorkload(t *testing.T, fsys faultfs.FS, dir string,
+	env *Environment, rel *Relation, batches []crashBatch) (acked int, sys *System) {
+	t.Helper()
+	sys, err := NewSystem(env, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := journal.OpenFS(fsys, dir, journal.WithRetry(0, 0))
+	if err != nil {
+		return 0, sys // crashed during open: nothing acknowledged
+	}
+	defer j.Close()
+	if err := sys.Replay(recs); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetPersister(NewJournalPersister(j), "")
+	for _, b := range batches {
+		var err error
+		if b.remove != nil {
+			_, err = sys.RemovePreference(*b.remove)
+		} else {
+			err = sys.AddPreferences(b.add...)
+		}
+		if err != nil {
+			return acked, sys
+		}
+		acked++
+		if b.snapshotAfter {
+			state, err := sys.SnapshotRecords("")
+			if err != nil {
+				t.Fatal(err) // in-memory only; must not fail
+			}
+			_ = j.Snapshot(state)
+		}
+	}
+	return acked, sys
+}
+
+func TestCrashConsistencyTorture(t *testing.T) {
+	env, rel := persistFixture(t)
+	const numBatches = 208
+	batches := buildCrashWorkload(t, env, numBatches)
+	dir := "/store"
+
+	// Golden pass: no faults, count the filesystem-op space and record
+	// the canonical state after every batch. golden[i] is the state
+	// after the first i batches (golden[0] = empty).
+	counter := faultfs.NewInject(faultfs.NewMemFS())
+	golden := make([]string, 0, numBatches+1)
+	{
+		sys, err := NewSystem(env, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, _, err := journal.OpenFS(counter, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetPersister(NewJournalPersister(j), "")
+		export, err := sys.ExportProfile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden = append(golden, canonical(t, export))
+		for bi, b := range batches {
+			if b.remove != nil {
+				if _, err := sys.RemovePreference(*b.remove); err != nil {
+					t.Fatalf("golden batch %d: %v", bi, err)
+				}
+			} else if err := sys.AddPreferences(b.add...); err != nil {
+				t.Fatalf("golden batch %d: %v", bi, err)
+			}
+			if export, err = sys.ExportProfile(); err != nil {
+				t.Fatal(err)
+			}
+			golden = append(golden, canonical(t, export))
+			if b.snapshotAfter {
+				state, err := sys.SnapshotRecords("")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := j.Snapshot(state); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalOps := counter.Ops()
+	if totalOps < 2*numBatches {
+		t.Fatalf("golden run performed only %d fs ops for %d batches", totalOps, numBatches)
+	}
+	t.Logf("torture space: %d batches, %d filesystem ops", numBatches, totalOps)
+
+	for k := 1; k <= totalOps; k++ {
+		mem := faultfs.NewMemFS()
+		inj := faultfs.NewInject(mem)
+		inj.CrashAt(k)
+		acked, _ := runCrashWorkload(t, inj, dir, env, rel, batches)
+		if !inj.Crashed() {
+			t.Fatalf("crash at op %d never fired (workload acked %d)", k, acked)
+		}
+
+		// "Reboot": reopen the surviving bytes fault-free and replay.
+		j, recs, err := journal.OpenFS(mem, dir)
+		if err != nil {
+			t.Fatalf("crash at op %d: recovery failed: %v", k, err)
+		}
+		recovered, err := NewSystem(env, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := recovered.Replay(recs); err != nil {
+			t.Fatalf("crash at op %d: replay failed: %v", k, err)
+		}
+		export, err := recovered.ExportProfile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := canonical(t, export)
+
+		// Prefix consistency: the recovered state is the state after
+		// some prefix of batches, no shorter than the acknowledged one.
+		match := -1
+		for i := acked; i <= numBatches; i++ {
+			if got == golden[i] {
+				match = i
+				break
+			}
+		}
+		if match < 0 {
+			t.Fatalf("crash at op %d: recovered state (%d prefs) matches no batch prefix >= %d acked",
+				k, recovered.NumPreferences(), acked)
+		}
+		// The journal must be writable again after recovery.
+		recovered.SetPersister(NewJournalPersister(j), "")
+		if err := recovered.AddPreferences(); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+	}
+}

@@ -24,6 +24,9 @@ type Directory struct {
 	// persist, when set via SetPersister, journals user lifecycle
 	// events and is attached to every per-user system.
 	persist Persister
+	// health, when set via SetHealth, gates user lifecycle mutations
+	// and is attached to every per-user system.
+	health *Health
 	// usersCreated/usersDropped, when set via WithDirectoryTelemetry,
 	// count profile lifecycle events; nil handles are no-ops.
 	usersCreated *telemetry.Counter
@@ -99,13 +102,19 @@ func (d *Directory) user(name string, seed bool) (*SafeSystem, error) {
 	if err != nil {
 		return nil, err
 	}
+	inner.SetHealth(d.health)
 	if seed {
+		// Creating a user is a mutation: fail fast while degraded so no
+		// half-created user lingers in memory without a journal record.
+		if err := d.health.Gate(); err != nil {
+			return nil, err
+		}
 		// Journal the creation before the seeds so replay re-creates
 		// the user first; attach the persister before seeding so the
 		// seed preferences are journaled too.
 		if d.persist != nil {
 			if err := d.persist.PersistCreateUser(name); err != nil {
-				return nil, &PersistError{Op: "create user", Err: err}
+				return nil, d.health.fail(&PersistError{Op: "create user", Err: err})
 			}
 			inner.SetPersister(d.persist, name)
 		}
@@ -149,6 +158,11 @@ func (d *Directory) Remove(name string) bool {
 // journal mutations that would resurrect the user on replay.
 func (d *Directory) RemoveUser(name string) (bool, error) {
 	d.mu.Lock()
+	health := d.health
+	if err := health.Gate(); err != nil {
+		d.mu.Unlock()
+		return false, err
+	}
 	sys, ok := d.systems[name]
 	delete(d.systems, name)
 	persist := d.persist
@@ -163,7 +177,7 @@ func (d *Directory) RemoveUser(name string) (bool, error) {
 	sys.SetPersister(nil, "")
 	if persist != nil {
 		if err := persist.PersistDropUser(name); err != nil {
-			return true, &PersistError{Op: "drop user", Err: err}
+			return true, health.fail(&PersistError{Op: "drop user", Err: err})
 		}
 	}
 	return true, nil

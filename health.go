@@ -1,0 +1,208 @@
+package contextpref
+
+// This file is the degraded-mode state machine: a Health tracker that
+// System/SafeSystem/Directory consult before mutating and mark after a
+// persistence failure. While degraded the store is read-only — reads
+// and context resolution keep serving from memory, mutations fail fast
+// with a *DegradedError (no journal I/O attempted) — until a probe of
+// the underlying store succeeds and flips the state back to healthy.
+// All methods are nil-safe no-ops, so embedders that never attach a
+// Health pay nothing.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"contextpref/internal/telemetry"
+)
+
+// DegradedError reports a mutation rejected because the store is in
+// degraded (read-only) mode. Err is the persistence failure that caused
+// the degradation; Since is when it happened. HTTP servers map it to
+// 503 with a Retry-After hint.
+type DegradedError struct {
+	// Since is when the store entered degraded mode.
+	Since time.Time
+	// Err is the persistence failure that triggered the transition.
+	Err error
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("contextpref: store degraded (read-only) since %s: %v",
+		e.Since.Format(time.RFC3339), e.Err)
+}
+
+// Unwrap exposes the causing persistence failure to errors.Is/As.
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// Health tracks whether the persistence layer is trusted. It starts
+// healthy; a persist failure flips it to degraded, and a successful
+// probe (see Run) flips it back. It is safe for concurrent use, and a
+// nil *Health is always healthy.
+type Health struct {
+	mu       sync.Mutex
+	degraded bool
+	since    time.Time
+	cause    error
+	onChange func(degraded bool, cause error)
+
+	// Telemetry handles, attached via RegisterHealthTelemetry; nil
+	// handles are no-ops.
+	transDegraded *telemetry.Counter
+	transHealthy  *telemetry.Counter
+	probeOK       *telemetry.Counter
+	probeFail     *telemetry.Counter
+}
+
+// NewHealth creates a tracker in the healthy state.
+func NewHealth() *Health { return &Health{} }
+
+// OnChange registers a callback invoked (outside the tracker's lock) on
+// every state transition — for logging. Only one callback is kept.
+func (h *Health) OnChange(f func(degraded bool, cause error)) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.onChange = f
+	h.mu.Unlock()
+}
+
+// Degraded reports whether the store is in degraded (read-only) mode.
+func (h *Health) Degraded() bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded
+}
+
+// Gate returns nil when healthy and a *DegradedError when degraded;
+// mutation paths call it first so a degraded store fails fast without
+// touching the journal.
+func (h *Health) Gate() error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.degraded {
+		return nil
+	}
+	return &DegradedError{Since: h.since, Err: h.cause}
+}
+
+// MarkDegraded transitions to degraded mode (idempotent; the first
+// cause is kept) and returns the error mutations should surface.
+func (h *Health) MarkDegraded(cause error) *DegradedError {
+	if h == nil {
+		return &DegradedError{Since: time.Now(), Err: cause}
+	}
+	h.mu.Lock()
+	var cb func(bool, error)
+	if !h.degraded {
+		h.degraded = true
+		h.since = time.Now()
+		h.cause = cause
+		cb = h.onChange
+		h.transDegraded.Inc()
+	}
+	err := &DegradedError{Since: h.since, Err: h.cause}
+	h.mu.Unlock()
+	if cb != nil {
+		cb(true, cause)
+	}
+	return err
+}
+
+// MarkHealthy transitions back to healthy (idempotent).
+func (h *Health) MarkHealthy() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if !h.degraded {
+		h.mu.Unlock()
+		return
+	}
+	h.degraded = false
+	h.since = time.Time{}
+	h.cause = nil
+	cb := h.onChange
+	h.transHealthy.Inc()
+	h.mu.Unlock()
+	if cb != nil {
+		cb(false, nil)
+	}
+}
+
+// fail marks the store degraded because of a persistence failure and
+// returns the error the failing mutation should surface: the
+// *DegradedError wrapping it, so callers see the read-only transition
+// and errors.As still reaches the *PersistError underneath.
+func (h *Health) fail(perr *PersistError) error {
+	if h == nil {
+		return perr
+	}
+	return h.MarkDegraded(perr)
+}
+
+// Run probes the store every interval while degraded and flips back to
+// healthy on the first success; while healthy it only watches for
+// transitions. It blocks until ctx is cancelled — run it in a
+// goroutine. probe must attempt a real durable write (e.g.
+// journal.Probe) and return nil only when the store works again.
+func (h *Health) Run(ctx context.Context, interval time.Duration, probe func() error) {
+	if h == nil || probe == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if !h.Degraded() {
+				continue
+			}
+			if err := probe(); err != nil {
+				h.probeFail.Inc()
+				continue
+			}
+			h.probeOK.Inc()
+			h.MarkHealthy()
+		}
+	}
+}
+
+// SetHealth attaches a health tracker; subsequent mutations are gated
+// on it and persistence failures mark it degraded. A nil tracker
+// detaches (mutations then surface bare *PersistError again).
+func (s *System) SetHealth(h *Health) { s.health = h }
+
+// SetHealth attaches a health tracker under the write lock.
+func (s *SafeSystem) SetHealth(h *Health) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.SetHealth(h)
+}
+
+// SetHealth attaches a health tracker to the directory and to every
+// existing and future per-user system, so any user's persistence
+// failure flips the whole store read-only (they share one journal).
+func (d *Directory) SetHealth(h *Health) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.health = h
+	for _, sys := range d.systems {
+		sys.SetHealth(h)
+	}
+}

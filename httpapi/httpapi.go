@@ -14,14 +14,19 @@
 //	GET  /resolve?state=v1,v2  context resolution for a state (all candidates)
 //	GET  /healthz              liveness: always {"status":"ok"} while the process serves
 //	GET  /readyz               readiness: 200 {"status":"ready"}, or 503
-//	                           {"status":"draining"} once shutdown has begun
+//	                           {"status":"draining"} once shutdown has begun /
+//	                           {"status":"degraded"} while the store is read-only
 //
 // Errors return JSON {"error": "...", "code": "..."} where code is one
 // of "bad_request" (400), "conflict" (409, a Def. 6 preference
 // conflict, detected via errors.As on *contextpref.ConflictError),
-// "overloaded" (503, the concurrency limiter shed the request),
-// "unavailable" (503, persisting the mutation to the journal failed —
-// the in-memory state was not modified), and "internal" (500).
+// "too_large" (413, the request body exceeded the configured cap, see
+// WithMaxBodyBytes), "overloaded" (503, the concurrency limiter shed
+// the request), "degraded" (503 + Retry-After, the store is in
+// read-only degraded mode after a persistence failure — reads and
+// resolution keep serving; see WithHealth), "unavailable" (503,
+// persisting the mutation to the journal failed — the in-memory state
+// was not modified), and "internal" (500).
 //
 // Hardening. Every request passes through a middleware chain: a
 // request-ID middleware (honoring an incoming X-Request-ID header,
@@ -70,6 +75,8 @@ type Server struct {
 	sem      chan struct{} // nil = unlimited
 	draining atomic.Bool
 	nextID   atomic.Uint64
+	health   *contextpref.Health // nil = no degraded-mode tracking
+	maxBody  int64               // request-body cap in bytes
 
 	logger        *slog.Logger // never nil after init
 	slowThreshold time.Duration
@@ -86,6 +93,25 @@ func WithMaxInflight(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
 			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithHealth attaches the store's health tracker: /readyz answers 503
+// {"status":"degraded"} while the store is read-only, so load balancers
+// route mutations elsewhere while this replica still serves reads.
+// (The mutation handlers themselves need no flag — a degraded store
+// surfaces *contextpref.DegradedError, mapped to 503 "degraded".)
+func WithHealth(h *contextpref.Health) ServerOption {
+	return func(s *Server) { s.health = h }
+}
+
+// WithMaxBodyBytes caps request bodies (default 1 MiB); larger bodies
+// are rejected with 413 ("too_large"). n <= 0 restores the default.
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
 		}
 	}
 }
@@ -118,6 +144,7 @@ func NewMultiUser(dir *contextpref.Directory, opts ...ServerOption) (*Server, er
 
 func (s *Server) init(opts []ServerOption) {
 	s.logger = slog.Default()
+	s.maxBody = 1 << 20
 	for _, o := range opts {
 		o(s)
 	}
@@ -179,6 +206,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.health.Degraded() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -264,17 +295,39 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 }
 
 // mutationError classifies an error from a profile mutation: Def. 6
-// conflicts (typed, via errors.As) are 409, journal failures are 503,
-// anything else is the caller's bad input.
+// conflicts (typed, via errors.As) are 409, a degraded (read-only)
+// store is 503 "degraded" with a Retry-After hint, other journal
+// failures are 503 "unavailable", anything else is the caller's bad
+// input. The degraded check precedes the persist check because a
+// *DegradedError wraps the *PersistError that caused the transition.
 func mutationError(w http.ResponseWriter, err error) {
 	var conflict *contextpref.ConflictError
 	if errors.As(err, &conflict) {
 		writeError(w, http.StatusConflict, "conflict", err)
 		return
 	}
+	var degraded *contextpref.DegradedError
+	if errors.As(err, &degraded) {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "degraded", err)
+		return
+	}
 	var persist *contextpref.PersistError
 	if errors.As(err, &persist) {
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "unavailable", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_request", err)
+}
+
+// bodyError classifies a request-body read failure: the MaxBytesReader
+// cap is the client's oversized payload (413), anything else is a bad
+// request.
+func bodyError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large", err)
 		return
 	}
 	writeError(w, http.StatusBadRequest, "bad_request", err)
@@ -344,9 +397,9 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		mutationError(w, err)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err)
+		bodyError(w, err)
 		return
 	}
 	if err := sys.LoadProfile(string(body)); err != nil {
@@ -365,9 +418,9 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		mutationError(w, err)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err)
+		bodyError(w, err)
 		return
 	}
 	removed := 0
@@ -430,8 +483,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err)
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		bodyError(w, err)
 		return
 	}
 	cq, err := contextpref.ParseQuery(req.Query)

@@ -1,0 +1,86 @@
+package journal
+
+import (
+	"os"
+	"testing"
+
+	"contextpref/internal/faultfs"
+)
+
+// FuzzJournalRecovery feeds arbitrary bytes to Open as the journal
+// file: recovery must never panic and never fail — whatever the tail
+// looks like, it truncates to a valid prefix and reopening must then
+// be byte-for-byte stable.
+func FuzzJournalRecovery(f *testing.F) {
+	f.Add([]byte(fileHeader + "\n"))
+	f.Add([]byte(legacyHeader + "\nU\t1\t\"alice\"\t0\t\n"))
+	f.Add([]byte(fileHeader + "\nA\t1\t\"u\"\tdeadbeef\t[] => type = park : 0.4\nC\t1\t0\t1\n"))
+	f.Add([]byte("garbage that is not a journal at all"))
+	f.Add([]byte{})
+	f.Add([]byte(fileHeader + "\nC\t1\t\"\"\t0\t5\n"))
+	seed := func() []byte {
+		fsys := faultfs.NewMemFS()
+		j, _, err := OpenFS(fsys, "/s")
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := j.Append(
+			Record{Op: OpUser, User: "alice"},
+			Record{Op: OpAdd, User: "alice", Line: "[] => type = park : 0.4"},
+		); err != nil {
+			f.Fatal(err)
+		}
+		j.Close()
+		data, err := fsys.ReadFile("/s/journal.cpj")
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-4])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fsys := faultfs.NewMemFS()
+		dir := "/store"
+		if err := fsys.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		w, err := fsys.OpenFile(dir+"/journal.cpj", os.O_CREATE|os.O_WRONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+
+		j, recs, err := OpenFS(fsys, dir)
+		if err != nil {
+			t.Fatalf("Open on arbitrary journal bytes = %v, want recovery", err)
+		}
+		for _, r := range recs {
+			if !r.Op.valid() {
+				t.Fatalf("recovery produced invalid op %q", r.Op)
+			}
+		}
+		// The journal must be usable after recovery.
+		if err := j.Append(Record{Op: OpUser, User: "fuzz"}); err != nil {
+			t.Fatalf("append after recovery = %v", err)
+		}
+		j.Close()
+		j2, recs2, err := OpenFS(fsys, dir)
+		if err != nil {
+			t.Fatalf("reopen after recovery = %v", err)
+		}
+		defer j2.Close()
+		if len(recs2) != len(recs)+1 {
+			t.Fatalf("reopen replayed %d records, want %d", len(recs2), len(recs)+1)
+		}
+		for i := range recs {
+			if recs2[i] != recs[i] {
+				t.Fatalf("reopen record %d = %+v, want %+v (recovery not stable)", i, recs2[i], recs[i])
+			}
+		}
+	})
+}

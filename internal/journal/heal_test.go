@@ -1,0 +1,292 @@
+package journal
+
+// Self-healing and fault-injection coverage: torn-write rollback,
+// bounded retry, wedging, the probe path, and v1-journal migration,
+// all driven through the internal/faultfs injector over an in-memory
+// filesystem.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"contextpref/internal/faultfs"
+)
+
+func memStore(t *testing.T) (*faultfs.Inject, string) {
+	t.Helper()
+	return faultfs.NewInject(faultfs.NewMemFS()), "/store"
+}
+
+func mustOpenFS(t *testing.T, fsys faultfs.FS, dir string, opts ...Option) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := OpenFS(fsys, dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs
+}
+
+// TestShortWriteRollbackRetry is the regression test for the partial
+// -write corruption bug: a torn append must roll the file back to the
+// last-known-good offset before the retry, so the retried batch cannot
+// interleave with the half-written bytes.
+func TestShortWriteRollbackRetry(t *testing.T) {
+	inj, dir := memStore(t)
+	j, _ := mustOpenFS(t, inj, dir, WithRetry(2, time.Microsecond))
+	first := Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"}
+	if err := j.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the next journal write after 10 bytes, once.
+	inj.AddFault(faultfs.Fault{
+		Op: faultfs.OpWrite, Path: "journal", Count: 1,
+		Err: faultfs.ErrIO, Short: 10,
+	})
+	second := Record{Op: OpAdd, User: "u", Line: "[] => type = museum : 0.6"}
+	if err := j.Append(second); err != nil {
+		t.Fatalf("append with one torn attempt = %v, want nil (healed by retry)", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := mustOpenFS(t, inj, dir)
+	defer j2.Close()
+	if len(recs) != 2 || recs[0] != first || recs[1] != second {
+		t.Fatalf("recovered %+v, want the two appended records exactly once", recs)
+	}
+	// The torn bytes must not survive in the file: the second record's
+	// payload appears exactly once.
+	data, err := inj.ReadFile(dir + "/journal.cpj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "museum"); got != 1 {
+		t.Errorf("torn bytes interleaved with the retry:\n%s", data)
+	}
+}
+
+// TestAppendENOSPCSurfacesAfterRetries: a persistent disk-full error
+// exhausts the bounded retry and surfaces, leaving the file rolled
+// back; lifting the fault heals the journal without reopening.
+func TestAppendENOSPCSurfacesAfterRetries(t *testing.T) {
+	inj, dir := memStore(t)
+	j, _ := mustOpenFS(t, inj, dir, WithRetry(2, time.Microsecond))
+	first := Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"}
+	if err := j.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := j.Size()
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpWrite, Path: "journal", Err: faultfs.ErrNoSpace})
+	err := j.Append(Record{Op: OpAdd, User: "u", Line: "[] => type = zoo : 0.2"})
+	if !errors.Is(err, faultfs.ErrNoSpace) {
+		t.Fatalf("append on full disk = %v, want ENOSPC", err)
+	}
+	if got := j.Size(); got != sizeBefore {
+		t.Errorf("size after failed append = %d, want rolled back to %d", got, sizeBefore)
+	}
+	inj.Lift()
+	second := Record{Op: OpAdd, User: "u", Line: "[] => type = zoo : 0.2"}
+	if err := j.Append(second); err != nil {
+		t.Fatalf("append after fault lifted = %v, want nil", err)
+	}
+	j.Close()
+	_, recs := mustOpenFS(t, inj, dir)
+	if len(recs) != 2 || recs[0] != first || recs[1] != second {
+		t.Fatalf("recovered %+v, want exactly the two acknowledged records", recs)
+	}
+}
+
+// TestWedgedJournal: when the rollback truncate itself fails, the
+// journal must refuse all further writes (the tail is untrusted) until
+// a reopen truncates the torn bytes away.
+func TestWedgedJournal(t *testing.T) {
+	inj, dir := memStore(t)
+	j, _ := mustOpenFS(t, inj, dir, WithRetry(2, time.Microsecond))
+	first := Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"}
+	if err := j.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	inj.AddFault(faultfs.Fault{
+		Op: faultfs.OpWrite, Path: "journal", Count: 1,
+		Err: faultfs.ErrIO, Short: 7,
+	})
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpTruncate, Path: "journal", Count: 1, Err: faultfs.ErrIO})
+	err := j.Append(Record{Op: OpAdd, User: "u", Line: "[] => type = zoo : 0.2"})
+	if !errors.Is(err, ErrWedged) {
+		t.Fatalf("append with failed rollback = %v, want ErrWedged", err)
+	}
+	if err := j.Append(first); !errors.Is(err, ErrWedged) {
+		t.Errorf("append on wedged journal = %v, want ErrWedged", err)
+	}
+	if err := j.Probe(); !errors.Is(err, ErrWedged) {
+		t.Errorf("probe on wedged journal = %v, want ErrWedged", err)
+	}
+	if err := j.Snapshot(nil); !errors.Is(err, ErrWedged) {
+		t.Errorf("snapshot on wedged journal = %v, want ErrWedged", err)
+	}
+	j.Close()
+	// Reopen truncates the torn tail: only the acknowledged record
+	// survives, and the journal works again.
+	j2, recs := mustOpenFS(t, inj, dir)
+	defer j2.Close()
+	if len(recs) != 1 || recs[0] != first {
+		t.Fatalf("recovered %+v, want only the acknowledged record", recs)
+	}
+	if err := j2.Append(Record{Op: OpDrop, User: "u"}); err != nil {
+		t.Errorf("append after reopen = %v, want nil", err)
+	}
+}
+
+// TestProbe: the probe exercises the durable append path without
+// leaving anything recovery or compaction would see.
+func TestProbe(t *testing.T) {
+	inj, dir := memStore(t)
+	j, _ := mustOpenFS(t, inj, dir, WithRetry(0, 0))
+	if err := j.Probe(); err != nil {
+		t.Fatalf("probe on healthy journal = %v", err)
+	}
+	rec := Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpSync, Path: "journal", Err: faultfs.ErrIO})
+	if err := j.Probe(); !errors.Is(err, faultfs.ErrIO) {
+		t.Fatalf("probe with failing fsync = %v, want EIO", err)
+	}
+	inj.Lift()
+	if err := j.Probe(); err != nil {
+		t.Fatalf("probe after fault lifted = %v", err)
+	}
+	j.Close()
+	_, recs := mustOpenFS(t, inj, dir)
+	if len(recs) != 1 || recs[0] != rec {
+		t.Fatalf("recovered %+v, want probes to be invisible", recs)
+	}
+}
+
+// TestLegacyJournalMigration: a v1 journal (per-record durability, no
+// commit markers) is recovered in full and atomically rewritten in the
+// commit-framed format.
+func TestLegacyJournalMigration(t *testing.T) {
+	fsys := faultfs.NewMemFS()
+	dir := "/store"
+	if err := fsys.MkdirAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Op: OpUser, User: "alice"},
+		{Op: OpAdd, User: "alice", Line: "[] => type = park : 0.4"},
+	}
+	var b strings.Builder
+	b.WriteString(legacyHeader + "\n")
+	for i, r := range recs {
+		line, err := marshal(r, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(line)
+	}
+	// A torn final line, as a crashed v1 writer would leave behind.
+	b.WriteString("A\t3\t\"alice\"\tdeadbeef")
+	f, err := fsys.OpenFile(dir+"/journal.cpj", os.O_CREATE|os.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j, got := mustOpenFS(t, fsys, dir)
+	if len(got) != len(recs) {
+		t.Fatalf("migrated recovery = %+v, want %+v", got, recs)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	data, err := fsys.ReadFile(dir + "/journal.cpj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), fileHeader+"\n") {
+		t.Errorf("migrated journal still has the v1 header:\n%s", data)
+	}
+	if !strings.Contains(string(data), "\nC\t") {
+		t.Errorf("migrated journal has no commit marker:\n%s", data)
+	}
+	// New appends continue with sequence numbers past the migration.
+	next := Record{Op: OpDrop, User: "alice"}
+	if err := j.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, got2 := mustOpenFS(t, fsys, dir)
+	if len(got2) != 3 || got2[2] != next {
+		t.Fatalf("post-migration recovery = %+v", got2)
+	}
+}
+
+// TestCrashDuringSnapshotAtEveryOp drives a compaction into a simulated
+// crash at every filesystem operation in turn; reopening must always
+// recover the full pre-compaction state (from the old snapshot+journal,
+// the new snapshot, or the new snapshot plus stale journal, depending
+// on where the crash hit).
+func TestCrashDuringSnapshotAtEveryOp(t *testing.T) {
+	recs := []Record{
+		{Op: OpUser, User: "u"},
+		{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
+	}
+	compacted := []Record{
+		{Op: OpUser, User: "u"},
+		{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
+	}
+	// Counting pass: how many fs ops does the snapshot perform?
+	count, dir := memStore(t)
+	j, _ := mustOpenFS(t, count, dir)
+	if err := j.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+	before := count.Ops()
+	if err := j.Snapshot(compacted); err != nil {
+		t.Fatal(err)
+	}
+	total := count.Ops() - before
+	if total < 5 {
+		t.Fatalf("snapshot performed only %d ops", total)
+	}
+	for k := 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash_at_%d", k), func(t *testing.T) {
+			mem := faultfs.NewMemFS()
+			inj := faultfs.NewInject(mem)
+			j, _ := mustOpenFS(t, inj, dir, WithRetry(0, 0))
+			if err := j.Append(recs...); err != nil {
+				t.Fatal(err)
+			}
+			inj.CrashAt(k)
+			if err := j.Snapshot(compacted); err == nil {
+				t.Fatal("snapshot succeeded through a crash")
+			}
+			// Restart: reopen the surviving files without faults.
+			j2, got, err := OpenFS(mem, dir)
+			if err != nil {
+				t.Fatalf("recovery after crash at op %d: %v", k, err)
+			}
+			defer j2.Close()
+			if len(got) != len(recs) {
+				t.Fatalf("crash at op %d recovered %+v, want %+v", k, got, recs)
+			}
+			for i := range recs {
+				if got[i] != recs[i] {
+					t.Errorf("crash at op %d: record %d = %+v, want %+v", k, i, got[i], recs[i])
+				}
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@
 //	A   preference added (payload: the preference line encoding)
 //	R   preference removed (payload: the preference line encoding)
 //	D   user dropped (payload empty)
+//	C   batch commit marker (payload: the batch's record count)
 //
 // seq is a monotonically increasing decimal sequence number, user is a
 // Go-quoted user name ("" in single-user deployments) and crc32-hex is
@@ -29,20 +30,43 @@
 //
 //	A	7	"alice"	89e2c90c	[accompanying_people = friends] => type = brewery : 0.9
 //
+// Each Append writes its records followed by one commit marker, all in
+// a single write and fsync. Recovery replays only records covered by a
+// commit marker, so a batch is atomic on disk exactly as it is in
+// memory: a crash mid-batch recovers none of it, never a prefix of it.
+//
 // # Crash recovery
 //
-// Open replays the snapshot first and then every journal record whose
-// sequence number is newer than the snapshot's. A torn final journal
-// record — a line missing its trailing newline, with missing fields, or
-// whose checksum does not match, as left behind by a crash mid-append —
-// is tolerated: the journal is truncated back to the end of the last
-// valid record and recovery proceeds with the valid prefix.
+// Open replays the snapshot first and then every committed journal
+// record whose sequence number is newer than the snapshot's. A torn
+// journal tail — an unterminated line, a corrupt record, or a batch
+// missing its commit marker, as left behind by a crash mid-append — is
+// tolerated: the journal is truncated back to the end of the last
+// committed batch and recovery proceeds with the valid prefix. Journals
+// written by the v1 format (no commit markers; every record stood
+// alone) are detected by their header and atomically rewritten in the
+// current format on open.
 //
 // Snapshot writes the compacted state to a temporary file, fsyncs it,
 // renames it over snapshot.cpj, fsyncs the directory, and only then
 // truncates the journal. A crash between the rename and the truncation
 // merely leaves already-snapshotted records in the journal; their stale
 // sequence numbers make the next Open skip them.
+//
+// # Self-healing appends
+//
+// A failed append attempt (short write, failed fsync) rolls the journal
+// file back to the last-known-good offset before anything else happens,
+// so a half-written batch can never interleave with a retry, and is
+// then retried a bounded number of times with exponential backoff
+// (configurable via WithRetry) before the error surfaces. If the
+// rollback itself fails the journal is wedged — every further write
+// returns ErrWedged and the store must be reopened, which re-runs torn
+// -tail recovery.
+//
+// All filesystem access goes through an internal/faultfs.FS, so tests
+// can inject disk-full, torn-write, and whole-machine-crash faults at
+// any operation; production uses the passthrough OS implementation.
 package journal
 
 import (
@@ -58,6 +82,7 @@ import (
 	"sync"
 	"time"
 
+	"contextpref/internal/faultfs"
 	"contextpref/internal/telemetry"
 )
 
@@ -74,6 +99,9 @@ const (
 	OpRemove Op = 'R'
 	// OpDrop records the deletion of a user profile.
 	OpDrop Op = 'D'
+	// opCommit is the internal batch commit marker (payload: record
+	// count); it never appears in the records Open returns.
+	opCommit Op = 'C'
 )
 
 func (op Op) valid() bool {
@@ -97,26 +125,60 @@ type Record struct {
 
 const (
 	journalFile  = "journal.cpj"
+	journalTemp  = "journal.cpj.tmp"
 	snapshotFile = "snapshot.cpj"
 	snapshotTemp = "snapshot.cpj.tmp"
-	fileHeader   = "# cpjournal v1"
+	fileHeader   = "# cpjournal v2"
+	legacyHeader = "# cpjournal v1"
 	// metaPrefix introduces the snapshot's last-compacted sequence
 	// number ("!lastseq <n>").
 	metaPrefix = "!lastseq "
+	// probeLine is what Probe durably appends: a comment, invisible to
+	// recovery and dropped at the next compaction.
+	probeLine = "# probe\n"
 )
 
 // Journal is an open write-ahead log. It is safe for concurrent use.
 type Journal struct {
 	mu      sync.Mutex
+	fsys    faultfs.FS
 	dir     string
-	f       *os.File
+	path    string // the journal file path
+	f       faultfs.File
 	nextSeq uint64
-	size    int64 // current journal file size in bytes
+	size    int64 // last-known-good journal length in bytes
 	closed  bool
+	// wedged is non-nil after a failed append rollback: the on-disk
+	// tail may hold a half-written batch at an offset this handle can
+	// no longer trust, so every further write is refused until the
+	// store is reopened (which truncates the torn tail away).
+	wedged error
+
+	// retries is how many times a failed append attempt is retried
+	// (after rolling back), with backoff doubling each time.
+	retries int
+	backoff time.Duration
 
 	// metrics, when set, observes append/fsync/compaction cost; nil
 	// (the default) is a no-op.
 	metrics *Metrics
+}
+
+// Option configures an opened journal.
+type Option func(*Journal)
+
+// WithRetry sets the bounded retry policy for failed append attempts:
+// up to retries re-attempts after the first failure, sleeping backoff
+// before the first retry and doubling it each time. retries < 0 is
+// treated as 0 (fail on the first error).
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(j *Journal) {
+		if retries < 0 {
+			retries = 0
+		}
+		j.retries = retries
+		j.backoff = backoff
+	}
 }
 
 // Metrics are the durability cost instruments a Journal reports. Every
@@ -133,6 +195,12 @@ type Metrics struct {
 	AppendBytes *telemetry.Counter
 	// AppendRecords counts journaled records.
 	AppendRecords *telemetry.Counter
+	// AppendRetries counts append attempts retried after a transient
+	// write or fsync failure.
+	AppendRetries *telemetry.Counter
+	// AppendRollbacks counts truncate-to-last-good rollbacks performed
+	// after a failed append attempt.
+	AppendRollbacks *telemetry.Counter
 	// SnapshotSeconds times compactions (snapshot write + rename +
 	// journal truncation).
 	SnapshotSeconds *telemetry.Histogram
@@ -164,66 +232,96 @@ func (j *Journal) Size() int64 {
 // ErrClosed is returned by operations on a closed journal.
 var ErrClosed = errors.New("journal: closed")
 
-// Open opens (creating it if needed) the store directory, recovers the
-// persisted records — snapshot first, then the journal tail — and
-// returns the journal ready for appending. A torn final journal record
-// is truncated away; see the package comment.
-func Open(dir string) (*Journal, []Record, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// ErrWedged is returned by writes after a failed append rollback left
+// the file tail in an untrusted state; reopening the store truncates
+// the tail and clears the condition.
+var ErrWedged = errors.New("journal: wedged by a failed append rollback; reopen required")
+
+// Open opens (creating it if needed) the store directory on the real
+// filesystem, recovers the persisted records — snapshot first, then the
+// journal tail — and returns the journal ready for appending. A torn
+// journal tail is truncated away; see the package comment.
+func Open(dir string, opts ...Option) (*Journal, []Record, error) {
+	return OpenFS(faultfs.OS{}, dir, opts...)
+}
+
+// OpenFS is Open over an explicit filesystem implementation — the
+// fault-injection seam. Production callers use Open.
+func OpenFS(fsys faultfs.FS, dir string, opts ...Option) (*Journal, []Record, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	// A stale temp file is debris from a crashed snapshot; the rename
-	// never happened, so it is dead weight.
-	_ = os.Remove(filepath.Join(dir, snapshotTemp))
+	// Stale temp files are debris from a crashed snapshot or format
+	// migration; the rename never happened, so they are dead weight.
+	_ = fsys.Remove(filepath.Join(dir, snapshotTemp))
+	_ = fsys.Remove(filepath.Join(dir, journalTemp))
 
-	recs, lastSeq, err := readSnapshot(filepath.Join(dir, snapshotFile))
+	recs, lastSeq, err := readSnapshot(fsys, filepath.Join(dir, snapshotFile))
 	if err != nil {
 		return nil, nil, err
 	}
 	jpath := filepath.Join(dir, journalFile)
-	jrecs, seqs, validLen, err := readJournal(jpath)
+	scan, err := readJournal(fsys, jpath)
 	if err != nil {
 		return nil, nil, err
 	}
-	if st, err := os.Stat(jpath); err == nil && st.Size() > validLen {
-		// Torn or corrupt tail: truncate back to the last valid record.
-		if err := os.Truncate(jpath, validLen); err != nil {
+	if scan.legacy {
+		// Rewrite the v1 journal in the commit-framed format so every
+		// later open parses one format only.
+		if err := migrate(fsys, dir, &scan); err != nil {
+			return nil, nil, err
+		}
+	} else if sz, err := fsys.Size(jpath); err == nil && sz > scan.validLen {
+		// Torn or corrupt tail: truncate back to the last committed
+		// batch.
+		if err := fsys.Truncate(jpath, scan.validLen); err != nil {
 			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
 		}
 	}
 	nextSeq := lastSeq + 1
-	for i, r := range jrecs {
-		if seqs[i] <= lastSeq {
+	for i, r := range scan.recs {
+		if scan.seqs[i] <= lastSeq {
 			continue // already folded into the snapshot
 		}
 		recs = append(recs, r)
-		if seqs[i] >= nextSeq {
-			nextSeq = seqs[i] + 1
-		}
 	}
-	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if scan.maxSeq >= nextSeq {
+		nextSeq = scan.maxSeq + 1
+	}
+	f, err := fsys.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	if st, err := f.Stat(); err == nil && st.Size() == 0 {
-		if _, err := f.WriteString(fileHeader + "\n"); err != nil {
+	size, _ := fsys.Size(jpath)
+	if size == 0 {
+		if _, err := f.Write([]byte(fileHeader + "\n")); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("journal: %w", err)
 		}
+		size = int64(len(fileHeader) + 1)
 	}
-	size := int64(0)
-	if st, err := f.Stat(); err == nil {
-		size = st.Size()
+	j := &Journal{
+		fsys: fsys, dir: dir, path: jpath, f: f,
+		nextSeq: nextSeq, size: size,
+		retries: 2, backoff: 2 * time.Millisecond,
 	}
-	return &Journal{dir: dir, f: f, nextSeq: nextSeq, size: size}, recs, nil
+	for _, o := range opts {
+		o(j)
+	}
+	return j, recs, nil
 }
 
 // Dir returns the store directory.
 func (j *Journal) Dir() string { return j.dir }
 
 // Append durably writes the records as one batch: all lines are written
-// with consecutive sequence numbers and a single fsync. On error the
-// caller must assume none of the batch is durable.
+// with consecutive sequence numbers, framed by a commit marker, and
+// fsync'd once. On error none of the batch is durable — recovery drops
+// an uncommitted batch entirely — and the in-file state has been rolled
+// back so a retry cannot interleave with the torn bytes.
 func (j *Journal) Append(recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -233,38 +331,114 @@ func (j *Journal) Append(recs ...Record) error {
 	if j.closed {
 		return ErrClosed
 	}
+	if j.wedged != nil {
+		return j.wedged
+	}
 	var start time.Time
 	if j.metrics != nil {
 		start = time.Now()
 	}
+	seq := j.nextSeq
 	var b strings.Builder
 	for _, r := range recs {
-		line, err := marshal(r, j.nextSeq)
+		if !r.Op.valid() {
+			return fmt.Errorf("journal: invalid op %q", string(rune(r.Op)))
+		}
+		line, err := marshal(r, seq)
 		if err != nil {
 			return err
 		}
 		b.WriteString(line)
-		j.nextSeq++
+		seq++
 	}
-	if _, err := j.f.WriteString(b.String()); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+	commit, err := marshal(Record{Op: opCommit, Line: strconv.Itoa(len(recs))}, seq)
+	if err != nil {
+		return err
 	}
-	var syncStart time.Time
-	if j.metrics != nil {
-		syncStart = time.Now()
+	b.WriteString(commit)
+	seq++
+	if err := j.writeDurable(b.String(), start); err != nil {
+		return err
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
-	}
+	j.nextSeq = seq
 	j.size += int64(b.Len())
 	if m := j.metrics; m != nil {
-		m.FsyncSeconds.ObserveSince(syncStart)
 		m.AppendSeconds.ObserveSince(start)
 		m.AppendBytes.Add(b.Len())
 		m.AppendRecords.Add(len(recs))
 		m.SizeBytes.Set(float64(j.size))
 	}
 	return nil
+}
+
+// Probe verifies the append path end to end by durably writing a
+// comment line, which recovery ignores and the next compaction drops.
+// It is what a degraded-mode health probe calls to test whether the
+// store has recovered. The caller must hold no expectations about
+// sequence numbers: a probe consumes none.
+func (j *Journal) Probe() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.wedged != nil {
+		return j.wedged
+	}
+	if err := j.writeDurable(probeLine, time.Time{}); err != nil {
+		return err
+	}
+	j.size += int64(len(probeLine))
+	if m := j.metrics; m != nil {
+		m.SizeBytes.Set(float64(j.size))
+	}
+	return nil
+}
+
+// writeDurable writes s at the journal tail and fsyncs, retrying
+// transient failures up to j.retries times. Every failed attempt first
+// rolls the file back to the last-known-good offset (j.size); if that
+// rollback fails the journal wedges. Callers hold j.mu.
+func (j *Journal) writeDurable(s string, metricStart time.Time) error {
+	backoff := j.backoff
+	for attempt := 0; ; attempt++ {
+		err := func() error {
+			if _, err := j.f.Write([]byte(s)); err != nil {
+				return fmt.Errorf("journal: append: %w", err)
+			}
+			var syncStart time.Time
+			if j.metrics != nil && !metricStart.IsZero() {
+				syncStart = time.Now()
+			}
+			if err := j.f.Sync(); err != nil {
+				return fmt.Errorf("journal: fsync: %w", err)
+			}
+			if m := j.metrics; m != nil && !syncStart.IsZero() {
+				m.FsyncSeconds.ObserveSince(syncStart)
+			}
+			return nil
+		}()
+		if err == nil {
+			return nil
+		}
+		// Roll back to the last-known-good offset so the torn bytes of
+		// this attempt cannot interleave with a later one.
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.wedged = fmt.Errorf("%w (rollback: %v; append: %v)", ErrWedged, terr, err)
+			return j.wedged
+		}
+		if m := j.metrics; m != nil {
+			m.AppendRollbacks.Inc()
+		}
+		if attempt >= j.retries {
+			return err
+		}
+		if m := j.metrics; m != nil {
+			m.AppendRetries.Inc()
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // Snapshot atomically replaces the snapshot with the given compacted
@@ -275,6 +449,9 @@ func (j *Journal) Snapshot(state []Record) error {
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
+	}
+	if j.wedged != nil {
+		return j.wedged
 	}
 	var start time.Time
 	if j.metrics != nil {
@@ -292,14 +469,14 @@ func (j *Journal) Snapshot(state []Record) error {
 		b.WriteString(line)
 	}
 	tmp := filepath.Join(j.dir, snapshotTemp)
-	if err := writeFileSync(tmp, b.String()); err != nil {
+	if err := writeFileSync(j.fsys, tmp, b.String()); err != nil {
 		return err
 	}
 	final := filepath.Join(j.dir, snapshotFile)
-	if err := os.Rename(tmp, final); err != nil {
+	if err := j.fsys.Rename(tmp, final); err != nil {
 		return fmt.Errorf("journal: snapshot rename: %w", err)
 	}
-	if err := syncDir(j.dir); err != nil {
+	if err := syncDir(j.fsys, j.dir); err != nil {
 		return err
 	}
 	// Compaction: the snapshot now owns everything up to lastSeq, so
@@ -307,7 +484,8 @@ func (j *Journal) Snapshot(state []Record) error {
 	if err := j.f.Truncate(0); err != nil {
 		return fmt.Errorf("journal: compacting: %w", err)
 	}
-	if _, err := j.f.WriteString(fileHeader + "\n"); err != nil {
+	j.size = 0
+	if _, err := j.f.Write([]byte(fileHeader + "\n")); err != nil {
 		return fmt.Errorf("journal: compacting: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
@@ -340,7 +518,7 @@ func (j *Journal) Close() error {
 
 // marshal renders one record line.
 func marshal(r Record, seq uint64) (string, error) {
-	if !r.Op.valid() {
+	if !r.Op.valid() && r.Op != opCommit {
 		return "", fmt.Errorf("journal: invalid op %q", string(rune(r.Op)))
 	}
 	if strings.ContainsAny(r.Line, "\n\r") {
@@ -356,7 +534,7 @@ func parseRecord(line string) (Record, uint64, error) {
 	if len(parts) != 5 {
 		return Record{}, 0, fmt.Errorf("journal: %d fields, want 5", len(parts))
 	}
-	if len(parts[0]) != 1 || !Op(parts[0][0]).valid() {
+	if len(parts[0]) != 1 || !(Op(parts[0][0]).valid() || Op(parts[0][0]) == opCommit) {
 		return Record{}, 0, fmt.Errorf("journal: invalid op %q", parts[0])
 	}
 	seq, err := strconv.ParseUint(parts[1], 10, 64)
@@ -380,8 +558,8 @@ func parseRecord(line string) (Record, uint64, error) {
 // readSnapshot strictly parses the snapshot file (it is written
 // atomically, so any damage is real corruption, not a torn write).
 // Missing file means empty state.
-func readSnapshot(path string) ([]Record, uint64, error) {
-	data, err := os.ReadFile(path)
+func readSnapshot(fsys faultfs.FS, path string) ([]Record, uint64, error) {
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, 0, nil
 	}
@@ -408,23 +586,50 @@ func readSnapshot(path string) ([]Record, uint64, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("journal: snapshot line %d: %w", ln+1, err)
 		}
+		if r.Op == opCommit {
+			return nil, 0, fmt.Errorf("journal: snapshot line %d: commit marker in snapshot", ln+1)
+		}
 		recs = append(recs, r)
 	}
 	return recs, lastSeq, nil
 }
 
+// journalScan is the result of tolerantly parsing the journal file.
+type journalScan struct {
+	// recs/seqs hold the committed records in order.
+	recs []Record
+	seqs []uint64
+	// maxSeq is the highest committed sequence number, including the
+	// commit markers' own numbers.
+	maxSeq uint64
+	// validLen is the byte length of the committed prefix; everything
+	// past it is a torn or corrupt tail to truncate away.
+	validLen int64
+	// legacy reports the v1 header: per-record durability, no commit
+	// markers.
+	legacy bool
+}
+
 // readJournal tolerantly parses the journal: it stops at the first
-// invalid or unterminated line and reports the byte length of the valid
-// prefix so the caller can truncate the torn tail away.
-func readJournal(path string) (recs []Record, seqs []uint64, validLen int64, err error) {
-	data, err := os.ReadFile(path)
+// invalid, unterminated, or mis-framed line and reports the byte length
+// of the committed prefix so the caller can truncate the tail away. In
+// the commit-framed format, records are buffered until their batch's
+// commit marker is seen — an uncommitted batch is dropped entirely.
+func readJournal(fsys faultfs.FS, path string) (journalScan, error) {
+	var scan journalScan
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil, 0, nil
+		return scan, nil
 	}
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("journal: reading journal: %w", err)
+		return scan, fmt.Errorf("journal: reading journal: %w", err)
 	}
+	scan.legacy = bytes.HasPrefix(data, []byte(legacyHeader+"\n")) ||
+		string(data) == legacyHeader // torn header newline: still v1
+	var pending []Record
+	var pendingSeqs []uint64
 	off := 0
+scanLoop:
 	for off < len(data) {
 		nl := bytes.IndexByte(data[off:], '\n')
 		if nl < 0 {
@@ -433,27 +638,91 @@ func readJournal(path string) (recs []Record, seqs []uint64, validLen int64, err
 		end := off + nl + 1
 		line := strings.TrimRight(string(data[off:off+nl]), "\r")
 		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
-			validLen, off = int64(end), end
+			// Comments between batches (the header, probe lines) are
+			// committed ground; mid-batch they cannot occur, and
+			// advancing there would resurrect a torn batch.
+			if len(pending) == 0 {
+				scan.validLen = int64(end)
+			}
+			off = end
 			continue
 		}
 		r, seq, perr := parseRecord(line)
 		if perr != nil {
 			break // corrupt record: keep only the prefix before it
 		}
-		recs = append(recs, r)
-		seqs = append(seqs, seq)
-		validLen, off = int64(end), end
+		switch {
+		case scan.legacy:
+			if r.Op == opCommit {
+				// v1 journals have no commit markers; one is corruption.
+				break scanLoop
+			}
+			scan.recs = append(scan.recs, r)
+			scan.seqs = append(scan.seqs, seq)
+			if seq > scan.maxSeq {
+				scan.maxSeq = seq
+			}
+			scan.validLen = int64(end)
+		case r.Op == opCommit:
+			count, cerr := strconv.Atoi(r.Line)
+			if cerr != nil || count != len(pending) || count == 0 {
+				break scanLoop // mis-framed commit: corruption
+			}
+			scan.recs = append(scan.recs, pending...)
+			scan.seqs = append(scan.seqs, pendingSeqs...)
+			pending, pendingSeqs = pending[:0], pendingSeqs[:0]
+			if seq > scan.maxSeq {
+				scan.maxSeq = seq
+			}
+			scan.validLen = int64(end)
+		default:
+			pending = append(pending, r)
+			pendingSeqs = append(pendingSeqs, seq)
+		}
+		off = end
 	}
-	return recs, seqs, validLen, nil
+	return scan, nil
+}
+
+// migrate atomically rewrites a v1 journal in the commit-framed format,
+// wrapping its surviving records in a single batch. scan.maxSeq is
+// advanced past the new commit marker.
+func migrate(fsys faultfs.FS, dir string, scan *journalScan) error {
+	var b strings.Builder
+	b.WriteString(fileHeader + "\n")
+	if len(scan.recs) > 0 {
+		for i, r := range scan.recs {
+			line, err := marshal(r, scan.seqs[i])
+			if err != nil {
+				return fmt.Errorf("journal: migrating v1 journal: %w", err)
+			}
+			b.WriteString(line)
+		}
+		commitSeq := scan.maxSeq + 1
+		commit, err := marshal(Record{Op: opCommit, Line: strconv.Itoa(len(scan.recs))}, commitSeq)
+		if err != nil {
+			return fmt.Errorf("journal: migrating v1 journal: %w", err)
+		}
+		b.WriteString(commit)
+		scan.maxSeq = commitSeq
+	}
+	tmp := filepath.Join(dir, journalTemp)
+	if err := writeFileSync(fsys, tmp, b.String()); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, journalFile)); err != nil {
+		return fmt.Errorf("journal: migrating v1 journal: %w", err)
+	}
+	return syncDir(fsys, dir)
 }
 
 // writeFileSync writes content to path and fsyncs it.
-func writeFileSync(path, content string) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+func writeFileSync(fsys faultfs.FS, path, content string) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	if _, err := f.WriteString(content); err != nil {
+	if _, err := f.Write([]byte(content)); err != nil {
 		f.Close()
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -465,13 +734,8 @@ func writeFileSync(path, content string) error {
 }
 
 // syncDir fsyncs a directory so a rename within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys faultfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("journal: fsync dir: %w", err)
 	}
 	return nil

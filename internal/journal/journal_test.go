@@ -3,7 +3,6 @@ package journal
 import (
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 )
 
@@ -72,17 +71,24 @@ func TestRejectsBadRecords(t *testing.T) {
 	}
 }
 
-// TestTornTail simulates a crash mid-append: the final record is
+// TestTornTail simulates a crash mid-append: the final batch is
 // truncated at every possible byte boundary and recovery must keep
-// exactly the valid prefix.
+// exactly the committed prefix — batches are atomic, so a torn second
+// batch recovers none of its records even when some of its lines are
+// intact.
 func TestTornTail(t *testing.T) {
 	dir := t.TempDir()
 	j, _ := mustOpen(t, dir)
-	full := []Record{
-		{Op: OpAdd, User: "u", Line: "[time = morning] => type = museum : 0.8"},
-		{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
+	first := Record{Op: OpAdd, User: "u", Line: "[time = morning] => type = museum : 0.8"}
+	if err := j.Append(first); err != nil {
+		t.Fatal(err)
 	}
-	if err := j.Append(full...); err != nil {
+	goodLen := int(j.Size())
+	second := []Record{
+		{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
+		{Op: OpAdd, User: "u", Line: "[] => type = zoo : 0.2"},
+	}
+	if err := j.Append(second...); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -91,11 +97,8 @@ func TestTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Byte offset where the last record starts.
-	body := string(data)
-	lastStart := strings.LastIndex(strings.TrimRight(body, "\n"), "\n") + 1
 
-	for cut := lastStart; cut < len(data); cut++ {
+	for cut := goodLen; cut < len(data); cut++ {
 		work := t.TempDir()
 		wpath := filepath.Join(work, "journal.cpj")
 		if err := os.WriteFile(wpath, data[:cut], 0o644); err != nil {
@@ -105,8 +108,8 @@ func TestTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut at %d: %v", cut, err)
 		}
-		if len(recs) != 1 || recs[0] != full[0] {
-			t.Fatalf("cut at %d: replayed %+v, want only first record", cut, recs)
+		if len(recs) != 1 || recs[0] != first {
+			t.Fatalf("cut at %d: replayed %+v, want only the first batch", cut, recs)
 		}
 		// The torn tail must be gone: appending and reopening stays clean.
 		if err := j2.Append(Record{Op: OpDrop, User: "u"}); err != nil {
@@ -126,16 +129,17 @@ func TestTornTail(t *testing.T) {
 func TestCorruptMidRecordTruncates(t *testing.T) {
 	dir := t.TempDir()
 	j, _ := mustOpen(t, dir)
-	if err := j.Append(
-		Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"},
-		Record{Op: OpAdd, User: "u", Line: "[] => type = museum : 0.6"},
-	); err != nil {
+	if err := j.Append(Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpAdd, User: "u", Line: "[] => type = museum : 0.6"}); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
 	jpath := filepath.Join(dir, "journal.cpj")
 	data, _ := os.ReadFile(jpath)
-	// Flip a payload byte of the last record: its checksum must fail.
+	// Flip a byte in the second batch: its checksum must fail and the
+	// whole batch must be dropped.
 	corrupted := append([]byte(nil), data...)
 	corrupted[len(corrupted)-3] ^= 0xff
 	if err := os.WriteFile(jpath, corrupted, 0o644); err != nil {

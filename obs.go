@@ -92,5 +92,36 @@ func NewJournalMetrics(reg *TelemetryRegistry) *journal.Metrics {
 			"Size of the last written snapshot."),
 		SizeBytes: reg.Gauge("cp_journal_size_bytes",
 			"Current journal file size; compaction resets it to the header."),
+		AppendRetries: reg.Counter("cp_journal_append_retries_total",
+			"Journal append attempts retried after a transient write/fsync failure."),
+		AppendRollbacks: reg.Counter("cp_journal_append_rollbacks_total",
+			"Journal truncations rolling a torn append back to the last durable offset."),
 	}
+}
+
+// RegisterHealthTelemetry attaches the degraded-mode instruments
+// (cp_health_*) to a health tracker: a gauge for the current state,
+// transition counters by direction, and probe outcome counters. A nil
+// registry or tracker is a no-op.
+func RegisterHealthTelemetry(h *Health, reg *TelemetryRegistry) {
+	if h == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("cp_health_degraded",
+		"1 while the store is degraded (read-only), 0 while healthy.", func() float64 {
+			if h.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	trans := reg.CounterVec("cp_health_transitions_total",
+		"Health state transitions by target state.", "to")
+	h.mu.Lock()
+	h.transDegraded = trans.With("degraded")
+	h.transHealthy = trans.With("healthy")
+	probes := reg.CounterVec("cp_health_probe_total",
+		"Store probe attempts while degraded, by outcome.", "outcome")
+	h.probeOK = probes.With("ok")
+	h.probeFail = probes.With("fail")
+	h.mu.Unlock()
 }

@@ -1,6 +1,7 @@
 package contextpref
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -187,5 +188,44 @@ func TestJournalTelemetry(t *testing.T) {
 	}
 	if int64(got) != j.Size() {
 		t.Errorf("size gauge %v != journal size %d", got, j.Size())
+	}
+}
+
+// TestHealthTelemetry: the degraded gauge, transition counters, and
+// probe counters report through RegisterHealthTelemetry.
+func TestHealthTelemetry(t *testing.T) {
+	reg := NewTelemetryRegistry()
+	h := NewHealth()
+	RegisterHealthTelemetry(h, reg)
+	RegisterHealthTelemetry(nil, reg) // no-ops
+	RegisterHealthTelemetry(h, nil)
+
+	metric := func(name string) string {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(line, name) {
+				return line
+			}
+		}
+		return ""
+	}
+	if got := metric("cp_health_degraded "); !strings.HasSuffix(got, " 0") {
+		t.Errorf("healthy gauge line = %q", got)
+	}
+	cause := errors.New("disk full")
+	h.MarkDegraded(cause)
+	h.MarkDegraded(cause) // idempotent: one transition
+	if got := metric("cp_health_degraded "); !strings.HasSuffix(got, " 1") {
+		t.Errorf("degraded gauge line = %q", got)
+	}
+	h.MarkHealthy()
+	if got := metric(`cp_health_transitions_total{to="degraded"}`); !strings.HasSuffix(got, " 1") {
+		t.Errorf("degraded transitions line = %q", got)
+	}
+	if got := metric(`cp_health_transitions_total{to="healthy"}`); !strings.HasSuffix(got, " 1") {
+		t.Errorf("healthy transitions line = %q", got)
 	}
 }

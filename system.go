@@ -30,6 +30,9 @@ type System struct {
 	// mutation under persistUser before it is applied.
 	persist     Persister
 	persistUser string
+	// health, when set via SetHealth, gates mutations while the store
+	// is degraded and is marked on persistence failures.
+	health *Health
 }
 
 // Option configures a System.
@@ -141,6 +144,9 @@ func (s *System) AddPreference(p Preference) error {
 // removal is journaled before it is applied (replaying a removal that
 // matched nothing is a harmless no-op).
 func (s *System) RemovePreference(p Preference) (int, error) {
+	if err := s.health.Gate(); err != nil {
+		return 0, err
+	}
 	// Validate the descriptor up front so the post-journal delete
 	// cannot fail.
 	if _, err := p.Descriptor.Context(s.env); err != nil {
@@ -148,7 +154,7 @@ func (s *System) RemovePreference(p Preference) (int, error) {
 	}
 	if s.persist != nil {
 		if err := s.persist.PersistRemove(s.persistUser, p); err != nil {
-			return 0, &PersistError{Op: "remove", Err: err}
+			return 0, s.health.fail(&PersistError{Op: "remove", Err: err})
 		}
 	}
 	removed, err := s.tree.Delete(p)
@@ -172,12 +178,15 @@ func (s *System) AddPreferences(ps ...Preference) error {
 	if len(ps) == 0 {
 		return nil
 	}
+	if err := s.health.Gate(); err != nil {
+		return err
+	}
 	if err := s.tree.CheckInsert(ps...); err != nil {
 		return err
 	}
 	if s.persist != nil {
 		if err := s.persist.PersistAdd(s.persistUser, ps...); err != nil {
-			return &PersistError{Op: "add", Err: err}
+			return s.health.fail(&PersistError{Op: "add", Err: err})
 		}
 	}
 	if err := s.tree.InsertAll(ps...); err != nil {
