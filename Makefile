@@ -41,6 +41,7 @@ fuzz:
 # enough for CI.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/cpql/
+	$(GO) test -fuzz=FuzzParseLine -fuzztime=5s ./internal/preference/
 	$(GO) test -fuzz=FuzzJournalRecovery -fuzztime=5s ./internal/journal/
 
 # The pre-merge gate: static checks, the race detector, and a fuzz smoke.

@@ -1,0 +1,73 @@
+package contextpref_test
+
+// Middleware-overhead benchmark for the serving hot path: the same
+// /resolve request through a bare server and through one with the
+// request deadline, rate limiter, and admission semaphore all enabled
+// but idle (limits far above what one sequential client can trigger).
+// The delta is the per-request cost of the admission layer, which the
+// robustness work keeps under a few percent.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"contextpref"
+	"contextpref/httpapi"
+	"contextpref/internal/dataset"
+)
+
+func benchServer(b *testing.B, opts ...httpapi.ServerOption) *httpapi.Server {
+	b.Helper()
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := dataset.POIs(env, 120, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := contextpref.NewSystem(env, rel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile := ""
+	for r := 1; r <= 20; r++ {
+		profile += fmt.Sprintf("[location = ath_r%02d] => type = museum : 0.5\n", r)
+	}
+	if err := sys.LoadProfile(profile); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := httpapi.New(sys, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+func benchResolve(b *testing.B, srv *httpapi.Server) {
+	b.Helper()
+	req := httptest.NewRequest("GET", "/resolve?state=friends,t03,ath_r01", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status = %d body %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func BenchmarkResolveHTTPMiddleware(b *testing.B) {
+	b.Run("bare", func(b *testing.B) {
+		benchResolve(b, benchServer(b))
+	})
+	b.Run("limits_idle", func(b *testing.B) {
+		benchResolve(b, benchServer(b,
+			httpapi.WithRequestTimeout(time.Minute),
+			httpapi.WithRateLimit(1e9, 1<<30),
+			httpapi.WithMaxInflight(64)))
+	})
+}

@@ -7,7 +7,10 @@
 //	         [-profile file] [-cache 64] [-store dir] [-multiuser]
 //	         [-max-inflight 256] [-max-body 1048576] [-shutdown-timeout 10s]
 //	         [-probe-interval 2s] [-admin-addr :8081] [-slow-request 500ms]
-//	         [-log-level info]
+//	         [-log-level info] [-request-timeout 5s] [-rate-limit 0]
+//	         [-rate-burst 0] [-read-header-timeout 5s]
+//	         [-chaos-latency 0] [-chaos-jitter 0] [-chaos-error-rate 0]
+//	         [-chaos-seed 1]
 //
 // Endpoints (see the httpapi package for payloads):
 //
@@ -54,6 +57,19 @@
 // server returns to healthy automatically once writes succeed again
 // (cp_health_* metrics track the state and transitions).
 //
+// Limits & deadlines. Every non-probe request runs under the
+// -request-timeout deadline: resolution and query scans check it
+// cooperatively and a timed-out request answers a structured 503
+// {"code":"deadline"} with Retry-After instead of hanging. -rate-limit
+// bounds each user/key (X-API-Key header, else ?user) to a
+// token-bucket budget, answering 429 {"code":"rate_limited"} over it,
+// and admission to the -max-inflight semaphore is deadline-aware:
+// requests predicted to miss their deadline in the queue are shed on
+// arrival with 503 {"code":"shed"}. The -chaos-* flags inject seeded
+// latency and error faults (off by default) for resilience drills;
+// cp_request_timeouts_total, cp_rate_limited_total, and
+// cp_chaos_injected_total track all three on /metrics.
+//
 // Shutdown. SIGINT/SIGTERM starts a graceful drain: /readyz flips to
 // 503 so load balancers stop routing, in-flight requests are served to
 // completion (bounded by -shutdown-timeout), then the journal is
@@ -89,23 +105,31 @@ import (
 
 // config collects everything build needs; it mirrors the flags.
 type config struct {
-	pois            int
-	seed            int64
-	metric          string
-	profile         string
-	cache           int
-	data            string
-	multi           bool
-	store           string
-	maxInflight     int
-	maxBody         int64
-	probeInterval   time.Duration
-	readTimeout     time.Duration
-	writeTimeout    time.Duration
-	idleTimeout     time.Duration
-	shutdownTimeout time.Duration
-	slowRequest     time.Duration
-	logLevel        string
+	pois              int
+	seed              int64
+	metric            string
+	profile           string
+	cache             int
+	data              string
+	multi             bool
+	store             string
+	maxInflight       int
+	maxBody           int64
+	probeInterval     time.Duration
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	shutdownTimeout   time.Duration
+	slowRequest       time.Duration
+	logLevel          string
+	requestTimeout    time.Duration
+	rateLimit         float64
+	rateBurst         int
+	chaosLatency      time.Duration
+	chaosJitter       time.Duration
+	chaosErrorRate    float64
+	chaosSeed         int64
 }
 
 // app is a built server plus its durability and observability hooks.
@@ -155,9 +179,17 @@ func main() {
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "maximum concurrently served requests (0 = unlimited)")
 	flag.Int64Var(&cfg.maxBody, "max-body", 1<<20, "maximum request body size in bytes")
 	flag.DurationVar(&cfg.probeInterval, "probe-interval", 2*time.Second, "how often to probe a degraded store for recovery")
-	flag.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout (full request including body)")
+	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second, "HTTP header read timeout (slowloris guard)")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "HTTP write timeout")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 120*time.Second, "HTTP idle connection timeout")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 5*time.Second, "server-enforced per-request deadline; timed-out requests answer 503 {\"code\":\"deadline\"} (0 = disabled)")
+	flag.Float64Var(&cfg.rateLimit, "rate-limit", 0, "per-user/per-key request rate limit in requests/second; over-budget requests answer 429 (0 = disabled)")
+	flag.IntVar(&cfg.rateBurst, "rate-burst", 0, "token-bucket burst capacity for -rate-limit (0 = ceil(rate))")
+	flag.DurationVar(&cfg.chaosLatency, "chaos-latency", 0, "chaos: latency injected into every request before the handler (0 = disabled)")
+	flag.DurationVar(&cfg.chaosJitter, "chaos-jitter", 0, "chaos: uniformly random extra latency in [0, jitter)")
+	flag.Float64Var(&cfg.chaosErrorRate, "chaos-error-rate", 0, "chaos: probability in [0,1] of failing a request with 500 {\"code\":\"chaos\"}")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "chaos: seed for the deterministic fault stream")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 	flag.DurationVar(&cfg.slowRequest, "slow-request", 500*time.Millisecond, "log requests served slower than this at Warn level (0 = disabled)")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn, or error")
@@ -207,7 +239,7 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 	hs := &http.Server{
 		Handler:           a.api,
 		ReadTimeout:       cfg.readTimeout,
-		ReadHeaderTimeout: cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
 		WriteTimeout:      cfg.writeTimeout,
 		IdleTimeout:       cfg.idleTimeout,
 	}
@@ -223,7 +255,17 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 
 	var adminSrv *http.Server
 	if adminLn != nil {
-		adminSrv = &http.Server{Handler: a.admin, ReadHeaderTimeout: cfg.readTimeout}
+		// The admin listener carries the same connection timeouts as the
+		// main one so a slow or stuck scraper cannot pin admin
+		// connections forever. WriteTimeout bounds pprof captures too:
+		// /debug/pprof/profile?seconds=N needs N below -write-timeout.
+		adminSrv = &http.Server{
+			Handler:           a.admin,
+			ReadTimeout:       cfg.readTimeout,
+			ReadHeaderTimeout: cfg.readHeaderTimeout,
+			WriteTimeout:      cfg.writeTimeout,
+			IdleTimeout:       cfg.idleTimeout,
+		}
 		go func() {
 			if err := adminSrv.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				a.logger.Error("admin server failed", "error", err)
@@ -366,6 +408,25 @@ func build(cfg config) (*app, error) {
 	}
 	if cfg.maxBody > 0 {
 		sopts = append(sopts, httpapi.WithMaxBodyBytes(cfg.maxBody))
+	}
+	if cfg.requestTimeout > 0 {
+		sopts = append(sopts, httpapi.WithRequestTimeout(cfg.requestTimeout))
+	}
+	if cfg.rateLimit > 0 {
+		sopts = append(sopts, httpapi.WithRateLimit(cfg.rateLimit, cfg.rateBurst))
+	}
+	if cfg.chaosLatency > 0 || cfg.chaosJitter > 0 || cfg.chaosErrorRate > 0 {
+		logger.Warn("chaos injection enabled",
+			"latency", cfg.chaosLatency,
+			"jitter", cfg.chaosJitter,
+			"error_rate", cfg.chaosErrorRate,
+			"seed", cfg.chaosSeed)
+		sopts = append(sopts, httpapi.WithChaos(httpapi.ChaosConfig{
+			Latency:   cfg.chaosLatency,
+			Jitter:    cfg.chaosJitter,
+			ErrorRate: cfg.chaosErrorRate,
+			Seed:      cfg.chaosSeed,
+		}))
 	}
 
 	if cfg.multi {

@@ -495,3 +495,48 @@ func TestServeDegradedRecovery(t *testing.T) {
 		t.Fatalf("serve returned %v", err)
 	}
 }
+
+func TestBuildWithLimitsAndChaos(t *testing.T) {
+	c := cfg(20, 7, "hierarchy", "", 16, "", false)
+	c.requestTimeout = time.Second
+	c.rateLimit = 0.001 // one request, then a ~1000s refill
+	c.rateBurst = 1
+	c.chaosErrorRate = 1
+	c.chaosSeed = 1
+	a, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.api)
+	defer ts.Close()
+
+	// Chaos error rate 1 fails every admitted request with 500 "chaos".
+	resp, err := ts.Client().Get(ts.URL + "/env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusInternalServerError ||
+		!strings.Contains(body, `"chaos"`) {
+		t.Errorf("chaos request: status %d body %s", resp.StatusCode, body)
+	}
+
+	// The burst is spent: the next request is rate limited before chaos.
+	resp, err = ts.Client().Get(ts.URL + "/env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusTooManyRequests ||
+		!strings.Contains(body, `"rate_limited"`) {
+		t.Errorf("rate-limited request: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Probes bypass chaos and the limiter.
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("probe status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,6 +1,9 @@
 package contextpref
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // SafeSystem wraps a System for concurrent use: reads (queries,
 // resolution, stats) take a shared lock and writes (preference
@@ -49,6 +52,14 @@ func (s *SafeSystem) LoadProfile(text string) error {
 
 // Query executes a contextual query; shared lock unless caching.
 func (s *SafeSystem) Query(q Query, current State) (*Result, error) {
+	return s.QueryCtx(context.Background(), q, current)
+}
+
+// QueryCtx executes a contextual query with cooperative cancellation
+// (see System.QueryCtx); shared lock unless caching. Lock acquisition
+// itself is not interruptible — the deadline takes effect once the
+// evaluation starts scanning.
+func (s *SafeSystem) QueryCtx(ctx context.Context, q Query, current State) (*Result, error) {
 	if s.caching {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -56,7 +67,7 @@ func (s *SafeSystem) Query(q Query, current State) (*Result, error) {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	}
-	return s.sys.Query(q, current)
+	return s.sys.QueryCtx(ctx, q, current)
 }
 
 // Resolve performs context resolution under the shared lock.
@@ -66,11 +77,27 @@ func (s *SafeSystem) Resolve(st State) (Candidate, bool, error) {
 	return s.sys.Resolve(st)
 }
 
+// ResolveCtx performs cancellable context resolution under the shared
+// lock (see System.ResolveCtx).
+func (s *SafeSystem) ResolveCtx(ctx context.Context, st State) (Candidate, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.ResolveCtx(ctx, st)
+}
+
 // ResolveAll lists covering states under the shared lock.
 func (s *SafeSystem) ResolveAll(st State) ([]Candidate, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.sys.ResolveAll(st)
+}
+
+// ResolveAllCtx lists covering states with cooperative cancellation
+// under the shared lock (see System.ResolveAllCtx).
+func (s *SafeSystem) ResolveAllCtx(ctx context.Context, st State) ([]Candidate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys.ResolveAllCtx(ctx, st)
 }
 
 // NewState validates a context state (no lock needed: the environment

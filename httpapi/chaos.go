@@ -1,0 +1,95 @@
+package httpapi
+
+// Chaos middleware: deterministic, seedable fault injection for
+// resilience testing. Injected latency holds an inflight slot exactly
+// like a slow disk stalling a journal append would, so overload tests
+// can drive the server past its deadline and admission limits and
+// assert that every response is still a structured error — the
+// fault-injection analogue of internal/faultfs, one layer up.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ChaosConfig configures injected faults. The zero value injects
+// nothing.
+type ChaosConfig struct {
+	// Latency is added to every request before the handler runs. The
+	// sleep respects the request context: a deadline or disconnect cuts
+	// it short and the request answers the structured deadline error,
+	// which is exactly what overload tests assert.
+	Latency time.Duration
+	// Jitter adds a uniformly distributed extra in [0, Jitter) on top
+	// of Latency.
+	Jitter time.Duration
+	// ErrorRate is the probability in [0, 1] that a request is failed
+	// with 500 {"code":"chaos"} after the latency injection.
+	ErrorRate float64
+	// Seed seeds the fault source: the same seed over the same serial
+	// request sequence draws the same faults. (Concurrent requests
+	// contend for the source, so cross-request ordering is up to the
+	// scheduler; each individual draw is still from the seeded stream.)
+	Seed int64
+}
+
+// WithChaos enables fault injection for every non-probe request.
+// Chaos runs after admission control (rate limit, inflight semaphore)
+// and before the handler, so injected latency occupies an inflight
+// slot and genuinely starves capacity, the way a real slow dependency
+// would. Injections are counted in cp_chaos_injected_total by kind.
+func WithChaos(cfg ChaosConfig) ServerOption {
+	return func(s *Server) {
+		if cfg.Latency > 0 || cfg.Jitter > 0 || cfg.ErrorRate > 0 {
+			s.chaos = &chaos{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+		}
+	}
+}
+
+// chaos is the installed fault injector.
+type chaos struct {
+	cfg ChaosConfig
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// draw picks this request's faults from the seeded stream.
+func (c *chaos) draw() (delay time.Duration, fail bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delay = c.cfg.Latency
+	if c.cfg.Jitter > 0 {
+		delay += time.Duration(c.rng.Int63n(int64(c.cfg.Jitter)))
+	}
+	if c.cfg.ErrorRate > 0 {
+		fail = c.rng.Float64() < c.cfg.ErrorRate
+	}
+	return delay, fail
+}
+
+// intercept applies the drawn faults; handled reports that a response
+// was written and the handler must not run.
+func (c *chaos) intercept(s *Server, w http.ResponseWriter, r *http.Request) (handled bool) {
+	delay, fail := c.draw()
+	if delay > 0 {
+		s.metrics.chaosInjected("latency")
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			s.writeCtxError(w, fmt.Errorf("httpapi: request ended during chaos latency: %w", r.Context().Err()))
+			return true
+		}
+	}
+	if fail {
+		s.metrics.chaosInjected("error")
+		writeError(w, http.StatusInternalServerError, "chaos",
+			fmt.Errorf("httpapi: chaos-injected failure"))
+		return true
+	}
+	return false
+}

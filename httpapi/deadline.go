@@ -1,0 +1,137 @@
+package httpapi
+
+// A lighter context.WithTimeout for the per-request deadline. The
+// serving hot path only ever polls ctx.Err() — the cooperative checks
+// inside the profile-tree and relation scan loops — and a poll can
+// compute expiry from the clock on demand. Arming a runtime timer and
+// linking into the parent's cancellation tree, which is most of
+// context.WithTimeout's per-request cost, is deferred until the first
+// Done() call: only requests that actually queue for admission or sleep
+// under chaos latency pay for it.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// deadlineContext implements context.Context with an on-demand Done
+// channel. The zero cost path is: one allocation, Err() reads the
+// clock; Done() lazily arms the timer and (when the parent is
+// cancellable) a watcher goroutine, both released by cancel, which the
+// request's deferred cleanup always calls.
+type deadlineContext struct {
+	parent   context.Context
+	deadline time.Time
+
+	mu     sync.Mutex
+	err    error
+	done   chan struct{}
+	closed bool
+	timer  *time.Timer
+}
+
+// withLazyDeadline derives a deadline d from now on parent. The
+// returned cancel must be called when the request finishes; it releases
+// the timer and watcher if Done was ever requested.
+func withLazyDeadline(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	dl := time.Now().Add(d)
+	if pd, ok := parent.Deadline(); ok && pd.Before(dl) {
+		dl = pd
+	}
+	c := &deadlineContext{parent: parent, deadline: dl}
+	return c, c.cancel
+}
+
+func (c *deadlineContext) Deadline() (time.Time, bool) { return c.deadline, true }
+
+func (c *deadlineContext) Value(key any) any { return c.parent.Value(key) }
+
+// Err reports expiry on demand: a parent error wins, then the clock.
+func (c *deadlineContext) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errLocked()
+}
+
+func (c *deadlineContext) errLocked() error {
+	if c.err == nil {
+		if perr := c.parent.Err(); perr != nil {
+			c.err = perr
+		} else if !time.Now().Before(c.deadline) {
+			c.err = context.DeadlineExceeded
+		}
+	}
+	return c.err
+}
+
+// Done lazily creates the signalled channel: already-expired contexts
+// get a closed channel, live ones arm the deadline timer and watch the
+// parent so client disconnects still propagate to selecters.
+func (c *deadlineContext) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.errLocked() != nil {
+			c.closeLocked()
+		} else {
+			c.timer = time.AfterFunc(time.Until(c.deadline), c.expire)
+			if pd := c.parent.Done(); pd != nil {
+				go c.watchParent(pd, c.done)
+			}
+		}
+	}
+	return c.done
+}
+
+// expire is the timer callback.
+func (c *deadlineContext) expire() {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = context.DeadlineExceeded
+	}
+	c.closeLocked()
+	c.mu.Unlock()
+}
+
+// watchParent propagates parent cancellation to done; it exits when
+// done closes for any reason (deadline, cancel), so it never outlives
+// the request.
+func (c *deadlineContext) watchParent(parent <-chan struct{}, done chan struct{}) {
+	select {
+	case <-parent:
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = c.parent.Err()
+		}
+		c.closeLocked()
+		c.mu.Unlock()
+	case <-done:
+	}
+}
+
+// cancel releases the timer and unblocks selecters; the context reports
+// context.Canceled afterwards, like a stdlib CancelFunc. An already
+// expired context keeps DeadlineExceeded (errLocked settles it first).
+func (c *deadlineContext) cancel() {
+	c.mu.Lock()
+	if c.errLocked() == nil {
+		c.err = context.Canceled
+	}
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if c.done != nil {
+		c.closeLocked()
+	}
+	c.mu.Unlock()
+}
+
+func (c *deadlineContext) closeLocked() {
+	if !c.closed && c.done != nil {
+		c.closed = true
+		close(c.done)
+	}
+}

@@ -1,0 +1,143 @@
+package httpapi
+
+// Tests for the lazy deadline context: stdlib-equivalent semantics
+// (Err, Done, Deadline, parent propagation, cancel) without the eager
+// timer arm.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLazyDeadlineErrPolling(t *testing.T) {
+	ctx, cancel := withLazyDeadline(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("Err before deadline = %v", err)
+	}
+	dl, ok := ctx.Deadline()
+	if !ok || time.Until(dl) > 30*time.Millisecond {
+		t.Errorf("Deadline() = %v %v", dl, ok)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if err := ctx.Err(); err != context.DeadlineExceeded {
+		t.Errorf("Err after deadline = %v, want DeadlineExceeded", err)
+	}
+	// Cancel after expiry keeps the deadline error, like stdlib.
+	cancel()
+	if err := ctx.Err(); err != context.DeadlineExceeded {
+		t.Errorf("Err after cancel-past-deadline = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestLazyDeadlineDoneFires(t *testing.T) {
+	ctx, cancel := withLazyDeadline(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Done never fired")
+	}
+	if err := ctx.Err(); err != context.DeadlineExceeded {
+		t.Errorf("Err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestLazyDeadlineDoneAlreadyExpired(t *testing.T) {
+	ctx, cancel := withLazyDeadline(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Done channel of an expired context must be closed on creation")
+	}
+}
+
+func TestLazyDeadlineParentCancelPropagates(t *testing.T) {
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, cancel := withLazyDeadline(parent, time.Hour)
+	defer cancel()
+	done := ctx.Done() // arm the watcher
+	pcancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("parent cancellation never propagated to Done")
+	}
+	if err := ctx.Err(); err != context.Canceled {
+		t.Errorf("Err = %v, want Canceled from parent", err)
+	}
+}
+
+func TestLazyDeadlineParentErrWithoutDone(t *testing.T) {
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, cancel := withLazyDeadline(parent, time.Hour)
+	defer cancel()
+	pcancel()
+	if err := ctx.Err(); err != context.Canceled {
+		t.Errorf("Err = %v, want parent's Canceled even when Done was never requested", err)
+	}
+}
+
+func TestLazyDeadlineCancelUnblocksAndIsIdempotent(t *testing.T) {
+	ctx, cancel := withLazyDeadline(context.Background(), time.Hour)
+	done := ctx.Done()
+	cancel()
+	cancel()
+	select {
+	case <-done:
+	default:
+		t.Fatal("cancel must close Done")
+	}
+	if err := ctx.Err(); err != context.Canceled {
+		t.Errorf("Err = %v, want Canceled", err)
+	}
+}
+
+func TestLazyDeadlineInheritsEarlierParentDeadline(t *testing.T) {
+	parent, pcancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer pcancel()
+	ctx, cancel := withLazyDeadline(parent, time.Hour)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok || time.Until(dl) > 10*time.Millisecond {
+		t.Errorf("Deadline() = %v, want the parent's nearer deadline", dl)
+	}
+}
+
+func TestLazyDeadlineValueDelegates(t *testing.T) {
+	type key struct{}
+	parent := context.WithValue(context.Background(), key{}, "v")
+	ctx, cancel := withLazyDeadline(parent, time.Hour)
+	defer cancel()
+	if got := ctx.Value(key{}); got != "v" {
+		t.Errorf("Value = %v, want v", got)
+	}
+}
+
+func TestLazyDeadlineConcurrent(t *testing.T) {
+	ctx, cancel := withLazyDeadline(context.Background(), 5*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ctx.Err()
+				if j == 50 {
+					<-ctx.Done()
+				}
+			}
+			if i == 3 {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ctx.Err() == nil {
+		t.Error("context should have ended")
+	}
+}

@@ -21,12 +21,19 @@
 // of "bad_request" (400), "conflict" (409, a Def. 6 preference
 // conflict, detected via errors.As on *contextpref.ConflictError),
 // "too_large" (413, the request body exceeded the configured cap, see
-// WithMaxBodyBytes), "overloaded" (503, the concurrency limiter shed
-// the request), "degraded" (503 + Retry-After, the store is in
-// read-only degraded mode after a persistence failure — reads and
-// resolution keep serving; see WithHealth), "unavailable" (503,
-// persisting the mutation to the journal failed — the in-memory state
-// was not modified), and "internal" (500).
+// WithMaxBodyBytes), "rate_limited" (429 + Retry-After, the caller's
+// user/key is over its token-bucket budget, see WithRateLimit),
+// "overloaded" (503, the concurrency limiter shed the request),
+// "shed" (503 + Retry-After, admission control predicted the queue
+// wait would exceed the request's remaining deadline and rejected it
+// on arrival), "deadline" (503 + Retry-After, the server-enforced
+// request deadline expired, see WithRequestTimeout), "canceled" (499,
+// the client disconnected before the response), "degraded" (503 +
+// Retry-After, the store is in read-only degraded mode after a
+// persistence failure — reads and resolution keep serving; see
+// WithHealth), "unavailable" (503, persisting the mutation to the
+// journal failed — the in-memory state was not modified), "chaos"
+// (500, a WithChaos-injected failure), and "internal" (500).
 //
 // Hardening. Every request passes through a middleware chain: a
 // request-ID middleware (honoring an incoming X-Request-ID header,
@@ -39,6 +46,18 @@
 // even when the server is saturated. SetDraining flips /readyz to 503
 // so load balancers stop routing new traffic during graceful shutdown.
 //
+// Deadlines & admission control. WithRequestTimeout puts a deadline on
+// every non-probe request's context; the evaluation loops underneath
+// (profile-tree resolution, relation scans, multi-state Rank_CS) check
+// it cooperatively, so a timed-out or disconnected client stops the
+// work early instead of running it to completion. WithRateLimit
+// enforces a per-user/per-key token bucket before any work happens,
+// and admission to the inflight semaphore is deadline-aware: requests
+// whose predicted queue wait exceeds their remaining deadline are shed
+// on arrival. WithChaos injects seeded, deterministic latency and
+// error faults after admission — the testing hook the overload tests
+// use to prove the limits hold.
+//
 // Observability. With WithTelemetry the chain reports per-endpoint
 // request counts, latency histograms, in-flight gauge, shed and panic
 // counters into a telemetry registry (see internal/telemetry); without
@@ -49,6 +68,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -77,6 +97,21 @@ type Server struct {
 	nextID   atomic.Uint64
 	health   *contextpref.Health // nil = no degraded-mode tracking
 	maxBody  int64               // request-body cap in bytes
+
+	// reqTimeout, when positive, is the server-enforced per-request
+	// deadline (WithRequestTimeout).
+	reqTimeout time.Duration
+	// limiter, when non-nil, enforces per-user/per-key rate limits
+	// (WithRateLimit).
+	limiter *rateLimiter
+	// chaos, when non-nil, injects faults before the handler
+	// (WithChaos).
+	chaos *chaos
+	// queued counts requests waiting for an inflight slot; ewmaBits is
+	// the float64 bits of the EWMA service time in seconds. Both feed
+	// the deadline-aware queue-wait estimate in admit.
+	queued   atomic.Int64
+	ewmaBits atomic.Uint64
 
 	logger        *slog.Logger // never nil after init
 	slowThreshold time.Duration
@@ -222,7 +257,11 @@ func isProbe(r *http.Request) bool {
 }
 
 // ServeHTTP implements http.Handler: request-ID tagging, telemetry and
-// panic recovery, load shedding, then the route mux.
+// panic recovery, then — for non-probe requests — the server deadline,
+// per-key rate limiting, deadline-aware admission to the inflight
+// semaphore, chaos injection, and finally the route mux. Probes
+// (/healthz, /readyz) bypass every limit so they see the truth even
+// when the server is saturated.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rid := r.Header.Get("X-Request-ID")
 	if rid == "" {
@@ -232,6 +271,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	endpoint := endpointLabel(r.URL.Path)
+	probe := isProbe(r)
 	rec := &statusRecorder{ResponseWriter: w}
 	s.metrics.begin()
 
@@ -255,6 +295,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		elapsed := time.Since(start)
 		s.metrics.done(endpoint, r.Method, status, elapsed)
+		if !probe {
+			s.observeService(elapsed)
+		}
 		if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
 			s.logger.Warn("slow request",
 				"request_id", rid,
@@ -266,19 +309,59 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	if s.sem != nil && !isProbe(r) {
-		select {
-		case s.sem <- struct{}{}:
+	if !probe {
+		if s.reqTimeout > 0 {
+			ctx, cancel := withLazyDeadline(r.Context(), s.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if s.limiter != nil {
+			if retry, ok := s.limiter.allow(rateKey(r)); !ok {
+				s.metrics.rateLimited()
+				rec.Header().Set("Retry-After", retryAfterSeconds(retry))
+				writeError(rec, http.StatusTooManyRequests, "rate_limited",
+					fmt.Errorf("httpapi: rate limit exceeded for this user/key, retry later"))
+				return
+			}
+		}
+		if s.sem != nil {
+			if !s.admit(rec, r) {
+				return
+			}
 			defer func() { <-s.sem }()
-		default:
-			s.metrics.shedded()
-			rec.Header().Set("Retry-After", "1")
-			writeError(rec, http.StatusServiceUnavailable, "overloaded",
-				fmt.Errorf("httpapi: server overloaded, retry later"))
+		}
+		if s.chaos != nil && s.chaos.intercept(s, rec, r) {
 			return
 		}
 	}
 	s.mux.ServeHTTP(rec, r)
+}
+
+// statusClientClosedRequest is the nginx-convention status for a client
+// that went away before the response; nothing reads the body, the code
+// exists for logs and metrics.
+const statusClientClosedRequest = 499
+
+// writeCtxError answers a context-expiry error with its structured
+// form — 503 {"code":"deadline"} + Retry-After for a server deadline,
+// 499 {"code":"canceled"} for a client disconnect — and reports whether
+// err was such an error. Handlers call it first on evaluation errors so
+// a deadline surfacing from deep inside a scan loop is classified
+// before the generic bad_request mapping.
+func (s *Server) writeCtxError(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timedOut()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "deadline",
+			fmt.Errorf("httpapi: request deadline exceeded: %w", err))
+		return true
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, "canceled",
+			fmt.Errorf("httpapi: client closed request: %w", err))
+		return true
+	}
+	return false
 }
 
 // writeJSON sends a JSON response.
@@ -402,6 +485,13 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		bodyError(w, err)
 		return
 	}
+	// Mutations are not cancellable once the journal append starts, but
+	// a deadline that already expired (e.g. during a slow body read)
+	// fails fast here instead of doing durable work nobody waits for.
+	if err := r.Context().Err(); err != nil {
+		s.writeCtxError(w, err)
+		return
+	}
 	if err := sys.LoadProfile(string(body)); err != nil {
 		mutationError(w, err)
 		return
@@ -421,6 +511,12 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		bodyError(w, err)
+		return
+	}
+	// Same arrival check as handleAdd: fail fast on an already-expired
+	// deadline before any durable work.
+	if err := r.Context().Err(); err != nil {
+		s.writeCtxError(w, err)
 		return
 	}
 	removed := 0
@@ -505,8 +601,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("httpapi: query needs a context clause or a current state"))
 		return
 	}
-	res, err := sys.Query(cq, current)
+	res, err := sys.QueryCtx(r.Context(), cq, current)
 	if err != nil {
+		if s.writeCtxError(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
@@ -555,8 +654,11 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
-	cands, err := sys.ResolveAll(st)
+	cands, err := sys.ResolveAllCtx(r.Context(), st)
 	if err != nil {
+		if s.writeCtxError(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}

@@ -43,11 +43,14 @@ func WithSlowRequestThreshold(d time.Duration) ServerOption {
 // httpMetrics holds the serving-layer instruments. A nil *httpMetrics
 // (telemetry disabled) makes every method a no-op.
 type httpMetrics struct {
-	requests *telemetry.CounterVec   // endpoint, method, code
-	latency  *telemetry.HistogramVec // endpoint
-	inflight *telemetry.Gauge
-	shed     *telemetry.Counter
-	panics   *telemetry.Counter
+	requests    *telemetry.CounterVec   // endpoint, method, code
+	latency     *telemetry.HistogramVec // endpoint
+	inflight    *telemetry.Gauge
+	shed        *telemetry.Counter
+	panics      *telemetry.Counter
+	timeouts    *telemetry.Counter
+	rateLimits  *telemetry.Counter
+	chaosInject *telemetry.CounterVec // kind
 }
 
 func newHTTPMetrics(reg *telemetry.Registry) *httpMetrics {
@@ -63,9 +66,15 @@ func newHTTPMetrics(reg *telemetry.Registry) *httpMetrics {
 		inflight: reg.Gauge("cp_http_inflight_requests",
 			"HTTP requests currently being served."),
 		shed: reg.Counter("cp_http_shed_total",
-			"HTTP requests shed by the concurrency limiter."),
+			"HTTP requests shed by admission control (overloaded or predicted to miss their deadline)."),
 		panics: reg.Counter("cp_http_panics_total",
 			"Handler panics recovered by the middleware."),
+		timeouts: reg.Counter("cp_request_timeouts_total",
+			"Requests answered with the structured deadline error (server deadline exceeded)."),
+		rateLimits: reg.Counter("cp_rate_limited_total",
+			"Requests rejected by the per-user/per-key token-bucket rate limiter."),
+		chaosInject: reg.CounterVec("cp_chaos_injected_total",
+			"Faults injected by the chaos middleware, by kind (latency, error).", "kind"),
 	}
 }
 
@@ -97,6 +106,28 @@ func (m *httpMetrics) shedded() {
 func (m *httpMetrics) panicked() {
 	if m != nil {
 		m.panics.Inc()
+	}
+}
+
+// timedOut records a request answered with the structured deadline
+// error.
+func (m *httpMetrics) timedOut() {
+	if m != nil {
+		m.timeouts.Inc()
+	}
+}
+
+// rateLimited records a request rejected by the rate limiter.
+func (m *httpMetrics) rateLimited() {
+	if m != nil {
+		m.rateLimits.Inc()
+	}
+}
+
+// chaosInjected records one injected fault ("latency" or "error").
+func (m *httpMetrics) chaosInjected(kind string) {
+	if m != nil {
+		m.chaosInject.With(kind).Inc()
 	}
 }
 

@@ -1,0 +1,237 @@
+package profiletree
+
+// Cooperative-cancellation tests: a done context stops the cover scans
+// after at most cancelCheckEvery accesses instead of running the full
+// search, in both the tree and the sequential baseline, and the error
+// stays classifiable with errors.Is.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"contextpref/internal/ctxmodel"
+	"contextpref/internal/distance"
+	"contextpref/internal/hierarchy"
+	"contextpref/internal/preference"
+)
+
+// densePrefs spans every combination of location, temperature and
+// accompanying_people descriptor values (including upper levels and the
+// omitted-parameter "all"), except the Kastro region — so the query
+// state (Kastro, warm, friends) has no exact match and a cover search
+// must scan well past one cancelCheckEvery window.
+func densePrefs(t *testing.T) []preference.Preference {
+	t.Helper()
+	locs := []string{"", "Plaka", "Kifisia", "Acropolis_Area", "Perama",
+		"Ladadika", "Ano_Poli", "Athens", "Ioannina", "Thessaloniki", "Greece"}
+	temps := []string{"", "freezing", "cold", "mild", "warm", "hot", "bad", "good"}
+	people := []string{"", "friends", "family", "alone"}
+	var out []preference.Preference
+	for _, l := range locs {
+		for _, tv := range temps {
+			for _, pv := range people {
+				var pds []ctxmodel.ParamDescriptor
+				if l != "" {
+					pds = append(pds, ctxmodel.Eq("location", l))
+				}
+				if tv != "" {
+					pds = append(pds, ctxmodel.Eq("temperature", tv))
+				}
+				if pv != "" {
+					pds = append(pds, ctxmodel.Eq("accompanying_people", pv))
+				}
+				out = append(out, preference.MustNew(
+					ctxmodel.MustDescriptor(pds...), clause("type", "cafeteria"), 0.5))
+			}
+		}
+	}
+	return out
+}
+
+func denseTree(t *testing.T) (*ctxmodel.Environment, *Tree) {
+	t.Helper()
+	e := env(t)
+	tr, err := New(e, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range densePrefs(t) {
+		if err := tr.Insert(p); err != nil {
+			t.Fatalf("Insert(%v): %v", p, err)
+		}
+	}
+	return e, tr
+}
+
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSearchCoverCtxCanceledStopsEarly(t *testing.T) {
+	e, tr := denseTree(t)
+	q := st(t, e, "Kastro", "warm", "friends")
+
+	full, fullAcc, err := tr.SearchCover(q, distance.Hierarchy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("fixture broken: no covering candidates")
+	}
+	if fullAcc <= cancelCheckEvery {
+		t.Fatalf("fixture broken: full scan accesses %d <= check granularity %d",
+			fullAcc, cancelCheckEvery)
+	}
+
+	cands, acc, err := tr.SearchCoverCtx(canceledCtx(), q, distance.Hierarchy{})
+	if err == nil {
+		t.Fatal("canceled context should abort the scan")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("aborted scan returned %d candidates, want none", len(cands))
+	}
+	if acc >= fullAcc {
+		t.Errorf("aborted scan accessed %d cells, full scan accesses %d — no early stop", acc, fullAcc)
+	}
+	if acc > cancelCheckEvery {
+		t.Errorf("aborted scan accessed %d cells, want at most %d", acc, cancelCheckEvery)
+	}
+}
+
+func TestSearchCoverCtxBackgroundMatchesSearchCover(t *testing.T) {
+	e, tr := denseTree(t)
+	q := st(t, e, "Kastro", "warm", "friends")
+	want, wantAcc, err := tr.SearchCover(q, distance.Hierarchy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotAcc, err := tr.SearchCoverCtx(context.Background(), q, distance.Hierarchy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || gotAcc != wantAcc {
+		t.Errorf("SearchCoverCtx(Background) = %d cands / %d accesses, SearchCover = %d / %d",
+			len(got), gotAcc, len(want), wantAcc)
+	}
+}
+
+// wideTree is a single-parameter tree whose root node alone holds more
+// keys than one cancelCheckEvery window, so even the branch-and-bound
+// search (which prunes whole subtrees, keeping its access count low on
+// hierarchical fixtures) must cross a cancellation check.
+func wideTree(t *testing.T) (*ctxmodel.Environment, *Tree) {
+	t.Helper()
+	b := hierarchy.NewBuilder("region", "Region")
+	for i := 0; i < 3*cancelCheckEvery; i++ {
+		b.Add(fmt.Sprintf("r%03d", i))
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ctxmodel.NewParameter("region", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ctxmodel.NewEnvironment(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(e, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*cancelCheckEvery; i++ {
+		pref := preference.MustNew(
+			ctxmodel.MustDescriptor(ctxmodel.Eq("region", fmt.Sprintf("r%03d", i))),
+			clause("type", "cafeteria"), 0.5)
+		if err := tr.Insert(pref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, tr
+}
+
+func TestSearchCoverBestCtxDeadline(t *testing.T) {
+	e, tr := wideTree(t)
+	q := st(t, e, "r000")
+	if _, acc, _, err := tr.SearchCoverBest(q, distance.Hierarchy{}); err != nil || acc <= cancelCheckEvery {
+		t.Fatalf("fixture broken: full best scan accesses %d (err %v), need > %d",
+			acc, err, cancelCheckEvery)
+	}
+	_, _, _, err := tr.SearchCoverBestCtx(expiredCtx(t), q, distance.Hierarchy{})
+	if err == nil {
+		t.Fatal("expired deadline should abort the scan")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want errors.Is(err, context.DeadlineExceeded)", err)
+	}
+}
+
+func TestResolveCtxCanceled(t *testing.T) {
+	e, tr := denseTree(t)
+	q := st(t, e, "Kastro", "warm", "friends")
+	if _, _, _, err := tr.ResolveCtx(canceledCtx(), q, distance.Hierarchy{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ResolveCtx err = %v, want context.Canceled", err)
+	}
+	if _, _, err := tr.ResolveAllCtx(canceledCtx(), q, distance.Hierarchy{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ResolveAllCtx err = %v, want context.Canceled", err)
+	}
+	// The uncancelled resolve still succeeds on the same fixture.
+	if _, _, ok, err := tr.ResolveCtx(context.Background(), q, distance.Hierarchy{}); err != nil || !ok {
+		t.Errorf("ResolveCtx(Background) = ok=%v err=%v, want a match", ok, err)
+	}
+}
+
+func TestSequentialSearchCoverCtxCanceled(t *testing.T) {
+	e := env(t)
+	sq, err := NewSequential(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range densePrefs(t) {
+		if err := sq.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sq.NumStates() <= cancelCheckEvery {
+		t.Fatalf("fixture broken: %d states <= check granularity %d",
+			sq.NumStates(), cancelCheckEvery)
+	}
+	q := st(t, e, "Kastro", "warm", "friends")
+
+	full, fullAcc, err := sq.SearchCover(q, distance.Hierarchy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("fixture broken: no covering candidates")
+	}
+
+	_, acc, err := sq.SearchCoverCtx(canceledCtx(), q, distance.Hierarchy{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if acc >= fullAcc {
+		t.Errorf("aborted scan accessed %d cells, full scan %d — no early stop", acc, fullAcc)
+	}
+
+	if _, _, _, err := sq.ResolveCtx(expiredCtx(t), q, distance.Hierarchy{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ResolveCtx err = %v, want context.DeadlineExceeded", err)
+	}
+}

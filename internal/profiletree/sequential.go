@@ -1,6 +1,7 @@
 package profiletree
 
 import (
+	"context"
 	"fmt"
 
 	"contextpref/internal/ctxmodel"
@@ -147,12 +148,25 @@ func (sq *Sequential) SearchExact(s ctxmodel.State) ([]Leaf, int, error) {
 // cost model) collecting every state that covers s, annotated with its
 // metric distance.
 func (sq *Sequential) SearchCover(s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
+	return sq.SearchCoverCtx(context.Background(), s, m)
+}
+
+// SearchCoverCtx is SearchCover with cooperative cancellation, on the
+// same contract as Tree.SearchCoverCtx: the flat scan consults ctx
+// every cancelCheckEvery stored states and aborts with a wrapped
+// ctx.Err() once the context is done.
+func (sq *Sequential) SearchCoverCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
 	if err := sq.env.Validate(s); err != nil {
 		return nil, 0, err
 	}
 	accesses := 0
 	var out []Candidate
-	for _, st := range sq.states {
+	for i, st := range sq.states {
+		if i&(cancelCheckEvery-1) == cancelCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, accesses, canceled(err)
+			}
+		}
 		accesses += len(st.state) + len(st.entries)
 		if !sq.env.Covers(st.state, s) {
 			continue
@@ -173,6 +187,11 @@ func (sq *Sequential) SearchCover(s ctxmodel.State, m distance.Metric) ([]Candid
 
 // Resolve mirrors Tree.Resolve over the sequential store.
 func (sq *Sequential) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
+	return sq.ResolveCtx(context.Background(), s, m)
+}
+
+// ResolveCtx mirrors Tree.ResolveCtx over the sequential store.
+func (sq *Sequential) ResolveCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
 	entries, accesses, err := sq.SearchExact(s)
 	if err != nil {
 		return Candidate{}, 0, false, err
@@ -180,7 +199,7 @@ func (sq *Sequential) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, i
 	if len(entries) > 0 {
 		return Candidate{State: s.Clone(), Entries: entries, Distance: 0}, accesses, true, nil
 	}
-	cands, more, err := sq.SearchCover(s, m)
+	cands, more, err := sq.SearchCoverCtx(ctx, s, m)
 	accesses += more
 	if err != nil {
 		return Candidate{}, accesses, false, err

@@ -22,6 +22,7 @@
 package profiletree
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,6 +37,19 @@ const PointerBytes = 8
 
 // ScoreBytes is the byte cost charged per stored interest score.
 const ScoreBytes = 8
+
+// cancelCheckEvery is the cooperative-cancellation granularity of the
+// search loops: ctx.Err() is consulted once per this many cell
+// accesses, bounding both the cancellation latency (at most this many
+// cells of extra work after the deadline) and the per-cell overhead (a
+// mask test on the fast path). It must be a power of two.
+const cancelCheckEvery = 64
+
+// canceled wraps a context error in the package's error vocabulary;
+// errors.Is still sees context.Canceled / context.DeadlineExceeded.
+func canceled(err error) error {
+	return fmt.Errorf("profiletree: search stopped: %w", err)
+}
 
 // Leaf is one [attribute clause, interest score] entry of a leaf node.
 type Leaf struct {
@@ -541,6 +555,16 @@ func specificity(e *ctxmodel.Environment, s ctxmodel.State) int {
 // a leaf, and matches the paper's own cost analysis which charges for
 // all "cells that have relevant values from the upper levels".
 func (t *Tree) SearchCover(s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
+	return t.SearchCoverCtx(context.Background(), s, m)
+}
+
+// SearchCoverCtx is SearchCover with cooperative cancellation: the scan
+// consults ctx once per cancelCheckEvery cell accesses and aborts with
+// a wrapped ctx.Err() (errors.Is-matchable against context.Canceled and
+// context.DeadlineExceeded) once the context is done, so a server
+// deadline or a departed client stops the tree walk early instead of
+// running it to completion.
+func (t *Tree) SearchCoverCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
 	if err := t.env.Validate(s); err != nil {
 		return nil, 0, err
 	}
@@ -567,6 +591,11 @@ func (t *Tree) SearchCover(s ctxmodel.State, m distance.Metric) ([]Candidate, in
 		h := t.env.Param(param).Hierarchy()
 		for i, key := range nd.keys {
 			accesses++
+			if accesses&(cancelCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return canceled(err)
+				}
+			}
 			if !h.IsAncestorOrSelf(key, path[level]) {
 				continue
 			}
@@ -597,6 +626,12 @@ func (t *Tree) SearchCover(s ctxmodel.State, m distance.Metric) ([]Candidate, in
 // per-parameter sums of non-negative terms, so the accumulated distance
 // is a lower bound and pruning is safe.
 func (t *Tree) SearchCoverBest(s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
+	return t.SearchCoverBestCtx(context.Background(), s, m)
+}
+
+// SearchCoverBestCtx is SearchCoverBest with cooperative cancellation,
+// on the same contract as SearchCoverCtx.
+func (t *Tree) SearchCoverBestCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
 	if err := t.env.Validate(s); err != nil {
 		return Candidate{}, 0, false, err
 	}
@@ -633,6 +668,11 @@ func (t *Tree) SearchCoverBest(s ctxmodel.State, m distance.Metric) (Candidate, 
 		h := t.env.Param(param).Hierarchy()
 		for i, key := range nd.keys {
 			accesses++
+			if accesses&(cancelCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return canceled(err)
+				}
+			}
 			if !h.IsAncestorOrSelf(key, path[level]) {
 				continue
 			}
@@ -692,6 +732,15 @@ func betterCandidate(a, b Candidate) bool {
 // best candidate, the total cells accessed, and ok=false when nothing
 // in the profile covers the state.
 func (t *Tree) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
+	return t.ResolveCtx(context.Background(), s, m)
+}
+
+// ResolveCtx is Resolve with cooperative cancellation: the Search_CS
+// scan aborts (with a wrapped ctx.Err()) once ctx is done. The exact
+// root-to-leaf lookup is a single bounded descent and is not gated. The
+// cells accessed before the abort are still counted into the metrics,
+// so cancellations are observable in cp_resolve_cells_total.
+func (t *Tree) ResolveCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
 	entries, accesses, err := t.SearchExact(s)
 	if err != nil {
 		return Candidate{}, 0, false, err
@@ -700,9 +749,10 @@ func (t *Tree) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, boo
 		t.metrics.observe(accesses, 1, true)
 		return Candidate{State: s.Clone(), Entries: entries, Distance: 0}, accesses, true, nil
 	}
-	cands, more, err := t.SearchCover(s, m)
+	cands, more, err := t.SearchCoverCtx(ctx, s, m)
 	accesses += more
 	if err != nil {
+		t.metrics.observe(accesses, len(cands), false)
 		return Candidate{}, accesses, false, err
 	}
 	best, ok := Best(cands)
@@ -716,8 +766,15 @@ func (t *Tree) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, boo
 // when several states qualify and none dominates; this is that API. An
 // exact match, if present, appears first with distance 0.
 func (t *Tree) ResolveAll(s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
-	cands, accesses, err := t.SearchCover(s, m)
+	return t.ResolveAllCtx(context.Background(), s, m)
+}
+
+// ResolveAllCtx is ResolveAll with cooperative cancellation, on the
+// same contract as ResolveCtx.
+func (t *Tree) ResolveAllCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
+	cands, accesses, err := t.SearchCoverCtx(ctx, s, m)
 	if err != nil {
+		t.metrics.observe(accesses, len(cands), false)
 		return nil, accesses, err
 	}
 	t.metrics.observe(accesses, len(cands), len(cands) > 0)

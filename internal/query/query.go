@@ -6,6 +6,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"contextpref/internal/ctxmodel"
@@ -23,6 +24,9 @@ type Store interface {
 	// the metric, the number of cells accessed, and whether any stored
 	// state covers the searched one.
 	Resolve(s ctxmodel.State, m distance.Metric) (profiletree.Candidate, int, bool, error)
+	// ResolveCtx is Resolve with cooperative cancellation: the
+	// resolution scan aborts with a wrapped ctx.Err() once ctx is done.
+	ResolveCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) (profiletree.Candidate, int, bool, error)
 }
 
 var (
@@ -132,6 +136,17 @@ func (en *Engine) QueryStates(cq Contextual, current ctxmodel.State) ([]ctxmodel
 // resolves, the query executes as a plain selection with no scores, as
 // Section 4.2 prescribes.
 func (en *Engine) Execute(cq Contextual, current ctxmodel.State) (*Result, error) {
+	return en.ExecuteCtx(context.Background(), cq, current)
+}
+
+// ExecuteCtx is Execute with cooperative cancellation: ctx is threaded
+// into every context resolution (Store.ResolveCtx) and every relation
+// scan (Relation.SelectCtx), and consulted between query states, so a
+// server deadline or a departed client stops a multi-state Rank_CS
+// evaluation at the next check instead of running it to completion. The
+// returned error wraps ctx.Err() and is errors.Is-matchable against
+// context.Canceled and context.DeadlineExceeded.
+func (en *Engine) ExecuteCtx(ctx context.Context, cq Contextual, current ctxmodel.State) (*Result, error) {
 	states, err := en.QueryStates(cq, current)
 	if err != nil {
 		return nil, err
@@ -140,7 +155,10 @@ func (en *Engine) Execute(cq Contextual, current ctxmodel.State) (*Result, error
 	rs := relation.NewResultSet(en.rel)
 	matched := false
 	for _, s := range states {
-		cand, accesses, found, err := en.store.Resolve(s, en.metric)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("query: evaluation stopped: %w", err)
+		}
+		cand, accesses, found, err := en.store.ResolveCtx(ctx, s, en.metric)
 		res.Accesses += accesses
 		if err != nil {
 			return nil, err
@@ -151,7 +169,7 @@ func (en *Engine) Execute(cq Contextual, current ctxmodel.State) (*Result, error
 			r.Exact = cand.Distance == 0 && cand.State.Equal(s)
 			for _, leaf := range cand.Entries {
 				preds := append([]relation.Predicate{leaf.Clause.Predicate()}, cq.Selection...)
-				idxs, err := en.rel.Select(preds...)
+				idxs, err := en.rel.SelectCtx(ctx, preds...)
 				if err != nil {
 					return nil, err
 				}
@@ -164,7 +182,7 @@ func (en *Engine) Execute(cq Contextual, current ctxmodel.State) (*Result, error
 	}
 	if !matched {
 		// Non-contextual fallback: plain selection, unranked.
-		idxs, err := en.rel.Select(cq.Selection...)
+		idxs, err := en.rel.SelectCtx(ctx, cq.Selection...)
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,7 @@
 package querytree
 
 import (
+	"context"
 	"fmt"
 
 	"contextpref/internal/ctxmodel"
@@ -252,6 +253,14 @@ func (en *Engine) Cache() *Cache { return en.cache }
 // paper's ties-extend-the-cutoff rule — is applied on the way out, so
 // top-k queries share the cached entry of their state.
 func (en *Engine) Execute(cq query.Contextual, current ctxmodel.State) (*query.Result, bool, error) {
+	return en.ExecuteCtx(context.Background(), cq, current)
+}
+
+// ExecuteCtx is Execute with cooperative cancellation: ctx is threaded
+// into the inner engine's resolution and relation scans. Cache lookups
+// are trie descents of bounded depth and are not gated; a cancelled
+// query is never cached.
+func (en *Engine) ExecuteCtx(ctx context.Context, cq query.Contextual, current ctxmodel.State) (*query.Result, bool, error) {
 	if len(cq.Selection) == 0 {
 		states, err := en.inner.QueryStates(cq, current)
 		if err != nil {
@@ -269,7 +278,7 @@ func (en *Engine) Execute(cq query.Contextual, current ctxmodel.State) (*query.R
 			}
 			full := cq
 			full.TopK = 0
-			res, err := en.inner.Execute(full, current)
+			res, err := en.inner.ExecuteCtx(ctx, full, current)
 			if err != nil {
 				return nil, false, err
 			}
@@ -286,7 +295,7 @@ func (en *Engine) Execute(cq query.Contextual, current ctxmodel.State) (*query.R
 			return res, false, nil
 		}
 	}
-	res, err := en.inner.Execute(cq, current)
+	res, err := en.inner.ExecuteCtx(ctx, cq, current)
 	return res, false, err
 }
 

@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -152,6 +153,20 @@ func (p Predicate) Eval(s *Schema, t Tuple) (bool, error) {
 // is scanned. Results are identical either way and always in tuple
 // order.
 func (r *Relation) Select(preds ...Predicate) ([]int, error) {
+	return r.SelectCtx(context.Background(), preds...)
+}
+
+// selectCheckEvery is the cooperative-cancellation granularity of the
+// relation scan: ctx.Err() is consulted once per this many tuples. It
+// must be a power of two.
+const selectCheckEvery = 256
+
+// SelectCtx is Select with cooperative cancellation: the full-relation
+// scan consults ctx every selectCheckEvery tuples and aborts with a
+// wrapped ctx.Err() once the context is done, so a server deadline or
+// a departed client stops a large scan early. The indexed path reads
+// one bucket and is not gated.
+func (r *Relation) SelectCtx(ctx context.Context, preds ...Predicate) ([]int, error) {
 	// Validate predicates up front so the indexed and scanning paths
 	// reject malformed queries identically, independent of data.
 	for _, p := range preds {
@@ -171,6 +186,11 @@ func (r *Relation) Select(preds ...Predicate) ([]int, error) {
 	}
 	var out []int
 	for i, t := range r.tuples {
+		if i&(selectCheckEvery-1) == selectCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("relation %s: scan stopped: %w", r.schema.name, err)
+			}
+		}
 		match := true
 		for _, p := range preds {
 			ok, err := p.Eval(r.schema, t)

@@ -1,6 +1,7 @@
 package contextpref
 
 import (
+	"context"
 	"fmt"
 
 	"contextpref/internal/distance"
@@ -226,7 +227,16 @@ func (s *System) NewState(values ...string) (State, error) {
 // preferences most relevant to it, per Section 4.4. ok is false when
 // nothing covers the state.
 func (s *System) Resolve(st State) (Candidate, bool, error) {
-	cand, _, ok, err := s.tree.Resolve(st, s.metric)
+	return s.ResolveCtx(context.Background(), st)
+}
+
+// ResolveCtx is Resolve with cooperative cancellation: the profile-tree
+// scan aborts once ctx is done, returning an error that wraps ctx.Err()
+// (errors.Is-matchable against context.Canceled and
+// context.DeadlineExceeded). Serving layers pass the request context so
+// a deadline or a departed client stops resolution early.
+func (s *System) ResolveCtx(ctx context.Context, st State) (Candidate, bool, error) {
+	cand, _, ok, err := s.tree.ResolveCtx(ctx, st, s.metric)
 	return cand, ok, err
 }
 
@@ -234,7 +244,13 @@ func (s *System) Resolve(st State) (Candidate, bool, error) {
 // first — the paper's alternative of presenting all qualifying matches
 // to the user instead of auto-selecting one.
 func (s *System) ResolveAll(st State) ([]Candidate, error) {
-	cands, _, err := s.tree.ResolveAll(st, s.metric)
+	return s.ResolveAllCtx(context.Background(), st)
+}
+
+// ResolveAllCtx is ResolveAll with cooperative cancellation, on the
+// same contract as ResolveCtx.
+func (s *System) ResolveAllCtx(ctx context.Context, st State) ([]Candidate, error) {
+	cands, _, err := s.tree.ResolveAllCtx(ctx, st, s.metric)
 	return cands, err
 }
 
@@ -258,11 +274,20 @@ func SuggestTreeOrder(env *Environment, prefs []Preference) ([]int, error) {
 // With a cache enabled, single-state queries are served from and stored
 // into the context query tree.
 func (s *System) Query(q Query, current State) (*Result, error) {
+	return s.QueryCtx(context.Background(), q, current)
+}
+
+// QueryCtx is Query with cooperative cancellation: ctx is threaded into
+// context resolution and the relation scans of Rank_CS, so a deadline
+// or a departed client stops the evaluation early. The returned error
+// wraps ctx.Err() and is errors.Is-matchable against context.Canceled
+// and context.DeadlineExceeded. A cancelled query is never cached.
+func (s *System) QueryCtx(ctx context.Context, q Query, current State) (*Result, error) {
 	if s.cached != nil {
-		res, _, err := s.cached.Execute(q, current)
+		res, _, err := s.cached.ExecuteCtx(ctx, q, current)
 		return res, err
 	}
-	return s.engine.Execute(q, current)
+	return s.engine.ExecuteCtx(ctx, q, current)
 }
 
 // QueryCached is Query that additionally reports whether the answer
