@@ -367,6 +367,7 @@ func (s *Server) writeCtxError(w http.ResponseWriter, err error) bool {
 // writeJSON sends a JSON response.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	//cpvet:ignore structerr writeJSON is the single blessed WriteHeader call site; every response funnels through it
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }

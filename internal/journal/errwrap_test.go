@@ -1,0 +1,63 @@
+package journal
+
+// Regression tests for the error-wrapping contract cpvet's errwrap
+// analyzer enforces: wrapped causes must stay errors.Is-reachable
+// through every journal failure chain, so callers can classify a
+// wedged journal's root faults without parsing message text.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"contextpref/internal/faultfs"
+)
+
+// TestWedgedErrorExposesCauses pins the %w chain of the wedged error:
+// ErrWedged, the rollback failure, and the original append failure
+// must all be errors.Is-matchable. (This chain used %v before PR 5,
+// which flattened the causes to text.)
+func TestWedgedErrorExposesCauses(t *testing.T) {
+	inj, dir := memStore(t)
+	j, _ := mustOpenFS(t, inj, dir, WithRetry(1, time.Microsecond))
+	if err := j.Append(Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"}); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct sentinels for the two failures so the test can prove
+	// each is individually reachable: the append write dies with
+	// ENOSPC, the rollback truncate with EIO.
+	inj.AddFault(faultfs.Fault{
+		Op: faultfs.OpWrite, Path: "journal", Count: 1,
+		Err: faultfs.ErrNoSpace, Short: 3,
+	})
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpTruncate, Path: "journal", Count: 1, Err: faultfs.ErrIO})
+	err := j.Append(Record{Op: OpAdd, User: "u", Line: "[] => type = zoo : 0.2"})
+	if err == nil {
+		t.Fatal("append with failed rollback succeeded, want wedge")
+	}
+	if !errors.Is(err, ErrWedged) {
+		t.Errorf("errors.Is(err, ErrWedged) = false for %v", err)
+	}
+	if !errors.Is(err, faultfs.ErrIO) {
+		t.Errorf("rollback cause lost: errors.Is(err, ErrIO) = false for %v", err)
+	}
+	if !errors.Is(err, faultfs.ErrNoSpace) {
+		t.Errorf("append cause lost: errors.Is(err, ErrNoSpace) = false for %v", err)
+	}
+	j.Close()
+}
+
+// TestAppendErrorExposesCause: the ordinary (non-wedged) append
+// failure chain also keeps its root cause reachable after the bounded
+// retry is exhausted.
+func TestAppendErrorExposesCause(t *testing.T) {
+	inj, dir := memStore(t)
+	j, _ := mustOpenFS(t, inj, dir, WithRetry(1, time.Microsecond))
+	defer j.Close()
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpWrite, Path: "journal", Err: faultfs.ErrNoSpace})
+	err := j.Append(Record{Op: OpAdd, User: "u", Line: "[] => type = park : 0.4"})
+	if !errors.Is(err, faultfs.ErrNoSpace) {
+		t.Errorf("errors.Is(err, ErrNoSpace) = false for %v", err)
+	}
+	inj.Lift()
+}

@@ -424,7 +424,7 @@ func (j *Journal) writeDurable(s string, metricStart time.Time) error {
 		// Roll back to the last-known-good offset so the torn bytes of
 		// this attempt cannot interleave with a later one.
 		if terr := j.f.Truncate(j.size); terr != nil {
-			j.wedged = fmt.Errorf("%w (rollback: %v; append: %v)", ErrWedged, terr, err)
+			j.wedged = fmt.Errorf("%w (rollback: %w; append: %w)", ErrWedged, terr, err)
 			return j.wedged
 		}
 		if m := j.metrics; m != nil {
@@ -558,6 +558,8 @@ func parseRecord(line string) (Record, uint64, error) {
 // readSnapshot strictly parses the snapshot file (it is written
 // atomically, so any damage is real corruption, not a torn write).
 // Missing file means empty state.
+//
+//cpvet:deterministic
 func readSnapshot(fsys faultfs.FS, path string) ([]Record, uint64, error) {
 	data, err := fsys.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -615,6 +617,8 @@ type journalScan struct {
 // of the committed prefix so the caller can truncate the tail away. In
 // the commit-framed format, records are buffered until their batch's
 // commit marker is seen — an uncommitted batch is dropped entirely.
+//
+//cpvet:deterministic
 func readJournal(fsys faultfs.FS, path string) (journalScan, error) {
 	var scan journalScan
 	data, err := fsys.ReadFile(path)
@@ -687,6 +691,8 @@ scanLoop:
 // migrate atomically rewrites a v1 journal in the commit-framed format,
 // wrapping its surviving records in a single batch. scan.maxSeq is
 // advanced past the new commit marker.
+//
+//cpvet:deterministic
 func migrate(fsys faultfs.FS, dir string, scan *journalScan) error {
 	var b strings.Builder
 	b.WriteString(fileHeader + "\n")

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxLoop enforces the PR 4 cancellation contract on the resolution
+// and scan hot paths: every function anchored with //cpvet:scanloop
+// (the profile-tree cover searches, the sequential store scan, the
+// relation full scan, multi-state query evaluation) must consult
+// ctx.Err() or ctx.Done() inside a loop body, so a server deadline or
+// a departed client stops the work early instead of running it to
+// completion.
+//
+// The check is syntactic: it looks for a call to Err() or Done() on a
+// receiver identifier named ctx anywhere inside a for/range body of
+// the anchored function, including loops inside nested function
+// literals (the tree walks recurse through a local closure). The
+// anchor comment is the contract: removing it to silence the analyzer
+// is exactly as visible in review as deleting the check itself.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "//cpvet:scanloop functions must check ctx.Err()/ctx.Done() inside their loop bodies",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd, scanloopVerb) {
+				continue
+			}
+			if fd.Body == nil || !hasLoopCtxCheck(fd.Body) {
+				out = append(out, Diagnostic{r.Fset.Position(fd.Pos()), "ctxloop",
+					"function is marked //cpvet:scanloop but no loop body checks ctx.Err()/ctx.Done(); hot-path scans must cancel cooperatively"})
+			}
+		}
+	}
+	return out
+}
+
+// hasLoopCtxCheck reports whether any for/range statement under body
+// contains a ctx.Err() or ctx.Done() call inside its own body.
+func hasLoopCtxCheck(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var loopBody *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loopBody = s.Body
+		case *ast.RangeStmt:
+			loopBody = s.Body
+		default:
+			return true
+		}
+		ast.Inspect(loopBody, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "ctx" {
+				found = true
+				return false
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}

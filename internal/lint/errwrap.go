@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the PR 4 error-classification contract: when
+// fmt.Errorf embeds an error value, the verb must be %w, so
+// errors.Is/errors.As can walk the chain (deadline vs. cancel
+// classification in httpapi, ErrWedged and persist-cause detection in
+// the journal). A %v or %s flattens the error to text and silently
+// breaks every errors.Is downstream.
+//
+// Without type information the pass recognizes error values by the
+// repo's naming convention: identifiers or selector fields named err
+// or ending in err/Err/Error, and calls to an Err() method (ctx.Err(),
+// r.Context().Err()). Formats using explicit argument indexes (%[1]v)
+// are skipped rather than misattributed.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf must wrap error values with %w, not %v/%s",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		fmtName, ok := importName(f, "fmt")
+		if !ok {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if fn, ok := pkgSelCall(call, fmtName); !ok || fn != "Errorf" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			vs, ok := formatVerbs(format)
+			if !ok {
+				return true
+			}
+			args := call.Args[1:]
+			for i, v := range vs {
+				if i >= len(args) {
+					break
+				}
+				if (v == 'v' || v == 's') && errorish(args[i]) {
+					out = append(out, Diagnostic{r.Fset.Position(args[i].Pos()), "errwrap",
+						fmt.Sprintf("error value %s formatted with %%%c; use %%w so errors.Is/errors.As keep working", exprText(args[i]), v)})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// formatVerbs returns one byte per argument-consuming verb in order:
+// the verb letter, or '*' for a width/precision argument. ok is false
+// for formats the simple scanner cannot attribute (explicit argument
+// indexes).
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		switch c := format[i]; {
+		case c == '%':
+			// literal percent, no argument
+		case c == '[':
+			return nil, false
+		default:
+			verbs = append(verbs, c)
+		}
+	}
+	return verbs, true
+}
+
+// errorish reports whether the expression is, by naming convention, an
+// error value.
+func errorish(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return errName(v.Name)
+	case *ast.SelectorExpr:
+		return errName(v.Sel.Name)
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Err" {
+			return true
+		}
+	}
+	return false
+}
+
+func errName(name string) bool {
+	n := strings.ToLower(name)
+	return n == "err" || strings.HasSuffix(n, "err") || strings.HasSuffix(n, "error")
+}
+
+// exprText renders a small expression for the diagnostic message.
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprText(v.Fun) + "()"
+	}
+	return "argument"
+}

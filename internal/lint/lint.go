@@ -1,0 +1,280 @@
+// Package lint implements cpvet, the repository's static-analysis
+// pass. It enforces the cross-cutting service-layer contracts the
+// serving PRs introduced — structured HTTP errors, slog-only logging,
+// cooperative cancellation in scan loops, cp_* telemetry naming,
+// deterministic fault-injection paths, and %w error wrapping — so the
+// invariants survive refactors without depending on reviewer
+// vigilance.
+//
+// The pass is stdlib-only (go/ast, go/parser, go/token): it parses
+// every non-test .go file under the module root and runs purely
+// syntactic analyzers over the forest. No type information is loaded;
+// each analyzer documents the syntactic convention it relies on
+// (e.g. the cancellation parameter is named ctx).
+//
+// Directives. Three magic comments steer the pass:
+//
+//	//cpvet:ignore <analyzer> <reason>   suppress findings on this or the next line
+//	//cpvet:scanloop                     marks a hot-path scan function (ctxloop)
+//	//cpvet:deterministic                marks a replay-deterministic function (nondeterminism)
+//
+// An ignore directive without a reason is itself a finding: every
+// suppression must say why the contract does not apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one finding, printed as "file:line: analyzer: message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file.
+type File struct {
+	// Path is the slash-separated path relative to the analyzed root.
+	Path string
+	AST  *ast.File
+}
+
+// Repo is the parsed forest the analyzers run over.
+type Repo struct {
+	Fset  *token.FileSet
+	Files []*File
+}
+
+// Analyzer is one named check over the whole repository. Run returns
+// raw findings; the driver applies //cpvet:ignore suppressions.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Repo) []Diagnostic
+}
+
+// All returns the full analyzer set, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		StructErr,
+		SlogOnly,
+		CtxLoop,
+		MetricNames,
+		NonDeterminism,
+		ErrWrap,
+	}
+}
+
+// Load parses every non-test .go file under root. Directories named
+// testdata or vendor and hidden directories are skipped, as are
+// _test.go files: the contracts govern production code, and tests
+// routinely violate them on purpose (raw log output, fake metric
+// names, wall-clock assertions).
+func Load(root string) (*Repo, error) {
+	fset := token.NewFileSet()
+	repo := &Repo{Fset: fset}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, rel, src, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		repo.Files = append(repo.Files, &File{Path: rel, AST: f})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(repo.Files, func(i, j int) bool { return repo.Files[i].Path < repo.Files[j].Path })
+	return repo, nil
+}
+
+// Run executes the analyzers over the repo, applies suppressions, and
+// returns the surviving findings sorted by position. Malformed
+// //cpvet directives are reported under the pseudo-analyzer "cpvet"
+// and cannot be suppressed.
+func Run(repo *Repo, analyzers []*Analyzer) []Diagnostic {
+	ignores, diags := collectDirectives(repo)
+	for _, a := range analyzers {
+		for _, d := range a.Run(repo) {
+			if !suppressed(ignores, d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //cpvet:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const (
+	directivePrefix = "//cpvet:"
+	ignoreVerb      = "ignore"
+	scanloopVerb    = "scanloop"
+	deterministic   = "deterministic"
+)
+
+// collectDirectives parses every //cpvet: comment in the repo,
+// returning the valid ignore directives plus diagnostics for
+// malformed ones (unknown verb, missing analyzer, missing reason).
+func collectDirectives(repo *Repo) ([]ignoreDirective, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var ignores []ignoreDirective
+	var diags []Diagnostic
+	for _, f := range repo.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := repo.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				switch verb {
+				case scanloopVerb, deterministic:
+					// Anchors; consumed by their analyzers. Trailing
+					// prose is allowed as a note.
+				case ignoreVerb:
+					analyzer, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+					switch {
+					case analyzer == "":
+						diags = append(diags, Diagnostic{pos, "cpvet",
+							"//cpvet:ignore needs an analyzer name and a reason"})
+					case !known[analyzer]:
+						diags = append(diags, Diagnostic{pos, "cpvet",
+							fmt.Sprintf("//cpvet:ignore names unknown analyzer %q", analyzer)})
+					case strings.TrimSpace(reason) == "":
+						diags = append(diags, Diagnostic{pos, "cpvet",
+							fmt.Sprintf("//cpvet:ignore %s is missing the mandatory reason", analyzer)})
+					default:
+						ignores = append(ignores, ignoreDirective{
+							file: f.Path, line: pos.Line, analyzer: analyzer,
+						})
+					}
+				default:
+					diags = append(diags, Diagnostic{pos, "cpvet",
+						fmt.Sprintf("unknown directive //cpvet:%s (want ignore, scanloop, or deterministic)", verb)})
+				}
+			}
+		}
+	}
+	return ignores, diags
+}
+
+// suppressed reports whether an ignore directive for the diagnostic's
+// analyzer sits on the same line or the line directly above it.
+func suppressed(ignores []ignoreDirective, d Diagnostic) bool {
+	for _, ig := range ignores {
+		if ig.file == d.Pos.Filename && ig.analyzer == d.Analyzer &&
+			(ig.line == d.Pos.Line || ig.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared AST helpers -------------------------------------------------
+
+// importName returns the local name under which the file imports path
+// ("" and false if it does not). An unnamed import of "net/http" is
+// "http"; a named import is its alias.
+func importName(f *File, path string) (string, bool) {
+	for _, imp := range f.AST.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// hasDirective reports whether the function's doc comment contains the
+// //cpvet:<verb> anchor.
+func hasDirective(fd *ast.FuncDecl, verb string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directivePrefix+verb || strings.HasPrefix(c.Text, directivePrefix+verb+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgSelCall matches a call of the form pkg.Fn(...) where pkg is the
+// local name of an imported package, returning the called name.
+func pkgSelCall(call *ast.CallExpr, pkg string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkg {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricNames enforces the PR 2 telemetry naming contract on every
+// literal metric name passed to a registry constructor
+// (Counter/CounterVec, Gauge/GaugeFunc, Histogram/HistogramVec):
+//
+//   - names match ^cp_[a-z0-9_]+$ (one product prefix, Prometheus
+//     lowercase grammar);
+//   - counters end in _total;
+//   - histograms end in _seconds (timing distributions) — a unitless
+//     distribution needs a //cpvet:ignore with its reason;
+//   - gauges must not end in _total (that suffix promises a counter);
+//   - a name is registered from exactly one call site, repo-wide, so
+//     two subsystems cannot silently share (or shadow) an instrument.
+//
+// Dynamically built names are invisible to this pass; the runtime
+// conformance test over the live registry covers those.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "telemetry names must match cp_[a-z0-9_]+, counters _total, histograms _seconds, unique repo-wide",
+	Run:  runMetricNames,
+}
+
+var metricNameRE = regexp.MustCompile(`^cp_[a-z0-9_]+$`)
+
+// metricKind maps registry constructor names to the metric kind they
+// register.
+var metricKind = map[string]string{
+	"Counter":      "counter",
+	"CounterVec":   "counter",
+	"Gauge":        "gauge",
+	"GaugeFunc":    "gauge",
+	"Histogram":    "histogram",
+	"HistogramVec": "histogram",
+}
+
+func runMetricNames(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	firstSite := make(map[string]token.Position)
+	for _, f := range r.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := metricKind[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			pos := r.Fset.Position(lit.Pos())
+			if !metricNameRE.MatchString(name) {
+				out = append(out, Diagnostic{pos, "metricnames",
+					fmt.Sprintf("metric name %q does not match ^cp_[a-z0-9_]+$", name)})
+			}
+			switch kind {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					out = append(out, Diagnostic{pos, "metricnames",
+						fmt.Sprintf("counter %q must end in _total", name)})
+				}
+			case "histogram":
+				if !strings.HasSuffix(name, "_seconds") {
+					out = append(out, Diagnostic{pos, "metricnames",
+						fmt.Sprintf("histogram %q must end in _seconds; suppress with a reason if the distribution is genuinely unitless", name)})
+				}
+			case "gauge":
+				if strings.HasSuffix(name, "_total") {
+					out = append(out, Diagnostic{pos, "metricnames",
+						fmt.Sprintf("gauge %q must not end in _total (that suffix promises a monotonic counter)", name)})
+				}
+			}
+			if first, dup := firstSite[name]; dup {
+				out = append(out, Diagnostic{pos, "metricnames",
+					fmt.Sprintf("metric %q is already registered at %s:%d; share the instrument instead of re-registering the name", name, first.Filename, first.Line)})
+			} else {
+				firstSite[name] = pos
+			}
+			return true
+		})
+	}
+	return out
+}

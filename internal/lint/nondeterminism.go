@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// NonDeterminism enforces the PR 3/4 replay contract: code that tests
+// replay deterministically — the chaos middleware (httpapi/chaos.go),
+// the fault-injecting filesystem (internal/faultfs), and the journal
+// recovery path — must not consult the wall clock (time.Now,
+// time.Since) or the global math/rand source. Chaos and fault
+// schedules draw from an explicitly seeded *rand.Rand so the same
+// seed replays the same faults; recovery decisions depend only on the
+// bytes on disk.
+//
+// Scope: files named in deterministicFiles (by relative path or
+// prefix) plus any function anchored with //cpvet:deterministic.
+// Constructing a seeded source (rand.New, rand.NewSource) is the
+// approved pattern and is not flagged.
+var NonDeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "no time.Now()/global math/rand in chaos, faultfs, or journal-recovery code",
+	Run:  runNonDeterminism,
+}
+
+// deterministicFiles are the replay-deterministic regions by path; an
+// entry ending in "/" matches the whole directory.
+var deterministicFiles = []string{
+	"httpapi/chaos.go",
+	"internal/faultfs/",
+}
+
+func deterministicPath(path string) bool {
+	for _, p := range deterministicFiles {
+		if strings.HasSuffix(p, "/") && strings.HasPrefix(path, p) {
+			return true
+		}
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+func runNonDeterminism(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		if deterministicPath(f.Path) {
+			out = append(out, checkDeterministic(r, f, f.AST)...)
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasDirective(fd, deterministic) && fd.Body != nil {
+				out = append(out, checkDeterministic(r, f, fd.Body)...)
+			}
+		}
+	}
+	return out
+}
+
+// randAllowed are math/rand calls that build a seeded source — the
+// approved alternative to the global functions.
+var randAllowed = map[string]bool{"New": true, "NewSource": true}
+
+func checkDeterministic(r *Repo, f *File, root ast.Node) []Diagnostic {
+	var out []Diagnostic
+	timeName, hasTime := importName(f, "time")
+	randName, hasRand := importName(f, "math/rand")
+	if !hasRand {
+		randName, hasRand = importName(f, "math/rand/v2")
+	}
+	if !hasTime && !hasRand {
+		return nil
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if hasTime {
+			if fn, ok := pkgSelCall(call, timeName); ok && (fn == "Now" || fn == "Since") {
+				out = append(out, Diagnostic{r.Fset.Position(call.Pos()), "nondeterminism",
+					fmt.Sprintf("time.%s in a deterministic replay path; timestamps here break seeded replay — inject the value or drop it", fn)})
+				return true
+			}
+		}
+		if hasRand {
+			if fn, ok := pkgSelCall(call, randName); ok && !randAllowed[fn] {
+				out = append(out, Diagnostic{r.Fset.Position(call.Pos()), "nondeterminism",
+					fmt.Sprintf("global math/rand %s() in a deterministic replay path; draw from an explicitly seeded *rand.Rand", fn)})
+			}
+		}
+		return true
+	})
+	return out
+}

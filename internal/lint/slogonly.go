@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"strings"
+)
+
+// SlogOnly enforces the PR 2 logging contract: library code logs only
+// through log/slog, where every record carries structured fields and
+// the serving layer attaches the request ID. The unstructured stdlib
+// log package (and its process-killing Fatal variants) is allowed
+// only in cmd/* mains and examples/, which own the process.
+//
+// Importing "log" at all is the violation — the package has no
+// structured call, so the import line is the single choke point.
+var SlogOnly = &Analyzer{
+	Name: "slogonly",
+	Doc:  "library code must log via log/slog; stdlib log only in cmd/ and examples/",
+	Run:  runSlogOnly,
+}
+
+func runSlogOnly(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		if strings.HasPrefix(f.Path, "cmd/") || strings.HasPrefix(f.Path, "examples/") {
+			continue
+		}
+		for _, imp := range f.AST.Imports {
+			if imp.Path.Value != `"log"` {
+				continue
+			}
+			out = append(out, Diagnostic{r.Fset.Position(imp.Pos()), "slogonly",
+				"library code imports stdlib log; use log/slog so records are structured and request-correlated (raw log is for cmd/ mains and examples/ only)"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// StructErr enforces the PR 1 error contract: httpapi handlers answer
+// every failure through the structured writeError/writeJSON path
+// (JSON {"error","code"} bodies with machine-readable codes), never
+// raw http.Error or a bare w.WriteHeader. The analyzer is scoped to
+// package httpapi, where the contract lives.
+//
+// One escape hatch is built in: delegation through an embedded
+// ResponseWriter (x.ResponseWriter.WriteHeader(...)) is allowed, so a
+// status-recording wrapper can implement the interface. The single
+// blessed raw WriteHeader call inside writeJSON itself carries a
+// //cpvet:ignore with its reason.
+var StructErr = &Analyzer{
+	Name: "structerr",
+	Doc:  "httpapi must answer errors via writeError/writeJSON, never raw http.Error or WriteHeader",
+	Run:  runStructErr,
+}
+
+func runStructErr(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		if f.AST.Name.Name != "httpapi" {
+			continue
+		}
+		httpName, hasHTTP := importName(f, "net/http")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if hasHTTP {
+				if fn, ok := pkgSelCall(call, httpName); ok && fn == "Error" {
+					out = append(out, Diagnostic{r.Fset.Position(call.Pos()), "structerr",
+						"http.Error writes a plain-text body; answer through writeError so clients get the structured {error, code} JSON"})
+					return true
+				}
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "WriteHeader" {
+				return true
+			}
+			// Embedded-delegation form x.ResponseWriter.WriteHeader(code)
+			// is the one legitimate wrapper pattern.
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "ResponseWriter" {
+				return true
+			}
+			out = append(out, Diagnostic{r.Fset.Position(call.Pos()), "structerr",
+				"raw WriteHeader bypasses the structured error path; respond via writeJSON/writeError"})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package scans
+
+import "context"
+
+// scanAll walks every row but never consults the context.
+//
+//cpvet:scanloop
+func scanAll(ctx context.Context, rows []int) int {
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	_ = ctx
+	return total
+}
+
+// noLoops is anchored but has no loop at all — still a violation: the
+// anchor promises a cooperative scan.
+//
+//cpvet:scanloop
+func noLoops(ctx context.Context) error {
+	return ctx.Err()
+}

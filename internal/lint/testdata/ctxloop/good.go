@@ -1,0 +1,47 @@
+package scans
+
+import "context"
+
+// scanChecked checks ctx.Err() inside the loop body.
+//
+//cpvet:scanloop
+func scanChecked(ctx context.Context, rows []int) (int, error) {
+	total := 0
+	for i, r := range rows {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// scanClosure keeps its loop inside a recursive closure, like the
+// profile-tree cover search; the check still counts.
+//
+//cpvet:scanloop
+func scanClosure(ctx context.Context, rows []int) error {
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		for range rows {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// unanchored functions are out of scope even without any check.
+func unanchored(rows []int) int {
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}

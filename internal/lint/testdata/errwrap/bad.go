@@ -1,0 +1,23 @@
+package wrap
+
+import (
+	"context"
+	"fmt"
+)
+
+func open(name string) error {
+	err := fmt.Errorf("inner")
+	return fmt.Errorf("open %s: %v", name, err)
+}
+
+func parse(parseErr error) error {
+	return fmt.Errorf("parse failed: %s", parseErr)
+}
+
+func stop(ctx context.Context) error {
+	return fmt.Errorf("scan stopped: %v", ctx.Err())
+}
+
+func wedge(base, terr, aerr error) error {
+	return fmt.Errorf("%w (rollback: %v; append: %v)", base, terr, aerr)
+}

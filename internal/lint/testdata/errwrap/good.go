@@ -1,0 +1,39 @@
+package wrap
+
+import (
+	"context"
+	"fmt"
+)
+
+func openW(name string, err error) error {
+	return fmt.Errorf("open %s: %w", name, err)
+}
+
+func multiWrap(base, terr, aerr error) error {
+	return fmt.Errorf("%w (rollback: %w; append: %w)", base, terr, aerr)
+}
+
+func stopW(ctx context.Context) error {
+	return fmt.Errorf("scan stopped: %w", ctx.Err())
+}
+
+// %v of a non-error is fine.
+func report(order []int, n int) error {
+	return fmt.Errorf("order %v is not a permutation of 0..%d", order, n-1)
+}
+
+// width/precision stars consume arguments before the verb; the err
+// still lines up with its %w.
+func padded(width int, err error) error {
+	return fmt.Errorf("%*d: %w", width, 7, err)
+}
+
+// %% consumes no argument.
+func percent(pct float64) error {
+	return fmt.Errorf("at %f%% capacity", pct)
+}
+
+// Explicit argument indexes are skipped, not misattributed.
+func indexed(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}

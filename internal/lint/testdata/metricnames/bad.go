@@ -1,0 +1,20 @@
+package obs
+
+func registerBad(reg registry) {
+	reg.Counter("cp_requests", "counter missing the _total suffix")
+	reg.Histogram("cp_latency", "histogram missing the _seconds suffix")
+	reg.Gauge("cp_cache_hits_total", "gauge masquerading as a counter")
+	reg.Counter("http_requests_total", "missing the cp_ prefix")
+	reg.Counter("cp_Bad_Name_total", "uppercase breaks the grammar")
+	reg.Counter("cp_dup_total", "first registration is fine")
+}
+
+func registerDup(reg registry) {
+	reg.Counter("cp_dup_total", "second call site re-registers the name")
+}
+
+type registry interface {
+	Counter(name, help string)
+	Gauge(name, help string)
+	Histogram(name, help string)
+}

@@ -1,0 +1,16 @@
+package recovery
+
+import "time"
+
+// replay is annotated replay-deterministic but reads the wall clock.
+//
+//cpvet:deterministic
+func replay() int64 {
+	return time.Now().UnixNano()
+}
+
+// stamp is ordinary production code outside any deterministic region;
+// the wall clock is fine here.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

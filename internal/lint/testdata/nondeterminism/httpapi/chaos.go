@@ -1,0 +1,29 @@
+package httpapi
+
+import (
+	"math/rand"
+	"time"
+)
+
+type chaos struct {
+	rng *rand.Rand
+}
+
+// newChaos builds a seeded source — the approved pattern.
+func newChaos(seed int64) *chaos {
+	return &chaos{rng: rand.New(rand.NewSource(seed))}
+}
+
+// draw uses the global source and the wall clock: both break seeded
+// replay.
+func (c *chaos) draw() (time.Duration, bool) {
+	delay := time.Duration(rand.Int63n(1000))
+	start := time.Now()
+	_ = start
+	return delay, rand.Float64() < 0.5
+}
+
+// drawSeeded draws from the instance source: fine.
+func (c *chaos) drawSeeded() bool {
+	return c.rng.Float64() < 0.5
+}

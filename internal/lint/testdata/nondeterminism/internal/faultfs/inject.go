@@ -1,0 +1,13 @@
+package faultfs
+
+import "time"
+
+// elapsed consults the wall clock inside the fault-injection seam.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// schedule is deterministic arithmetic: fine.
+func schedule(n int) int {
+	return n * 2
+}

@@ -1,0 +1,9 @@
+package somelib
+
+import (
+	"log"
+)
+
+func noisy() {
+	log.Printf("unstructured, uncorrelated")
+}

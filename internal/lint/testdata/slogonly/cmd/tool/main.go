@@ -1,0 +1,8 @@
+package main
+
+import "log"
+
+// cmd/* mains own the process: log.Fatal is allowed here.
+func main() {
+	log.Fatal("fine in a main")
+}

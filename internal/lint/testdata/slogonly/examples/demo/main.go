@@ -1,0 +1,8 @@
+package main
+
+import "log"
+
+// examples/ are teaching code: raw log keeps them short.
+func main() {
+	log.Println("fine in an example")
+}

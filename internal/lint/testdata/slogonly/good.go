@@ -1,0 +1,9 @@
+package somelib
+
+import (
+	"log/slog"
+)
+
+func structured() {
+	slog.Info("structured", "request_id", "42")
+}

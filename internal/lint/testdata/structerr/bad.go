@@ -1,0 +1,8 @@
+package httpapi
+
+import "net/http"
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError)
+	w.WriteHeader(http.StatusTeapot)
+}

@@ -1,0 +1,12 @@
+//go:build ignore
+
+package notapi
+
+import "net/http"
+
+// Outside package httpapi the structured-error contract does not
+// apply: admin/debug listeners may use plain-text errors.
+func plain(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusNotFound)
+	w.WriteHeader(http.StatusOK)
+}

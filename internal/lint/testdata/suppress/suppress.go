@@ -1,0 +1,34 @@
+package somelib
+
+import (
+	"fmt"
+)
+
+// wrapped is suppressed with a reasoned directive on the line above.
+func wrapped(err error) error {
+	//cpvet:ignore errwrap this message is user-facing copy, the chain is rewrapped by the caller
+	return fmt.Errorf("flattened on purpose: %v", err)
+}
+
+// sameLine is suppressed by a trailing directive on the same line.
+func sameLine(err error) error {
+	return fmt.Errorf("also flattened: %v", err) //cpvet:ignore errwrap caller compares rendered text in golden files
+}
+
+// missingReason must be reported: every suppression says why.
+func missingReason(err error) error {
+	//cpvet:ignore errwrap
+	return fmt.Errorf("no reason given: %v", err)
+}
+
+// unknownAnalyzer must be reported: a typo would silently suppress
+// nothing.
+func unknownAnalyzer(err error) error {
+	//cpvet:ignore errwarp transposed letters
+	return fmt.Errorf("typo'd analyzer: %v", err)
+}
+
+// unknownVerb must be reported.
+//
+//cpvet:scanlop
+func unknownVerb() {}

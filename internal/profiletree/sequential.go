@@ -155,6 +155,8 @@ func (sq *Sequential) SearchCover(s ctxmodel.State, m distance.Metric) ([]Candid
 // same contract as Tree.SearchCoverCtx: the flat scan consults ctx
 // every cancelCheckEvery stored states and aborts with a wrapped
 // ctx.Err() once the context is done.
+//
+//cpvet:scanloop
 func (sq *Sequential) SearchCoverCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
 	if err := sq.env.Validate(s); err != nil {
 		return nil, 0, err

@@ -564,6 +564,8 @@ func (t *Tree) SearchCover(s ctxmodel.State, m distance.Metric) ([]Candidate, in
 // context.DeadlineExceeded) once the context is done, so a server
 // deadline or a departed client stops the tree walk early instead of
 // running it to completion.
+//
+//cpvet:scanloop
 func (t *Tree) SearchCoverCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
 	if err := t.env.Validate(s); err != nil {
 		return nil, 0, err
@@ -631,6 +633,8 @@ func (t *Tree) SearchCoverBest(s ctxmodel.State, m distance.Metric) (Candidate, 
 
 // SearchCoverBestCtx is SearchCoverBest with cooperative cancellation,
 // on the same contract as SearchCoverCtx.
+//
+//cpvet:scanloop
 func (t *Tree) SearchCoverBestCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
 	if err := t.env.Validate(s); err != nil {
 		return Candidate{}, 0, false, err

@@ -146,6 +146,8 @@ func (en *Engine) Execute(cq Contextual, current ctxmodel.State) (*Result, error
 // evaluation at the next check instead of running it to completion. The
 // returned error wraps ctx.Err() and is errors.Is-matchable against
 // context.Canceled and context.DeadlineExceeded.
+//
+//cpvet:scanloop
 func (en *Engine) ExecuteCtx(ctx context.Context, cq Contextual, current ctxmodel.State) (*Result, error) {
 	states, err := en.QueryStates(cq, current)
 	if err != nil {

@@ -166,6 +166,8 @@ const selectCheckEvery = 256
 // wrapped ctx.Err() once the context is done, so a server deadline or
 // a departed client stops a large scan early. The indexed path reads
 // one bucket and is not gated.
+//
+//cpvet:scanloop
 func (r *Relation) SelectCtx(ctx context.Context, preds ...Predicate) ([]int, error) {
 	// Validate predicates up front so the indexed and scanning paths
 	// reject malformed queries identically, independent of data.

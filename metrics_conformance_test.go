@@ -1,0 +1,119 @@
+package contextpref_test
+
+// Runtime mirror of cpvet's metricnames analyzer: build a live
+// registry the way the serving binary does — resolution counters,
+// directory population, journal instruments, health tracker, HTTP
+// serving metrics — and assert every name the registry actually
+// exposes obeys the naming contract. The AST pass sees only literal
+// names at registration call sites; this test catches dynamically
+// built names and whatever future wiring registers on the side.
+
+import (
+	"bufio"
+	"regexp"
+	"strings"
+	"testing"
+
+	"contextpref"
+	"contextpref/httpapi"
+	"contextpref/internal/dataset"
+)
+
+var liveMetricNameRE = regexp.MustCompile(`^cp_[a-z0-9_]+$`)
+
+// liveNameExceptions are names the static pass suppresses with a
+// reason; the runtime mirror honors the same short list. Keep this in
+// sync with the //cpvet:ignore metricnames directives in the tree.
+var liveNameExceptions = map[string]string{
+	"cp_resolve_cells": "histogram of cells per resolution: unitless distribution, not a timing",
+}
+
+// buildLiveRegistry registers every instrument the serving stack
+// registers.
+func buildLiveRegistry(t *testing.T) *contextpref.TelemetryRegistry {
+	t.Helper()
+	reg := contextpref.NewTelemetryRegistry()
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := dataset.POIs(env, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := contextpref.NewSystem(env, rel, contextpref.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := contextpref.NewDirectory(env, rel, contextpref.WithDirectoryTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dir
+	if m := contextpref.NewJournalMetrics(reg); m == nil {
+		t.Fatal("NewJournalMetrics returned nil for a live registry")
+	}
+	contextpref.RegisterHealthTelemetry(contextpref.NewHealth(), reg)
+	if _, err := httpapi.New(sys, httpapi.WithTelemetry(reg)); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestLiveRegistryNameConformance(t *testing.T) {
+	reg := buildLiveRegistry(t)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]string) // name -> counter|gauge|histogram
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 4 || fields[0] != "#" || fields[1] != "TYPE" {
+			continue
+		}
+		name, kind := fields[2], fields[3]
+		if prev, dup := kinds[name]; dup {
+			t.Errorf("metric %s exposed twice (as %s and %s)", name, prev, kind)
+		}
+		kinds[name] = kind
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) < 20 {
+		t.Fatalf("live registry exposed only %d metrics; the serving wiring did not register", len(kinds))
+	}
+	for name, kind := range kinds {
+		if !liveMetricNameRE.MatchString(name) {
+			t.Errorf("metric %s does not match ^cp_[a-z0-9_]+$", name)
+		}
+		if _, excepted := liveNameExceptions[name]; excepted {
+			continue
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Errorf("counter %s must end in _total", name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_seconds") {
+				t.Errorf("histogram %s must end in _seconds", name)
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				t.Errorf("gauge %s must not end in _total", name)
+			}
+		default:
+			t.Errorf("metric %s has unknown kind %q", name, kind)
+		}
+	}
+	// The exceptions list must not rot: every entry still names a live
+	// metric.
+	for name := range liveNameExceptions {
+		if _, ok := kinds[name]; !ok {
+			t.Errorf("exception for %s no longer matches a registered metric; drop it", name)
+		}
+	}
+}

@@ -43,6 +43,7 @@ func resolveMetrics(reg *TelemetryRegistry) *profiletree.Metrics {
 			"Profile-tree cells accessed during context resolution (the paper's Section 5 cost metric)."),
 		CandidatesFound: reg.Counter("cp_resolve_candidates_total",
 			"Covering candidate states discovered during context resolution."),
+		//cpvet:ignore metricnames cells-per-resolve distribution is unitless (cell accesses), not a timing
 		CellsPerResolve: reg.Histogram("cp_resolve_cells",
 			"Distribution of cells accessed per resolution.", telemetry.ExpBuckets(1, 2, 14)),
 	}
