@@ -23,7 +23,7 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Tier-1 benchmarks as machine-readable JSON, for diffing in CI.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR6.json
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseLine -fuzztime=30s ./internal/preference/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cpql/
 	$(GO) test -fuzz=FuzzJournalRecovery -fuzztime=30s ./internal/journal/
+	$(GO) test -fuzz='FuzzReplicationFrame$$' -fuzztime=30s ./internal/replication/
 
 # Quick fuzz smoke of the query parser and journal recovery, cheap
 # enough for CI.
@@ -43,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/cpql/
 	$(GO) test -fuzz=FuzzParseLine -fuzztime=5s ./internal/preference/
 	$(GO) test -fuzz=FuzzJournalRecovery -fuzztime=5s ./internal/journal/
+	$(GO) test -fuzz='FuzzReplicationFrame$$' -fuzztime=5s ./internal/replication/
 
 # The pre-merge gate: static checks, the race detector, and a fuzz smoke.
 verify: vet lint race fuzz-smoke

@@ -10,7 +10,8 @@
 //	         [-log-level info] [-request-timeout 5s] [-rate-limit 0]
 //	         [-rate-burst 0] [-read-header-timeout 5s]
 //	         [-chaos-latency 0] [-chaos-jitter 0] [-chaos-error-rate 0]
-//	         [-chaos-seed 1]
+//	         [-chaos-seed 1] [-replicate-addr :8090] [-follow addr]
+//	         [-max-staleness 5s] [-promote-after 0]
 //
 // Endpoints (see the httpapi package for payloads):
 //
@@ -57,6 +58,18 @@
 // server returns to healthy automatically once writes succeed again
 // (cp_health_* metrics track the state and transitions).
 //
+// Replication. With -replicate-addr a journaled leader streams every
+// committed batch to followers (see internal/replication for the wire
+// protocol). A follower runs with -follow <leader> -store dir
+// -multiuser: it tails the stream into its own journal, serves
+// read-only — mutations answer 503 {"code":"read_only"} — and rejects
+// reads older than -max-staleness with 503 {"code":"stale"} so clients
+// never observe unbounded lag; /readyz reports "following" while
+// caught up. SIGUSR1 promotes the follower to leader (mutations
+// accepted, journal owned); with -promote-after > 0 the follower
+// promotes itself after that much total leader silence. A node may
+// follow and replicate at once, forming a chain.
+//
 // Limits & deadlines. Every non-probe request runs under the
 // -request-timeout deadline: resolution and query scans check it
 // cooperatively and a timed-out request answers a structured 503
@@ -89,6 +102,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -101,6 +115,7 @@ import (
 	"contextpref/httpapi"
 	"contextpref/internal/dataset"
 	"contextpref/internal/journal"
+	"contextpref/internal/replication"
 )
 
 // config collects everything build needs; it mirrors the flags.
@@ -130,6 +145,10 @@ type config struct {
 	chaosJitter       time.Duration
 	chaosErrorRate    float64
 	chaosSeed         int64
+	follow            string
+	replicateAddr     string
+	maxStaleness      time.Duration
+	promoteAfter      time.Duration
 }
 
 // app is a built server plus its durability and observability hooks.
@@ -150,6 +169,16 @@ type app struct {
 	admin http.Handler
 	// logger is the structured logger shared with the HTTP layer.
 	logger *slog.Logger
+	// leader ships journal appends to followers; non-nil when
+	// -replicate-addr is set (serve opens the listener).
+	leader *replication.Leader
+	// follower tails the -follow leader; serve runs its loop.
+	follower *replication.Follower
+	// promote turns a follower into the leader: role flip, persister
+	// attach, and — with -replicate-addr — shipping to its own
+	// followers. Called from serve when the follower loop reports
+	// ErrPromoted; non-nil exactly when follower is.
+	promote func()
 }
 
 // newLogger builds the process logger at the named level ("" = info).
@@ -190,6 +219,10 @@ func main() {
 	flag.DurationVar(&cfg.chaosJitter, "chaos-jitter", 0, "chaos: uniformly random extra latency in [0, jitter)")
 	flag.Float64Var(&cfg.chaosErrorRate, "chaos-error-rate", 0, "chaos: probability in [0,1] of failing a request with 500 {\"code\":\"chaos\"}")
 	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "chaos: seed for the deterministic fault stream")
+	flag.StringVar(&cfg.follow, "follow", "", "leader replication address to tail; the node serves read-only (requires -store and -multiuser)")
+	flag.StringVar(&cfg.replicateAddr, "replicate-addr", "", "listen address for the journal replication stream (requires -store)")
+	flag.DurationVar(&cfg.maxStaleness, "max-staleness", 5*time.Second, "follower reads older than this answer 503 {\"code\":\"stale\"}")
+	flag.DurationVar(&cfg.promoteAfter, "promote-after", 0, "promote the follower after this much total leader silence; 0 = only on SIGUSR1")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 	flag.DurationVar(&cfg.slowRequest, "slow-request", 500*time.Millisecond, "log requests served slower than this at Warn level (0 = disabled)")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn, or error")
@@ -253,6 +286,41 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 		go a.health.Run(ctx, cfg.probeInterval, a.journal.Probe)
 	}
 
+	// Replication: a leader ships journal appends on -replicate-addr; a
+	// follower tails -follow until shutdown or promotion (SIGUSR1, or
+	// leader silence past -promote-after).
+	if a.leader != nil {
+		rln, err := net.Listen("tcp", cfg.replicateAddr)
+		if err != nil {
+			return fmt.Errorf("replication listener: %w", err)
+		}
+		a.logger.Info("replication leader listening", "addr", rln.Addr().String())
+		go func() {
+			if err := a.leader.Serve(rln); err != nil {
+				a.logger.Error("replication serve failed", "error", err)
+			}
+		}()
+	}
+	var followErr chan error
+	if a.follower != nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGUSR1)
+		defer signal.Stop(sigc)
+		go func() {
+			for {
+				select {
+				case <-sigc:
+					a.logger.Info("SIGUSR1 received: requesting promotion")
+					a.follower.Promote()
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		followErr = make(chan error, 1)
+		go func() { followErr <- a.follower.Run(ctx) }()
+	}
+
 	var adminSrv *http.Server
 	if adminLn != nil {
 		// The admin listener carries the same connection timeouts as the
@@ -274,10 +342,24 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 		defer adminSrv.Close()
 	}
 
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case err := <-followErr:
+			followErr = nil
+			if errors.Is(err, replication.ErrPromoted) {
+				a.promote()
+				continue // keep serving, now as the leader
+			}
+			if ctx.Err() == nil {
+				// A fatal local fault (wedged journal, failed apply):
+				// disk and memory may have diverged, so stop serving.
+				return fmt.Errorf("replication follower: %w", err)
+			}
+		case <-ctx.Done():
+		}
+		break
 	}
 
 	a.logger.Info("shutdown requested, draining", "timeout", cfg.shutdownTimeout)
@@ -289,6 +371,18 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 		a.logger.Warn("drain incomplete", "error", shutdownErr)
 	}
 	<-errc // Serve has returned http.ErrServerClosed
+
+	// Quiesce replication before touching the journal: the leader's
+	// append tap must detach before compaction rewrites the file, and
+	// the follower loop owns local journal writes until it returns.
+	if a.leader != nil {
+		a.leader.Close()
+	}
+	if followErr != nil {
+		if err := <-followErr; err != nil && !errors.Is(err, context.Canceled) {
+			a.logger.Warn("follower loop ended at shutdown", "error", err)
+		}
+	}
 
 	if a.journal != nil {
 		// All handlers have returned (or been abandoned by the drain
@@ -323,6 +417,15 @@ func build(cfg config) (*app, error) {
 	logger, err := newLogger(cfg.logLevel)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.follow != "" && cfg.store == "" {
+		return nil, errors.New("-follow requires -store: the follower tails the leader into a local journal")
+	}
+	if cfg.follow != "" && !cfg.multi {
+		return nil, errors.New("-follow requires -multiuser: replication streams the full per-user directory")
+	}
+	if cfg.replicateAddr != "" && cfg.store == "" {
+		return nil, errors.New("-replicate-addr requires -store: only a journaled node can ship records")
 	}
 	reg := contextpref.NewTelemetryRegistry()
 	registerProcessMetrics(reg)
@@ -397,6 +500,20 @@ func build(cfg config) (*app, error) {
 		}
 		return nil, err
 	}
+	var replMetrics *replication.Metrics
+	if cfg.replicateAddr != "" || cfg.follow != "" {
+		replMetrics = contextpref.NewReplicationMetrics(reg)
+	}
+	var leader *replication.Leader
+	if cfg.replicateAddr != "" {
+		// The tap is installed now; serve opens the listener. A node can
+		// follow and replicate at once — chain replication — because
+		// grafted batches re-fire the append tap.
+		leader = replication.NewLeader(j, replication.LeaderConfig{
+			Logger:  logger,
+			Metrics: replMetrics,
+		})
+	}
 	sopts := []httpapi.ServerOption{
 		httpapi.WithTelemetry(reg),
 		httpapi.WithLogger(logger),
@@ -465,8 +582,44 @@ func build(cfg config) (*app, error) {
 			if err := dir.Replay(recovered); err != nil {
 				return fail(fmt.Errorf("replaying store: %w", err))
 			}
-			dir.SetPersister(contextpref.NewJournalPersister(j))
+			if cfg.follow == "" {
+				dir.SetPersister(contextpref.NewJournalPersister(j))
+			} else {
+				// Followers never journal locally-originated mutations —
+				// the role gate rejects them and the stream is the only
+				// writer — so the persister stays detached until
+				// promotion.
+				health.SetRole(contextpref.RoleFollower)
+			}
 			dir.SetHealth(health)
+		}
+		var fol *replication.Follower
+		var promote func()
+		if cfg.follow != "" {
+			fol, err = replication.NewFollower(j, replication.FollowerConfig{
+				Dial: func(ctx context.Context) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "tcp", cfg.follow)
+				},
+				Apply:        dir.ApplyReplicated,
+				Reset:        dir.ResetReplicated,
+				Rand:         rand.New(rand.NewSource(time.Now().UnixNano())),
+				PromoteAfter: cfg.promoteAfter,
+				Logger:       logger,
+				Metrics:      replMetrics,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			sopts = append(sopts, httpapi.WithReplica(fol.Staleness, cfg.maxStaleness))
+			promote = func() {
+				health.SetRole(contextpref.RolePromoting)
+				logger.Warn("promoting: taking over as leader",
+					"applied_seq", fol.AppliedSeq(), "was_following", cfg.follow)
+				dir.SetPersister(contextpref.NewJournalPersister(j))
+				health.SetRole(contextpref.RoleLeader)
+				logger.Info("promotion complete: serving mutations")
+			}
 		}
 		api, err := httpapi.NewMultiUser(dir, sopts...)
 		if err != nil {
@@ -475,6 +628,7 @@ func build(cfg config) (*app, error) {
 		return &app{
 			api: api, journal: j, snapshot: dir.SnapshotRecords, health: health,
 			reg: reg, admin: adminHandler(reg), logger: logger,
+			leader: leader, follower: fol, promote: promote,
 		}, nil
 	}
 
@@ -502,7 +656,7 @@ func build(cfg config) (*app, error) {
 	if err != nil {
 		return fail(err)
 	}
-	a := &app{api: api, journal: j, health: health, reg: reg, admin: adminHandler(reg), logger: logger}
+	a := &app{api: api, journal: j, health: health, reg: reg, admin: adminHandler(reg), logger: logger, leader: leader}
 	a.snapshot = func() ([]journal.Record, error) { return api.System().SnapshotRecords("") }
 	return a, nil
 }

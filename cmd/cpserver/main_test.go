@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -538,5 +539,170 @@ func TestBuildWithLimitsAndChaos(t *testing.T) {
 	readBody(t, resp)
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("probe status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestBuildReplicationFlagErrors: the replication flags demand the
+// stores they need at build time, not at first use.
+func TestBuildReplicationFlagErrors(t *testing.T) {
+	c := cfg(10, 1, "jaccard", "", 0, "", false)
+	c.follow = "localhost:1"
+	if _, err := build(c); err == nil {
+		t.Error("-follow without -store should fail")
+	}
+	c.store = t.TempDir()
+	if _, err := build(c); err == nil {
+		t.Error("-follow without -multiuser should fail")
+	}
+	c = cfg(10, 1, "jaccard", "", 0, "", false)
+	c.replicateAddr = "127.0.0.1:0"
+	if _, err := build(c); err == nil {
+		t.Error("-replicate-addr without -store should fail")
+	}
+}
+
+// TestServeReplicationFailover is the binary-level failover drill: a
+// leader ships to a follower over TCP, the follower serves the
+// replicated state read-only, and SIGUSR1 promotes it into a writable
+// leader.
+func TestServeReplicationFailover(t *testing.T) {
+	// serve logs the replication listener's address rather than
+	// returning it, so pick a free loopback port with a throwaway
+	// listener and hand the leader that fixed address.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replAddr := probe.Addr().String()
+	probe.Close()
+
+	lc := cfg(30, 7, "jaccard", "", 16, "", true)
+	lc.store = t.TempDir()
+	lc.replicateAddr = replAddr
+	lc.probeInterval = time.Hour
+	la, err := build(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	leaderErr := make(chan error, 1)
+	go func() { leaderErr <- serve(lctx, la, lln, nil, lc) }()
+	leaderBase := "http://" + lln.Addr().String()
+
+	// Follower tailing the leader.
+	fc := cfg(30, 7, "jaccard", "", 16, "", true)
+	fc.store = t.TempDir()
+	fc.follow = replAddr
+	fc.maxStaleness = 5 * time.Second
+	fc.probeInterval = time.Hour
+	fa, err := build(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.follower == nil || fa.promote == nil {
+		t.Fatal("follower build wired no replication loop")
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	followerErr := make(chan error, 1)
+	go func() { followerErr <- serve(fctx, fa, fln, nil, fc) }()
+	followerBase := "http://" + fln.Addr().String()
+
+	waitUp := func(base string) {
+		t.Helper()
+		for i := 0; i < 100; i++ {
+			if resp, err := http.Get(base + "/healthz"); err == nil {
+				resp.Body.Close()
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("server at %s never came up", base)
+	}
+	waitUp(leaderBase)
+	waitUp(followerBase)
+
+	// Mutate the leader; the follower must reject the same mutation and
+	// then serve the replicated result.
+	pref := "[accompanying_people = friends] => type = brewery : 0.9\n"
+	resp, err := http.Post(leaderBase+"/preferences?user=alice", "text/plain", strings.NewReader(pref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader POST = %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Post(followerBase+"/preferences?user=alice", "text/plain", strings.NewReader(pref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "read_only") {
+		t.Fatalf("follower POST = %d %s, want 503 read_only", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(followerBase + "/preferences?user=alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, resp)
+		if resp.StatusCode == http.StatusOK && strings.Contains(body, "brewery") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never served the replicated preference: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err = http.Get(followerBase + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, "following") {
+		t.Fatalf("follower readyz = %d %s, want 200 following", resp.StatusCode, body)
+	}
+
+	// Failover: kill the leader, promote the follower by operator
+	// signal, and write to it.
+	lcancel()
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader serve returned %v", err)
+	}
+	syscall.Kill(os.Getpid(), syscall.SIGUSR1)
+	for {
+		resp, err := http.Get(followerBase + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, resp)
+		if resp.StatusCode == http.StatusOK && strings.Contains(body, "ready") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never promoted: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err = http.Post(followerBase+"/preferences?user=alice", "text/plain",
+		strings.NewReader("[time = t01] => type = museum : 0.7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted POST = %d %s", resp.StatusCode, body)
+	}
+	fcancel()
+	if err := <-followerErr; err != nil {
+		t.Fatalf("follower serve returned %v", err)
 	}
 }

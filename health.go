@@ -38,6 +38,49 @@ func (e *DegradedError) Error() string {
 // Unwrap exposes the causing persistence failure to errors.Is/As.
 func (e *DegradedError) Unwrap() error { return e.Err }
 
+// Role is a node's replication role. The zero value is RoleLeader, so
+// deployments that never replicate behave exactly as before.
+type Role int
+
+const (
+	// RoleLeader accepts mutations and ships them to followers.
+	RoleLeader Role = iota
+	// RoleFollower serves read-only state tailed from a leader;
+	// mutations are rejected with a *ReadOnlyError.
+	RoleFollower
+	// RolePromoting is the transition out of RoleFollower: the
+	// replication stream has stopped but the node is not yet accepting
+	// writes. Mutations are still rejected.
+	RolePromoting
+)
+
+// String names the role for logs and readiness payloads.
+func (r Role) String() string {
+	switch r {
+	case RoleFollower:
+		return "following"
+	case RolePromoting:
+		return "promoting"
+	default:
+		return "leader"
+	}
+}
+
+// ReadOnlyError reports a mutation rejected because the node is a
+// replication follower (or mid-promotion), not the leader. HTTP
+// servers map it to 503 "read_only" with a Retry-After hint — the
+// client should retry against the leader, or here after a promotion.
+type ReadOnlyError struct {
+	// Role is the rejecting node's role (RoleFollower or
+	// RolePromoting).
+	Role Role
+}
+
+// Error implements error.
+func (e *ReadOnlyError) Error() string {
+	return fmt.Sprintf("contextpref: store is read-only: node is %s, not the leader", e.Role)
+}
+
 // Health tracks whether the persistence layer is trusted. It starts
 // healthy; a persist failure flips it to degraded, and a successful
 // probe (see Run) flips it back. It is safe for concurrent use, and a
@@ -45,6 +88,7 @@ func (e *DegradedError) Unwrap() error { return e.Err }
 type Health struct {
 	mu       sync.Mutex
 	degraded bool
+	role     Role
 	since    time.Time
 	cause    error
 	onChange func(degraded bool, cause error)
@@ -81,19 +125,47 @@ func (h *Health) Degraded() bool {
 	return h.degraded
 }
 
-// Gate returns nil when healthy and a *DegradedError when degraded;
-// mutation paths call it first so a degraded store fails fast without
-// touching the journal.
+// Role returns the node's replication role; a nil tracker is a
+// leader, as is any tracker never told otherwise.
+func (h *Health) Role() Role {
+	if h == nil {
+		return RoleLeader
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.role
+}
+
+// SetRole sets the replication role. The serving binary flips it to
+// RoleFollower at startup in follower mode, to RolePromoting when the
+// takeover starts, and to RoleLeader once the node owns the journal.
+func (h *Health) SetRole(r Role) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.role = r
+	h.mu.Unlock()
+}
+
+// Gate returns nil when the node is a healthy leader; mutation paths
+// call it first so a rejected write fails fast without touching the
+// journal. Degradation is reported ahead of role: a degraded follower
+// is first of all degraded. The replication apply path does not come
+// through here — followers graft leader batches via ApplyReplicated.
 func (h *Health) Gate() error {
 	if h == nil {
 		return nil
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if !h.degraded {
-		return nil
+	if h.degraded {
+		return &DegradedError{Since: h.since, Err: h.cause}
 	}
-	return &DegradedError{Since: h.since, Err: h.cause}
+	if h.role != RoleLeader {
+		return &ReadOnlyError{Role: h.role}
+	}
+	return nil
 }
 
 // MarkDegraded transitions to degraded mode (idempotent; the first

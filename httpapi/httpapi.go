@@ -13,9 +13,12 @@
 //	POST /query                run a contextual query (JSON body, see QueryRequest)
 //	GET  /resolve?state=v1,v2  context resolution for a state (all candidates)
 //	GET  /healthz              liveness: always {"status":"ok"} while the process serves
-//	GET  /readyz               readiness: 200 {"status":"ready"}, or 503
+//	GET  /readyz               readiness: 200 {"status":"ready"} (leader) or
+//	                           {"status":"following"} (fresh follower), or 503
 //	                           {"status":"draining"} once shutdown has begun /
-//	                           {"status":"degraded"} while the store is read-only
+//	                           {"status":"degraded"} while the store is read-only /
+//	                           {"status":"stale"} while a follower lags past its
+//	                           bound / {"status":"promoting"} during a takeover
 //
 // Errors return JSON {"error": "...", "code": "..."} where code is one
 // of "bad_request" (400), "conflict" (409, a Def. 6 preference
@@ -32,8 +35,24 @@
 // Retry-After, the store is in read-only degraded mode after a
 // persistence failure — reads and resolution keep serving; see
 // WithHealth), "unavailable" (503, persisting the mutation to the
-// journal failed — the in-memory state was not modified), "chaos"
-// (500, a WithChaos-injected failure), and "internal" (500).
+// journal failed — the in-memory state was not modified), "read_only"
+// (503 + Retry-After, the node is a replication follower or is
+// mid-promotion — mutate on the leader instead), "stale" (503 +
+// Retry-After, the follower's replication lag exceeds its configured
+// staleness bound, see WithReplica), "chaos" (500, a
+// WithChaos-injected failure), and "internal" (500).
+//
+// Replication. On a follower (see WithReplica and cmd/cpserver's
+// -follow flag) the same routes are mounted, but every mutation is
+// rejected with 503 "read_only" — the underlying store's role gate
+// surfaces *contextpref.ReadOnlyError — and the data-serving reads
+// (/preferences, /resolve, /query, /stats, /users) are answered only
+// while the follower's staleness is within the configured bound;
+// beyond it they fail with 503 "stale" + Retry-After so a load
+// balancer retries against a fresher replica or the leader. /readyz
+// answers {"status":"following"} (200) from a fresh follower,
+// {"status":"stale"} (503) from a lagging one, and
+// {"status":"promoting"} (503) while a takeover is in flight.
 //
 // Hardening. Every request passes through a middleware chain: a
 // request-ID middleware (honoring an incoming X-Request-ID header,
@@ -113,6 +132,12 @@ type Server struct {
 	queued   atomic.Int64
 	ewmaBits atomic.Uint64
 
+	// staleness, when non-nil, marks this server a replication
+	// follower: it reports the current replication lag, and data reads
+	// beyond maxStaleness are rejected with 503 "stale" (WithReplica).
+	staleness    func() time.Duration
+	maxStaleness time.Duration
+
 	logger        *slog.Logger // never nil after init
 	slowThreshold time.Duration
 	metrics       *httpMetrics // nil = telemetry disabled
@@ -139,6 +164,21 @@ func WithMaxInflight(n int) ServerOption {
 // surfaces *contextpref.DegradedError, mapped to 503 "degraded".)
 func WithHealth(h *contextpref.Health) ServerOption {
 	return func(s *Server) { s.health = h }
+}
+
+// WithReplica marks the server as a replication follower: staleness
+// reports the current replication lag (e.g. replication.Follower's
+// Staleness method) and max is the serving bound. Data reads whose lag
+// exceeds max are rejected with 503 "stale" + Retry-After; mutations
+// are rejected by the store's role gate with 503 "read_only"
+// regardless of lag. max <= 0 disables the staleness check (reads
+// always serve), but the server still reports follower states on
+// /readyz. A nil staleness func disables the option entirely.
+func WithReplica(staleness func() time.Duration, max time.Duration) ServerOption {
+	return func(s *Server) {
+		s.staleness = staleness
+		s.maxStaleness = max
+	}
 }
 
 // WithMaxBodyBytes caps request bodies (default 1 MiB); larger bodies
@@ -247,7 +287,44 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	switch s.health.Role() {
+	case contextpref.RolePromoting:
+		// Mid-takeover: neither a consistent replica nor a leader yet.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "promoting"})
+	case contextpref.RoleFollower:
+		if _, over := s.overStale(); over {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "stale"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "following"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// overStale reports the follower's replication lag and whether it
+// exceeds the serving bound. Always in-bound on a leader (no staleness
+// source) or when no bound is configured.
+func (s *Server) overStale() (time.Duration, bool) {
+	if s.staleness == nil || s.maxStaleness <= 0 {
+		return 0, false
+	}
+	lag := s.staleness()
+	return lag, lag > s.maxStaleness
+}
+
+// staleGated reports whether a request reads replicated data and is
+// therefore subject to the follower staleness bound. Mutations are
+// exempt — they fail with "read_only" at the store's role gate, which
+// is the more actionable error — as is the immutable /env.
+func staleGated(r *http.Request) bool {
+	if isProbe(r) || r.URL.Path == "/env" {
+		return false
+	}
+	if r.Method == http.MethodGet {
+		return true
+	}
+	return r.Method == http.MethodPost && r.URL.Path == "/query"
 }
 
 // isProbe reports whether the request targets a health endpoint, which
@@ -333,6 +410,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if s.chaos != nil && s.chaos.intercept(s, rec, r) {
 			return
 		}
+		if staleGated(r) {
+			if lag, over := s.overStale(); over {
+				rec.Header().Set("Retry-After", "1")
+				writeError(rec, http.StatusServiceUnavailable, "stale",
+					fmt.Errorf("httpapi: replica is %s behind, over the %s staleness bound; retry a fresher replica",
+						lag.Round(time.Millisecond), s.maxStaleness))
+				return
+			}
+		}
 	}
 	s.mux.ServeHTTP(rec, r)
 }
@@ -379,15 +465,22 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 }
 
 // mutationError classifies an error from a profile mutation: Def. 6
-// conflicts (typed, via errors.As) are 409, a degraded (read-only)
-// store is 503 "degraded" with a Retry-After hint, other journal
-// failures are 503 "unavailable", anything else is the caller's bad
-// input. The degraded check precedes the persist check because a
-// *DegradedError wraps the *PersistError that caused the transition.
+// conflicts (typed, via errors.As) are 409, a replication follower's
+// role gate is 503 "read_only", a degraded (read-only) store is 503
+// "degraded" with a Retry-After hint, other journal failures are 503
+// "unavailable", anything else is the caller's bad input. The degraded
+// check precedes the persist check because a *DegradedError wraps the
+// *PersistError that caused the transition.
 func mutationError(w http.ResponseWriter, err error) {
 	var conflict *contextpref.ConflictError
 	if errors.As(err, &conflict) {
 		writeError(w, http.StatusConflict, "conflict", err)
+		return
+	}
+	var readOnly *contextpref.ReadOnlyError
+	if errors.As(err, &readOnly) {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "read_only", err)
 		return
 	}
 	var degraded *contextpref.DegradedError

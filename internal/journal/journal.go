@@ -75,6 +75,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -158,6 +159,16 @@ type Journal struct {
 	// (after rolling back), with backoff doubling each time.
 	retries int
 	backoff time.Duration
+	// jitter, when non-nil, randomizes each retry sleep to a uniform
+	// draw from [backoff/2, backoff*3/2), so a fleet of journals (one
+	// per shard, one per follower) hitting the same transient stall
+	// does not retry in lockstep. The source is injected, never the
+	// global one, so tests and replay stay deterministic.
+	jitter *rand.Rand
+
+	// onAppend, when set via OnAppend, observes every durably
+	// committed batch for replication shipping; see replicate.go.
+	onAppend ShipFunc
 
 	// metrics, when set, observes append/fsync/compaction cost; nil
 	// (the default) is a no-op.
@@ -179,6 +190,26 @@ func WithRetry(retries int, backoff time.Duration) Option {
 		j.retries = retries
 		j.backoff = backoff
 	}
+}
+
+// WithRetryJitter attaches a seeded randomness source that spreads the
+// WithRetry backoff sleeps over [backoff/2, backoff*3/2), de-syncing
+// retry storms across shards and followers that share a stalled
+// device. The source is injected rather than global so the replay and
+// torture paths stay deterministic under a fixed seed; nil disables
+// jitter (the default, exact exponential backoff).
+func WithRetryJitter(rnd *rand.Rand) Option {
+	return func(j *Journal) { j.jitter = rnd }
+}
+
+// jitterBackoff returns the sleep for one retry: d exactly when no
+// jitter source is attached, otherwise a uniform draw from [d/2, 3d/2)
+// so concurrent retriers spread out instead of thundering together.
+func jitterBackoff(rnd *rand.Rand, d time.Duration) time.Duration {
+	if rnd == nil || d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rnd.Int63n(int64(d)))
 }
 
 // Metrics are the durability cost instruments a Journal reports. Every
@@ -356,10 +387,13 @@ func (j *Journal) Append(recs ...Record) error {
 		return err
 	}
 	b.WriteString(commit)
+	commitSeq := seq
 	seq++
-	if err := j.writeDurable(b.String(), start); err != nil {
+	batch := b.String()
+	if err := j.writeDurable(batch, start); err != nil {
 		return err
 	}
+	firstSeq := j.nextSeq
 	j.nextSeq = seq
 	j.size += int64(b.Len())
 	if m := j.metrics; m != nil {
@@ -367,6 +401,10 @@ func (j *Journal) Append(recs ...Record) error {
 		m.AppendBytes.Add(b.Len())
 		m.AppendRecords.Add(len(recs))
 		m.SizeBytes.Set(float64(j.size))
+	}
+	if j.onAppend != nil {
+		// []byte(batch) is a fresh copy, so the observer may retain it.
+		j.onAppend(firstSeq, commitSeq, []byte(batch))
 	}
 	return nil
 }
@@ -436,7 +474,7 @@ func (j *Journal) writeDurable(s string, metricStart time.Time) error {
 		if m := j.metrics; m != nil {
 			m.AppendRetries.Inc()
 		}
-		time.Sleep(backoff)
+		time.Sleep(jitterBackoff(j.jitter, backoff))
 		backoff *= 2
 	}
 }
@@ -568,8 +606,17 @@ func readSnapshot(fsys faultfs.FS, path string) ([]Record, uint64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("journal: reading snapshot: %w", err)
 	}
-	var recs []Record
-	var lastSeq uint64
+	recs, lastSeq, _, err := parseSnapshot(data)
+	return recs, lastSeq, err
+}
+
+// parseSnapshot strictly parses a snapshot rendering. hasMeta reports
+// whether a "!lastseq" line was present — a snapshot shipped over the
+// replication wire must carry one, while a locally written snapshot
+// always does.
+//
+//cpvet:deterministic
+func parseSnapshot(data []byte) (recs []Record, lastSeq uint64, hasMeta bool, err error) {
 	for ln, raw := range strings.Split(string(data), "\n") {
 		// Only trim the line ending: a record with an empty payload
 		// legitimately ends in a tab.
@@ -580,20 +627,21 @@ func readSnapshot(fsys faultfs.FS, path string) ([]Record, uint64, error) {
 		if rest, ok := strings.CutPrefix(line, metaPrefix); ok {
 			lastSeq, err = strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
 			if err != nil {
-				return nil, 0, fmt.Errorf("journal: snapshot line %d: bad lastseq: %w", ln+1, err)
+				return nil, 0, false, fmt.Errorf("journal: snapshot line %d: bad lastseq: %w", ln+1, err)
 			}
+			hasMeta = true
 			continue
 		}
 		r, _, err := parseRecord(line)
 		if err != nil {
-			return nil, 0, fmt.Errorf("journal: snapshot line %d: %w", ln+1, err)
+			return nil, 0, false, fmt.Errorf("journal: snapshot line %d: %w", ln+1, err)
 		}
 		if r.Op == opCommit {
-			return nil, 0, fmt.Errorf("journal: snapshot line %d: commit marker in snapshot", ln+1)
+			return nil, 0, false, fmt.Errorf("journal: snapshot line %d: commit marker in snapshot", ln+1)
 		}
 		recs = append(recs, r)
 	}
-	return recs, lastSeq, nil
+	return recs, lastSeq, hasMeta, nil
 }
 
 // journalScan is the result of tolerantly parsing the journal file.

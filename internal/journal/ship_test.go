@@ -1,0 +1,366 @@
+package journal
+
+// Replication-surface coverage for the journal: the OnAppend tap, the
+// graft rules of AppendReplicated (extend / duplicate-skip / gap),
+// TailSince's incremental-versus-bootstrap decision, snapshot
+// installation, and the jittered retry backoff satellite.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"contextpref/internal/faultfs"
+)
+
+func shipRecs(n int, tag string) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Op: OpAdd, User: "alice", Line: tag + "-" + string(rune('a'+i))}
+	}
+	return recs
+}
+
+func TestOnAppendObservesBatches(t *testing.T) {
+	fsys := faultfs.NewMemFS()
+	j, _, err := OpenFS(fsys, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	type shipped struct {
+		first, commit uint64
+		data          []byte
+	}
+	var got []shipped
+	j.OnAppend(func(first, commit uint64, batch []byte) {
+		got = append(got, shipped{first, commit, batch})
+	})
+	if err := j.Append(shipRecs(2, "b1")...); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(shipRecs(3, "b2")...); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d batches, want 2", len(got))
+	}
+	// Batch 1: records at seq 1,2, commit at 3. Batch 2: 4,5,6, commit 7.
+	if got[0].first != 1 || got[0].commit != 3 {
+		t.Fatalf("batch 1 span [%d,%d], want [1,3]", got[0].first, got[0].commit)
+	}
+	if got[1].first != 4 || got[1].commit != 7 {
+		t.Fatalf("batch 2 span [%d,%d], want [4,7]", got[1].first, got[1].commit)
+	}
+	if j.LastSeq() != 7 {
+		t.Fatalf("LastSeq = %d, want 7", j.LastSeq())
+	}
+	// The shipped bytes are exactly the journal's own encoding: the
+	// concatenation must equal the journal file minus its header.
+	data, err := fsys.ReadFile(filepath.Join("store", journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte(nil), got[0].data...), got[1].data...)
+	if !bytes.HasSuffix(data, want) {
+		t.Fatalf("journal file does not end with the shipped bytes\nfile:\n%s\nshipped:\n%s", data, want)
+	}
+	// Each shipped batch must round-trip through the strict validator.
+	for i, s := range got {
+		recs, first, commit, perr := parseBatch(s.data)
+		if perr != nil {
+			t.Fatalf("batch %d does not re-parse: %v", i+1, perr)
+		}
+		if first != s.first || commit != s.commit {
+			t.Fatalf("batch %d re-parses to span [%d,%d], shipped [%d,%d]", i+1, first, commit, s.first, s.commit)
+		}
+		if len(recs) != int(commit-first) {
+			t.Fatalf("batch %d re-parses to %d records, want %d", i+1, len(recs), commit-first)
+		}
+	}
+}
+
+func TestAppendReplicatedGraftRules(t *testing.T) {
+	// Leader produces batches; follower grafts them.
+	lfs := faultfs.NewMemFS()
+	leader, _, err := OpenFS(lfs, "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	var batches []Batch
+	leader.OnAppend(func(first, commit uint64, data []byte) {
+		batches = append(batches, Batch{FirstSeq: first, CommitSeq: commit, Data: data})
+	})
+	for i := 0; i < 3; i++ {
+		if err := leader.Append(shipRecs(2, "w")...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ffs := faultfs.NewMemFS()
+	follower, _, err := OpenFS(ffs, "follower")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gap: batch 2 before batch 1 must refuse with ErrOutOfSync.
+	if _, _, err := follower.AppendReplicated(batches[1].Data); !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("gap graft error = %v, want ErrOutOfSync", err)
+	}
+
+	// In order: every batch extends the tail and returns its records.
+	var applied []Record
+	for i, b := range batches {
+		recs, last, err := follower.AppendReplicated(b.Data)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i+1, err)
+		}
+		if last != b.CommitSeq {
+			t.Fatalf("batch %d: last seq %d, want %d", i+1, last, b.CommitSeq)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("batch %d: %d records, want 2", i+1, len(recs))
+		}
+		applied = append(applied, recs...)
+	}
+
+	// Reconnect replay: duplicates are skipped idempotently, no disk
+	// growth, nil records.
+	size := follower.Size()
+	for i, b := range batches {
+		recs, last, err := follower.AppendReplicated(b.Data)
+		if err != nil {
+			t.Fatalf("duplicate batch %d: %v", i+1, err)
+		}
+		if recs != nil {
+			t.Fatalf("duplicate batch %d returned %d records, want skip", i+1, len(recs))
+		}
+		if last != follower.LastSeq() {
+			t.Fatalf("duplicate batch %d: last %d, want %d", i+1, last, follower.LastSeq())
+		}
+	}
+	if follower.Size() != size {
+		t.Fatalf("duplicate replay grew the journal %d -> %d bytes", size, follower.Size())
+	}
+
+	// The follower's recovered state equals the leader's.
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, recovered, err := OpenFS(ffs, "follower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if len(recovered) != len(applied) {
+		t.Fatalf("recovered %d records, applied %d", len(recovered), len(applied))
+	}
+	for i := range recovered {
+		if recovered[i] != applied[i] {
+			t.Fatalf("record %d: recovered %+v, applied %+v", i, recovered[i], applied[i])
+		}
+	}
+	if reopened.LastSeq() != leader.LastSeq() {
+		t.Fatalf("follower LastSeq %d, leader %d", reopened.LastSeq(), leader.LastSeq())
+	}
+}
+
+func mustMarshal(t *testing.T, r Record, seq uint64) string {
+	t.Helper()
+	s, err := marshal(r, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendReplicatedRejectsMalformed(t *testing.T) {
+	fsys := faultfs.NewMemFS()
+	j, _, err := OpenFS(fsys, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	rec := mustMarshal(t, Record{Op: OpAdd, User: "u", Line: "p"}, 1)
+	commit := func(seq uint64) string { return mustMarshal(t, Record{Op: opCommit, Line: "1"}, seq) }
+	good := rec + commit(2)
+	cases := map[string]string{
+		"empty":           "",
+		"no newline":      good[:len(good)-1],
+		"no commit":       rec,
+		"bad count":       rec + mustMarshal(t, Record{Op: opCommit, Line: "2"}, 2),
+		"gapped seqs":     rec + commit(5),
+		"interior commit": commit(1) + commit(2),
+		"corrupt crc":     "A\t1\t\"u\"\tdeadbeef\tp\n" + commit(2),
+		"garbage":         "not a journal line\n",
+	}
+	for name, batch := range cases {
+		if _, _, err := j.AppendReplicated([]byte(batch)); err == nil {
+			t.Errorf("%s: malformed batch accepted", name)
+		}
+	}
+	if j.LastSeq() != 0 {
+		t.Fatalf("malformed batches advanced the journal to seq %d", j.LastSeq())
+	}
+}
+
+func TestTailSinceIncrementalAndBootstrap(t *testing.T) {
+	fsys := faultfs.NewMemFS()
+	j, _, err := OpenFS(fsys, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var state []Record
+	for i := 0; i < 3; i++ {
+		recs := shipRecs(2, "pre")
+		if err := j.Append(recs...); err != nil {
+			t.Fatal(err)
+		}
+		state = append(state, recs...)
+	}
+	// Batches span [1,3] [4,6] [7,9]; LastSeq = 9.
+
+	// Incremental from the tip: nothing to ship.
+	snap, batches, last, err := j.TailSince(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil || len(batches) != 0 || last != 9 {
+		t.Fatalf("TailSince(tip) = snap %d bytes, %d batches, last %d", len(snap), len(batches), last)
+	}
+
+	// Incremental from a batch boundary: ships the remainder.
+	_, batches, _, err = j.TailSince(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 || batches[0].FirstSeq != 4 || batches[1].CommitSeq != 9 {
+		t.Fatalf("TailSince(3) shipped %+v", batches)
+	}
+
+	// Compact, then append more: a cold follower (afterSeq 0) must get
+	// the snapshot plus the journal tail.
+	if err := j.Snapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(shipRecs(1, "post")...); err != nil {
+		t.Fatal(err)
+	}
+	snap, batches, last, err = j.TailSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("cold TailSince after compaction shipped no snapshot")
+	}
+	if len(batches) != 1 || batches[0].FirstSeq != 10 || last != 11 {
+		t.Fatalf("cold TailSince = %d batches %+v, last %d", len(batches), batches, last)
+	}
+
+	// A follower caught up past the snapshot horizon stays incremental.
+	snap2, batches2, _, err := j.TailSince(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2 != nil || len(batches2) != 1 {
+		t.Fatalf("TailSince(9) after compaction = snap %d bytes, %d batches", len(snap2), len(batches2))
+	}
+
+	// Install the bootstrap on a fresh follower and verify equivalence.
+	ffs := faultfs.NewMemFS()
+	f, _, err := OpenFS(ffs, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, lastSeq, err := f.InstallSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 9 {
+		t.Fatalf("installed snapshot horizon %d, want 9", lastSeq)
+	}
+	applied := append([]Record(nil), recs...)
+	for _, b := range batches {
+		rs, _, err := f.AppendReplicated(b.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied = append(applied, rs...)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, recovered, err := OpenFS(ffs, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.LastSeq() != j.LastSeq() {
+		t.Fatalf("bootstrapped follower LastSeq %d, leader %d", f2.LastSeq(), j.LastSeq())
+	}
+	if len(recovered) != len(applied) {
+		t.Fatalf("bootstrapped follower recovered %d records, applied %d", len(recovered), len(applied))
+	}
+	for i := range recovered {
+		if recovered[i] != applied[i] {
+			t.Fatalf("record %d: recovered %+v, applied %+v", i, recovered[i], applied[i])
+		}
+	}
+}
+
+func TestInstallSnapshotRejectsHorizonless(t *testing.T) {
+	fsys := faultfs.NewMemFS()
+	j, _, err := OpenFS(fsys, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// A rendering without !lastseq cannot anchor the stream.
+	bad := fileHeader + "\n" + mustMarshal(t, Record{Op: OpAdd, User: "u", Line: "p"}, 1)
+	if _, _, err := j.InstallSnapshot([]byte(bad)); err == nil {
+		t.Fatal("horizonless snapshot accepted")
+	}
+}
+
+func TestJitterBackoffBounds(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	const d = 10 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		got := jitterBackoff(rnd, d)
+		if got < d/2 || got >= d+d/2 {
+			t.Fatalf("jitterBackoff(%v) = %v, want in [%v, %v)", d, got, d/2, d+d/2)
+		}
+	}
+	if got := jitterBackoff(nil, d); got != d {
+		t.Fatalf("nil source: %v, want %v", got, d)
+	}
+	if got := jitterBackoff(rnd, 0); got != 0 {
+		t.Fatalf("zero backoff: %v, want 0", got)
+	}
+}
+
+func TestJitteredRetryStillHeals(t *testing.T) {
+	// The jitter option composes with the retry path: a transient
+	// fsync fault heals on retry exactly as without jitter.
+	fsys := faultfs.NewMemFS()
+	inj := faultfs.NewInject(fsys)
+	j, _, err := OpenFS(inj, "store",
+		WithRetry(3, time.Microsecond),
+		WithRetryJitter(rand.New(rand.NewSource(7))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpSync, Path: "journal", Count: 1, Err: faultfs.ErrIO})
+	if err := j.Append(shipRecs(1, "x")...); err != nil {
+		t.Fatalf("append with jittered retry did not heal: %v", err)
+	}
+	if j.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2", j.LastSeq())
+	}
+}

@@ -1,0 +1,375 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"contextpref/internal/journal"
+)
+
+// ErrPromoted is returned by Follower.Run when the follower leaves the
+// replication stream to take over as leader — either by operator
+// signal (Promote) or because the leader went silent past
+// PromoteAfter. The caller owns the actual role change: attach a
+// persister, flip the health role, start serving writes.
+var ErrPromoted = errors.New("replication: follower promoted")
+
+// FollowerConfig tunes a Follower. Dial, Apply, and Reset are
+// required; everything else has serviceable defaults.
+type FollowerConfig struct {
+	// Dial opens a connection to the leader. Injectable so tests can
+	// splice in flaky in-memory connections.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Apply folds one replicated batch's records into the in-memory
+	// state, after the batch is durable in the local journal. An error
+	// is fatal to Run: disk and memory have diverged.
+	Apply func(recs []journal.Record) error
+	// Reset rebuilds the in-memory state from scratch with a
+	// snapshot's records, discarding whatever was there — the
+	// follower fell behind the leader's compaction horizon and
+	// bootstraps fresh.
+	Reset func(recs []journal.Record) error
+	// Backoff is the base reconnect delay, jittered by Rand to a
+	// uniform draw from [Backoff/2, Backoff*3/2); defaults to 500ms.
+	Backoff time.Duration
+	// Rand jitters reconnect backoff. Injected, never the global
+	// source, so chaos runs replay deterministically; nil disables
+	// jitter.
+	Rand *rand.Rand
+	// ReadTimeout bounds the silence on an established session before
+	// the follower treats it as dead and reconnects; defaults to 5s.
+	// Keep it a few heartbeat intervals wide.
+	ReadTimeout time.Duration
+	// PromoteAfter, when positive, is the total leader silence —
+	// spanning reconnect attempts — after which the follower declares
+	// the leader wedged and Run returns ErrPromoted. Zero disables
+	// automatic promotion; Promote still works.
+	PromoteAfter time.Duration
+	// Logger receives session lifecycle events; nil discards them.
+	Logger *slog.Logger
+	// Metrics, when non-nil, records lag, applied records, reconnects,
+	// and installed snapshot sizes.
+	Metrics *Metrics
+}
+
+// Follower tails a leader's replication stream into a local journal
+// and tracks how stale the local state is. It owns the transport and
+// durability; the in-memory state is the caller's, mutated only
+// through the Apply/Reset callbacks (already serialized — Run is a
+// single loop).
+type Follower struct {
+	j   *journal.Journal
+	cfg FollowerConfig
+	log *slog.Logger
+
+	mu         sync.Mutex
+	appliedSeq uint64    // newest sequence durably applied locally
+	leaderSeq  uint64    // newest sequence the leader has announced
+	freshAt    time.Time // last instant appliedSeq covered leaderSeq
+	lastHeard  time.Time // last frame from the leader (any type)
+
+	promoteCh chan struct{}
+	promoted  sync.Once
+}
+
+// NewFollower builds a follower over the local journal j. Run starts
+// the tailing loop.
+func NewFollower(j *journal.Journal, cfg FollowerConfig) (*Follower, error) {
+	if cfg.Dial == nil || cfg.Apply == nil || cfg.Reset == nil {
+		return nil, errors.New("replication: FollowerConfig needs Dial, Apply, and Reset")
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 500 * time.Millisecond
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 5 * time.Second
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Follower{j: j, cfg: cfg, log: log, promoteCh: make(chan struct{})}, nil
+}
+
+// Staleness reports how long the local state has possibly been behind
+// the leader: zero-ish while caught up (it grows between heartbeats
+// and snaps back), the time since the last confirmed catch-up while
+// lagging or disconnected, and effectively infinite before the first
+// sync. Serving code compares it against the -max-staleness bound.
+func (f *Follower) Staleness() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.freshAt.IsZero() {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Since(f.freshAt)
+}
+
+// AppliedSeq returns the newest sequence number durably applied to the
+// local journal and in-memory state.
+func (f *Follower) AppliedSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appliedSeq
+}
+
+// Promote asks the running loop to step out of the stream; Run returns
+// ErrPromoted. Safe to call at any time, from any goroutine, more than
+// once.
+func (f *Follower) Promote() {
+	f.promoted.Do(func() { close(f.promoteCh) })
+}
+
+// markFresh records that the local state covered everything the leader
+// had announced as of now.
+func (f *Follower) markFresh() {
+	f.mu.Lock()
+	if f.appliedSeq >= f.leaderSeq {
+		f.freshAt = time.Now()
+		if m := f.cfg.Metrics; m != nil {
+			m.Lag.Set(0)
+		}
+	} else if m := f.cfg.Metrics; m != nil && !f.freshAt.IsZero() {
+		m.Lag.Set(time.Since(f.freshAt).Seconds())
+	}
+	f.mu.Unlock()
+}
+
+// Run tails the leader until ctx is canceled (returns ctx.Err()), the
+// follower is promoted (returns ErrPromoted), or a local fault makes
+// tailing impossible — a wedged journal or a failed Apply (returns
+// that error). Transport faults are not fatal: Run reconnects with
+// jittered backoff, resuming idempotently from the local journal's
+// sequence horizon.
+func (f *Follower) Run(ctx context.Context) error {
+	f.mu.Lock()
+	f.appliedSeq = f.j.LastSeq()
+	f.lastHeard = time.Now()
+	f.mu.Unlock()
+	for {
+		if err := f.checkPromotion(ctx); err != nil {
+			return err
+		}
+		err := f.session(ctx)
+		switch {
+		case err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		case errors.Is(err, ErrPromoted):
+			return ErrPromoted
+		case isFatal(err):
+			return err
+		}
+		if m := f.cfg.Metrics; m != nil {
+			m.Reconnects.Inc()
+		}
+		f.log.Warn("replication session lost; reconnecting", "error", err)
+		if err := f.sleep(ctx, jittered(f.cfg.Rand, f.cfg.Backoff)); err != nil {
+			return err
+		}
+	}
+}
+
+// checkPromotion enforces the leader-wedge watchdog and the operator
+// signal between session attempts.
+func (f *Follower) checkPromotion(ctx context.Context) error {
+	select {
+	case <-f.promoteCh:
+		return ErrPromoted
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	if f.cfg.PromoteAfter <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	silence := time.Since(f.lastHeard)
+	f.mu.Unlock()
+	if silence > f.cfg.PromoteAfter {
+		f.log.Warn("leader silent past promote-after; promoting",
+			"silence", silence, "promote_after", f.cfg.PromoteAfter)
+		return ErrPromoted
+	}
+	return nil
+}
+
+// isFatal classifies session errors: local durability or state-apply
+// failures cannot be fixed by reconnecting.
+func isFatal(err error) bool {
+	return errors.Is(err, journal.ErrWedged) || errors.Is(err, journal.ErrClosed) ||
+		errors.Is(err, errApply)
+}
+
+// errApply wraps Apply/Reset callback failures so Run can classify
+// them as fatal.
+var errApply = errors.New("replication: applying replicated state")
+
+// session runs one connection to the leader: hello, bootstrap, then
+// tail until a fault.
+func (f *Follower) session(ctx context.Context) error {
+	conn, err := f.cfg.Dial(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Promotion and cancellation must cut through a blocked read.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-f.promoteCh:
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := writeFrame(conn, frameHello, encodeHello(f.j.LastSeq())); err != nil {
+		return err
+	}
+	f.log.Info("replication session established", "leader", conn.RemoteAddr().String(), "after", f.j.LastSeq())
+	for {
+		select {
+		case <-f.promoteCh:
+			return ErrPromoted
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout)); err != nil {
+			return err
+		}
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+		f.lastHeard = time.Now()
+		f.mu.Unlock()
+		switch typ {
+		case frameSnapshot:
+			if err := f.installSnapshot(payload); err != nil {
+				return err
+			}
+		case frameBatch:
+			if err := f.applyBatch(conn, payload); err != nil {
+				return err
+			}
+		case frameHeartbeat:
+			seq, err := decodeSeq(payload)
+			if err != nil {
+				return err
+			}
+			f.mu.Lock()
+			if seq > f.leaderSeq {
+				f.leaderSeq = seq
+			}
+			f.mu.Unlock()
+			f.markFresh()
+			if err := writeFrame(conn, frameAck, encodeSeq(f.AppliedSeq())); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("replication: leader sent unexpected %c frame", typ)
+		}
+	}
+}
+
+// installSnapshot durably installs a bootstrap snapshot and rebuilds
+// the in-memory state from it.
+func (f *Follower) installSnapshot(payload []byte) error {
+	horizon, data, err := decodeSnapshot(payload)
+	if err != nil {
+		return err
+	}
+	recs, lastSeq, err := f.j.InstallSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if lastSeq != horizon {
+		return fmt.Errorf("replication: snapshot declares horizon %d but renders %d", horizon, lastSeq)
+	}
+	if err := f.cfg.Reset(recs); err != nil {
+		return fmt.Errorf("%w: reset: %w", errApply, err)
+	}
+	f.mu.Lock()
+	f.appliedSeq = lastSeq
+	if lastSeq > f.leaderSeq {
+		f.leaderSeq = lastSeq
+	}
+	f.mu.Unlock()
+	if m := f.cfg.Metrics; m != nil {
+		m.SnapshotBytes.Set(float64(len(data)))
+		m.Applied.Add(len(recs))
+	}
+	f.markFresh()
+	f.log.Info("replication snapshot installed", "records", len(recs), "horizon", lastSeq)
+	return nil
+}
+
+// applyBatch grafts one shipped batch: durable first, then in-memory,
+// then ack. Duplicates are skipped idempotently; a sequence gap is
+// repaired by reconnecting (the next hello triggers a bootstrap).
+func (f *Follower) applyBatch(conn net.Conn, payload []byte) error {
+	firstSeq, commitSeq, data, err := decodeBatch(payload)
+	if err != nil {
+		return err
+	}
+	recs, lastSeq, err := f.j.AppendReplicated(data)
+	if err != nil {
+		if errors.Is(err, journal.ErrOutOfSync) {
+			return fmt.Errorf("replication: batch [%d,%d] does not graft locally: %w", firstSeq, commitSeq, err)
+		}
+		return err
+	}
+	if recs != nil {
+		if err := f.cfg.Apply(recs); err != nil {
+			return fmt.Errorf("%w: %w", errApply, err)
+		}
+		if m := f.cfg.Metrics; m != nil {
+			m.Applied.Add(len(recs))
+		}
+	}
+	f.mu.Lock()
+	f.appliedSeq = lastSeq
+	if commitSeq > f.leaderSeq {
+		f.leaderSeq = commitSeq
+	}
+	f.mu.Unlock()
+	f.markFresh()
+	return writeFrame(conn, frameAck, encodeSeq(lastSeq))
+}
+
+// sleep waits d or until cancellation/promotion.
+func (f *Follower) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-f.promoteCh:
+		return ErrPromoted
+	}
+}
+
+// jittered spreads a backoff to a uniform draw from [d/2, d*3/2) so
+// followers that lost the same leader do not reconnect in lockstep.
+// The source is injected; nil means no jitter.
+func jittered(rnd *rand.Rand, d time.Duration) time.Duration {
+	if rnd == nil || d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rnd.Int63n(int64(d)))
+}

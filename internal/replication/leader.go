@@ -1,0 +1,329 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"contextpref/internal/journal"
+)
+
+// LeaderConfig tunes a Leader. The zero value is usable: discard
+// logging, no telemetry, default heartbeat interval and send buffer.
+type LeaderConfig struct {
+	// Heartbeat is the interval between heartbeat frames on an idle
+	// session; defaults to 1s. Followers use missed heartbeats to
+	// detect a wedged leader, so it should be several times smaller
+	// than the follower's promote-after timeout.
+	Heartbeat time.Duration
+	// SendBuffer is the per-session batch queue length; defaults to
+	// 128. A follower that falls further behind than the buffer holds
+	// is disconnected and resynchronizes on reconnect, so a slow
+	// replica never blocks the leader's append path.
+	SendBuffer int
+	// Logger receives session lifecycle events; nil discards them.
+	Logger *slog.Logger
+	// Metrics, when non-nil, records shipped record counts and
+	// snapshot bootstrap sizes.
+	Metrics *Metrics
+}
+
+// Leader serves the replication protocol over a journal: it taps the
+// journal's append stream, accepts follower sessions, bootstraps each
+// to the current state (incrementally when possible, by snapshot when
+// not), and then pushes every committed batch plus periodic
+// heartbeats, collecting sequence-numbered acks.
+//
+// The journal tap runs under the journal's lock and only enqueues into
+// per-session buffers — the leader never performs I/O or re-enters the
+// journal from the tap.
+type Leader struct {
+	j   *journal.Journal
+	cfg LeaderConfig
+	log *slog.Logger
+
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	acked  uint64 // newest sequence acked by any session
+	closed bool
+	lns    []net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// subscriber is one session's batch queue.
+type subscriber struct {
+	ch   chan journal.Batch
+	drop chan struct{} // closed when the queue overflowed
+	once sync.Once
+}
+
+func (s *subscriber) overflow() { s.once.Do(func() { close(s.drop) }) }
+
+// NewLeader builds a leader over j and installs the journal append
+// tap. The leader serves nothing until Serve is called; Close detaches
+// the tap.
+func NewLeader(j *journal.Journal, cfg LeaderConfig) *Leader {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.SendBuffer <= 0 {
+		cfg.SendBuffer = 128
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	l := &Leader{
+		j:     j,
+		cfg:   cfg,
+		log:   log,
+		subs:  make(map[*subscriber]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	j.OnAppend(l.ship)
+	return l
+}
+
+// ship fans one committed batch out to every session queue. Called
+// synchronously under the journal lock: enqueue only, never block. A
+// full queue marks the session lagged; its writer disconnects it and
+// the follower resynchronizes by reconnecting.
+func (l *Leader) ship(firstSeq, commitSeq uint64, data []byte) {
+	b := journal.Batch{FirstSeq: firstSeq, CommitSeq: commitSeq, Data: data}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for s := range l.subs {
+		select {
+		case s.ch <- b:
+		default:
+			s.overflow()
+		}
+	}
+}
+
+// Acked returns the newest sequence number any follower has
+// acknowledged as durably applied. Promotion safety is stated against
+// this value: a promoted follower's state is a prefix of the acked
+// stream.
+func (l *Leader) Acked() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acked
+}
+
+// Serve accepts follower sessions on ln until the listener closes or
+// the leader is closed. It blocks; run it in its own goroutine. Serve
+// may be called on several listeners concurrently.
+func (l *Leader) Serve(ln net.Listener) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		ln.Close()
+		return errors.New("replication: leader is closed")
+	}
+	l.lns = append(l.lns, ln)
+	l.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("replication: accept: %w", err)
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		l.conns[conn] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go func() {
+			defer l.wg.Done()
+			l.serveConn(conn)
+		}()
+	}
+}
+
+// Close detaches the journal tap, closes the listeners and every live
+// session, and waits for session goroutines to drain.
+func (l *Leader) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	lns := l.lns
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	l.j.OnAppend(nil)
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return nil
+}
+
+// serveConn runs one follower session to completion.
+func (l *Leader) serveConn(conn net.Conn) {
+	peer := conn.RemoteAddr().String()
+	err := l.session(conn)
+	conn.Close()
+	l.mu.Lock()
+	delete(l.conns, conn)
+	closed := l.closed
+	l.mu.Unlock()
+	if err != nil && !closed && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		l.log.Warn("replication session ended", "peer", peer, "error", err)
+	} else {
+		l.log.Debug("replication session closed", "peer", peer)
+	}
+}
+
+func (l *Leader) session(conn net.Conn) error {
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != frameHello {
+		return fmt.Errorf("replication: session opened with %c frame, want hello", typ)
+	}
+	followerSeq, err := decodeHello(payload)
+	if err != nil {
+		return err
+	}
+
+	// Subscribe before reading the tail: batches committed during the
+	// bootstrap read land in the queue, and the dedupe below drops the
+	// overlap. The queue is registered first so nothing can fall in
+	// the gap between the two.
+	sub := &subscriber{ch: make(chan journal.Batch, l.cfg.SendBuffer), drop: make(chan struct{})}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return net.ErrClosed
+	}
+	l.subs[sub] = struct{}{}
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.subs, sub)
+		l.mu.Unlock()
+	}()
+
+	// Ack reader: updates the leader-wide acked watermark and unblocks
+	// the writer on disconnect by closing the connection. It must start
+	// before the bootstrap sends below — the follower acks each batch
+	// as it lands, and an unread ack would deadlock an unbuffered
+	// transport against the next bootstrap write.
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			typ, payload, err := readFrame(conn)
+			if err != nil {
+				readErr <- err
+				conn.Close()
+				return
+			}
+			if typ != frameAck {
+				readErr <- fmt.Errorf("replication: follower sent %c frame, want ack", typ)
+				conn.Close()
+				return
+			}
+			seq, err := decodeSeq(payload)
+			if err != nil {
+				readErr <- err
+				conn.Close()
+				return
+			}
+			l.mu.Lock()
+			if seq > l.acked {
+				l.acked = seq
+			}
+			l.mu.Unlock()
+		}
+	}()
+
+	snap, batches, lastSeq, err := l.j.TailSince(followerSeq)
+	if err != nil {
+		return err
+	}
+	var sentSeq uint64 // newest commitSeq this session has written
+	if snap != nil {
+		var snapSeq uint64
+		// The snapshot's own horizon anchors the stream; recompute it
+		// from the batches' base when the rendering predates them.
+		if len(batches) > 0 {
+			snapSeq = batches[0].FirstSeq - 1
+		} else {
+			snapSeq = lastSeq
+		}
+		if err := writeFrame(conn, frameSnapshot, encodeSnapshot(snapSeq, snap)); err != nil {
+			return err
+		}
+		sentSeq = snapSeq
+		if m := l.cfg.Metrics; m != nil {
+			m.SnapshotBytes.Set(float64(len(snap)))
+		}
+		l.log.Info("replication bootstrap by snapshot",
+			"peer", conn.RemoteAddr().String(), "bytes", len(snap), "horizon", snapSeq)
+	} else {
+		sentSeq = followerSeq
+	}
+	send := func(b journal.Batch) error {
+		if b.CommitSeq <= sentSeq {
+			return nil // duplicate of the bootstrap read or the queue overlap
+		}
+		if err := writeFrame(conn, frameBatch, encodeBatch(b.FirstSeq, b.CommitSeq, b.Data)); err != nil {
+			return err
+		}
+		sentSeq = b.CommitSeq
+		if m := l.cfg.Metrics; m != nil {
+			m.Shipped.Add(int(b.CommitSeq - b.FirstSeq))
+		}
+		return nil
+	}
+	for _, b := range batches {
+		if err := send(b); err != nil {
+			return err
+		}
+	}
+
+	ticker := time.NewTicker(l.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case b := <-sub.ch:
+			if err := send(b); err != nil {
+				return err
+			}
+		case <-ticker.C:
+			if err := writeFrame(conn, frameHeartbeat, encodeSeq(l.j.LastSeq())); err != nil {
+				return err
+			}
+		case <-sub.drop:
+			// The session fell behind the send buffer; cut it loose
+			// and let the reconnect resynchronize from disk.
+			return fmt.Errorf("replication: follower lagged past the send buffer at seq %d", sentSeq)
+		case err := <-readErr:
+			return err
+		}
+	}
+}

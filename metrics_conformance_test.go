@@ -53,6 +53,9 @@ func buildLiveRegistry(t *testing.T) *contextpref.TelemetryRegistry {
 	if m := contextpref.NewJournalMetrics(reg); m == nil {
 		t.Fatal("NewJournalMetrics returned nil for a live registry")
 	}
+	if m := contextpref.NewReplicationMetrics(reg); m == nil {
+		t.Fatal("NewReplicationMetrics returned nil for a live registry")
+	}
 	contextpref.RegisterHealthTelemetry(contextpref.NewHealth(), reg)
 	if _, err := httpapi.New(sys, httpapi.WithTelemetry(reg)); err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@ package contextpref
 import (
 	"contextpref/internal/journal"
 	"contextpref/internal/profiletree"
+	"contextpref/internal/replication"
 	"contextpref/internal/telemetry"
 )
 
@@ -97,6 +98,31 @@ func NewJournalMetrics(reg *TelemetryRegistry) *journal.Metrics {
 			"Journal append attempts retried after a transient write/fsync failure."),
 		AppendRollbacks: reg.Counter("cp_journal_append_rollbacks_total",
 			"Journal truncations rolling a torn append back to the last durable offset."),
+	}
+}
+
+// NewReplicationMetrics builds the replication instruments
+// (cp_replication_*) shared by the leader and follower sides: the
+// staleness gauge a follower exports, record counters by direction,
+// session reconnects, and the last bootstrap snapshot size. A nil
+// registry returns nil, which the replication package treats as
+// "telemetry disabled".
+func NewReplicationMetrics(reg *TelemetryRegistry) *replication.Metrics {
+	if reg == nil {
+		return nil
+	}
+	records := reg.CounterVec("cp_replication_records_total",
+		"Journal records moved by replication, by direction (shipped by the leader, applied by the follower).",
+		"direction")
+	return &replication.Metrics{
+		Lag: reg.Gauge("cp_replication_lag_seconds",
+			"Follower staleness: seconds since the node last confirmed it held everything the leader announced."),
+		Shipped: records.With("shipped"),
+		Applied: records.With("applied"),
+		Reconnects: reg.Counter("cp_replication_reconnects_total",
+			"Follower replication sessions re-established after a transport fault."),
+		SnapshotBytes: reg.Gauge("cp_replication_snapshot_bytes",
+			"Size of the last bootstrap snapshot shipped or installed."),
 	}
 }
 

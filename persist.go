@@ -163,8 +163,22 @@ func (d *Directory) Replay(recs []journal.Record) error {
 	return nil
 }
 
-// replayOne applies one add/remove record to a bare system.
+// replayOne applies one add/remove record to a bare system. Recovery
+// replay runs before a health tracker or persister is attached, so the
+// direct application below is exactly what AddPreference/
+// RemovePreference would have done.
 func replayOne(s *System, r journal.Record) error {
+	return applyRecord(s, r)
+}
+
+// applyRecord applies one add/remove record directly to the profile
+// tree: no health gate, no persister. This is the shared core of
+// recovery replay and the replication follower's live apply path — in
+// both, the record is already durable in the local journal and was
+// validated when it was first committed, so gating it again (a
+// follower's role gate would reject its own stream) or re-journaling
+// it would be wrong.
+func applyRecord(s *System, r journal.Record) error {
 	switch r.Op {
 	case journal.OpUser:
 		return nil
@@ -174,15 +188,76 @@ func replayOne(s *System, r journal.Record) error {
 			return err
 		}
 		if r.Op == journal.OpAdd {
-			return s.AddPreference(p)
+			if err := s.tree.CheckInsert(p); err != nil {
+				return err
+			}
+			if err := s.tree.InsertAll(p); err != nil {
+				return err
+			}
+		} else if _, err := s.tree.Delete(p); err != nil {
+			return err
 		}
-		_, err = s.RemovePreference(p)
-		return err
+		if s.cache != nil {
+			s.cache.Invalidate()
+		}
+		return nil
 	case journal.OpDrop:
 		return fmt.Errorf("contextpref: drop-user record in single-user journal")
 	default:
 		return fmt.Errorf("contextpref: unknown journal op %q", string(rune(r.Op)))
 	}
+}
+
+// ApplyReplicated folds leader-shipped records into the directory's
+// in-memory state. It bypasses the health gate and the persister: the
+// records are already durable in the local journal (grafted by
+// journal.AppendReplicated before this is called) and were validated
+// by the leader, and a follower's role gate would otherwise reject its
+// own replication stream. Unlike Replay, each per-user system is
+// mutated under its write lock, so the node can serve reads while the
+// stream applies.
+func (d *Directory) ApplyReplicated(recs []journal.Record) error {
+	for i, r := range recs {
+		if r.Op == journal.OpDrop {
+			d.mu.Lock()
+			_, ok := d.systems[r.User]
+			delete(d.systems, r.User)
+			d.mu.Unlock()
+			if ok {
+				d.usersDropped.Inc()
+			}
+			continue
+		}
+		sys, err := d.user(r.User, false)
+		if err != nil {
+			return fmt.Errorf("contextpref: applying replicated record %d: %w", i, err)
+		}
+		if r.Op == journal.OpUser {
+			continue // creation was the whole effect
+		}
+		if err := sys.applyReplicated(r); err != nil {
+			return fmt.Errorf("contextpref: applying replicated record %d (user %q): %w", i, r.User, err)
+		}
+	}
+	return nil
+}
+
+// ResetReplicated replaces the directory's entire in-memory state with
+// a leader snapshot's records — the follower fell behind the leader's
+// compaction horizon and bootstrapped fresh (journal.InstallSnapshot
+// already replaced the durable state).
+func (d *Directory) ResetReplicated(recs []journal.Record) error {
+	d.mu.Lock()
+	d.systems = make(map[string]*SafeSystem)
+	d.mu.Unlock()
+	return d.ApplyReplicated(recs)
+}
+
+// applyReplicated applies one replicated record under the write lock.
+func (s *SafeSystem) applyReplicated(r journal.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return applyRecord(s.sys, r)
 }
 
 // SnapshotRecords renders the system's current profile as add-records
