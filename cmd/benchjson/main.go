@@ -5,10 +5,12 @@
 //
 // Each object carries the benchmark name (with the -N GOMAXPROCS
 // suffix stripped), iteration count, ns/op, and — when -benchmem was
-// set — B/op and allocs/op. Non-benchmark lines (goos/goarch headers,
-// PASS, ok) are ignored, so the tool can sit at the end of any `go
-// test` pipeline. Machine-readable benchmark files make perf
-// regressions diffable in CI instead of eyeballed.
+// set — B/op and allocs/op. Custom units emitted via b.ReportMetric
+// (paired-measurement overheads, the experiment benchmarks' cells/q
+// columns) land in a "metrics" map keyed by unit. Non-benchmark lines
+// (goos/goarch headers, PASS, ok) are ignored, so the tool can sit at
+// the end of any `go test` pipeline. Machine-readable benchmark files
+// make perf regressions diffable in CI instead of eyeballed.
 package main
 
 import (
@@ -22,11 +24,12 @@ import (
 
 // result is one parsed benchmark line.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // parseLine parses one "BenchmarkName-8   1000   1234 ns/op ..." line,
@@ -60,6 +63,11 @@ func parseLine(line string) (result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = v
 		}
 	}
 	if r.NsPerOp == 0 {

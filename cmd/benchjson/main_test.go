@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestParseLine(t *testing.T) {
 	}
 	want := result{Name: "BenchmarkResolve/cover", Iterations: 50000,
 		NsPerOp: 31415, BytesPerOp: 1024, AllocsPerOp: 12}
-	if r != want {
+	if !reflect.DeepEqual(r, want) {
 		t.Errorf("parsed %+v, want %+v", r, want)
 	}
 
@@ -23,6 +24,12 @@ func TestParseLine(t *testing.T) {
 	r, ok = parseLine("BenchmarkAppend-4   1000   98765.4 ns/op")
 	if !ok || r.Name != "BenchmarkAppend" || r.NsPerOp != 98765.4 || r.BytesPerOp != 0 {
 		t.Errorf("memless line parsed as %+v ok=%v", r, ok)
+	}
+
+	// Custom b.ReportMetric units land in the metrics map.
+	r, ok = parseLine("BenchmarkResolveTracing/paired-8   100   200000 ns/op   12747 off_ns/req   13249 traced_ns/req   3.9 overhead_%")
+	if !ok || r.Metrics["off_ns/req"] != 12747 || r.Metrics["traced_ns/req"] != 13249 || r.Metrics["overhead_%"] != 3.9 {
+		t.Errorf("custom metrics parsed as %+v ok=%v", r, ok)
 	}
 
 	for _, line := range []string{

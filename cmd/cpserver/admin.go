@@ -11,14 +11,18 @@ import (
 	"time"
 
 	"contextpref"
+	"contextpref/internal/tracing"
 )
 
 // adminHandler serves /metrics (Prometheus text format), /varz (JSON),
-// and the net/http/pprof profiling suite under /debug/pprof/.
-func adminHandler(reg *contextpref.TelemetryRegistry) http.Handler {
+// /debug/traces (retained request traces, JSON list and per-trace text
+// tree), and the net/http/pprof profiling suite under /debug/pprof/.
+func adminHandler(reg *contextpref.TelemetryRegistry, tracer *tracing.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.MetricsHandler())
 	mux.Handle("GET /varz", reg.VarzHandler())
+	mux.Handle("GET /debug/traces", tracing.Handler(tracer))
+	mux.Handle("GET /debug/traces/", tracing.Handler(tracer))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -11,7 +11,8 @@
 //	         [-rate-burst 0] [-read-header-timeout 5s]
 //	         [-chaos-latency 0] [-chaos-jitter 0] [-chaos-error-rate 0]
 //	         [-chaos-seed 1] [-replicate-addr :8090] [-follow addr]
-//	         [-max-staleness 5s] [-promote-after 0]
+//	         [-max-staleness 5s] [-promote-after 0] [-trace-sample 0]
+//	         [-slow-trace 0] [-trace-buffer 256] [-version]
 //
 // Endpoints (see the httpapi package for payloads):
 //
@@ -29,14 +30,30 @@
 // operational endpoints, kept off the public port:
 //
 //	GET /metrics        Prometheus text format (cp_http_*, cp_resolve_*,
-//	                    cp_journal_*, cp_directory_*, process gauges)
+//	                    cp_journal_*, cp_directory_*, cp_trace_*,
+//	                    process gauges)
 //	GET /varz           the same registry as JSON
 //	GET /debug/pprof/   the net/http/pprof profiling suite
+//	GET /debug/traces   retained request traces as JSON
+//	                    (?trace_id=<32 hex> for one, ?limit=N)
 //
 // All server logs are structured (log/slog, text format, level set by
 // -log-level) and request-scoped lines carry the request ID. Requests
 // slower than -slow-request are logged at Warn level; 0 disables the
 // slow-request log.
+//
+// Tracing. Every non-probe request runs under a root span that honors
+// an inbound W3C traceparent header and is echoed back on the
+// response; the stages beneath it (resolution, query evaluation,
+// journal append/fsync, replication ship) record child spans. Traces
+// land in a fixed-size ring with tail-based retention: errored traces
+// are always kept, traces slower than -slow-trace (default: the
+// -slow-request threshold) are kept verbatim, and a -trace-sample
+// fraction of healthy traces is head-sampled on top. -trace-buffer
+// bounds the ring; /debug/traces reads it. Requests slower than
+// -slow-request log a WARN line carrying the trace_id and the
+// slowest spans. -version prints build identity (also exported as the
+// cp_build_info gauge) and exits.
 //
 // Durability. With -store dir, every profile mutation is journaled to
 // dir/journal.cpj (fsync'd, see the internal/journal package for the
@@ -107,6 +124,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -116,6 +134,7 @@ import (
 	"contextpref/internal/dataset"
 	"contextpref/internal/journal"
 	"contextpref/internal/replication"
+	"contextpref/internal/tracing"
 )
 
 // config collects everything build needs; it mirrors the flags.
@@ -149,6 +168,9 @@ type config struct {
 	replicateAddr     string
 	maxStaleness      time.Duration
 	promoteAfter      time.Duration
+	traceSample       float64
+	slowTrace         time.Duration
+	traceBuffer       int
 }
 
 // app is a built server plus its durability and observability hooks.
@@ -179,6 +201,27 @@ type app struct {
 	// followers. Called from serve when the follower loop reports
 	// ErrPromoted; non-nil exactly when follower is.
 	promote func()
+}
+
+// versionString renders the binary's build identity for -version: the
+// module version, the Go toolchain, and the VCS revision — the same
+// fields the cp_build_info metric exports.
+func versionString() string {
+	version, goVersion, revision := "(devel)", "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	return fmt.Sprintf("cpserver %s (go: %s, revision: %s)", version, goVersion, revision)
 }
 
 // newLogger builds the process logger at the named level ("" = info).
@@ -226,7 +269,17 @@ func main() {
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 	flag.DurationVar(&cfg.slowRequest, "slow-request", 500*time.Millisecond, "log requests served slower than this at Warn level (0 = disabled)")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn, or error")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of healthy (fast, successful) traces to retain in the trace ring; slow and errored traces are always kept")
+	flag.DurationVar(&cfg.slowTrace, "slow-trace", 0, "retain traces slower than this verbatim (0 = same as -slow-request)")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 0, "trace ring capacity; older retained traces are overwritten (0 = default 256)")
+	var showVersion bool
+	flag.BoolVar(&showVersion, "version", false, "print build information and exit")
 	flag.Parse()
+
+	if showVersion {
+		fmt.Println(versionString())
+		return
+	}
 
 	a, err := build(cfg)
 	if err != nil {
@@ -429,6 +482,21 @@ func build(cfg config) (*app, error) {
 	}
 	reg := contextpref.NewTelemetryRegistry()
 	registerProcessMetrics(reg)
+	contextpref.RegisterBuildInfo(reg)
+
+	// The tracer is always on: slow and errored traces are cheap to
+	// retain and exactly what an operator needs after an incident.
+	// -trace-sample adds head-sampled healthy traces on top.
+	slowTrace := cfg.slowTrace
+	if slowTrace <= 0 {
+		slowTrace = cfg.slowRequest
+	}
+	tracer := tracing.New(tracing.Config{
+		SlowTrace:  slowTrace,
+		SampleRate: cfg.traceSample,
+		Capacity:   cfg.traceBuffer,
+		Metrics:    contextpref.NewTraceMetrics(reg),
+	})
 
 	env, err := dataset.RealEnvironment()
 	if err != nil {
@@ -512,6 +580,7 @@ func build(cfg config) (*app, error) {
 		leader = replication.NewLeader(j, replication.LeaderConfig{
 			Logger:  logger,
 			Metrics: replMetrics,
+			Tracer:  tracer,
 		})
 	}
 	sopts := []httpapi.ServerOption{
@@ -519,6 +588,7 @@ func build(cfg config) (*app, error) {
 		httpapi.WithLogger(logger),
 		httpapi.WithSlowRequestThreshold(cfg.slowRequest),
 		httpapi.WithHealth(health),
+		httpapi.WithTracer(tracer),
 	}
 	if cfg.maxInflight > 0 {
 		sopts = append(sopts, httpapi.WithMaxInflight(cfg.maxInflight))
@@ -607,6 +677,7 @@ func build(cfg config) (*app, error) {
 				PromoteAfter: cfg.promoteAfter,
 				Logger:       logger,
 				Metrics:      replMetrics,
+				Tracer:       tracer,
 			})
 			if err != nil {
 				return fail(err)
@@ -627,7 +698,7 @@ func build(cfg config) (*app, error) {
 		}
 		return &app{
 			api: api, journal: j, snapshot: dir.SnapshotRecords, health: health,
-			reg: reg, admin: adminHandler(reg), logger: logger,
+			reg: reg, admin: adminHandler(reg, tracer), logger: logger,
 			leader: leader, follower: fol, promote: promote,
 		}, nil
 	}
@@ -656,7 +727,7 @@ func build(cfg config) (*app, error) {
 	if err != nil {
 		return fail(err)
 	}
-	a := &app{api: api, journal: j, health: health, reg: reg, admin: adminHandler(reg), logger: logger, leader: leader}
+	a := &app{api: api, journal: j, health: health, reg: reg, admin: adminHandler(reg, tracer), logger: logger, leader: leader}
 	a.snapshot = func() ([]journal.Record, error) { return api.System().SnapshotRecords("") }
 	return a, nil
 }

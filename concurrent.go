@@ -3,6 +3,8 @@ package contextpref
 import (
 	"context"
 	"sync"
+
+	"contextpref/internal/tracing"
 )
 
 // SafeSystem wraps a System for concurrent use: reads (queries,
@@ -31,23 +33,43 @@ func (s *SafeSystem) AddPreference(p Preference) error {
 
 // AddPreferences inserts a batch under the write lock.
 func (s *SafeSystem) AddPreferences(ps ...Preference) error {
+	return s.AddPreferencesCtx(context.Background(), ps...)
+}
+
+// AddPreferencesCtx inserts a batch under the write lock, carrying the
+// request context for span provenance. The system.add_preferences span
+// starts inside the lock; write-lock contention shows up as the gap
+// between the root span and it.
+func (s *SafeSystem) AddPreferencesCtx(ctx context.Context, ps ...Preference) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sys.AddPreferences(ps...)
+	return s.sys.AddPreferencesCtx(ctx, ps...)
 }
 
 // RemovePreference deletes a preference under the write lock.
 func (s *SafeSystem) RemovePreference(p Preference) (int, error) {
+	return s.RemovePreferenceCtx(context.Background(), p)
+}
+
+// RemovePreferenceCtx deletes a preference under the write lock,
+// carrying the request context for span provenance.
+func (s *SafeSystem) RemovePreferenceCtx(ctx context.Context, p Preference) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sys.RemovePreference(p)
+	return s.sys.RemovePreferenceCtx(ctx, p)
 }
 
 // LoadProfile parses and inserts a profile under the write lock.
 func (s *SafeSystem) LoadProfile(text string) error {
+	return s.LoadProfileCtx(context.Background(), text)
+}
+
+// LoadProfileCtx parses and inserts a profile under the write lock,
+// carrying the request context for span provenance.
+func (s *SafeSystem) LoadProfileCtx(ctx context.Context, text string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sys.LoadProfile(text)
+	return s.sys.LoadProfileCtx(ctx, text)
 }
 
 // Query executes a contextual query; shared lock unless caching.
@@ -60,6 +82,8 @@ func (s *SafeSystem) Query(q Query, current State) (*Result, error) {
 // itself is not interruptible — the deadline takes effect once the
 // evaluation starts scanning.
 func (s *SafeSystem) QueryCtx(ctx context.Context, q Query, current State) (*Result, error) {
+	ctx, sp := tracing.Start(ctx, "system.query")
+	defer sp.End()
 	if s.caching {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -67,7 +91,9 @@ func (s *SafeSystem) QueryCtx(ctx context.Context, q Query, current State) (*Res
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	}
-	return s.sys.QueryCtx(ctx, q, current)
+	res, err := s.sys.QueryCtx(ctx, q, current)
+	sp.Fail(err)
+	return res, err
 }
 
 // Resolve performs context resolution under the shared lock.
@@ -80,9 +106,13 @@ func (s *SafeSystem) Resolve(st State) (Candidate, bool, error) {
 // ResolveCtx performs cancellable context resolution under the shared
 // lock (see System.ResolveCtx).
 func (s *SafeSystem) ResolveCtx(ctx context.Context, st State) (Candidate, bool, error) {
+	ctx, sp := tracing.Start(ctx, "system.resolve")
+	defer sp.End()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.sys.ResolveCtx(ctx, st)
+	cand, ok, err := s.sys.ResolveCtx(ctx, st)
+	sp.Fail(err)
+	return cand, ok, err
 }
 
 // ResolveAll lists covering states under the shared lock.
@@ -95,9 +125,13 @@ func (s *SafeSystem) ResolveAll(st State) ([]Candidate, error) {
 // ResolveAllCtx lists covering states with cooperative cancellation
 // under the shared lock (see System.ResolveAllCtx).
 func (s *SafeSystem) ResolveAllCtx(ctx context.Context, st State) ([]Candidate, error) {
+	ctx, sp := tracing.Start(ctx, "system.resolve_all")
+	defer sp.End()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.sys.ResolveAllCtx(ctx, st)
+	cands, err := s.sys.ResolveAllCtx(ctx, st)
+	sp.Fail(err)
+	return cands, err
 }
 
 // NewState validates a context state (no lock needed: the environment

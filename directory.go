@@ -1,11 +1,13 @@
 package contextpref
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"contextpref/internal/telemetry"
+	"contextpref/internal/tracing"
 )
 
 // Directory manages per-user preference profiles over one shared
@@ -77,13 +79,21 @@ func (d *Directory) Relation() *Relation { return d.rel }
 // attached, the creation and the seed preferences are journaled, so a
 // restarted directory recovers the user exactly.
 func (d *Directory) User(name string) (*SafeSystem, error) {
-	return d.user(name, true)
+	return d.UserCtx(context.Background(), name)
+}
+
+// UserCtx is User carrying the request context for span provenance:
+// first-access creation (journaled creation plus default-profile
+// seeding) is recorded as a directory.create_user span; the fast path
+// for an existing user adds no span.
+func (d *Directory) UserCtx(ctx context.Context, name string) (*SafeSystem, error) {
+	return d.user(ctx, name, true)
 }
 
 // user implements User; seed false skips default-profile seeding and
 // creation journaling, which is what journal replay needs (the seeds
 // and the creation were journaled when the user first appeared).
-func (d *Directory) user(name string, seed bool) (*SafeSystem, error) {
+func (d *Directory) user(ctx context.Context, name string, seed bool) (*SafeSystem, error) {
 	if name == "" {
 		return nil, fmt.Errorf("contextpref: empty user name")
 	}
@@ -98,8 +108,11 @@ func (d *Directory) user(name string, seed bool) (*SafeSystem, error) {
 	if sys, ok := d.systems[name]; ok {
 		return sys, nil
 	}
+	ctx, sp := tracing.Start(ctx, "directory.create_user")
+	defer sp.End()
 	inner, err := NewSystem(d.env, d.rel, d.opts...)
 	if err != nil {
+		sp.Fail(err)
 		return nil, err
 	}
 	inner.SetHealth(d.health)
@@ -107,23 +120,28 @@ func (d *Directory) user(name string, seed bool) (*SafeSystem, error) {
 		// Creating a user is a mutation: fail fast while degraded so no
 		// half-created user lingers in memory without a journal record.
 		if err := d.health.Gate(); err != nil {
+			sp.Fail(err)
 			return nil, err
 		}
 		// Journal the creation before the seeds so replay re-creates
 		// the user first; attach the persister before seeding so the
 		// seed preferences are journaled too.
 		if d.persist != nil {
-			if err := d.persist.PersistCreateUser(name); err != nil {
-				return nil, d.health.fail(&PersistError{Op: "create user", Err: err})
+			if err := d.persist.PersistCreateUser(ctx, name); err != nil {
+				err = d.health.fail(&PersistError{Op: "create user", Err: err})
+				sp.Fail(err)
+				return nil, err
 			}
 			inner.SetPersister(d.persist, name)
 		}
 		if d.defaults != nil {
 			prefs, err := d.defaults(name)
 			if err != nil {
+				sp.Fail(err)
 				return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
 			}
-			if err := inner.AddPreferences(prefs...); err != nil {
+			if err := inner.AddPreferencesCtx(ctx, prefs...); err != nil {
+				sp.Fail(err)
 				return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
 			}
 		}
@@ -157,6 +175,12 @@ func (d *Directory) Remove(name string) bool {
 // is written, so a concurrent writer holding the old handle cannot
 // journal mutations that would resurrect the user on replay.
 func (d *Directory) RemoveUser(name string) (bool, error) {
+	return d.RemoveUserCtx(context.Background(), name)
+}
+
+// RemoveUserCtx is RemoveUser carrying the request context for span
+// provenance (the drop record's journal append becomes a child span).
+func (d *Directory) RemoveUserCtx(ctx context.Context, name string) (bool, error) {
 	d.mu.Lock()
 	health := d.health
 	if err := health.Gate(); err != nil {
@@ -176,7 +200,7 @@ func (d *Directory) RemoveUser(name string) (bool, error) {
 	// to "user gone" exactly like the in-memory state.
 	sys.SetPersister(nil, "")
 	if persist != nil {
-		if err := persist.PersistDropUser(name); err != nil {
+		if err := persist.PersistDropUser(ctx, name); err != nil {
 			return true, health.fail(&PersistError{Op: "drop user", Err: err})
 		}
 	}

@@ -1,0 +1,105 @@
+// Tracing: the slow-trace capture workflow end to end. A journaled
+// multi-user server runs with an artificially slow disk (every fsync
+// sleeps, the deterministic stand-in for a saturated device); one
+// preference mutation is sent through the real HTTP stack; and the
+// trace the ring retained as slow is fetched back and pretty-printed —
+// the span tree names the journal fsync as the guilty stage, the same
+// diagnosis the slow-request WARN log and /debug/traces give in
+// production.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"contextpref"
+	"contextpref/httpapi"
+	"contextpref/internal/dataset"
+	"contextpref/internal/faultfs"
+	"contextpref/internal/journal"
+	"contextpref/internal/tracing"
+)
+
+// slowSyncFS delays every file Sync by a fixed amount.
+type slowSyncFS struct {
+	faultfs.FS
+	delay time.Duration
+}
+
+func (s slowSyncFS) OpenFile(name string, flag int) (faultfs.File, error) {
+	f, err := s.FS.OpenFile(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{File: f, delay: s.delay}, nil
+}
+
+type slowSyncFile struct {
+	faultfs.File
+	delay time.Duration
+}
+
+func (f slowSyncFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}
+
+func main() {
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pois, err := dataset.POIs(env, 100, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A journal on an in-memory filesystem whose fsync takes 25ms.
+	j, recovered, err := journal.OpenFS(slowSyncFS{FS: faultfs.NewMemFS(), delay: 25 * time.Millisecond}, "/store")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer j.Close()
+	dir, err := contextpref.NewDirectory(env, pois)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dir.Replay(recovered); err != nil {
+		log.Fatal(err)
+	}
+	dir.SetPersister(contextpref.NewJournalPersister(j))
+
+	// Zero sampling, 5ms slow threshold: only the tail-based slow path
+	// can retain a trace, exactly like production defaults.
+	tracer := tracing.New(tracing.Config{SlowTrace: 5 * time.Millisecond})
+	srv, err := httpapi.NewMultiUser(dir, httpapi.WithTracer(tracer))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/preferences?user=maria", "text/plain",
+		strings.NewReader("[accompanying_people = friends] => type = brewery : 0.9"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	traceparent := resp.Header.Get("Traceparent")
+	fmt.Printf("POST /preferences -> %s\n", resp.Status)
+	fmt.Printf("Traceparent: %s\n\n", traceparent)
+
+	// The middle field of the traceparent is the trace ID; in
+	// production this lookup is GET /debug/traces?trace_id=... on the
+	// admin listener.
+	traceID := strings.Split(traceparent, "-")[1]
+	snap := tracer.Lookup(traceID)
+	if snap == nil {
+		log.Fatal("trace was not retained — is the slow threshold above the fsync delay?")
+	}
+	fmt.Print(tracing.RenderTree(snap))
+}

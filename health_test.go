@@ -97,10 +97,14 @@ func (p *countingPersister) count() int {
 	return p.calls
 }
 
-func (p *countingPersister) PersistCreateUser(string) error         { return p.record() }
-func (p *countingPersister) PersistAdd(string, ...Preference) error { return p.record() }
-func (p *countingPersister) PersistRemove(string, Preference) error { return p.record() }
-func (p *countingPersister) PersistDropUser(string) error           { return p.record() }
+func (p *countingPersister) PersistCreateUser(context.Context, string) error { return p.record() }
+func (p *countingPersister) PersistAdd(context.Context, string, ...Preference) error {
+	return p.record()
+}
+func (p *countingPersister) PersistRemove(context.Context, string, Preference) error {
+	return p.record()
+}
+func (p *countingPersister) PersistDropUser(context.Context, string) error { return p.record() }
 
 // TestSystemDegradedReadOnly: a persist failure flips the system
 // read-only — the failing mutation surfaces a *DegradedError wrapping

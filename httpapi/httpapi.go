@@ -101,6 +101,7 @@ import (
 	"time"
 
 	"contextpref"
+	"contextpref/internal/tracing"
 )
 
 // Server handles the API over one system or, in multi-user mode, a
@@ -140,7 +141,8 @@ type Server struct {
 
 	logger        *slog.Logger // never nil after init
 	slowThreshold time.Duration
-	metrics       *httpMetrics // nil = telemetry disabled
+	metrics       *httpMetrics    // nil = telemetry disabled
+	tracer        *tracing.Tracer // nil = tracing disabled
 }
 
 // ServerOption configures a Server.
@@ -258,7 +260,9 @@ func (s *Server) routes() {
 	}
 }
 
-// system picks the target system for a request.
+// system picks the target system for a request. First contact with an
+// unknown user creates it under the request's context, so the creation
+// (and its journal write) shows up in the request's trace.
 func (s *Server) system(r *http.Request) (*contextpref.SafeSystem, error) {
 	if s.single != nil {
 		return s.single, nil
@@ -267,7 +271,7 @@ func (s *Server) system(r *http.Request) (*contextpref.SafeSystem, error) {
 	if user == "" {
 		user = "default"
 	}
-	return s.directory.User(user)
+	return s.directory.UserCtx(r.Context(), user)
 }
 
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
@@ -352,6 +356,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec := &statusRecorder{ResponseWriter: w}
 	s.metrics.begin()
 
+	// Build the request context in one pass — trace root, then
+	// deadline — so the hot path pays a single Request copy however
+	// many layers are enabled.
+	var root *tracing.Span
+	if !probe {
+		ctx := r.Context()
+		if s.tracer != nil {
+			remote, _ := tracing.ParseTraceparent(r.Header.Get("traceparent"))
+			ctx, root = s.tracer.StartRootAt(ctx, rootSpanName(endpoint), remote, start)
+			root.SetString("method", r.Method)
+			root.SetString("path", r.URL.Path)
+			root.SetString("request_id", rid)
+			w.Header().Set("Traceparent", root.Traceparent())
+		}
+		if s.reqTimeout > 0 {
+			var cancel func()
+			ctx, cancel = withLazyDeadline(ctx, s.reqTimeout)
+			defer cancel()
+		}
+		if root != nil || s.reqTimeout > 0 {
+			r = r.WithContext(ctx)
+		}
+	}
+
 	defer func() {
 		if p := recover(); p != nil {
 			s.metrics.panicked()
@@ -375,23 +403,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if !probe {
 			s.observeService(elapsed)
 		}
+		if root != nil {
+			root.SetInt("status", int64(status))
+			if status >= http.StatusInternalServerError {
+				root.Fail(fmt.Errorf("httpapi: status %d", status))
+			}
+			// The root reuses the middleware's own clock readings
+			// (StartRootAt above, elapsed here): no extra time syscalls
+			// on the traced hot path.
+			root.EndAfter(elapsed)
+		}
 		if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
-			s.logger.Warn("slow request",
+			attrs := []any{
 				"request_id", rid,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", status,
 				"duration", elapsed,
-				"bytes", rec.bytes)
+				"bytes", rec.bytes,
+			}
+			if root != nil {
+				attrs = append(attrs, "trace_id", root.TraceID())
+				if snap := root.Snapshot(); snap != nil {
+					for i, sd := range snap.Slowest(3) {
+						attrs = append(attrs,
+							fmt.Sprintf("span%d", i+1),
+							fmt.Sprintf("%s=%s", sd.Name, sd.Duration))
+					}
+				}
+			}
+			s.logger.Warn("slow request", attrs...)
 		}
+		// Last touch of the trace: recycle a dropped trace's buffers.
+		// Safe here because every span under the root is synchronous
+		// with the request (retained or snapshotted traces are not
+		// recycled).
+		root.Release()
 	}()
 
 	if !probe {
-		if s.reqTimeout > 0 {
-			ctx, cancel := withLazyDeadline(r.Context(), s.reqTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
-		}
 		if s.limiter != nil {
 			if retry, ok := s.limiter.allow(rateKey(r)); !ok {
 				s.metrics.rateLimited()
@@ -586,7 +636,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		s.writeCtxError(w, err)
 		return
 	}
-	if err := sys.LoadProfile(string(body)); err != nil {
+	if err := sys.LoadProfileCtx(r.Context(), string(body)); err != nil {
 		mutationError(w, err)
 		return
 	}
@@ -624,7 +674,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad_request", err)
 			return
 		}
-		n, err := sys.RemovePreference(p)
+		n, err := sys.RemovePreferenceCtx(r.Context(), p)
 		if err != nil {
 			mutationError(w, err)
 			return

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"contextpref/internal/telemetry"
+	"contextpref/internal/tracing"
 )
 
 // WithTelemetry reports serving metrics (cp_http_*) into the registry:
@@ -38,6 +39,17 @@ func WithLogger(l *slog.Logger) ServerOption {
 // endpoint, status, and duration. d <= 0 disables it (the default).
 func WithSlowRequestThreshold(d time.Duration) ServerOption {
 	return func(s *Server) { s.slowThreshold = d }
+}
+
+// WithTracer attaches a span tracer: every non-probe request gets a
+// root span named after its endpoint, an inbound W3C traceparent header
+// is honored as the remote parent (a sampled remote forces retention),
+// and the response carries a traceparent header so clients can quote
+// the trace ID back. The request context threads the root span through
+// the store, so resolution, query evaluation, and journal spans nest
+// under it. A nil tracer leaves tracing disabled (the default).
+func WithTracer(t *tracing.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
 }
 
 // httpMetrics holds the serving-layer instruments. A nil *httpMetrics
@@ -141,6 +153,27 @@ func endpointLabel(path string) string {
 		return path
 	}
 	return "other"
+}
+
+// rootSpanName returns the root-span name for a bounded endpoint
+// label. The names are constants so the traced hot path pays no
+// per-request string concatenation.
+func rootSpanName(endpoint string) string {
+	switch endpoint {
+	case "/env":
+		return "http /env"
+	case "/stats":
+		return "http /stats"
+	case "/preferences":
+		return "http /preferences"
+	case "/query":
+		return "http /query"
+	case "/resolve":
+		return "http /resolve"
+	case "/users":
+		return "http /users"
+	}
+	return "http other"
 }
 
 // statusRecorder captures the status code and body size a handler

@@ -71,6 +71,7 @@ package journal
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -85,6 +86,7 @@ import (
 
 	"contextpref/internal/faultfs"
 	"contextpref/internal/telemetry"
+	"contextpref/internal/tracing"
 )
 
 // Op identifies a journal record type.
@@ -354,6 +356,16 @@ func (j *Journal) Dir() string { return j.dir }
 // an uncommitted batch entirely — and the in-file state has been rolled
 // back so a retry cannot interleave with the torn bytes.
 func (j *Journal) Append(recs ...Record) error {
+	return j.AppendCtx(context.Background(), recs...)
+}
+
+// AppendCtx is Append carrying the caller's request context for span
+// provenance: the batch is recorded as a journal.append span (records,
+// bytes) with the fsyncs as child spans, so a retained trace attributes
+// a slow mutation to the device, not the framing. Durability semantics
+// are identical to Append — the context does not cancel the write; a
+// batch either commits whole or rolls back.
+func (j *Journal) AppendCtx(ctx context.Context, recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
@@ -365,6 +377,9 @@ func (j *Journal) Append(recs ...Record) error {
 	if j.wedged != nil {
 		return j.wedged
 	}
+	ctx, sp := tracing.Start(ctx, "journal.append")
+	defer sp.End()
+	sp.SetInt("records", int64(len(recs)))
 	var start time.Time
 	if j.metrics != nil {
 		start = time.Now()
@@ -373,10 +388,13 @@ func (j *Journal) Append(recs ...Record) error {
 	var b strings.Builder
 	for _, r := range recs {
 		if !r.Op.valid() {
-			return fmt.Errorf("journal: invalid op %q", string(rune(r.Op)))
+			err := fmt.Errorf("journal: invalid op %q", string(rune(r.Op)))
+			sp.Fail(err)
+			return err
 		}
 		line, err := marshal(r, seq)
 		if err != nil {
+			sp.Fail(err)
 			return err
 		}
 		b.WriteString(line)
@@ -384,13 +402,16 @@ func (j *Journal) Append(recs ...Record) error {
 	}
 	commit, err := marshal(Record{Op: opCommit, Line: strconv.Itoa(len(recs))}, seq)
 	if err != nil {
+		sp.Fail(err)
 		return err
 	}
 	b.WriteString(commit)
 	commitSeq := seq
 	seq++
 	batch := b.String()
-	if err := j.writeDurable(batch, start); err != nil {
+	sp.SetInt("bytes", int64(len(batch)))
+	if err := j.writeDurable(ctx, batch, start); err != nil {
+		sp.Fail(err)
 		return err
 	}
 	firstSeq := j.nextSeq
@@ -423,7 +444,7 @@ func (j *Journal) Probe() error {
 	if j.wedged != nil {
 		return j.wedged
 	}
-	if err := j.writeDurable(probeLine, time.Time{}); err != nil {
+	if err := j.writeDurable(context.Background(), probeLine, time.Time{}); err != nil {
 		return err
 	}
 	j.size += int64(len(probeLine))
@@ -436,8 +457,10 @@ func (j *Journal) Probe() error {
 // writeDurable writes s at the journal tail and fsyncs, retrying
 // transient failures up to j.retries times. Every failed attempt first
 // rolls the file back to the last-known-good offset (j.size); if that
-// rollback fails the journal wedges. Callers hold j.mu.
-func (j *Journal) writeDurable(s string, metricStart time.Time) error {
+// rollback fails the journal wedges. Callers hold j.mu. ctx carries
+// span provenance only (each fsync attempt becomes a journal.fsync
+// span); it does not cancel the write.
+func (j *Journal) writeDurable(ctx context.Context, s string, metricStart time.Time) error {
 	backoff := j.backoff
 	for attempt := 0; ; attempt++ {
 		err := func() error {
@@ -448,7 +471,11 @@ func (j *Journal) writeDurable(s string, metricStart time.Time) error {
 			if j.metrics != nil && !metricStart.IsZero() {
 				syncStart = time.Now()
 			}
-			if err := j.f.Sync(); err != nil {
+			_, fsp := tracing.Start(ctx, "journal.fsync")
+			err := j.f.Sync()
+			fsp.Fail(err)
+			fsp.End()
+			if err != nil {
 				return fmt.Errorf("journal: fsync: %w", err)
 			}
 			if m := j.metrics; m != nil && !syncStart.IsZero() {
@@ -483,6 +510,15 @@ func (j *Journal) writeDurable(s string, metricStart time.Time) error {
 // state and truncates the journal. state should reconstruct the full
 // current database when replayed (typically OpUser + OpAdd records).
 func (j *Journal) Snapshot(state []Record) error {
+	return j.SnapshotCtx(context.Background(), state)
+}
+
+// SnapshotCtx is Snapshot carrying the caller's context for span
+// provenance: the compaction is recorded as a journal.compact span
+// (records, snapshot bytes), so a trace of a request stalled behind
+// compaction names the stall. The context does not cancel the
+// compaction.
+func (j *Journal) SnapshotCtx(ctx context.Context, state []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -491,6 +527,16 @@ func (j *Journal) Snapshot(state []Record) error {
 	if j.wedged != nil {
 		return j.wedged
 	}
+	_, sp := tracing.Start(ctx, "journal.compact")
+	defer sp.End()
+	sp.SetInt("records", int64(len(state)))
+	err := j.snapshotLocked(state)
+	sp.Fail(err)
+	return err
+}
+
+// snapshotLocked is the compaction body; callers hold j.mu.
+func (j *Journal) snapshotLocked(state []Record) error {
 	var start time.Time
 	if j.metrics != nil {
 		start = time.Now()

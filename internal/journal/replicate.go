@@ -22,6 +22,7 @@ package journal
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -236,6 +237,14 @@ func parseBatch(data []byte) (recs []Record, firstSeq, commitSeq uint64, err err
 // caller to apply to its in-memory state, and the journal's new last
 // sequence number.
 func (j *Journal) AppendReplicated(batch []byte) ([]Record, uint64, error) {
+	return j.AppendReplicatedCtx(context.Background(), batch)
+}
+
+// AppendReplicatedCtx is AppendReplicated carrying the follower's
+// session context for span provenance (the durable write's fsyncs
+// become journal.fsync child spans). The context does not cancel the
+// write.
+func (j *Journal) AppendReplicatedCtx(ctx context.Context, batch []byte) ([]Record, uint64, error) {
 	recs, firstSeq, commitSeq, err := parseBatch(batch)
 	if err != nil {
 		return nil, 0, err
@@ -259,7 +268,7 @@ func (j *Journal) AppendReplicated(batch []byte) ([]Record, uint64, error) {
 	if j.metrics != nil {
 		start = time.Now()
 	}
-	if err := j.writeDurable(string(batch), start); err != nil {
+	if err := j.writeDurable(ctx, string(batch), start); err != nil {
 		return nil, 0, err
 	}
 	j.nextSeq = commitSeq + 1

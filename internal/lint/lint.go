@@ -76,6 +76,7 @@ func All() []*Analyzer {
 		MetricNames,
 		NonDeterminism,
 		ErrWrap,
+		Spanend,
 	}
 }
 

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Spanend enforces the PR 7 tracing contract: every span obtained from
+// tracing.Start or a tracer's StartRoot must be ended on every path,
+// or its trace never finalizes — the root span stays open, the request
+// trace is never retained, and child spans accumulate on a trace that
+// cannot complete. A span must therefore either be closed by a defer
+// (a `defer sp.End()` statement, or any deferred closure that calls
+// sp.End()) or be ended explicitly before every return that follows
+// the Start in the same function body.
+//
+// The check is syntactic and per-function-body: nested function
+// literals are analyzed as their own bodies, and a span variable is
+// tracked by name (the last left-hand side of the Start assignment).
+// Assigning the span to the blank identifier is itself a finding — a
+// span nobody can End is always a leak.
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc:  "spans from tracing.Start/StartRoot/StartRootAt must be ended (End or EndAfter) by defer or before every later return",
+	Run:  runSpanend,
+}
+
+func runSpanend(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		tracingPkg, _ := importName(f, "contextpref/internal/tracing")
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				out = append(out, checkSpanBody(r, body, tracingPkg)...)
+			})
+		}
+	}
+	return out
+}
+
+// forEachFuncBody visits body and the body of every function literal
+// under it, calling fn once per body. Each body is analyzed on its
+// own: a return inside a closure does not leave the enclosing
+// function, so span bookkeeping must not cross the boundary.
+func forEachFuncBody(body *ast.BlockStmt, fn func(*ast.BlockStmt)) {
+	fn(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+			forEachFuncBody(lit.Body, fn)
+			return false
+		}
+		return true
+	})
+}
+
+// spanStart is one Start/StartRoot assignment in a function body.
+type spanStart struct {
+	name string
+	pos  token.Pos
+	call string // "tracing.Start" or "StartRoot", for the message
+}
+
+// checkSpanBody applies the span-lifecycle rule to one function body,
+// ignoring nested function literals (they are visited separately),
+// except that deferred closures count as End sites: a span ended in a
+// defer is ended on every path.
+func checkSpanBody(r *Repo, body *ast.BlockStmt, tracingPkg string) []Diagnostic {
+	var starts []spanStart
+	var returns []token.Pos
+	ends := map[string][]token.Pos{} // inline v.End() calls by span name
+	deferred := map[string]bool{}    // v.End() somewhere under a defer
+
+	walkShallow(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			call, callName := spanStartCall(s, tracingPkg)
+			if call == nil {
+				return
+			}
+			name := "_"
+			if id, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident); ok {
+				name = id.Name
+			}
+			starts = append(starts, spanStart{name: name, pos: s.Pos(), call: callName})
+		case *ast.ReturnStmt:
+			returns = append(returns, s.Pos())
+		case *ast.DeferStmt:
+			// Anything End()ed under a defer — directly or inside a
+			// deferred closure — runs on every exit path.
+			ast.Inspect(s, func(m ast.Node) bool {
+				if v, ok := endCallReceiver(m); ok {
+					deferred[v] = true
+				}
+				return true
+			})
+		case *ast.ExprStmt:
+			if v, ok := endCallReceiver(s.X); ok {
+				ends[v] = append(ends[v], s.Pos())
+			}
+		}
+	})
+
+	var out []Diagnostic
+	for _, st := range starts {
+		if st.name == "_" {
+			out = append(out, Diagnostic{r.Fset.Position(st.pos), "spanend",
+				fmt.Sprintf("span from %s is assigned to the blank identifier and can never be End()ed", st.call)})
+			continue
+		}
+		if deferred[st.name] {
+			continue
+		}
+		leaks := false
+		after := 0
+		for _, ret := range returns {
+			if ret <= st.pos {
+				continue
+			}
+			after++
+			if !endedBetween(ends[st.name], st.pos, ret) {
+				leaks = true
+				break
+			}
+		}
+		if after == 0 && !endedBetween(ends[st.name], st.pos, token.Pos(1<<60)) {
+			// No return after the Start: the body falls off its end, so
+			// an End must still appear somewhere after the Start.
+			leaks = true
+		}
+		if leaks {
+			out = append(out, Diagnostic{r.Fset.Position(st.pos), "spanend",
+				fmt.Sprintf("span %q from %s is not End()ed on every path; defer %s.End() or End it before each return",
+					st.name, st.call, st.name)})
+		}
+	}
+	return out
+}
+
+// walkShallow visits every node under body without descending into
+// function literals.
+func walkShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// spanStartCall reports whether the assignment's sole RHS is a span
+// start: tracing.Start(...) (pkg-qualified by the file's import name)
+// or any <expr>.StartRoot(...) (StartRoot is a *tracing.Tracer method;
+// the name is unique to the tracing API in this module).
+func spanStartCall(s *ast.AssignStmt, tracingPkg string) (*ast.CallExpr, string) {
+	if len(s.Rhs) != 1 || len(s.Lhs) != 2 {
+		return nil, ""
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Start":
+		if id, ok := sel.X.(*ast.Ident); ok && tracingPkg != "" && id.Name == tracingPkg {
+			return call, "tracing.Start"
+		}
+	case "StartRoot", "StartRootAt":
+		return call, sel.Sel.Name
+	}
+	return nil, ""
+}
+
+// endCallReceiver matches a span-ending call — v.End() or
+// v.EndAfter(d) — on a plain identifier receiver, returning the
+// identifier name.
+func endCallReceiver(n ast.Node) (string, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "End":
+		if len(call.Args) != 0 {
+			return "", false
+		}
+	case "EndAfter":
+		if len(call.Args) != 1 {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// endedBetween reports whether any End position falls strictly between
+// start and limit.
+func endedBetween(ends []token.Pos, start, limit token.Pos) bool {
+	for _, e := range ends {
+		if e > start && e < limit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package spans
+
+import (
+	"context"
+	"errors"
+
+	"contextpref/internal/tracing"
+)
+
+// leakOnError ends the span on the happy path only: the error return
+// leaves it open.
+func leakOnError(ctx context.Context, fail bool) error {
+	_, sp := tracing.Start(ctx, "op")
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// neverEnded starts a span and falls off the end of the function
+// without ever ending it.
+func neverEnded(ctx context.Context) {
+	_, sp := tracing.Start(ctx, "op")
+	sp.SetInt("n", 1)
+}
+
+// blankSpan discards the span; nobody can ever End it.
+func blankSpan(ctx context.Context) {
+	_, _ = tracing.Start(ctx, "op")
+}
+
+// rootLeak applies the same rule to StartRoot: the early return
+// escapes before the End.
+func rootLeak(t *tracing.Tracer, fail bool) error {
+	_, sp := t.StartRoot(context.Background(), "op", tracing.Traceparent{})
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// closureLeak shows that bodies are checked independently: the span
+// started inside the function literal leaks even though the enclosing
+// function defers an End of its own span.
+func closureLeak(ctx context.Context) func() {
+	_, outer := tracing.Start(ctx, "outer")
+	defer outer.End()
+	return func() {
+		_, inner := tracing.Start(ctx, "inner")
+		inner.SetBool("leaked", true)
+	}
+}

@@ -1,0 +1,70 @@
+package spans
+
+import (
+	"context"
+	"errors"
+
+	"contextpref/internal/tracing"
+)
+
+// deferredEnd is the canonical shape: defer right after Start covers
+// every path.
+func deferredEnd(ctx context.Context, fail bool) error {
+	ctx, sp := tracing.Start(ctx, "op")
+	defer sp.End()
+	if fail {
+		return errors.New("boom")
+	}
+	_ = ctx
+	return nil
+}
+
+// inlineEnd ends the span before any later return — the journal's
+// per-attempt fsync span uses this shape inside a retry closure.
+func inlineEnd(ctx context.Context, work func() error) error {
+	_, sp := tracing.Start(ctx, "op")
+	err := work()
+	sp.Fail(err)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferredClosure ends the span inside a deferred function literal,
+// like the HTTP middleware's root span; that still covers every path.
+func deferredClosure(t *tracing.Tracer, fail bool) error {
+	_, sp := t.StartRoot(context.Background(), "op", tracing.Traceparent{})
+	defer func() {
+		sp.SetBool("failed", fail)
+		sp.End()
+	}()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// earlyReturnBeforeStart returns before the span exists; only returns
+// after the Start need an End.
+func earlyReturnBeforeStart(ctx context.Context, skip bool) error {
+	if skip {
+		return nil
+	}
+	_, sp := tracing.Start(ctx, "op")
+	defer sp.End()
+	return nil
+}
+
+// notATracerStart is a Start on some other type: two values, same
+// method name, but not the tracing package — not a span.
+func notATracerStart(w worker) error {
+	res, err := w.Start("job")
+	_ = res
+	return err
+}
+
+type worker struct{}
+
+func (worker) Start(string) (int, error) { return 0, nil }

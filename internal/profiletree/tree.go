@@ -30,6 +30,7 @@ import (
 	"contextpref/internal/distance"
 	"contextpref/internal/preference"
 	"contextpref/internal/telemetry"
+	"contextpref/internal/tracing"
 )
 
 // PointerBytes is the byte cost charged per internal cell pointer.
@@ -745,22 +746,39 @@ func (t *Tree) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, boo
 // cells accessed before the abort are still counted into the metrics,
 // so cancellations are observable in cp_resolve_cells_total.
 func (t *Tree) ResolveCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
+	ctx, sp := tracing.Start(ctx, "profiletree.resolve")
+	defer sp.End()
 	entries, accesses, err := t.SearchExact(s)
 	if err != nil {
+		sp.Fail(err)
 		return Candidate{}, 0, false, err
 	}
 	if len(entries) > 0 {
 		t.metrics.observe(accesses, 1, true)
+		sp.SetInt("cells", int64(accesses))
+		sp.SetBool("exact", true)
+		sp.SetBool("hit", true)
 		return Candidate{State: s.Clone(), Entries: entries, Distance: 0}, accesses, true, nil
 	}
 	cands, more, err := t.SearchCoverCtx(ctx, s, m)
 	accesses += more
 	if err != nil {
 		t.metrics.observe(accesses, len(cands), false)
+		sp.Fail(err)
 		return Candidate{}, accesses, false, err
 	}
 	best, ok := Best(cands)
 	t.metrics.observe(accesses, len(cands), ok)
+	// The paper's Section 5 cost model, per request: cells visited by
+	// the Search_CS scan, covering candidates found, and the winning
+	// cover's hierarchy distance and specificity.
+	sp.SetInt("cells", int64(accesses))
+	sp.SetInt("candidates", int64(len(cands)))
+	sp.SetBool("hit", ok)
+	if ok {
+		sp.SetFloat("distance", best.Distance)
+		sp.SetInt("specificity", int64(best.Specificity))
+	}
 	return best, accesses, ok, nil
 }
 
@@ -776,12 +794,17 @@ func (t *Tree) ResolveAll(s ctxmodel.State, m distance.Metric) ([]Candidate, int
 // ResolveAllCtx is ResolveAll with cooperative cancellation, on the
 // same contract as ResolveCtx.
 func (t *Tree) ResolveAllCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) ([]Candidate, int, error) {
+	ctx, sp := tracing.Start(ctx, "profiletree.resolve_all")
+	defer sp.End()
 	cands, accesses, err := t.SearchCoverCtx(ctx, s, m)
 	if err != nil {
 		t.metrics.observe(accesses, len(cands), false)
+		sp.Fail(err)
 		return nil, accesses, err
 	}
 	t.metrics.observe(accesses, len(cands), len(cands) > 0)
+	sp.SetInt("cells", int64(accesses))
+	sp.SetInt("candidates", int64(len(cands)))
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
 		if a.Distance != b.Distance {

@@ -13,6 +13,7 @@ import (
 	"contextpref/internal/distance"
 	"contextpref/internal/profiletree"
 	"contextpref/internal/relation"
+	"contextpref/internal/tracing"
 )
 
 // Store is a preference store capable of context resolution: both the
@@ -146,9 +147,25 @@ func (en *Engine) Execute(cq Contextual, current ctxmodel.State) (*Result, error
 // evaluation at the next check instead of running it to completion. The
 // returned error wraps ctx.Err() and is errors.Is-matchable against
 // context.Canceled and context.DeadlineExceeded.
+func (en *Engine) ExecuteCtx(ctx context.Context, cq Contextual, current ctxmodel.State) (*Result, error) {
+	ctx, sp := tracing.Start(ctx, "query.execute")
+	res, err := en.executeCtx(ctx, cq, current)
+	sp.Fail(err)
+	if err == nil {
+		sp.SetInt("states", int64(len(res.Resolutions)))
+		sp.SetInt("tuples", int64(len(res.Tuples)))
+		sp.SetInt("accesses", int64(res.Accesses))
+		sp.SetBool("contextual", res.Contextual)
+	}
+	sp.End()
+	return res, err
+}
+
+// executeCtx is the ExecuteCtx body, split out so the query.execute
+// span can annotate the result on the way out.
 //
 //cpvet:scanloop
-func (en *Engine) ExecuteCtx(ctx context.Context, cq Contextual, current ctxmodel.State) (*Result, error) {
+func (en *Engine) executeCtx(ctx context.Context, cq Contextual, current ctxmodel.State) (*Result, error) {
 	states, err := en.QueryStates(cq, current)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 	"contextpref/internal/ctxmodel"
 	"contextpref/internal/query"
 	"contextpref/internal/relation"
+	"contextpref/internal/tracing"
 )
 
 // Stats reports cache effectiveness counters.
@@ -270,12 +271,14 @@ func (en *Engine) ExecuteCtx(ctx context.Context, cq query.Contextual, current c
 			if tuples, resolution, ok, err := en.cache.Get(states[0]); err != nil {
 				return nil, false, err
 			} else if ok {
+				tracing.AddEvent(ctx, "querytree.hit")
 				return &query.Result{
 					Tuples:      cutTopK(tuples, cq.TopK),
 					Resolutions: []query.Resolution{resolution},
 					Contextual:  true,
 				}, true, nil
 			}
+			tracing.AddEvent(ctx, "querytree.miss")
 			full := cq
 			full.TopK = 0
 			res, err := en.inner.ExecuteCtx(ctx, full, current)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"contextpref/internal/journal"
+	"contextpref/internal/tracing"
 )
 
 // ErrPromoted is returned by Follower.Run when the follower leaves the
@@ -57,6 +58,10 @@ type FollowerConfig struct {
 	// Metrics, when non-nil, records lag, applied records, reconnects,
 	// and installed snapshot sizes.
 	Metrics *Metrics
+	// Tracer, when non-nil, records a replication.graft trace per
+	// applied batch, with the local durable append (and its fsync) as
+	// child spans. Graft traces are follower-originated roots.
+	Tracer *tracing.Tracer
 }
 
 // Follower tails a leader's replication stream into a local journal
@@ -325,17 +330,26 @@ func (f *Follower) applyBatch(conn net.Conn, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	recs, lastSeq, err := f.j.AppendReplicated(data)
+	ctx, sp := f.cfg.Tracer.StartRoot(context.Background(), "replication.graft", tracing.Traceparent{})
+	defer sp.Release() // runs after the End below; the graft is synchronous
+	defer sp.End()
+	sp.SetInt("bytes", int64(len(data)))
+	sp.SetInt("commit_seq", int64(commitSeq))
+	recs, lastSeq, err := f.j.AppendReplicatedCtx(ctx, data)
 	if err != nil {
 		if errors.Is(err, journal.ErrOutOfSync) {
-			return fmt.Errorf("replication: batch [%d,%d] does not graft locally: %w", firstSeq, commitSeq, err)
+			err = fmt.Errorf("replication: batch [%d,%d] does not graft locally: %w", firstSeq, commitSeq, err)
 		}
+		sp.Fail(err)
 		return err
 	}
 	if recs != nil {
 		if err := f.cfg.Apply(recs); err != nil {
-			return fmt.Errorf("%w: %w", errApply, err)
+			err = fmt.Errorf("%w: %w", errApply, err)
+			sp.Fail(err)
+			return err
 		}
+		sp.SetInt("records", int64(len(recs)))
 		if m := f.cfg.Metrics; m != nil {
 			m.Applied.Add(len(recs))
 		}

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"contextpref/internal/journal"
+	"contextpref/internal/tracing"
 )
 
 // LeaderConfig tunes a Leader. The zero value is usable: discard
@@ -30,6 +32,11 @@ type LeaderConfig struct {
 	// Metrics, when non-nil, records shipped record counts and
 	// snapshot bootstrap sizes.
 	Metrics *Metrics
+	// Tracer, when non-nil, records a replication.ship trace per
+	// shipped batch. Ship traces are leader-originated roots (there is
+	// no inbound request to parent them under); retention follows the
+	// tracer's usual slow/error/sample policy.
+	Tracer *tracing.Tracer
 }
 
 // Leader serves the replication protocol over a journal: it taps the
@@ -291,7 +298,15 @@ func (l *Leader) session(conn net.Conn) error {
 		if b.CommitSeq <= sentSeq {
 			return nil // duplicate of the bootstrap read or the queue overlap
 		}
-		if err := writeFrame(conn, frameBatch, encodeBatch(b.FirstSeq, b.CommitSeq, b.Data)); err != nil {
+		_, sp := l.cfg.Tracer.StartRoot(context.Background(), "replication.ship", tracing.Traceparent{})
+		sp.SetInt("records", int64(b.CommitSeq-b.FirstSeq))
+		sp.SetInt("bytes", int64(len(b.Data)))
+		sp.SetInt("commit_seq", int64(b.CommitSeq))
+		err := writeFrame(conn, frameBatch, encodeBatch(b.FirstSeq, b.CommitSeq, b.Data))
+		sp.Fail(err)
+		sp.End()
+		sp.Release()
+		if err != nil {
 			return err
 		}
 		sentSeq = b.CommitSeq

@@ -128,6 +128,17 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return register(r, name, func() *Gauge { return &Gauge{name: name, help: help} })
 }
 
+// GaugeVec returns the registered gauge family with the given label
+// names, creating it if absent. Nil registry → nil handle.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *GaugeVec {
+		return &GaugeVec{name: name, help: help, labels: labels, kids: map[string]*Gauge{}}
+	})
+}
+
 // GaugeFunc registers a gauge whose value is computed by f at scrape
 // time (e.g. goroutine counts, directory sizes). Re-registering a name
 // keeps the first function. Nil registry or nil f → no-op.
@@ -288,8 +299,9 @@ func (v *CounterVec) children() []*Counter {
 // Gauge is a value that can go up and down. All methods are no-ops on a
 // nil receiver.
 type Gauge struct {
-	bits       atomic.Uint64 // float64 bits
-	name, help string
+	bits        atomic.Uint64 // float64 bits
+	name, help  string
+	labelValues []string // non-nil only for vec children
 }
 
 // Set replaces the gauge value.
@@ -334,6 +346,73 @@ func (g *Gauge) writeProm(b *strings.Builder) {
 }
 
 func (g *Gauge) varz() any { return g.Value() }
+
+// GaugeVec is a family of gauges distinguished by label values. The
+// canonical use is an info-style metric (cp_build_info) whose value is
+// constant 1 and whose labels carry the payload.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+	mu         sync.RWMutex
+	kids       map[string]*Gauge
+}
+
+// With returns the child gauge for the given label values (one per
+// label name, in declaration order), creating it on first use. A nil
+// receiver or a label-arity mismatch returns nil, which is itself a
+// safe no-op handle.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.RLock()
+	g, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.kids[key]; ok {
+		return g
+	}
+	g = &Gauge{name: v.name, help: v.help, labelValues: append([]string(nil), values...)}
+	v.kids[key] = g
+	return g
+}
+
+func (v *GaugeVec) meta() (string, string, string) { return v.name, v.help, "gauge" }
+
+func (v *GaugeVec) writeProm(b *strings.Builder) {
+	for _, g := range v.children() {
+		fmt.Fprintf(b, "%s%s %s\n", v.name, labelString(v.labels, g.labelValues), formatFloat(g.Value()))
+	}
+}
+
+func (v *GaugeVec) varz() any {
+	out := make(map[string]float64)
+	for _, g := range v.children() {
+		out[labelString(v.labels, g.labelValues)] = g.Value()
+	}
+	return out
+}
+
+// children returns the child gauges sorted by label key.
+func (v *GaugeVec) children() []*Gauge {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Gauge, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, v.kids[k])
+	}
+	return out
+}
 
 // gaugeFunc is a gauge computed at scrape time.
 type gaugeFunc struct {

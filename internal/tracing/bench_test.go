@@ -1,0 +1,36 @@
+package tracing
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkRequestLifecycle is the tracer's share of one healthy
+// (dropped, zero-sampling) resolve request: a root with the middleware
+// attrs, two nested child spans with the resolver attrs, the
+// traceparent render, and the Release that recycles the block. This is
+// the number the end-to-end overhead bar in BENCH_PR7.json is made of.
+func BenchmarkRequestLifecycle(b *testing.B) {
+	tr := New(Config{SlowTrace: time.Hour})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now() // the middleware's own request timestamp
+		rctx, root := tr.StartRootAt(ctx, "http /resolve", Traceparent{}, start)
+		root.SetString("method", "GET")
+		root.SetString("path", "/resolve")
+		root.SetString("request_id", "42")
+		_ = root.Traceparent()
+		sctx, sys := Start(rctx, "system.resolve_all")
+		_, leaf := Start(sctx, "profiletree.resolve_all")
+		leaf.SetInt("cells", 12)
+		leaf.SetInt("candidates", 3)
+		leaf.End()
+		sys.End()
+		root.SetInt("status", 200)
+		root.EndAfter(time.Since(start))
+		root.Release()
+	}
+}

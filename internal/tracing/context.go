@@ -1,0 +1,62 @@
+package tracing
+
+import (
+	"context"
+	"time"
+)
+
+// spanKey is the context key identifying the current *Span.
+type spanKey struct{}
+
+// A *Span is itself a context.Context: it carries the context it was
+// started under and answers Value(spanKey{}) with itself. Start and
+// StartRoot return the span as the derived context, so threading a
+// span costs no context.WithValue allocation — the span struct (arena-
+// allocated with its trace) is the carrier.
+var _ context.Context = (*Span)(nil)
+
+// Deadline implements context.Context by delegation.
+func (s *Span) Deadline() (time.Time, bool) { return s.ctx.Deadline() }
+
+// Done implements context.Context by delegation.
+func (s *Span) Done() <-chan struct{} { return s.ctx.Done() }
+
+// Err implements context.Context by delegation.
+func (s *Span) Err() error { return s.ctx.Err() }
+
+// Value implements context.Context: the span answers for spanKey and
+// delegates everything else.
+func (s *Span) Value(key any) any {
+	if _, ok := key.(spanKey); ok {
+		return s
+	}
+	return s.ctx.Value(key)
+}
+
+// FromContext returns the current span, or nil when the context carries
+// none (tracing disabled or an un-instrumented entry point).
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Start begins a child of the context's current span and returns a
+// derived context carrying it. When the context has no span — tracing
+// disabled, or a code path entered outside a traced request — it
+// returns (ctx, nil) unchanged, and every method on the nil span
+// no-ops. The caller must End the returned span.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.tr.newSpan(ctx, name, parent.id)
+	return sp, sp
+}
+
+// AddEvent attaches a point-in-time event to the context's current
+// span, if any. It is the lightweight alternative to a child span for
+// instants like cache hits.
+func AddEvent(ctx context.Context, name string) {
+	FromContext(ctx).AddEvent(name)
+}

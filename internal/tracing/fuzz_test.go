@@ -1,0 +1,35 @@
+package tracing
+
+import "testing"
+
+// FuzzTraceparent throws arbitrary header values at the traceparent
+// parser: it must never panic, and every accepted value must survive a
+// format → reparse round trip with the identity fields intact.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-tail")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add("00-\x00\x00-00f067aa0ba902b7-01")
+	f.Fuzz(func(t *testing.T, s string) {
+		tp, ok := ParseTraceparent(s)
+		if !ok {
+			if tp != (Traceparent{}) {
+				t.Fatalf("rejected input %q returned non-zero value %+v", s, tp)
+			}
+			return
+		}
+		if tp.TraceID == ([16]byte{}) || tp.SpanID == ([8]byte{}) {
+			t.Fatalf("accepted %q with a zero id: %+v", s, tp)
+		}
+		out := tp.String()
+		back, ok2 := ParseTraceparent(out)
+		if !ok2 {
+			t.Fatalf("formatted value %q (from %q) did not reparse", out, s)
+		}
+		if back != tp {
+			t.Fatalf("round trip mismatch: %+v -> %q -> %+v", tp, out, back)
+		}
+	})
+}

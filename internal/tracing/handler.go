@@ -1,0 +1,158 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the retained-trace ring on the admin listener:
+//
+//	GET /debug/traces             — JSON list of retained traces, newest first
+//	GET /debug/traces?status=slow — filter by retention status
+//	GET /debug/traces?limit=N     — at most N newest traces
+//	GET /debug/traces/<trace_id>  — one trace as an indented text tree
+//	GET /debug/traces/<trace_id>?format=json — the same trace as JSON
+//
+// ?trace_id=<32 hex> is accepted as an alternative to the path form —
+// it is what a slow-request log line or a traceparent header pastes
+// into naturally.
+//
+// A nil tracer serves an empty list, so the admin surface is stable
+// whether or not tracing is enabled.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/debug/traces")
+		rest = strings.Trim(rest, "/")
+		if rest == "" {
+			rest = r.URL.Query().Get("trace_id")
+		}
+		if rest == "" {
+			serveList(t, w, r)
+			return
+		}
+		serveTrace(t, w, r, rest)
+	})
+}
+
+// traceSummary is one row in the trace list: identity and shape, not
+// the full span set (fetch the single-trace view for that).
+type traceSummary struct {
+	TraceID    string  `json:"trace_id"`
+	Status     string  `json:"status"`
+	Root       string  `json:"root"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+}
+
+func serveList(t *Tracer, w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("status")
+	limit := -1
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	snaps := t.Snapshots()
+	out := make([]traceSummary, 0, len(snaps))
+	for _, ts := range snaps {
+		if filter != "" && ts.Status != filter {
+			continue
+		}
+		if limit >= 0 && len(out) >= limit {
+			break
+		}
+		out = append(out, traceSummary{
+			TraceID:    ts.TraceID,
+			Status:     ts.Status,
+			Root:       ts.Root,
+			Start:      ts.Start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+			DurationMS: float64(ts.Duration.Microseconds()) / 1e3,
+			Spans:      len(ts.Spans),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"traces": out})
+}
+
+func serveTrace(t *Tracer, w http.ResponseWriter, r *http.Request, id string) {
+	ts := t.Lookup(id)
+	if ts == nil {
+		http.Error(w, "trace not found (the ring may have rolled past it)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ts)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(RenderTree(ts)))
+}
+
+// RenderTree renders the trace's span tree as indented text, one span
+// per line with duration, attributes, events, and error, children
+// indented under parents in start order:
+//
+//	trace 0af7651916cd43dd8448eb211c80319c status=slow duration=52.1ms
+//	└─ http.preferences 52.1ms
+//	   └─ system.add_preferences 51.8ms
+//	      └─ journal.append 51.2ms records=1
+//	         └─ journal.fsync 50.9ms
+func RenderTree(ts *TraceSnapshot) string {
+	if ts == nil {
+		return ""
+	}
+	children := make(map[uint64][]SpanData)
+	for _, sp := range ts.Spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			if !kids[i].Start.Equal(kids[j].Start) {
+				return kids[i].Start.Before(kids[j].Start)
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s status=%s duration=%s\n", ts.TraceID, ts.Status, ts.Duration)
+	var walk func(parent uint64, indent string)
+	walk = func(parent uint64, indent string) {
+		kids := children[parent]
+		for i, sp := range kids {
+			branch, next := "├─ ", "│  "
+			if i == len(kids)-1 {
+				branch, next = "└─ ", "   "
+			}
+			b.WriteString(indent)
+			b.WriteString(branch)
+			b.WriteString(sp.Name)
+			fmt.Fprintf(&b, " %s", sp.Duration)
+			for _, a := range sp.Attrs {
+				fmt.Fprintf(&b, " %s=%v", a.Key, a.Value())
+			}
+			for _, e := range sp.Events {
+				fmt.Fprintf(&b, " [%s]", e.Name)
+			}
+			if sp.Err != "" {
+				fmt.Fprintf(&b, " error=%q", sp.Err)
+			}
+			b.WriteByte('\n')
+			walk(sp.ID, indent+next)
+		}
+	}
+	walk(0, "")
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package tracing
+
+import "encoding/hex"
+
+// Traceparent is a parsed W3C traceparent header (version 00):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// The zero value means "no inbound trace context".
+type Traceparent struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Sampled bool
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// known-format version except the invalid 0xff, per the W3C trace
+// context spec's forward-compatibility rule: version-00 values must be
+// exactly four fields, later versions may carry extra suffix fields.
+// All-zero trace or span IDs are rejected.
+func ParseTraceparent(s string) (Traceparent, bool) {
+	var tp Traceparent
+	// version(2) '-' traceid(32) '-' spanid(16) '-' flags(2)
+	if len(s) < 55 {
+		return Traceparent{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return Traceparent{}, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(s[0:2])); err != nil || ver[0] == 0xff {
+		return Traceparent{}, false
+	}
+	if ver[0] == 0 && len(s) != 55 {
+		return Traceparent{}, false
+	}
+	if ver[0] != 0 && len(s) > 55 && s[55] != '-' {
+		return Traceparent{}, false
+	}
+	if _, err := hex.Decode(tp.TraceID[:], []byte(s[3:35])); err != nil {
+		return Traceparent{}, false
+	}
+	if _, err := hex.Decode(tp.SpanID[:], []byte(s[36:52])); err != nil {
+		return Traceparent{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return Traceparent{}, false
+	}
+	if tp.TraceID == ([16]byte{}) || tp.SpanID == ([8]byte{}) {
+		return Traceparent{}, false
+	}
+	tp.Sampled = flags[0]&0x01 != 0
+	return tp, true
+}
+
+// String renders the version-00 header form. The zero value renders an
+// all-zero (invalid) header; callers should not emit it.
+func (tp Traceparent) String() string {
+	// A fixed stack buffer keeps this to the one unavoidable
+	// allocation (the returned string); this runs once per traced
+	// request for the response header.
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], tp.TraceID[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], tp.SpanID[:])
+	buf[52], buf[53] = '-', '0'
+	buf[54] = '0'
+	if tp.Sampled {
+		buf[54] = '1'
+	}
+	return string(buf[:])
+}

@@ -1,0 +1,736 @@
+// Package tracing is a dependency-free request-scoped span tracer for
+// the context-aware preference database: every request gets a tree of
+// named, timed spans with typed attributes, threaded through the same
+// context.Context plumbing the deadline layer laid down.
+//
+// The design goal is provenance, not distributed tracing: when the
+// metrics layer says p99 resolve latency spiked, a retained trace names
+// the guilty stage — a Search_CS cover scan, a journal fsync, admission
+// queueing — with per-span attributes carrying the paper's cost model
+// (cells visited, candidates found, cover level, hierarchy distance).
+//
+// # Retention
+//
+// Completed traces land in a bounded lock-free ring buffer with
+// tail-based retention: every trace that was slow (root duration at or
+// above Config.SlowTrace) or errored is kept verbatim; healthy traces
+// are head-sampled at Config.SampleRate using a deterministic counter
+// (no randomness on the hot path). The ring overwrites oldest-first, so
+// retention is best-effort: a burst of slow traces evicts older ones.
+//
+// # Nil safety
+//
+// Like internal/telemetry, everything degrades to a no-op when
+// disabled: a nil *Tracer returns a nil root span, Start on a context
+// without a span returns a nil span, and every Span method is safe on a
+// nil receiver. Instrumented packages thread spans unconditionally; the
+// disabled cost is one nil check per call.
+//
+// # Concurrency
+//
+// A Span must only be mutated (attributes, events, Fail, End) by one
+// goroutine at a time — the natural shape for request-scoped code.
+// Spans may start and run on different goroutines, but every span must
+// end before the root span ends: ending the root is the trace's
+// synchronization point, where the finished spans are read back whole.
+// Request-scoped code gets this ordering for free — whatever forked a
+// child span joins it before the handler returns. A span still running
+// when the root ends is a contract violation (and, like a span that
+// was never ended, is absent from the snapshot).
+//
+// # Cost
+//
+// A trace's spans, finished-span records, and attributes are carved
+// out of one arena block allocated at StartRoot, and the root owner
+// may hand a dropped trace's block back via Span.Release — the
+// enabled-but-unsampled healthy path then allocates nothing at steady
+// state beyond context plumbing. Ending a non-root span is two field
+// writes; the flat record list, the snapshot, and the trace-ID hex are
+// built only for traces somebody keeps or inspects. That is what keeps
+// the tracer always-on-affordable (see BENCH_PR7.json).
+package tracing
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contextpref/internal/telemetry"
+)
+
+// Config configures a Tracer.
+type Config struct {
+	// SlowTrace is the root-span duration at or above which a trace is
+	// retained verbatim regardless of sampling. Zero disables slow
+	// retention (errored traces are still kept).
+	SlowTrace time.Duration
+	// SampleRate is the fraction of healthy (neither slow nor errored)
+	// traces to retain, in [0, 1]. Sampling is deterministic: every
+	// 1/rate-th root span is kept, so a rate of 0.01 keeps exactly one
+	// trace per hundred, not one in expectation.
+	SampleRate float64
+	// Capacity is the trace ring size (default 256).
+	Capacity int
+	// Metrics receives span/trace accounting; nil disables it.
+	Metrics *Metrics
+}
+
+// Metrics holds the tracer's telemetry instruments. All fields are
+// optional; nil handles no-op.
+type Metrics struct {
+	SpansStarted    *telemetry.Counter // spans created
+	RetainedSlow    *telemetry.Counter // traces kept because slow
+	RetainedError   *telemetry.Counter // traces kept because errored
+	RetainedSampled *telemetry.Counter // healthy traces kept by head sampling
+	Dropped         *telemetry.Counter // healthy traces discarded
+}
+
+// DefaultCapacity is the ring size used when Config.Capacity is zero.
+const DefaultCapacity = 256
+
+// Tracer mints trace/span IDs, decides retention, and owns the ring of
+// retained traces. A nil *Tracer is a valid "tracing disabled" tracer.
+type Tracer struct {
+	slow    time.Duration
+	rate    float64
+	sampleN atomic.Uint64
+	idHi    uint64        // random process prefix for trace IDs
+	idLo    atomic.Uint64 // per-process trace counter
+	slots   []atomic.Pointer[TraceSnapshot]
+	next    atomic.Uint64
+	metrics *Metrics
+	pool    sync.Pool // recycled *trace blocks (see Span.Release)
+}
+
+// New creates a Tracer. The trace-ID prefix is drawn from crypto/rand
+// once at construction; per-trace IDs are a counter under it, so IDs
+// are unique within a process and collision-resistant across restarts.
+func New(cfg Config) *Tracer {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	var seed [8]byte
+	_, _ = rand.Read(seed[:])
+	hi := binary.BigEndian.Uint64(seed[:])
+	if hi == 0 {
+		hi = 1 // trace IDs must be non-zero
+	}
+	return &Tracer{
+		slow:    cfg.SlowTrace,
+		rate:    cfg.SampleRate,
+		idHi:    hi,
+		slots:   make([]atomic.Pointer[TraceSnapshot], capacity),
+		metrics: cfg.Metrics,
+	}
+}
+
+// sampleHead reports whether the n-th healthy trace should be kept.
+// With rate r, the floor of n*r increments exactly on the kept traces,
+// giving deterministic 1-in-1/r retention without math/rand.
+func (t *Tracer) sampleHead() bool {
+	r := t.rate
+	if r <= 0 {
+		return false
+	}
+	if r >= 1 {
+		return true
+	}
+	n := t.sampleN.Add(1)
+	return uint64(float64(n)*r) != uint64(float64(n-1)*r)
+}
+
+// Attr is one typed span attribute. Exactly one value field is
+// meaningful, named by Type ("string", "int", "float", "bool").
+type Attr struct {
+	Key   string  `json:"key"`
+	Type  string  `json:"type"`
+	Str   string  `json:"str,omitempty"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	Bool  bool    `json:"bool,omitempty"`
+}
+
+// Value returns the attribute's value as an untyped interface.
+func (a Attr) Value() any {
+	switch a.Type {
+	case "int":
+		return a.Int
+	case "float":
+		return a.Float
+	case "bool":
+		return a.Bool
+	default:
+		return a.Str
+	}
+}
+
+// Event is a point-in-time annotation on a span (e.g. a query-tree
+// cache hit).
+type Event struct {
+	Name string    `json:"name"`
+	Time time.Time `json:"time"`
+}
+
+// SpanData is the immutable record of one finished span.
+type SpanData struct {
+	ID       uint64        `json:"id"`
+	Parent   uint64        `json:"parent,omitempty"` // 0 for the root
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"error,omitempty"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Events   []Event       `json:"events,omitempty"`
+}
+
+// arenaSpans and arenaAttrChunk size the per-trace arena: one
+// allocation at StartRoot serves the span structs, finished-span
+// records, and attribute storage of a typical request (an instrumented
+// resolve uses three spans; a journaled mutation about seven). Spans
+// and attributes beyond the arena silently fall back to the heap, so
+// the sizes bound the fast path, not the trace.
+const (
+	arenaSpans     = 4
+	arenaAttrChunk = 4
+)
+
+// trace is the mutable in-flight state shared by a request's spans.
+// Everything a healthy (eventually dropped) trace needs lives in this
+// one allocation: span structs come from spanBuf, finished-span
+// records from dataBuf, and attributes from attrBuf, all handed out by
+// atomic indices. Finished spans keep their data in their Span structs;
+// the flat record list is materialized in one pass only when someone
+// needs it — at finalize for retained traces, at Snapshot for dropped
+// ones — so on the zero-sampling hot path a healthy trace costs one
+// allocation and never builds a record at all.
+type trace struct {
+	tracer  *Tracer
+	id      [16]byte
+	sampled bool      // head-sample decision, fixed at root start
+	start   time.Time // root start; child spans derive timestamps from it
+	nextID  atomic.Uint64
+	attrN   atomic.Int32
+
+	mu       sync.Mutex
+	extra    []*Span        // heap spans beyond the arena (rare)
+	spans    []SpanData     // records; see built
+	built    bool           // records materialized from the span structs
+	done     bool           // root span ended; status decided
+	released bool           // returned to the pool (guards double Release)
+	status   string         // set when the root span ends
+	snap     *TraceSnapshot // built at finalize (retained) or on demand
+
+	spanBuf [arenaSpans]Span
+	dataBuf [arenaSpans]SpanData
+	attrBuf [3 * arenaAttrChunk]Attr
+}
+
+// reset readies a recycled trace block for its next request. The
+// arenas are not cleared: newSpan overwrites span fields and the
+// zero-length slices handed out by takeAttrs never expose stale
+// entries.
+func (tr *trace) reset() {
+	tr.nextID.Store(0)
+	tr.attrN.Store(0)
+	tr.extra = nil
+	tr.spans = tr.dataBuf[:0]
+	tr.built = false
+	tr.done = false
+	tr.released = false
+	tr.status = ""
+	tr.snap = nil
+}
+
+// Span is one live timed operation. All methods are no-ops on a nil
+// receiver, so instrumented code needs no enabled/disabled branches. A
+// *Span is also the context.Context returned by Start/StartRoot (see
+// context.go): ctx is the context the span was started under, and
+// deadline/cancellation questions delegate to it.
+type Span struct {
+	tr     *trace
+	ctx    context.Context
+	id     uint64
+	parent uint64 // 0 for the root
+	name   string
+	start  time.Time
+	dur    time.Duration // set by End/EndAfter
+	err    error
+	attrs  []Attr
+	events []Event
+	ended  bool
+}
+
+// StartRoot begins a new trace rooted at a span with the given name and
+// returns a derived context carrying it. remote is the inbound
+// traceparent, if any: its trace ID is adopted (so the caller's trace
+// continues through this process) and its sampled flag forces
+// retention-by-sampling. Pass Traceparent{} when there is none. A nil
+// tracer returns (ctx, nil) unchanged.
+func (t *Tracer) StartRoot(ctx context.Context, name string, remote Traceparent) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.StartRootAt(ctx, name, remote, time.Now())
+}
+
+// StartRootAt is StartRoot with a caller-supplied start time, for
+// callers that already timestamped the request — the HTTP middleware
+// reads the clock once and shares it between its latency metrics, the
+// slow-request log, and the root span.
+func (t *Tracer) StartRootAt(ctx context.Context, name string, remote Traceparent, start time.Time) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	tr, _ := t.pool.Get().(*trace)
+	if tr == nil {
+		tr = &trace{tracer: t}
+		tr.spans = tr.dataBuf[:0]
+	} else {
+		tr.reset()
+	}
+	if remote.TraceID != ([16]byte{}) {
+		tr.id = remote.TraceID
+		tr.sampled = remote.Sampled || t.sampleHead()
+	} else {
+		binary.BigEndian.PutUint64(tr.id[:8], t.idHi)
+		binary.BigEndian.PutUint64(tr.id[8:], t.idLo.Add(1))
+		tr.sampled = t.sampleHead()
+	}
+	tr.start = start
+	sp := tr.newSpanAt(ctx, name, 0, start)
+	return sp, sp
+}
+
+// newSpan hands out the next span in the trace — from the arena while
+// it lasts, from the heap after. ctx is the context the span derives
+// from; the span itself is the derived context (see context.go), so
+// starting a span allocates nothing beyond the span when the arena has
+// room. The child's wall-clock start is derived from the root's: one
+// monotonic-clock read instead of a full time.Now, with the same
+// monotonic component for the later End.
+func (tr *trace) newSpan(ctx context.Context, name string, parent uint64) *Span {
+	return tr.newSpanAt(ctx, name, parent, tr.start.Add(time.Since(tr.start)))
+}
+
+func (tr *trace) newSpanAt(ctx context.Context, name string, parent uint64, start time.Time) *Span {
+	tr.tracer.metrics.spansStarted()
+	id := tr.nextID.Add(1)
+	var sp *Span
+	if id <= arenaSpans {
+		sp = &tr.spanBuf[id-1]
+	} else {
+		sp = new(Span)
+		tr.mu.Lock()
+		tr.extra = append(tr.extra, sp)
+		tr.mu.Unlock()
+	}
+	sp.tr = tr
+	sp.ctx = ctx
+	sp.id = id
+	sp.parent = parent
+	sp.name = name
+	sp.start = start
+	sp.err = nil
+	sp.attrs = nil
+	sp.events = nil
+	sp.ended = false
+	return sp
+}
+
+// takeAttrs carves one attribute chunk out of the trace arena,
+// returning a zero-length slice whose capacity triggers a normal heap
+// grow if the span outruns it. Returns nil once the arena is spent.
+func (tr *trace) takeAttrs() []Attr {
+	n := tr.attrN.Add(arenaAttrChunk)
+	if int(n) > len(tr.attrBuf) {
+		return nil
+	}
+	return tr.attrBuf[n-arenaAttrChunk : n-arenaAttrChunk : n]
+}
+
+func (m *Metrics) spansStarted() {
+	if m != nil {
+		m.SpansStarted.Inc()
+	}
+}
+
+// End finishes the span, recording its duration. Ending the root span
+// finalizes the trace: retention is decided and, if kept, the snapshot
+// is published to the ring. End is idempotent; spans ending after their
+// root has ended are not part of the snapshot.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.finish(time.Since(s.start))
+}
+
+// EndAfter is End with a caller-measured duration, for callers that
+// already read the clock — the HTTP middleware measures the request
+// once and shares the reading between its latency metrics, the
+// slow-request log, and the root span.
+func (s *Span) EndAfter(d time.Duration) {
+	if s == nil || s.ended {
+		return
+	}
+	s.finish(d)
+}
+
+// finish stamps the span done. A non-root span touches nothing shared:
+// its data stays in the span struct, and the root's finalize — the
+// trace's synchronization point — reads it back when something needs
+// the records. Only the root takes the trace lock.
+func (s *Span) finish(dur time.Duration) {
+	s.dur = dur
+	s.ended = true
+	if s.parent != 0 {
+		return
+	}
+	tr := s.tr
+	tr.mu.Lock()
+	if !tr.done {
+		tr.finalizeLocked(s)
+	}
+	tr.mu.Unlock()
+}
+
+// finalizeLocked applies the retention policy. Retained traces get
+// their records and snapshot built and published to the ring here;
+// dropped traces record only the verdict, deferring everything to the
+// rare caller that still asks (Snapshot on the slow-log path) — the
+// zero-sampling healthy path pays for no records, no snapshot, and no
+// hex encoding. Caller holds tr.mu.
+func (tr *trace) finalizeLocked(root *Span) {
+	tr.done = true
+	t := tr.tracer
+	switch {
+	case tr.erroredLocked():
+		tr.status = StatusError
+		t.metricInc(func(m *Metrics) *telemetry.Counter { return m.RetainedError })
+	case t.slow > 0 && root.dur >= t.slow:
+		tr.status = StatusSlow
+		t.metricInc(func(m *Metrics) *telemetry.Counter { return m.RetainedSlow })
+	case tr.sampled:
+		tr.status = StatusSampled
+		t.metricInc(func(m *Metrics) *telemetry.Counter { return m.RetainedSampled })
+	default:
+		tr.status = StatusDropped
+		t.metricInc(func(m *Metrics) *telemetry.Counter { return m.Dropped })
+		return
+	}
+	tr.buildRecordsLocked()
+	snap := tr.buildSnapshotLocked()
+	i := t.next.Add(1) - 1
+	t.slots[i%uint64(len(t.slots))].Store(snap)
+}
+
+// erroredLocked reports whether any finished span failed. Caller holds
+// tr.mu.
+func (tr *trace) erroredLocked() bool {
+	n := tr.nextID.Load()
+	if n > arenaSpans {
+		n = arenaSpans
+	}
+	for i := uint64(0); i < n; i++ {
+		if s := &tr.spanBuf[i]; s.ended && s.err != nil {
+			return true
+		}
+	}
+	for _, s := range tr.extra {
+		if s.ended && s.err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// buildRecordsLocked materializes the flat finished-span list from the
+// span structs, in start order. Spans that never ended (leaked, or
+// still running in violation of the root-ends-last contract) are
+// skipped. Caller holds tr.mu.
+func (tr *trace) buildRecordsLocked() {
+	if tr.built {
+		return
+	}
+	tr.built = true
+	tr.spans = tr.dataBuf[:0]
+	n := tr.nextID.Load()
+	if n > arenaSpans {
+		n = arenaSpans
+	}
+	for i := uint64(0); i < n; i++ {
+		tr.appendRecordLocked(&tr.spanBuf[i])
+	}
+	for _, s := range tr.extra {
+		tr.appendRecordLocked(s)
+	}
+}
+
+func (tr *trace) appendRecordLocked(s *Span) {
+	if !s.ended {
+		return
+	}
+	k := len(tr.spans)
+	if k < cap(tr.spans) {
+		tr.spans = tr.spans[:k+1]
+	} else {
+		tr.spans = append(tr.spans, SpanData{})
+	}
+	d := &tr.spans[k]
+	d.ID = s.id
+	d.Parent = s.parent
+	d.Name = s.name
+	d.Start = s.start
+	d.Duration = s.dur
+	d.Err = ""
+	if s.err != nil {
+		d.Err = s.err.Error()
+	}
+	d.Attrs = s.attrs
+	d.Events = s.events
+}
+
+// buildSnapshotLocked materializes the finished trace. Caller holds
+// tr.mu, has finalized the trace, and has built the records. The root
+// span is always the trace's first span, so its identity is read
+// straight from the first arena slot.
+func (tr *trace) buildSnapshotLocked() *TraceSnapshot {
+	root := &tr.spanBuf[0]
+	tr.snap = &TraceSnapshot{
+		TraceID:  hex.EncodeToString(tr.id[:]),
+		Status:   tr.status,
+		Root:     root.name,
+		Start:    root.start,
+		Duration: root.dur,
+		Spans:    tr.spans,
+	}
+	return tr.snap
+}
+
+func (t *Tracer) metricInc(pick func(*Metrics) *telemetry.Counter) {
+	if t.metrics != nil {
+		pick(t.metrics).Inc()
+	}
+}
+
+// Fail records err on the span; any failed span marks the whole trace
+// errored, which retains it verbatim. A nil err is ignored.
+func (s *Span) Fail(err error) {
+	if s != nil && err != nil {
+		s.err = err
+	}
+}
+
+// addAttr reserves the next attribute slot, sourcing the first chunk
+// of storage from the trace arena. Callers must set every field: a
+// slot from a recycled arena may hold a stale attribute.
+func (s *Span) addAttr() *Attr {
+	if s.attrs == nil {
+		s.attrs = s.tr.takeAttrs()
+	}
+	n := len(s.attrs)
+	if n < cap(s.attrs) {
+		s.attrs = s.attrs[:n+1]
+	} else {
+		s.attrs = append(s.attrs, Attr{})
+	}
+	return &s.attrs[n]
+}
+
+// SetString attaches a string attribute.
+func (s *Span) SetString(key, v string) {
+	if s == nil {
+		return
+	}
+	a := s.addAttr()
+	a.Key, a.Type, a.Str = key, "string", v
+	a.Int, a.Float, a.Bool = 0, 0, false
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	a := s.addAttr()
+	a.Key, a.Type, a.Int = key, "int", v
+	a.Str, a.Float, a.Bool = "", 0, false
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	a := s.addAttr()
+	a.Key, a.Type, a.Float = key, "float", v
+	a.Str, a.Int, a.Bool = "", 0, false
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	a := s.addAttr()
+	a.Key, a.Type, a.Bool = key, "bool", v
+	a.Str, a.Int, a.Float = "", 0, 0
+}
+
+// AddEvent attaches a point-in-time event to the span.
+func (s *Span) AddEvent(name string) {
+	if s != nil {
+		s.events = append(s.events, Event{Name: name, Time: time.Now()})
+	}
+}
+
+// TraceID returns the span's 32-hex-digit trace ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return hex.EncodeToString(s.tr.id[:])
+}
+
+// Traceparent returns the W3C traceparent value identifying this span,
+// for propagation on responses or outbound calls ("" on nil).
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	var tp Traceparent
+	tp.TraceID = s.tr.id
+	binary.BigEndian.PutUint64(tp.SpanID[:], s.id)
+	tp.Sampled = s.tr.sampled
+	return tp.String()
+}
+
+// Snapshot returns the finished trace. It is non-nil only after the
+// root span's End, and is returned even for dropped traces so callers
+// (e.g. the slow-request log) can inspect spans without racing the
+// retention policy.
+func (s *Span) Snapshot() *TraceSnapshot {
+	if s == nil {
+		return nil
+	}
+	tr := s.tr
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.done {
+		return nil
+	}
+	if tr.snap == nil {
+		// Dropped trace: nobody built the records or snapshot at
+		// finalize; do it now for this caller.
+		tr.buildRecordsLocked()
+		return tr.buildSnapshotLocked()
+	}
+	return tr.snap
+}
+
+// Release returns a dropped trace's buffers to the tracer for reuse,
+// making the healthy (unsampled, fast, error-free) path allocation-
+// free at steady state. Call it on the root span only, after the trace
+// is completely finished with: every span ended, and any TraceID,
+// Traceparent, or Snapshot reads done. After Release, every span of
+// the trace is invalid — a span that outlives its root (a background
+// goroutine holding the request context, say) must not exist when
+// Release is used, or it will write into an unrelated later trace.
+// Retained traces and traces whose snapshot was built are never
+// recycled (the ring owns their buffers), so Release is always safe to
+// call unconditionally at the end of a request; it is a no-op on a nil
+// span, a non-root span, and an unfinished or already-released trace.
+func (s *Span) Release() {
+	if s == nil || s.parent != 0 {
+		return
+	}
+	tr := s.tr
+	tr.mu.Lock()
+	ok := tr.done && tr.snap == nil && !tr.released
+	if ok {
+		tr.released = true
+	}
+	tr.mu.Unlock()
+	if ok {
+		tr.tracer.pool.Put(tr)
+	}
+}
+
+// Trace retention statuses.
+const (
+	StatusSlow    = "slow"
+	StatusError   = "error"
+	StatusSampled = "sampled"
+	StatusDropped = "dropped" // never stored in the ring
+)
+
+// TraceSnapshot is one finished trace: the root identity plus every
+// span that ended before the root did. Snapshots are immutable once
+// published.
+type TraceSnapshot struct {
+	TraceID  string        `json:"trace_id"`
+	Status   string        `json:"status"`
+	Root     string        `json:"root"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []SpanData    `json:"spans"`
+}
+
+// Slowest returns up to n non-root spans ordered by descending
+// duration — the "where did the time go" digest for log lines.
+func (ts *TraceSnapshot) Slowest(n int) []SpanData {
+	if ts == nil || n <= 0 {
+		return nil
+	}
+	out := make([]SpanData, 0, len(ts.Spans))
+	for _, sp := range ts.Spans {
+		if sp.Parent != 0 {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].ID < out[j].ID // stable, deterministic tie-break
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Snapshots returns the retained traces, newest first. Nil tracer →
+// nil. The result is a stable copy; the ring keeps rolling underneath.
+func (t *Tracer) Snapshots() []*TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	out := make([]*TraceSnapshot, 0, len(t.slots))
+	for i := range t.slots {
+		if ts := t.slots[i].Load(); ts != nil {
+			out = append(out, ts)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Lookup returns the retained trace with the given hex ID, or nil.
+func (t *Tracer) Lookup(id string) *TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	for i := range t.slots {
+		if ts := t.slots[i].Load(); ts != nil && ts.TraceID == id {
+			return ts
+		}
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+package tracing
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"contextpref/internal/telemetry"
+)
+
+func newTestMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		SpansStarted:    reg.Counter("t_spans_total", ""),
+		RetainedSlow:    reg.Counter("t_slow_total", ""),
+		RetainedError:   reg.Counter("t_err_total", ""),
+		RetainedSampled: reg.Counter("t_sampled_total", ""),
+		Dropped:         reg.Counter("t_dropped_total", ""),
+	}
+}
+
+func TestSpanTreeParentageAndAttrs(t *testing.T) {
+	tr := New(Config{SampleRate: 1})
+	ctx, root := tr.StartRoot(context.Background(), "http.query", Traceparent{})
+	if root == nil {
+		t.Fatal("StartRoot returned nil span on a live tracer")
+	}
+	ctx2, child := Start(ctx, "system.query")
+	child.SetInt("cells", 42)
+	child.SetString("user", "alice")
+	child.SetBool("hit", true)
+	child.SetFloat("distance", 0.5)
+	_, grand := Start(ctx2, "journal.append")
+	AddEvent(ctx2, "querytree.miss")
+	grand.End()
+	child.End()
+	root.End()
+
+	snap := root.Snapshot()
+	if snap == nil {
+		t.Fatal("no snapshot after root End")
+	}
+	if snap.Status != StatusSampled {
+		t.Fatalf("status = %q, want sampled", snap.Status)
+	}
+	if len(snap.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(snap.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range snap.Spans {
+		byName[sp.Name] = sp
+	}
+	r, c, g := byName["http.query"], byName["system.query"], byName["journal.append"]
+	if r.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", r.Parent)
+	}
+	if c.Parent != r.ID {
+		t.Errorf("child parent = %d, want root id %d", c.Parent, r.ID)
+	}
+	if g.Parent != c.ID {
+		t.Errorf("grandchild parent = %d, want child id %d", g.Parent, c.ID)
+	}
+	if len(c.Attrs) != 4 {
+		t.Fatalf("child attrs = %v, want 4", c.Attrs)
+	}
+	want := map[string]any{"cells": int64(42), "user": "alice", "hit": true, "distance": 0.5}
+	for _, a := range c.Attrs {
+		if a.Value() != want[a.Key] {
+			t.Errorf("attr %s = %v (%T), want %v", a.Key, a.Value(), a.Value(), want[a.Key])
+		}
+	}
+	// AddEvent landed on the deepest span in ctx2's chain at call time:
+	// ctx2 carries the child span.
+	if len(c.Events) != 1 || c.Events[0].Name != "querytree.miss" {
+		t.Errorf("child events = %v, want one querytree.miss", c.Events)
+	}
+	if snap.TraceID != root.TraceID() || len(snap.TraceID) != 32 {
+		t.Errorf("trace id mismatch: snap %q, span %q", snap.TraceID, root.TraceID())
+	}
+}
+
+func TestRetentionError(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newTestMetrics(reg)
+	tr := New(Config{SampleRate: 0, Metrics: m})
+	ctx, root := tr.StartRoot(context.Background(), "http.query", Traceparent{})
+	_, child := Start(ctx, "journal.append")
+	child.Fail(errors.New("disk wedged"))
+	child.End()
+	root.End()
+	snap := root.Snapshot()
+	if snap.Status != StatusError {
+		t.Fatalf("status = %q, want error", snap.Status)
+	}
+	if got := tr.Lookup(snap.TraceID); got != snap {
+		t.Fatal("errored trace not retained in ring")
+	}
+	if m.RetainedError.Value() != 1 {
+		t.Errorf("RetainedError = %d, want 1", m.RetainedError.Value())
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name == "journal.append" && sp.Err != "disk wedged" {
+			t.Errorf("span err = %q, want disk wedged", sp.Err)
+		}
+	}
+}
+
+func TestRetentionSlow(t *testing.T) {
+	tr := New(Config{SlowTrace: time.Nanosecond, SampleRate: 0})
+	_, root := tr.StartRoot(context.Background(), "http.query", Traceparent{})
+	time.Sleep(time.Millisecond)
+	root.End()
+	if snap := root.Snapshot(); snap.Status != StatusSlow {
+		t.Fatalf("status = %q, want slow", snap.Status)
+	}
+	if len(tr.Snapshots()) != 1 {
+		t.Fatal("slow trace not retained")
+	}
+}
+
+func TestRetentionDropped(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newTestMetrics(reg)
+	tr := New(Config{SampleRate: 0, Metrics: m})
+	_, root := tr.StartRoot(context.Background(), "http.query", Traceparent{})
+	root.End()
+	snap := root.Snapshot()
+	if snap == nil || snap.Status != StatusDropped {
+		t.Fatalf("snapshot = %+v, want dropped status", snap)
+	}
+	if len(tr.Snapshots()) != 0 {
+		t.Fatal("dropped trace leaked into the ring")
+	}
+	if m.Dropped.Value() != 1 {
+		t.Errorf("Dropped = %d, want 1", m.Dropped.Value())
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	tr := New(Config{SampleRate: 0.25})
+	kept := 0
+	for i := 0; i < 100; i++ {
+		_, root := tr.StartRoot(context.Background(), "r", Traceparent{})
+		root.End()
+		if root.Snapshot().Status == StatusSampled {
+			kept++
+		}
+	}
+	if kept != 25 {
+		t.Fatalf("kept %d of 100 at rate 0.25, want exactly 25 (sampling must be deterministic)", kept)
+	}
+}
+
+func TestRemoteParentAdoptedAndSampled(t *testing.T) {
+	tr := New(Config{SampleRate: 0})
+	tp, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("canonical traceparent did not parse")
+	}
+	_, root := tr.StartRoot(context.Background(), "http.query", tp)
+	if got := root.TraceID(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %q, want the inbound one", got)
+	}
+	out := root.Traceparent()
+	if !strings.HasPrefix(out, "00-4bf92f3577b34da6a3ce929d0e0e4736-") || !strings.HasSuffix(out, "-01") {
+		t.Fatalf("outbound traceparent %q does not continue the inbound trace as sampled", out)
+	}
+	root.End()
+	if root.Snapshot().Status != StatusSampled {
+		t.Fatal("remote sampled flag did not force retention")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Capacity: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, root := tr.StartRoot(context.Background(), "r", Traceparent{})
+		root.End()
+		ids = append(ids, root.TraceID())
+		time.Sleep(time.Millisecond) // distinct Start times for newest-first order
+	}
+	snaps := tr.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(snaps))
+	}
+	if snaps[0].TraceID != ids[2] || snaps[1].TraceID != ids[1] {
+		t.Fatalf("ring = [%s %s], want newest-first [%s %s]",
+			snaps[0].TraceID, snaps[1].TraceID, ids[2], ids[1])
+	}
+	if tr.Lookup(ids[0]) != nil {
+		t.Fatal("oldest trace should have been overwritten")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.StartRoot(context.Background(), "r", Traceparent{})
+	if root != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	ctx2, child := Start(ctx, "c")
+	if child != nil || ctx2 != ctx {
+		t.Fatal("Start without a span must return (ctx, nil) unchanged")
+	}
+	// All of these must be safe no-ops.
+	child.SetInt("k", 1)
+	child.SetString("k", "v")
+	child.SetBool("k", true)
+	child.SetFloat("k", 1.5)
+	child.AddEvent("e")
+	child.Fail(errors.New("x"))
+	child.End()
+	AddEvent(ctx, "e")
+	if child.TraceID() != "" || child.Traceparent() != "" || child.Snapshot() != nil {
+		t.Fatal("nil span getters must return zero values")
+	}
+	if tr.Snapshots() != nil || tr.Lookup("x") != nil {
+		t.Fatal("nil tracer getters must return nil")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New(Config{SampleRate: 1})
+	_, root := tr.StartRoot(context.Background(), "r", Traceparent{})
+	root.End()
+	root.End()
+	if n := len(root.Snapshot().Spans); n != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", n)
+	}
+}
+
+func TestSlowestExcludesRootAndOrders(t *testing.T) {
+	ts := &TraceSnapshot{Spans: []SpanData{
+		{ID: 1, Parent: 0, Name: "root", Duration: 100 * time.Millisecond},
+		{ID: 2, Parent: 1, Name: "a", Duration: 5 * time.Millisecond},
+		{ID: 3, Parent: 1, Name: "b", Duration: 50 * time.Millisecond},
+		{ID: 4, Parent: 3, Name: "c", Duration: 20 * time.Millisecond},
+		{ID: 5, Parent: 1, Name: "d", Duration: time.Millisecond},
+	}}
+	got := ts.Slowest(3)
+	if len(got) != 3 || got[0].Name != "b" || got[1].Name != "c" || got[2].Name != "a" {
+		t.Fatalf("Slowest(3) = %v, want [b c a]", got)
+	}
+	if (*TraceSnapshot)(nil).Slowest(3) != nil {
+		t.Fatal("nil snapshot Slowest must return nil")
+	}
+}
+
+func TestHandlerListAndTree(t *testing.T) {
+	tr := New(Config{SampleRate: 1})
+	ctx, root := tr.StartRoot(context.Background(), "http.query", Traceparent{})
+	_, child := Start(ctx, "system.query")
+	child.SetInt("cells", 7)
+	child.End()
+	root.End()
+	id := root.TraceID()
+
+	h := Handler(tr)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), id) {
+		t.Fatalf("list: code %d body %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+id, nil))
+	body := rec.Body.String()
+	if rec.Code != 200 {
+		t.Fatalf("tree: code %d", rec.Code)
+	}
+	for _, want := range []string{"trace " + id, "└─ http.query", "   └─ system.query", "cells=7"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("tree output missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+id+"?format=json", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"system.query"`) {
+		t.Fatalf("json: code %d body %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing trace: code %d, want 404", rec.Code)
+	}
+
+	// Filtered list excludes non-matching statuses.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?status=error", nil))
+	if strings.Contains(rec.Body.String(), id) {
+		t.Fatal("status filter did not exclude the sampled trace")
+	}
+
+	// ?trace_id= is the paste-from-a-log-line form of the path lookup.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace_id="+id, nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "trace "+id) {
+		t.Fatalf("trace_id param: code %d body %q", rec.Code, rec.Body.String())
+	}
+
+	// ?limit bounds the list (0 is a valid "just the shape" probe);
+	// junk is a 400, not a silent full listing.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?limit=0", nil))
+	if rec.Code != 200 || strings.Contains(rec.Body.String(), id) {
+		t.Fatalf("limit=0: code %d body %q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?limit=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("limit=bogus: code %d, want 400", rec.Code)
+	}
+
+	// A nil tracer serves an empty list, not a panic.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil tracer list: code %d", rec.Code)
+	}
+}
+
+func TestLateChildNotInSnapshot(t *testing.T) {
+	tr := New(Config{SampleRate: 1})
+	ctx, root := tr.StartRoot(context.Background(), "r", Traceparent{})
+	_, child := Start(ctx, "async")
+	root.End()
+	child.End() // after the root: must not mutate the published snapshot
+	if n := len(root.Snapshot().Spans); n != 1 {
+		t.Fatalf("snapshot has %d spans, want 1 (late child excluded)", n)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", true},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},
+		{"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true}, // future version
+		{"", false},
+		{"00", false},
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", false}, // zero trace id
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false}, // zero span id
+		{"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false}, // invalid version
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", false},
+		{"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+	}
+	for _, c := range cases {
+		tp, ok := ParseTraceparent(c.in)
+		if ok != c.ok {
+			t.Errorf("ParseTraceparent(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		back, ok2 := ParseTraceparent(tp.String())
+		if !ok2 || back != tp {
+			t.Errorf("round trip of %q: got %+v via %q", c.in, back, tp.String())
+		}
+	}
+}
+
+func TestConcurrentSpansOneTrace(t *testing.T) {
+	tr := New(Config{SampleRate: 1})
+	ctx, root := tr.StartRoot(context.Background(), "r", Traceparent{})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer close(make(chan struct{}))
+			_, sp := Start(ctx, "worker")
+			sp.SetInt("i", 1)
+			sp.End()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	root.End()
+	if n := len(root.Snapshot().Spans); n != 9 {
+		t.Fatalf("got %d spans, want 9", n)
+	}
+}
+
+// TestReleasePoolSafety pins the recycling contract: Release recycles
+// only dropped traces whose snapshot was never built, a snapshot taken
+// before Release pins the buffers against reuse, retained traces are
+// never recycled, and Release is idempotent and nil-safe.
+func TestReleasePoolSafety(t *testing.T) {
+	tr := New(Config{})
+	// Dropped and untouched: eligible for recycling.
+	_, a := tr.StartRoot(context.Background(), "a", Traceparent{})
+	a.End()
+	a.Release()
+	a.Release() // second call must be a no-op
+
+	// Dropped but snapshotted: the snapshot must survive later traces
+	// reusing the pool.
+	_, c := tr.StartRoot(context.Background(), "c", Traceparent{})
+	c.SetString("k", "v")
+	c.End()
+	snap := c.Snapshot()
+	if snap == nil || snap.Status != StatusDropped {
+		t.Fatalf("snapshot = %+v, want a dropped trace", snap)
+	}
+	c.Release()
+	for i := 0; i < 4; i++ {
+		_, d := tr.StartRoot(context.Background(), "d", Traceparent{})
+		d.SetString("k", "overwritten")
+		d.End()
+		d.Release()
+	}
+	if snap.Root != "c" || len(snap.Spans) != 1 {
+		t.Fatalf("snapshot corrupted by pool reuse: %+v", snap)
+	}
+	if got := snap.Spans[0].Attrs[0].Str; got != "v" {
+		t.Fatalf("snapshot attr = %q, want %q (buffer was recycled)", got, "v")
+	}
+
+	// Retained trace: Release is a no-op and the ring entry survives.
+	kept := New(Config{SampleRate: 1})
+	_, r := kept.StartRoot(context.Background(), "r", Traceparent{})
+	r.End()
+	id := r.TraceID()
+	r.Release()
+	_, r2 := kept.StartRoot(context.Background(), "r2", Traceparent{})
+	r2.End()
+	if got := kept.Lookup(id); got == nil || got.Root != "r" {
+		t.Fatalf("retained trace %s lost or corrupted after Release: %+v", id, got)
+	}
+
+	var nilSpan *Span
+	nilSpan.Release() // must not panic
+}

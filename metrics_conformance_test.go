@@ -57,6 +57,10 @@ func buildLiveRegistry(t *testing.T) *contextpref.TelemetryRegistry {
 		t.Fatal("NewReplicationMetrics returned nil for a live registry")
 	}
 	contextpref.RegisterHealthTelemetry(contextpref.NewHealth(), reg)
+	if m := contextpref.NewTraceMetrics(reg); m == nil {
+		t.Fatal("NewTraceMetrics returned nil for a live registry")
+	}
+	contextpref.RegisterBuildInfo(reg)
 	if _, err := httpapi.New(sys, httpapi.WithTelemetry(reg)); err != nil {
 		t.Fatal(err)
 	}
@@ -118,5 +122,42 @@ func TestLiveRegistryNameConformance(t *testing.T) {
 		if _, ok := kinds[name]; !ok {
 			t.Errorf("exception for %s no longer matches a registered metric; drop it", name)
 		}
+	}
+}
+
+// TestBuildInfoMetric: cp_build_info is a constant-1 gauge carrying
+// the build identity as labels — the join key for correlating scrapes
+// with deploys. A test binary runs outside VCS stamping, so the label
+// values may be "unknown", but the labels themselves must be present.
+func TestBuildInfoMetric(t *testing.T) {
+	reg := contextpref.NewTelemetryRegistry()
+	contextpref.RegisterBuildInfo(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "cp_build_info{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("cp_build_info not exposed:\n%s", out)
+	}
+	for _, want := range []string{`go_version="`, `vcs_revision="`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("cp_build_info is missing the %s label: %s", want, line)
+		}
+	}
+	if !strings.HasSuffix(line, " 1") {
+		t.Errorf("cp_build_info must be constant 1: %s", line)
+	}
+	// The Go version is always stamped into a `go test` binary, so the
+	// label should carry a real value here, not the fallback.
+	if strings.Contains(line, `go_version="unknown"`) {
+		t.Errorf("go_version fell back to unknown in a go-built binary: %s", line)
 	}
 }

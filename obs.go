@@ -10,10 +10,13 @@ package contextpref
 // and the library stays embeddable.
 
 import (
+	"runtime/debug"
+
 	"contextpref/internal/journal"
 	"contextpref/internal/profiletree"
 	"contextpref/internal/replication"
 	"contextpref/internal/telemetry"
+	"contextpref/internal/tracing"
 )
 
 // TelemetryRegistry is the metrics registry instrumented components
@@ -124,6 +127,54 @@ func NewReplicationMetrics(reg *TelemetryRegistry) *replication.Metrics {
 		SnapshotBytes: reg.Gauge("cp_replication_snapshot_bytes",
 			"Size of the last bootstrap snapshot shipped or installed."),
 	}
+}
+
+// NewTraceMetrics builds the tracing instruments (cp_trace_*): spans
+// started, completed traces retained by reason, and traces dropped by
+// sampling. A nil registry returns nil, which the tracer treats as
+// "telemetry disabled".
+func NewTraceMetrics(reg *TelemetryRegistry) *tracing.Metrics {
+	if reg == nil {
+		return nil
+	}
+	retained := reg.CounterVec("cp_trace_retained_total",
+		"Completed traces retained in the trace ring, by reason (slow, error, sampled).",
+		"reason")
+	return &tracing.Metrics{
+		SpansStarted: reg.Counter("cp_trace_spans_total",
+			"Spans started by the tracer."),
+		RetainedSlow:    retained.With("slow"),
+		RetainedError:   retained.With("error"),
+		RetainedSampled: retained.With("sampled"),
+		Dropped: reg.Counter("cp_trace_dropped_total",
+			"Healthy completed traces discarded by head sampling."),
+	}
+}
+
+// RegisterBuildInfo exports the cp_build_info gauge: constant 1, with
+// the Go toolchain version and the VCS revision the binary was built
+// from as labels — the standard join key for correlating a scrape with
+// a deploy. Unknown fields (e.g. a test binary built outside VCS)
+// render as "unknown". A nil registry is a no-op.
+func RegisterBuildInfo(reg *TelemetryRegistry) {
+	if reg == nil {
+		return
+	}
+	goVersion, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	reg.GaugeVec("cp_build_info",
+		"Build metadata: constant 1 labeled with the Go version and VCS revision.",
+		"go_version", "vcs_revision").
+		With(goVersion, revision).Set(1)
 }
 
 // RegisterHealthTelemetry attaches the degraded-mode instruments

@@ -15,6 +15,7 @@ package contextpref
 // replay, which re-applies the already-validated record.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,17 +24,20 @@ import (
 
 // Persister observes committed profile mutations so they can be made
 // durable. user is "" in single-user deployments and the directory key
-// in multi-user ones. Implementations must be safe for concurrent use.
+// in multi-user ones. The context carries request-scoped observability
+// (tracing spans, deadlines are advisory — a started persist must
+// complete or roll back whole regardless of cancellation). Implementations
+// must be safe for concurrent use.
 type Persister interface {
 	// PersistCreateUser records the creation of a user profile.
-	PersistCreateUser(user string) error
+	PersistCreateUser(ctx context.Context, user string) error
 	// PersistAdd records an added preference batch. The batch must be
 	// made durable atomically (all or nothing).
-	PersistAdd(user string, ps ...Preference) error
+	PersistAdd(ctx context.Context, user string, ps ...Preference) error
 	// PersistRemove records a removed preference.
-	PersistRemove(user string, p Preference) error
+	PersistRemove(ctx context.Context, user string, p Preference) error
 	// PersistDropUser records the deletion of a user profile.
-	PersistDropUser(user string) error
+	PersistDropUser(ctx context.Context, user string) error
 }
 
 // PersistError wraps a failure to persist a mutation. The in-memory
@@ -70,28 +74,28 @@ func NewJournalPersister(j *journal.Journal) *JournalPersister {
 func (jp *JournalPersister) Journal() *journal.Journal { return jp.j }
 
 // PersistCreateUser appends a user-created record.
-func (jp *JournalPersister) PersistCreateUser(user string) error {
-	return jp.j.Append(journal.Record{Op: journal.OpUser, User: user})
+func (jp *JournalPersister) PersistCreateUser(ctx context.Context, user string) error {
+	return jp.j.AppendCtx(ctx, journal.Record{Op: journal.OpUser, User: user})
 }
 
 // PersistAdd appends one add-record per preference as a single fsync'd
 // batch.
-func (jp *JournalPersister) PersistAdd(user string, ps ...Preference) error {
+func (jp *JournalPersister) PersistAdd(ctx context.Context, user string, ps ...Preference) error {
 	recs := make([]journal.Record, len(ps))
 	for i, p := range ps {
 		recs[i] = journal.Record{Op: journal.OpAdd, User: user, Line: FormatPreference(p)}
 	}
-	return jp.j.Append(recs...)
+	return jp.j.AppendCtx(ctx, recs...)
 }
 
 // PersistRemove appends a remove-record.
-func (jp *JournalPersister) PersistRemove(user string, p Preference) error {
-	return jp.j.Append(journal.Record{Op: journal.OpRemove, User: user, Line: FormatPreference(p)})
+func (jp *JournalPersister) PersistRemove(ctx context.Context, user string, p Preference) error {
+	return jp.j.AppendCtx(ctx, journal.Record{Op: journal.OpRemove, User: user, Line: FormatPreference(p)})
 }
 
 // PersistDropUser appends a user-dropped record.
-func (jp *JournalPersister) PersistDropUser(user string) error {
-	return jp.j.Append(journal.Record{Op: journal.OpDrop, User: user})
+func (jp *JournalPersister) PersistDropUser(ctx context.Context, user string) error {
+	return jp.j.AppendCtx(ctx, journal.Record{Op: journal.OpDrop, User: user})
 }
 
 // SetPersister attaches a persistence hook to the system; subsequent
@@ -149,7 +153,7 @@ func (d *Directory) Replay(recs []journal.Record) error {
 			d.mu.Unlock()
 			continue
 		}
-		sys, err := d.user(r.User, false)
+		sys, err := d.user(context.Background(), r.User, false)
 		if err != nil {
 			return fmt.Errorf("contextpref: replaying record %d: %w", i, err)
 		}
@@ -228,7 +232,7 @@ func (d *Directory) ApplyReplicated(recs []journal.Record) error {
 			}
 			continue
 		}
-		sys, err := d.user(r.User, false)
+		sys, err := d.user(context.Background(), r.User, false)
 		if err != nil {
 			return fmt.Errorf("contextpref: applying replicated record %d: %w", i, err)
 		}

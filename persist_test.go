@@ -1,6 +1,7 @@
 package contextpref
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -235,10 +236,18 @@ func TestDirectorySnapshotCompaction(t *testing.T) {
 // when persistence fails.
 type failingPersister struct{}
 
-func (failingPersister) PersistCreateUser(string) error         { return errors.New("disk full") }
-func (failingPersister) PersistAdd(string, ...Preference) error { return errors.New("disk full") }
-func (failingPersister) PersistRemove(string, Preference) error { return errors.New("disk full") }
-func (failingPersister) PersistDropUser(string) error           { return errors.New("disk full") }
+func (failingPersister) PersistCreateUser(context.Context, string) error {
+	return errors.New("disk full")
+}
+func (failingPersister) PersistAdd(context.Context, string, ...Preference) error {
+	return errors.New("disk full")
+}
+func (failingPersister) PersistRemove(context.Context, string, Preference) error {
+	return errors.New("disk full")
+}
+func (failingPersister) PersistDropUser(context.Context, string) error {
+	return errors.New("disk full")
+}
 
 func TestPersistFailureLeavesStateUntouched(t *testing.T) {
 	env, rel := persistFixture(t)

@@ -1,0 +1,114 @@
+package contextpref_test
+
+// Scrape-vs-mutation race coverage: the admin listener's /metrics and
+// /varz handlers iterate the whole registry — every counter, vec
+// child, gauge func, and histogram — while the serving hot paths
+// mutate those same instruments. Under -race this test proves the
+// registry's synchronization end to end: concurrent scrapes in both
+// formats race live resolutions, trace retention, directory mutations,
+// and dynamic vec-child creation.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"contextpref"
+	"contextpref/internal/dataset"
+	"contextpref/internal/tracing"
+)
+
+func TestConcurrentScrapesRaceHotPath(t *testing.T) {
+	reg := contextpref.NewTelemetryRegistry()
+	contextpref.RegisterBuildInfo(reg)
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := dataset.POIs(env, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := contextpref.NewDirectory(env, rel,
+		contextpref.WithDirectoryTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := tracing.New(tracing.Config{
+		SampleRate: 1, // retain everything: retention counters race the scrapes
+		Metrics:    contextpref.NewTraceMetrics(reg),
+	})
+
+	metricsH := reg.MetricsHandler()
+	varzH := reg.VarzHandler()
+
+	const iters = 200
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+
+	// Hot-path mutators: per-user resolution cost counters, directory
+	// population gauges, and trace retention counters all move while
+	// the scrapers below iterate the registry.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sys, err := dir.User("alice")
+		if err != nil {
+			errc <- err
+			return
+		}
+		if err := sys.LoadProfile("[] => type = park : 0.4"); err != nil {
+			errc <- err
+			return
+		}
+		st, err := sys.NewState("friends", "t03", "ath_r01")
+		if err != nil {
+			errc <- err
+			return
+		}
+		for i := 0; i < iters; i++ {
+			if _, _, err := sys.Resolve(st); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_, sp := tracer.StartRoot(t.Context(), "race.root", tracing.Traceparent{})
+			sp.SetInt("i", int64(i))
+			sp.End()
+		}
+	}()
+
+	// Scrapers: full registry walks in both exposition formats.
+	for _, target := range []string{"/metrics", "/varz"} {
+		wg.Add(1)
+		go func(target string) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest("GET", target, nil)
+				if target == "/metrics" {
+					metricsH.ServeHTTP(rec, req)
+				} else {
+					varzH.ServeHTTP(rec, req)
+				}
+				if rec.Code != 200 {
+					errc <- fmt.Errorf("%s scrape answered %d", target, rec.Code)
+					return
+				}
+			}
+		}(target)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

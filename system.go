@@ -10,6 +10,7 @@ import (
 	"contextpref/internal/query"
 	"contextpref/internal/querytree"
 	"contextpref/internal/relation"
+	"contextpref/internal/tracing"
 )
 
 // System is the assembled context-aware preference database: a profile
@@ -145,23 +146,38 @@ func (s *System) AddPreference(p Preference) error {
 // removal is journaled before it is applied (replaying a removal that
 // matched nothing is a harmless no-op).
 func (s *System) RemovePreference(p Preference) (int, error) {
+	return s.RemovePreferenceCtx(context.Background(), p)
+}
+
+// RemovePreferenceCtx is RemovePreference carrying the request context
+// for span provenance: the removal is recorded as a
+// system.remove_preference span with the journal write as a child.
+func (s *System) RemovePreferenceCtx(ctx context.Context, p Preference) (int, error) {
+	ctx, sp := tracing.Start(ctx, "system.remove_preference")
+	defer sp.End()
 	if err := s.health.Gate(); err != nil {
+		sp.Fail(err)
 		return 0, err
 	}
 	// Validate the descriptor up front so the post-journal delete
 	// cannot fail.
 	if _, err := p.Descriptor.Context(s.env); err != nil {
+		sp.Fail(err)
 		return 0, err
 	}
 	if s.persist != nil {
-		if err := s.persist.PersistRemove(s.persistUser, p); err != nil {
-			return 0, s.health.fail(&PersistError{Op: "remove", Err: err})
+		if err := s.persist.PersistRemove(ctx, s.persistUser, p); err != nil {
+			err = s.health.fail(&PersistError{Op: "remove", Err: err})
+			sp.Fail(err)
+			return 0, err
 		}
 	}
 	removed, err := s.tree.Delete(p)
 	if err != nil {
+		sp.Fail(err)
 		return removed, err
 	}
+	sp.SetInt("removed", int64(removed))
 	if removed > 0 && s.cache != nil {
 		s.cache.Invalidate()
 	}
@@ -176,22 +192,38 @@ func (s *System) RemovePreference(p Preference) (int, error) {
 // committed state. Errors are annotated with the failing index
 // ("preference 1: ...").
 func (s *System) AddPreferences(ps ...Preference) error {
+	return s.AddPreferencesCtx(context.Background(), ps...)
+}
+
+// AddPreferencesCtx is AddPreferences carrying the request context for
+// span provenance: the batch is recorded as a system.add_preferences
+// span (count attribute) with the journal append — typically the
+// dominant cost, being an fsync — as a child span.
+func (s *System) AddPreferencesCtx(ctx context.Context, ps ...Preference) error {
 	if len(ps) == 0 {
 		return nil
 	}
+	ctx, sp := tracing.Start(ctx, "system.add_preferences")
+	defer sp.End()
+	sp.SetInt("count", int64(len(ps)))
 	if err := s.health.Gate(); err != nil {
+		sp.Fail(err)
 		return err
 	}
 	if err := s.tree.CheckInsert(ps...); err != nil {
+		sp.Fail(err)
 		return err
 	}
 	if s.persist != nil {
-		if err := s.persist.PersistAdd(s.persistUser, ps...); err != nil {
-			return s.health.fail(&PersistError{Op: "add", Err: err})
+		if err := s.persist.PersistAdd(ctx, s.persistUser, ps...); err != nil {
+			err = s.health.fail(&PersistError{Op: "add", Err: err})
+			sp.Fail(err)
+			return err
 		}
 	}
 	if err := s.tree.InsertAll(ps...); err != nil {
 		// Unreachable after CheckInsert; kept as a guard.
+		sp.Fail(err)
 		return err
 	}
 	if s.cache != nil {
@@ -208,11 +240,17 @@ func (s *System) AddProfile(pr *Profile) error {
 // LoadProfile parses the line encoding ("[desc] => clause : score" per
 // line) and inserts every preference.
 func (s *System) LoadProfile(text string) error {
+	return s.LoadProfileCtx(context.Background(), text)
+}
+
+// LoadProfileCtx is LoadProfile carrying the request context for span
+// provenance; the insertion rides on the system.add_preferences span.
+func (s *System) LoadProfileCtx(ctx context.Context, text string) error {
 	pr, err := preference.ParseProfile(s.env, text)
 	if err != nil {
 		return err
 	}
-	return s.AddProfile(pr)
+	return s.AddPreferencesCtx(ctx, pr.Preferences()...)
 }
 
 // NumPreferences returns how many preferences the system stores.
