@@ -23,7 +23,7 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Tier-1 benchmarks as machine-readable JSON, for diffing in CI.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 # The paired tracing benchmark runs in its own pass with a long fixed
 # iteration count: its overhead_% metric compares two loopback-HTTP
 # arms whose scheduler noise only averages out over tens of thousands

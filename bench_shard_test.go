@@ -1,0 +1,91 @@
+package contextpref
+
+// BenchmarkDirectorySharded contrasts directory throughput under a
+// contended mixed workload between the single-lock baseline (one
+// shard) and a sharded directory: every goroutine resolves against its
+// own user's profile through Directory.Lookup (a shard read-lock per
+// op), and every eighth operation churns a transient user through
+// User + RemoveUser (two shard write-locks). With one shard the churn
+// serializes every lookup in the directory; with eight, only the churn
+// shard stalls.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"contextpref/internal/dataset"
+)
+
+func BenchmarkDirectorySharded(b *testing.B) {
+	// Underscored names: benchjson strips a trailing -N (the GOMAXPROCS
+	// suffix), which would swallow a "shards-8" spelling.
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards_%d", shards), func(b *testing.B) {
+			benchmarkDirectoryMixed(b, shards)
+		})
+	}
+}
+
+func benchmarkDirectoryMixed(b *testing.B, shards int) {
+	const numUsers = 64
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := dataset.POIs(env, 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDirectory(env, rel, WithShards(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, numUsers)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-u-%03d", i)
+		sys, err := d.User(names[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.LoadProfile("[] => type = park : 0.4"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, err := env.NewState(
+		env.Param(0).Hierarchy().DetailedValues()[0],
+		env.Param(1).Hierarchy().DetailedValues()[0],
+		env.Param(2).Hierarchy().DetailedValues()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var gid atomic.Int64
+	// Several goroutines per core: the point is lock contention, which
+	// a single-goroutine run (GOMAXPROCS=1) would never exhibit.
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := gid.Add(1)
+		name := names[int(g-1)%numUsers]
+		for i := 0; pb.Next(); i++ {
+			if i%8 == 0 {
+				churn := fmt.Sprintf("bench-churn-%d-%d", g, i)
+				if _, err := d.User(churn); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.RemoveUser(churn); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			sys, ok := d.Lookup(name)
+			if !ok {
+				b.Fatalf("user %q vanished", name)
+			}
+			if _, _, err := sys.Resolve(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

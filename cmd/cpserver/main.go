@@ -12,7 +12,8 @@
 //	         [-chaos-latency 0] [-chaos-jitter 0] [-chaos-error-rate 0]
 //	         [-chaos-seed 1] [-replicate-addr :8090] [-follow addr]
 //	         [-max-staleness 5s] [-promote-after 0] [-trace-sample 0]
-//	         [-slow-trace 0] [-trace-buffer 256] [-version]
+//	         [-slow-trace 0] [-trace-buffer 256] [-shards 1]
+//	         [-max-resident-users 0] [-compact-interval 1m] [-version]
 //
 // Endpoints (see the httpapi package for payloads):
 //
@@ -75,6 +76,22 @@
 // server returns to healthy automatically once writes succeed again
 // (cp_health_* metrics track the state and transitions).
 //
+// Sharding. With -shards N (requires -multiuser) the directory splits
+// into N fault-isolated shards: each user is routed to one shard by a
+// stable hash of the user name, and each shard owns its own journal
+// segment (<store>/shard-NNN/), its own health tracker, and its own
+// recovery probe — a disk fault in one shard degrades only that
+// shard's users to read-only (503 {"code":"degraded","shard":i}) while
+// the others keep accepting mutations, and /readyz reports every
+// shard's state. The shard count is fixed at store creation (recorded
+// in <store>/SHARDS) because it decides journal-segment ownership.
+// Compaction is staggered: every -compact-interval one shard's segment
+// is compacted, round-robin, so snapshot write bursts never overlap.
+// -max-resident-users bounds materialized profiles: idle profiles over
+// the bound are parked (kept as compact journal records in memory) and
+// rebuilt transparently on next access. Sharding is incompatible with
+// replication for now — a sharded leader is a planned follow-up.
+//
 // Replication. With -replicate-addr a journaled leader streams every
 // committed batch to followers (see internal/replication for the wire
 // protocol). A follower runs with -follow <leader> -store dir
@@ -124,7 +141,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -171,14 +190,26 @@ type config struct {
 	traceSample       float64
 	slowTrace         time.Duration
 	traceBuffer       int
+	shards            int
+	maxResidentUsers  int
+	compactInterval   time.Duration
 }
 
 // app is a built server plus its durability and observability hooks.
 type app struct {
 	api *httpapi.Server
-	// journal is non-nil when -store is set; shutdown snapshots and
-	// closes it.
+	// journal is non-nil when -store is set in unsharded mode; shutdown
+	// snapshots and closes it.
 	journal *journal.Journal
+	// shardJournals/shardHealths are the per-shard fault domains when
+	// -shards > 1: shardJournals[i] is shard i's journal segment and
+	// shardHealths[i] its independent degraded-mode tracker. serve runs
+	// one recovery probe loop per shard.
+	shardJournals []*journal.Journal
+	shardHealths  []*contextpref.Health
+	// compactor staggers per-shard journal compaction; non-nil exactly
+	// when shardJournals is.
+	compactor *contextpref.StaggeredCompactor
 	// snapshot renders the current state for compaction.
 	snapshot func() ([]journal.Record, error)
 	// health tracks degraded (read-only) mode; non-nil exactly when
@@ -224,6 +255,36 @@ func versionString() string {
 	return fmt.Sprintf("cpserver %s (go: %s, revision: %s)", version, goVersion, revision)
 }
 
+// shardMeta reconciles the store's SHARDS meta file with the -shards
+// flag. The shard count decides which journal segment owns a user — it
+// is fixed when the store is created and every later open must match,
+// or replay would look for users in the wrong segments.
+func shardMeta(store string, shards int) error {
+	path := filepath.Join(store, "SHARDS")
+	if b, err := os.ReadFile(path); err == nil {
+		n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+		if err != nil || n < 1 {
+			return fmt.Errorf("store %s has a corrupt SHARDS file: %q", store, strings.TrimSpace(string(b)))
+		}
+		if n != shards {
+			return fmt.Errorf("store %s was created with %d shards; pass -shards %d (the shard count fixes journal-segment ownership and cannot change)", store, n, n)
+		}
+		return nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if shards <= 1 {
+		return nil // unsharded stores carry no meta file
+	}
+	if _, err := os.Stat(filepath.Join(store, "journal.cpj")); err == nil {
+		return fmt.Errorf("store %s already holds an unsharded journal; re-sharding an existing store is not supported", store)
+	}
+	if err := os.MkdirAll(store, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(strconv.Itoa(shards)+"\n"), 0o644)
+}
+
 // newLogger builds the process logger at the named level ("" = info).
 func newLogger(level string) (*slog.Logger, error) {
 	var l slog.Level
@@ -266,6 +327,9 @@ func main() {
 	flag.StringVar(&cfg.replicateAddr, "replicate-addr", "", "listen address for the journal replication stream (requires -store)")
 	flag.DurationVar(&cfg.maxStaleness, "max-staleness", 5*time.Second, "follower reads older than this answer 503 {\"code\":\"stale\"}")
 	flag.DurationVar(&cfg.promoteAfter, "promote-after", 0, "promote the follower after this much total leader silence; 0 = only on SIGUSR1")
+	flag.IntVar(&cfg.shards, "shards", 1, "split the -multiuser directory into this many fault-isolated shards, each with its own journal segment and health tracker (fixed at store creation)")
+	flag.IntVar(&cfg.maxResidentUsers, "max-resident-users", 0, "bound on materialized per-user profiles in -multiuser mode; idle profiles over the bound are parked and rebuilt on access (0 = unlimited)")
+	flag.DurationVar(&cfg.compactInterval, "compact-interval", time.Minute, "sharded mode: compact one shard's journal segment per tick, round-robin")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 	flag.DurationVar(&cfg.slowRequest, "slow-request", 500*time.Millisecond, "log requests served slower than this at Warn level (0 = disabled)")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn, or error")
@@ -337,6 +401,17 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 	// goroutine exits with the serve context at shutdown.
 	if a.health != nil && a.journal != nil {
 		go a.health.Run(ctx, cfg.probeInterval, a.journal.Probe)
+	}
+	// Sharded store: one independent probe loop per shard (cheap — each
+	// loop sleeps with no timer while its shard is healthy), plus the
+	// staggered compactor advancing one shard per tick.
+	for i, h := range a.shardHealths {
+		go h.Run(ctx, cfg.probeInterval, a.shardJournals[i].Probe)
+	}
+	if a.compactor != nil {
+		go a.compactor.Run(ctx, cfg.compactInterval, func(shard int, err error) {
+			a.logger.Error("shard compaction failed", "shard", shard, "error", err)
+		})
 	}
 
 	// Replication: a leader ships journal appends on -replicate-addr; a
@@ -457,6 +532,23 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 			return fmt.Errorf("closing journal: %w", err)
 		}
 	}
+	if a.compactor != nil {
+		// Sharded store: compact every healthy shard's segment (degraded
+		// shards keep their journal tail — it is the recovery evidence),
+		// then close all segments.
+		compactStart := time.Now()
+		if err := a.compactor.CompactAll(context.Background()); err != nil {
+			a.logger.Error("shard compaction at shutdown failed", "error", err)
+		} else {
+			a.logger.Info("shard journals compacted",
+				"shards", len(a.shardJournals), "duration", time.Since(compactStart))
+		}
+		for i, ji := range a.shardJournals {
+			if err := ji.Close(); err != nil {
+				return fmt.Errorf("closing shard %d journal: %w", i, err)
+			}
+		}
+	}
 	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
 		return shutdownErr
 	}
@@ -479,6 +571,20 @@ func build(cfg config) (*app, error) {
 	}
 	if cfg.replicateAddr != "" && cfg.store == "" {
 		return nil, errors.New("-replicate-addr requires -store: only a journaled node can ship records")
+	}
+	if cfg.shards < 1 {
+		cfg.shards = 1 // zero value (tests build config directly) = unsharded
+	}
+	if cfg.shards > 1 && !cfg.multi {
+		return nil, errors.New("-shards requires -multiuser: sharding routes per-user profiles to fault domains")
+	}
+	if cfg.shards > 1 && (cfg.follow != "" || cfg.replicateAddr != "") {
+		return nil, errors.New("-shards is incompatible with -follow/-replicate-addr: replicating a sharded store is a follow-up (see DESIGN.md)")
+	}
+	if cfg.store != "" {
+		if err := shardMeta(cfg.store, cfg.shards); err != nil {
+			return nil, err
+		}
 	}
 	reg := contextpref.NewTelemetryRegistry()
 	registerProcessMetrics(reg)
@@ -542,7 +648,7 @@ func build(cfg config) (*app, error) {
 	var j *journal.Journal
 	var recovered []journal.Record
 	var health *contextpref.Health
-	if cfg.store != "" {
+	if cfg.store != "" && cfg.shards <= 1 {
 		j, recovered, err = journal.Open(cfg.store)
 		if err != nil {
 			return nil, fmt.Errorf("opening store: %w", err)
@@ -620,6 +726,10 @@ func build(cfg config) (*app, error) {
 		dopts := []contextpref.DirectoryOption{
 			contextpref.WithSystemOptions(opts...),
 			contextpref.WithDirectoryTelemetry(reg),
+			contextpref.WithShards(cfg.shards),
+		}
+		if cfg.maxResidentUsers > 0 {
+			dopts = append(dopts, contextpref.WithMaxResidentUsers(cfg.maxResidentUsers))
 		}
 		if seedProfile != "" {
 			// Every new user starts from the given profile; parse it
@@ -643,6 +753,63 @@ func build(cfg config) (*app, error) {
 		dir, err := contextpref.NewDirectory(env, rel, dopts...)
 		if err != nil {
 			return fail(err)
+		}
+		var shardJournals []*journal.Journal
+		var shardHealths []*contextpref.Health
+		var compactor *contextpref.StaggeredCompactor
+		closeShards := func() {
+			for _, ji := range shardJournals {
+				if ji != nil {
+					ji.Close()
+				}
+			}
+		}
+		if cfg.shards > 1 && cfg.store != "" {
+			// One journal segment and one health tracker per shard: an
+			// I/O failure in shard i degrades only shard i, and each shard
+			// recovers on its own probe. The journal instruments are
+			// shared — registration is idempotent — so cp_journal_* series
+			// aggregate across segments.
+			shardJournals = make([]*journal.Journal, cfg.shards)
+			shardHealths = make([]*contextpref.Health, cfg.shards)
+			jm := contextpref.NewJournalMetrics(reg)
+			for i := 0; i < cfg.shards; i++ {
+				ji, recs, err := journal.Open(filepath.Join(cfg.store, journal.ShardDir(i)))
+				if err != nil {
+					closeShards()
+					return nil, fmt.Errorf("opening shard %d store: %w", i, err)
+				}
+				shardJournals[i] = ji
+				ji.SetMetrics(jm)
+				if len(recs) > 0 {
+					logger.Info("recovered shard journal records", "shard", i, "records", len(recs))
+				}
+				// Per-shard replay before the per-shard persister attach,
+				// for the same reason as the unsharded path below.
+				if err := dir.ReplayShard(i, recs); err != nil {
+					closeShards()
+					return nil, fmt.Errorf("replaying shard %d store: %w", i, err)
+				}
+				h := contextpref.NewShardHealth(i)
+				shard := i
+				h.OnChange(func(degraded bool, cause error) {
+					if degraded {
+						logger.Error("shard degraded, serving read-only", "shard", shard, "cause", cause)
+					} else {
+						logger.Info("shard recovered, serving mutations again", "shard", shard)
+					}
+				})
+				dir.SetShardHealth(i, h)
+				dir.SetShardPersister(i, contextpref.NewJournalPersister(ji))
+				shardHealths[i] = h
+			}
+			contextpref.RegisterShardHealthTelemetry(shardHealths, reg)
+			compactor, err = contextpref.NewStaggeredCompactor(dir, shardJournals, reg)
+			if err != nil {
+				closeShards()
+				return nil, err
+			}
+			sopts = append(sopts, httpapi.WithShardHealth(shardHealths))
 		}
 		if j != nil {
 			// Replay before attaching the persister, or replay would
@@ -694,10 +861,12 @@ func build(cfg config) (*app, error) {
 		}
 		api, err := httpapi.NewMultiUser(dir, sopts...)
 		if err != nil {
+			closeShards()
 			return fail(err)
 		}
 		return &app{
 			api: api, journal: j, snapshot: dir.SnapshotRecords, health: health,
+			shardJournals: shardJournals, shardHealths: shardHealths, compactor: compactor,
 			reg: reg, admin: adminHandler(reg, tracer), logger: logger,
 			leader: leader, follower: fol, promote: promote,
 		}, nil

@@ -1,0 +1,199 @@
+package main
+
+// End-to-end sharded serving: per-shard journal segments under the
+// store, the SHARDS meta file pinning the shard count, crash recovery
+// across segments, and the shutdown path compacting every shard.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"contextpref"
+	"contextpref/internal/journal"
+)
+
+func TestServeShardedStore(t *testing.T) {
+	store := t.TempDir()
+	c := cfg(30, 7, "jaccard", "", 16, "", true)
+	c.store = store
+	c.shards = 2
+	c.probeInterval = 10 * time.Millisecond
+	c.compactInterval = time.Hour
+
+	a, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.journal != nil {
+		t.Fatal("sharded build opened a root journal")
+	}
+	if len(a.shardJournals) != 2 || len(a.shardHealths) != 2 || a.compactor == nil {
+		t.Fatalf("sharded build: journals=%d healths=%d compactor=%v",
+			len(a.shardJournals), len(a.shardHealths), a.compactor)
+	}
+	// The store layout: SHARDS meta plus one segment directory per shard.
+	if b, err := os.ReadFile(filepath.Join(store, "SHARDS")); err != nil || strings.TrimSpace(string(b)) != "2" {
+		t.Fatalf("SHARDS meta = %q, %v; want 2", b, err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := os.Stat(filepath.Join(store, journal.ShardDir(i), "journal.cpj")); err != nil {
+			t.Fatalf("shard %d segment missing: %v", i, err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, a, ln, nil, c) }()
+
+	// One user per shard, routed by the pinned hash.
+	var users [2]string
+	for i := 0; len(users[0]) == 0 || len(users[1]) == 0; i++ {
+		name := fmt.Sprintf("u-%d", i)
+		users[contextpref.UserShard(name, 2)] = name
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i, user := range users {
+		pref := fmt.Sprintf("[time = t%02d] => type = museum : 0.%d", i+1, i+5)
+		resp, err := client.Post(base+"/preferences?user="+user, "text/plain", strings.NewReader(pref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if readBody(t, resp); resp.StatusCode != 200 {
+			t.Fatalf("add for %s = %d", user, resp.StatusCode)
+		}
+	}
+	// /readyz reports both shards healthy.
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != 200 || !strings.Contains(body, `"shards"`) {
+		t.Fatalf("sharded readyz = %d: %s", resp.StatusCode, body)
+	}
+
+	// Graceful shutdown compacts and closes every segment.
+	cancel()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	// Each segment holds only its own shard's user.
+	for i := 0; i < 2; i++ {
+		j, recs, err := journal.Open(filepath.Join(store, journal.ShardDir(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		if len(recs) == 0 {
+			t.Fatalf("shard %d segment empty after shutdown", i)
+		}
+		for _, r := range recs {
+			if r.User != users[i] {
+				t.Errorf("shard %d segment holds record for %q, want only %q", i, r.User, users[i])
+			}
+		}
+	}
+
+	// Restart recovers both users from their segments.
+	a2, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a2.api)
+	defer ts.Close()
+	defer func() {
+		for _, j := range a2.shardJournals {
+			j.Close()
+		}
+	}()
+	resp2, err := ts.Client().Get(ts.URL + "/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp2); !strings.Contains(body, users[0]) || !strings.Contains(body, users[1]) {
+		t.Errorf("recovered users = %s", body)
+	}
+	for _, user := range users {
+		resp, err := ts.Client().Get(ts.URL + "/stats?user=" + user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body := readBody(t, resp); !strings.Contains(body, `"Preferences":1`) {
+			t.Errorf("%s recovered stats = %s", user, body)
+		}
+	}
+}
+
+func TestShardMetaMismatch(t *testing.T) {
+	store := t.TempDir()
+	c := cfg(30, 7, "jaccard", "", 16, "", true)
+	c.store = store
+	c.shards = 4
+	a, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range a.shardJournals {
+		j.Close()
+	}
+	// Reopening with a different count must fail, naming the real one.
+	c.shards = 2
+	if _, err := build(c); err == nil || !strings.Contains(err.Error(), "4 shards") {
+		t.Fatalf("shard-count mismatch error = %v", err)
+	}
+	// Reopening unsharded must fail too (the meta pins 4).
+	c.shards = 1
+	if _, err := build(c); err == nil {
+		t.Fatal("unsharded reopen of a sharded store succeeded")
+	}
+	// The right count reopens fine.
+	c.shards = 4
+	a2, err := build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range a2.shardJournals {
+		j.Close()
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	c := cfg(30, 7, "jaccard", "", 16, "", false)
+	c.shards = 2
+	if _, err := build(c); err == nil || !strings.Contains(err.Error(), "-multiuser") {
+		t.Fatalf("sharded single-user build error = %v", err)
+	}
+	c = cfg(30, 7, "jaccard", "", 16, "", true)
+	c.shards = 2
+	c.store = t.TempDir()
+	c.replicateAddr = ":0"
+	if _, err := build(c); err == nil || !strings.Contains(err.Error(), "replicate") {
+		t.Fatalf("sharded leader build error = %v", err)
+	}
+	// An existing unsharded store cannot be re-opened sharded.
+	store := t.TempDir()
+	c2 := cfg(30, 7, "jaccard", "", 16, "", true)
+	c2.store = store
+	a, err := build(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.journal.Close()
+	c2.shards = 2
+	if _, err := build(c2); err == nil || !strings.Contains(err.Error(), "unsharded journal") {
+		t.Fatalf("re-sharding error = %v", err)
+	}
+}

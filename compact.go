@@ -1,0 +1,135 @@
+package contextpref
+
+// This file is the sharded store's compaction scheduler. Compaction
+// (journal.Snapshot) rewrites a shard's journal segment as a snapshot
+// of its current profiles; it is the most I/O- and memory-intensive
+// thing a shard does, so a sharded store must never run two shard
+// compactions at once — N concurrent snapshots would multiply the
+// write burst and defeat the memory bound. StaggeredCompactor
+// serializes them by construction: a single scheduler mutex wraps every
+// snapshot, and the periodic driver advances one shard per tick,
+// round-robin, so over a full cycle every shard compacts exactly once
+// and the write load spreads evenly across the cycle.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"contextpref/internal/journal"
+	"contextpref/internal/telemetry"
+)
+
+// StaggeredCompactor compacts the journal segments of a sharded
+// directory one shard at a time, round-robin. It is safe for concurrent
+// use; overlapping CompactNext/CompactAll calls serialize on the
+// scheduler mutex, so two snapshots never run at once.
+type StaggeredCompactor struct {
+	dir      *Directory
+	journals []*journal.Journal
+
+	mu   sync.Mutex
+	next int
+
+	compactions *telemetry.CounterVec
+}
+
+// NewStaggeredCompactor builds a compactor over the directory's shards;
+// journals[i] is shard i's journal segment (nil entries are skipped —
+// a shard without a journal has nothing to compact). The lengths must
+// match the directory's shard count.
+func NewStaggeredCompactor(d *Directory, journals []*journal.Journal, reg *TelemetryRegistry) (*StaggeredCompactor, error) {
+	if d == nil {
+		return nil, fmt.Errorf("contextpref: nil directory")
+	}
+	if len(journals) != d.NumShards() {
+		return nil, fmt.Errorf("contextpref: compactor got %d journals for %d shards", len(journals), d.NumShards())
+	}
+	c := &StaggeredCompactor{dir: d, journals: append([]*journal.Journal(nil), journals...)}
+	if reg != nil {
+		c.compactions = reg.CounterVec("cp_shard_compactions_total",
+			"Journal segment compactions completed, per shard.", "shard")
+	}
+	return c, nil
+}
+
+// CompactNext compacts the next shard in the round-robin order and
+// advances the cursor. Shards without a journal, and shards whose
+// health is degraded (their segment is exactly the evidence the
+// recovery probe needs; snapshotting against a broken store would fail
+// anyway and could truncate state) are skipped — the cursor still
+// advances, so one bad shard cannot starve the others. It returns the
+// compacted shard's index, or -1 if the shard was skipped.
+func (c *StaggeredCompactor) CompactNext(ctx context.Context) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	shard := c.next
+	c.next = (c.next + 1) % len(c.journals)
+	if c.journals[shard] == nil || c.dir.ShardHealth(shard).Degraded() {
+		return -1, nil
+	}
+	if err := c.compactShard(ctx, shard); err != nil {
+		return shard, err
+	}
+	return shard, nil
+}
+
+// CompactAll compacts every shard with a journal, sequentially —
+// shutdown uses it so every segment restarts from a snapshot. Degraded
+// shards are skipped, not failed: their journal tail is the state.
+func (c *StaggeredCompactor) CompactAll(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for shard := range c.journals {
+		if c.journals[shard] == nil || c.dir.ShardHealth(shard).Degraded() {
+			continue
+		}
+		if err := c.compactShard(ctx, shard); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// compactShard snapshots one shard's users into its segment; the
+// scheduler mutex is held, so this is the only snapshot in flight.
+func (c *StaggeredCompactor) compactShard(ctx context.Context, shard int) error {
+	recs, err := c.dir.SnapshotShardRecords(shard)
+	if err != nil {
+		return fmt.Errorf("contextpref: compacting shard %d: %w", shard, err)
+	}
+	if err := c.journals[shard].SnapshotCtx(ctx, recs); err != nil {
+		return fmt.Errorf("contextpref: compacting shard %d: %w", shard, err)
+	}
+	if c.compactions != nil {
+		c.compactions.With(strconv.Itoa(shard)).Inc()
+	}
+	return nil
+}
+
+// Run compacts one shard per interval tick, round-robin, until ctx is
+// cancelled — over N ticks every shard compacts once, and no two
+// compactions ever overlap. Errors are reported to onErr (nil to
+// discard) and do not stop the loop: a shard that fails to compact is
+// retried a full cycle later, and its journal keeps growing but stays
+// correct in the meantime.
+func (c *StaggeredCompactor) Run(ctx context.Context, interval time.Duration, onErr func(shard int, err error)) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if shard, err := c.CompactNext(ctx); err != nil && onErr != nil {
+				onErr(shard, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package contextpref
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"contextpref/internal/journal"
+)
+
+// shardedStore builds a 4-shard journaled directory with perShard users
+// per shard, each holding one preference, and returns the per-shard
+// journals (caller closes them).
+func shardedStore(t *testing.T, perShard int) (*Directory, []*journal.Journal) {
+	t.Helper()
+	env, rel := persistFixture(t)
+	const shards = 4
+	d, err := NewDirectory(env, rel, WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := make([]*journal.Journal, shards)
+	for i := 0; i < shards; i++ {
+		j, recs := openJournal(t, t.TempDir())
+		t.Cleanup(func() { j.Close() })
+		if err := d.ReplayShard(i, recs); err != nil {
+			t.Fatal(err)
+		}
+		d.SetShardHealth(i, NewShardHealth(i))
+		d.SetShardPersister(i, NewJournalPersister(j))
+		js[i] = j
+	}
+	for _, names := range shardUsers(shards, perShard) {
+		for _, name := range names {
+			sys, err := d.User(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.LoadProfile("[time = t05] => type = gallery : 0.7"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d, js
+}
+
+// TestStaggeredCompactor: CompactNext advances round-robin, one shard
+// at a time; after a full cycle every segment replays its own shard's
+// users exactly, and degraded shards are skipped without stalling the
+// rotation.
+func TestStaggeredCompactor(t *testing.T) {
+	d, js := shardedStore(t, 2)
+	c, err := NewStaggeredCompactor(d, js, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for want := 0; want < 4; want++ {
+		got, err := c.CompactNext(ctx)
+		if err != nil {
+			t.Fatalf("compacting shard %d: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("CompactNext compacted shard %d, want %d (round-robin)", got, want)
+		}
+	}
+	// Each compacted segment holds exactly its shard's users.
+	for i, j := range js {
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, recs := openJournal(t, j.Dir())
+		j2.Close()
+		seen := map[string]bool{}
+		for _, r := range recs {
+			if d.ShardOf(r.User) != i {
+				t.Errorf("shard %d segment holds user %q of shard %d", i, r.User, d.ShardOf(r.User))
+			}
+			seen[r.User] = true
+		}
+		for _, name := range d.ShardUsers(i) {
+			if !seen[name] {
+				t.Errorf("shard %d segment lost user %q", i, name)
+			}
+		}
+	}
+
+	// A degraded shard is skipped — the rotation moves on.
+	d2, js2 := shardedStore(t, 1)
+	c2, err := NewStaggeredCompactor(d2, js2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.ShardHealth(1).MarkDegraded(fmt.Errorf("disk full"))
+	for want := 0; want < 4; want++ {
+		got, err := c2.CompactNext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case want == 1 && got != -1:
+			t.Fatalf("degraded shard 1 was compacted (got %d)", got)
+		case want != 1 && got != want:
+			t.Fatalf("CompactNext = %d, want %d", got, want)
+		}
+	}
+	// CompactAll skips the degraded shard and compacts the rest.
+	if err := c2.CompactAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactorShapeErrors: the compactor rejects a journal slice that
+// does not match the shard count.
+func TestCompactorShapeErrors(t *testing.T) {
+	env, rel := persistFixture(t)
+	d, err := NewDirectory(env, rel, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStaggeredCompactor(d, nil, nil); err == nil {
+		t.Fatal("compactor accepted 0 journals for 2 shards")
+	}
+	if _, err := NewStaggeredCompactor(nil, nil, nil); err == nil {
+		t.Fatal("compactor accepted a nil directory")
+	}
+}

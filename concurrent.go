@@ -2,8 +2,11 @@ package contextpref
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"contextpref/internal/journal"
 	"contextpref/internal/tracing"
 )
 
@@ -12,10 +15,32 @@ import (
 // insertion) an exclusive one. Systems built with WithQueryCache take
 // the exclusive lock on queries too, because serving a query mutates
 // the cache.
+//
+// Directory-managed systems can additionally be "parked" to bound
+// resident memory (see WithMaxResidentUsers): the materialized System
+// — profile tree, query cache, engines — is dropped and the profile is
+// kept as its compact journal-record form in the handle itself. The
+// handle's identity never changes; the next access rebuilds the System
+// transparently under the write lock. Parking is lossless: the records
+// are an in-memory archive, never a disk reload.
 type SafeSystem struct {
 	mu      sync.RWMutex
-	sys     *System
+	sys     *System // nil while parked
 	caching bool
+
+	// Parking support; zero for standalone Synchronized systems, which
+	// never park. shard is atomic because the LRU touch on every access
+	// reads it without the lock, while removal clears it under the lock.
+	shard atomic.Pointer[dirShard] // owning shard; nil after the user is removed
+	user  string                   // directory key
+	// parked holds the profile as add/remove records while sys is nil.
+	parked []journal.Record
+	// parkPersist/parkHealth are the hooks to re-attach on unpark;
+	// meaningful only while parked.
+	parkPersist Persister
+	parkHealth  *Health
+	// lastTouch is the shard-LRU stamp of the most recent access.
+	lastTouch atomic.Int64
 }
 
 // Synchronized wraps the system. The wrapped System must not be used
@@ -24,10 +49,175 @@ func Synchronized(sys *System) *SafeSystem {
 	return &SafeSystem{sys: sys, caching: sys.cache != nil}
 }
 
-// AddPreference inserts one preference under the write lock.
-func (s *SafeSystem) AddPreference(p Preference) error {
+// touch stamps the handle for the owning shard's LRU clock.
+func (s *SafeSystem) touch() {
+	if sh := s.shard.Load(); sh != nil {
+		s.lastTouch.Store(sh.clock.Add(1))
+	}
+}
+
+// ensureLocked materializes a parked system; the caller must hold the
+// write lock. The parked records were validated when first committed,
+// so a rebuild failure indicates resource exhaustion or a foreign
+// record slipped into the journal — the error surfaces to the caller
+// and the handle stays parked for a later retry.
+func (s *SafeSystem) ensureLocked() error {
+	if s.sys != nil {
+		return nil
+	}
+	sh := s.shard.Load()
+	if sh == nil {
+		return fmt.Errorf("contextpref: user %q was removed", s.user)
+	}
+	sys, err := sh.rebuild()
+	if err != nil {
+		return fmt.Errorf("contextpref: loading user %q: %w", s.user, err)
+	}
+	sys.SetHealth(s.parkHealth)
+	for _, r := range s.parked {
+		if err := applyRecord(sys, r); err != nil {
+			return fmt.Errorf("contextpref: loading user %q: %w", s.user, err)
+		}
+	}
+	// Hooks re-attach only after the records applied, so the rebuild is
+	// never re-journaled and never health-gated.
+	sys.SetPersister(s.parkPersist, s.user)
+	s.sys = sys
+	s.parked = nil
+	s.parkPersist, s.parkHealth = nil, nil
+	sh.loads.Inc()
+	sh.noteResident(1)
+	sh.maybeEvict(s)
+	return nil
+}
+
+// rlock acquires the handle for reading, materializing a parked system
+// first (which upgrades to the write lock for this access). It returns
+// the matching unlock.
+func (s *SafeSystem) rlock() (func(), error) {
+	s.touch()
+	s.mu.RLock()
+	if s.sys != nil {
+		return s.mu.RUnlock, nil
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	if err := s.ensureLocked(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	return s.mu.Unlock, nil
+}
+
+// wlock acquires the handle for writing, materializing a parked system
+// first. It returns the matching unlock.
+func (s *SafeSystem) wlock() (func(), error) {
+	s.touch()
+	s.mu.Lock()
+	if err := s.ensureLocked(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	return s.mu.Unlock, nil
+}
+
+// Resident reports whether the system is materialized (not parked).
+func (s *SafeSystem) Resident() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys != nil
+}
+
+// residentHint is Resident without blocking: eviction scans use it to
+// skip parked entries, tolerating staleness (tryPark re-checks under
+// the lock).
+func (s *SafeSystem) residentHint() bool {
+	if s.mu.TryRLock() {
+		resident := s.sys != nil
+		s.mu.RUnlock()
+		return resident
+	}
+	// Locked by someone — it is in active use; not an eviction victim.
+	return false
+}
+
+// tryPark parks an idle resident system: the profile is exported to
+// its normalized record form, the hooks are detached into the parked
+// fields, and the System is dropped. It refuses without blocking if
+// the handle is in use (TryLock fails), already parked, not
+// directory-managed, or its export fails; it reports whether it
+// parked. Counter updates are the caller's.
+func (s *SafeSystem) tryPark() bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	defer s.mu.Unlock()
+	if s.sys == nil || s.shard.Load() == nil {
+		return false
+	}
+	recs, err := s.sys.SnapshotRecords(s.user)
+	if err != nil {
+		return false
+	}
+	s.parked = recs
+	s.parkPersist = s.sys.persist
+	s.parkHealth = s.sys.health
+	s.sys = nil
+	return true
+}
+
+// detach quiesces the handle for removal: in-flight mutations finish
+// (their journal records land before the caller's drop record), the
+// persister detaches, and the handle stops counting against its shard.
+// It reports whether the system was resident.
+func (s *SafeSystem) detach() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	resident := s.sys != nil
+	if resident {
+		s.sys.SetPersister(nil, "")
+	} else {
+		s.parkPersist = nil
+	}
+	s.shard.Store(nil)
+	return resident
+}
+
+// reattach undoes detach after a failed drop append: the handle
+// rejoins its shard with the persister re-attached, so memory and
+// replay agree the user still exists.
+func (s *SafeSystem) reattach(sh *dirShard, p Persister, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shard.Store(sh)
+	if s.sys != nil {
+		s.sys.SetPersister(p, name)
+	} else {
+		s.parkPersist = p
+	}
+}
+
+// appendParked folds one validated journal record into the handle:
+// applied directly if the system is resident, accumulated in the
+// parked archive otherwise. Shared by directory replay and the
+// replication apply path.
+func (s *SafeSystem) appendParked(r journal.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sys != nil {
+		return applyRecord(s.sys, r)
+	}
+	s.parked = append(s.parked, r)
+	return nil
+}
+
+// AddPreference inserts one preference under the write lock.
+func (s *SafeSystem) AddPreference(p Preference) error {
+	unlock, err := s.wlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	return s.sys.AddPreference(p)
 }
 
@@ -41,8 +231,11 @@ func (s *SafeSystem) AddPreferences(ps ...Preference) error {
 // starts inside the lock; write-lock contention shows up as the gap
 // between the root span and it.
 func (s *SafeSystem) AddPreferencesCtx(ctx context.Context, ps ...Preference) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	unlock, err := s.wlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	return s.sys.AddPreferencesCtx(ctx, ps...)
 }
 
@@ -54,8 +247,11 @@ func (s *SafeSystem) RemovePreference(p Preference) (int, error) {
 // RemovePreferenceCtx deletes a preference under the write lock,
 // carrying the request context for span provenance.
 func (s *SafeSystem) RemovePreferenceCtx(ctx context.Context, p Preference) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	unlock, err := s.wlock()
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
 	return s.sys.RemovePreferenceCtx(ctx, p)
 }
 
@@ -67,8 +263,11 @@ func (s *SafeSystem) LoadProfile(text string) error {
 // LoadProfileCtx parses and inserts a profile under the write lock,
 // carrying the request context for span provenance.
 func (s *SafeSystem) LoadProfileCtx(ctx context.Context, text string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	unlock, err := s.wlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	return s.sys.LoadProfileCtx(ctx, text)
 }
 
@@ -84,13 +283,18 @@ func (s *SafeSystem) Query(q Query, current State) (*Result, error) {
 func (s *SafeSystem) QueryCtx(ctx context.Context, q Query, current State) (*Result, error) {
 	ctx, sp := tracing.Start(ctx, "system.query")
 	defer sp.End()
+	var unlock func()
+	var err error
 	if s.caching {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		unlock, err = s.wlock()
 	} else {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+		unlock, err = s.rlock()
 	}
+	if err != nil {
+		sp.Fail(err)
+		return nil, err
+	}
+	defer unlock()
 	res, err := s.sys.QueryCtx(ctx, q, current)
 	sp.Fail(err)
 	return res, err
@@ -98,8 +302,11 @@ func (s *SafeSystem) QueryCtx(ctx context.Context, q Query, current State) (*Res
 
 // Resolve performs context resolution under the shared lock.
 func (s *SafeSystem) Resolve(st State) (Candidate, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock, err := s.rlock()
+	if err != nil {
+		return Candidate{}, false, err
+	}
+	defer unlock()
 	return s.sys.Resolve(st)
 }
 
@@ -108,8 +315,12 @@ func (s *SafeSystem) Resolve(st State) (Candidate, bool, error) {
 func (s *SafeSystem) ResolveCtx(ctx context.Context, st State) (Candidate, bool, error) {
 	ctx, sp := tracing.Start(ctx, "system.resolve")
 	defer sp.End()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock, err := s.rlock()
+	if err != nil {
+		sp.Fail(err)
+		return Candidate{}, false, err
+	}
+	defer unlock()
 	cand, ok, err := s.sys.ResolveCtx(ctx, st)
 	sp.Fail(err)
 	return cand, ok, err
@@ -117,8 +328,11 @@ func (s *SafeSystem) ResolveCtx(ctx context.Context, st State) (Candidate, bool,
 
 // ResolveAll lists covering states under the shared lock.
 func (s *SafeSystem) ResolveAll(st State) ([]Candidate, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock, err := s.rlock()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
 	return s.sys.ResolveAll(st)
 }
 
@@ -127,36 +341,62 @@ func (s *SafeSystem) ResolveAll(st State) ([]Candidate, error) {
 func (s *SafeSystem) ResolveAllCtx(ctx context.Context, st State) ([]Candidate, error) {
 	ctx, sp := tracing.Start(ctx, "system.resolve_all")
 	defer sp.End()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock, err := s.rlock()
+	if err != nil {
+		sp.Fail(err)
+		return nil, err
+	}
+	defer unlock()
 	cands, err := s.sys.ResolveAllCtx(ctx, st)
 	sp.Fail(err)
 	return cands, err
 }
 
 // NewState validates a context state (no lock needed: the environment
-// is immutable).
+// is immutable, and a Directory-managed handle validates against the
+// directory's shared environment whether or not it is parked).
 func (s *SafeSystem) NewState(values ...string) (State, error) {
-	return s.sys.NewState(values...)
+	if sh := s.shard.Load(); sh != nil {
+		return sh.d.env.NewState(values...)
+	}
+	s.mu.RLock()
+	sys := s.sys
+	s.mu.RUnlock()
+	if sys == nil {
+		return nil, fmt.Errorf("contextpref: user %q was removed", s.user)
+	}
+	return sys.NewState(values...)
 }
 
-// Stats snapshots the storage statistics under the shared lock.
+// Stats snapshots the storage statistics under the shared lock. A
+// parked system is materialized first; if that fails, zero stats are
+// returned.
 func (s *SafeSystem) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock, err := s.rlock()
+	if err != nil {
+		return Stats{}
+	}
+	defer unlock()
 	return s.sys.Stats()
 }
 
 // ExportProfile renders the stored preferences under the shared lock.
 func (s *SafeSystem) ExportProfile() (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock, err := s.rlock()
+	if err != nil {
+		return "", err
+	}
+	defer unlock()
 	return s.sys.ExportProfile()
 }
 
-// NumPreferences returns the stored preference count.
+// NumPreferences returns the stored preference count (0 if a parked
+// system fails to materialize).
 func (s *SafeSystem) NumPreferences() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock, err := s.rlock()
+	if err != nil {
+		return 0
+	}
+	defer unlock()
 	return s.sys.NumPreferences()
 }

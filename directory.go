@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"contextpref/internal/telemetry"
 	"contextpref/internal/tracing"
@@ -15,24 +14,36 @@ import (
 // paper's system, where every user owns a profile but the database and
 // the context model are common (the usability study's 12 default
 // profiles are exactly per-user seeds). It is safe for concurrent use.
+//
+// Internally the directory is split into one or more shards (see
+// WithShards and shard.go): each user belongs to exactly one shard,
+// selected by a stable hash of the user name, and each shard carries
+// its own lock, persister, and health tracker. The default single
+// shard reproduces the original single-lock, single-journal behavior
+// exactly.
 type Directory struct {
-	mu      sync.RWMutex
-	env     *Environment
-	rel     *Relation
-	opts    []Option
-	systems map[string]*SafeSystem
+	env  *Environment
+	rel  *Relation
+	opts []Option
 	// defaults, when set, seeds each new user's profile.
 	defaults func(user string) ([]Preference, error)
-	// persist, when set via SetPersister, journals user lifecycle
-	// events and is attached to every per-user system.
-	persist Persister
-	// health, when set via SetHealth, gates user lifecycle mutations
-	// and is attached to every per-user system.
-	health *Health
 	// usersCreated/usersDropped, when set via WithDirectoryTelemetry,
 	// count profile lifecycle events; nil handles are no-ops.
 	usersCreated *telemetry.Counter
 	usersDropped *telemetry.Counter
+	// reg, when set via WithDirectoryTelemetry, also feeds the
+	// per-shard instruments built in initShards.
+	reg *TelemetryRegistry
+
+	// numShards/maxResident are option inputs; shards is built once by
+	// initShards and never reassigned.
+	numShards   int
+	maxResident int
+	shards      []*dirShard
+	// cachedOpts records whether d.opts enable the query cache, so
+	// parked entries know their locking discipline without
+	// materializing a System first.
+	cachedOpts bool
 }
 
 // DirectoryOption configures a Directory.
@@ -61,10 +72,16 @@ func NewDirectory(env *Environment, rel *Relation, opts ...DirectoryOption) (*Di
 	if rel == nil {
 		return nil, fmt.Errorf("contextpref: nil relation")
 	}
-	d := &Directory{env: env, rel: rel, systems: make(map[string]*SafeSystem)}
+	d := &Directory{env: env, rel: rel}
 	for _, o := range opts {
 		o(d)
 	}
+	var so options
+	for _, o := range d.opts {
+		o(&so)
+	}
+	d.cachedOpts = so.useCache
+	d.initShards()
 	return d, nil
 }
 
@@ -97,68 +114,85 @@ func (d *Directory) user(ctx context.Context, name string, seed bool) (*SafeSyst
 	if name == "" {
 		return nil, fmt.Errorf("contextpref: empty user name")
 	}
-	d.mu.RLock()
-	sys, ok := d.systems[name]
-	d.mu.RUnlock()
+	sh := d.shardFor(name)
+	sh.mu.RLock()
+	sys, ok := sh.systems[name]
+	sh.mu.RUnlock()
 	if ok {
 		return sys, nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if sys, ok := d.systems[name]; ok {
-		return sys, nil
-	}
-	ctx, sp := tracing.Start(ctx, "directory.create_user")
-	defer sp.End()
-	inner, err := NewSystem(d.env, d.rel, d.opts...)
-	if err != nil {
-		sp.Fail(err)
-		return nil, err
-	}
-	inner.SetHealth(d.health)
-	if seed {
-		// Creating a user is a mutation: fail fast while degraded so no
-		// half-created user lingers in memory without a journal record.
-		if err := d.health.Gate(); err != nil {
+	sh.mu.Lock()
+	sys, err := func() (*SafeSystem, error) {
+		defer sh.mu.Unlock()
+		if sys, ok := sh.systems[name]; ok {
+			return sys, nil
+		}
+		ctx, sp := tracing.Start(ctx, "directory.create_user")
+		defer sp.End()
+		inner, err := NewSystem(d.env, d.rel, d.opts...)
+		if err != nil {
 			sp.Fail(err)
 			return nil, err
 		}
-		// Journal the creation before the seeds so replay re-creates
-		// the user first; attach the persister before seeding so the
-		// seed preferences are journaled too.
-		if d.persist != nil {
-			if err := d.persist.PersistCreateUser(ctx, name); err != nil {
-				err = d.health.fail(&PersistError{Op: "create user", Err: err})
+		inner.SetHealth(sh.health)
+		if seed {
+			// Creating a user is a mutation: fail fast while degraded so no
+			// half-created user lingers in memory without a journal record.
+			if err := sh.health.Gate(); err != nil {
 				sp.Fail(err)
 				return nil, err
 			}
-			inner.SetPersister(d.persist, name)
-		}
-		if d.defaults != nil {
-			prefs, err := d.defaults(name)
-			if err != nil {
-				sp.Fail(err)
-				return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+			// Journal the creation before the seeds so replay re-creates
+			// the user first; attach the persister before seeding so the
+			// seed preferences are journaled too.
+			if sh.persist != nil {
+				if err := sh.persist.PersistCreateUser(ctx, name); err != nil {
+					err = sh.health.fail(&PersistError{Op: "create user", Err: err})
+					sp.Fail(err)
+					return nil, err
+				}
+				inner.SetPersister(sh.persist, name)
 			}
-			if err := inner.AddPreferencesCtx(ctx, prefs...); err != nil {
-				sp.Fail(err)
-				return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+			if d.defaults != nil {
+				prefs, err := d.defaults(name)
+				if err != nil {
+					sp.Fail(err)
+					return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+				}
+				if err := inner.AddPreferencesCtx(ctx, prefs...); err != nil {
+					sp.Fail(err)
+					return nil, fmt.Errorf("contextpref: seeding user %q: %w", name, err)
+				}
 			}
+		} else if sh.persist != nil {
+			inner.SetPersister(sh.persist, name)
 		}
-	} else if d.persist != nil {
-		inner.SetPersister(d.persist, name)
+		sys := Synchronized(inner)
+		sys.shard.Store(sh)
+		sys.user = name
+		sys.lastTouch.Store(sh.clock.Add(1))
+		sh.systems[name] = sys
+		sh.noteResident(1)
+		return sys, nil
+	}()
+	if err != nil {
+		return nil, err
 	}
-	sys = Synchronized(inner)
-	d.systems[name] = sys
 	d.usersCreated.Inc()
+	sh.noteUsers()
+	sh.maybeEvict(sys)
 	return sys, nil
 }
 
 // Lookup returns the named user's system without creating it.
 func (d *Directory) Lookup(name string) (*SafeSystem, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	sys, ok := d.systems[name]
+	if name == "" {
+		return nil, false
+	}
+	sh := d.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sys, ok := sh.systems[name]
 	return sys, ok
 }
 
@@ -180,40 +214,65 @@ func (d *Directory) RemoveUser(name string) (bool, error) {
 
 // RemoveUserCtx is RemoveUser carrying the request context for span
 // provenance (the drop record's journal append becomes a child span).
+//
+// A failed drop append leaves the user in place: the system is
+// reinserted into the shard with its persister re-attached, so the
+// in-memory state and a post-restart replay agree that the user still
+// exists. (Before this, the user vanished from memory but was
+// resurrected by replay — the two states diverged.) The shard degrades
+// read-only and the error reports that; the caller can retry once the
+// shard recovers.
 func (d *Directory) RemoveUserCtx(ctx context.Context, name string) (bool, error) {
-	d.mu.Lock()
-	health := d.health
+	if name == "" {
+		return false, nil
+	}
+	sh := d.shardFor(name)
+	sh.mu.Lock()
+	health := sh.health
 	if err := health.Gate(); err != nil {
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		return false, err
 	}
-	sys, ok := d.systems[name]
-	delete(d.systems, name)
-	persist := d.persist
-	d.mu.Unlock()
+	sys, ok := sh.systems[name]
+	delete(sh.systems, name)
+	persist := sh.persist
+	sh.mu.Unlock()
 	if !ok {
 		return false, nil
 	}
-	d.usersDropped.Inc()
 	// Waits for in-flight mutations on the removed system: their
 	// journal records land before our drop record, so replay nets out
 	// to "user gone" exactly like the in-memory state.
-	sys.SetPersister(nil, "")
+	wasResident := sys.detach()
 	if persist != nil {
 		if err := persist.PersistDropUser(ctx, name); err != nil {
-			return true, health.fail(&PersistError{Op: "drop user", Err: err})
+			sys.reattach(sh, persist, name)
+			sh.mu.Lock()
+			if _, exists := sh.systems[name]; !exists {
+				sh.systems[name] = sys
+			}
+			sh.mu.Unlock()
+			sh.noteUsers()
+			return false, health.fail(&PersistError{Op: "drop user", Err: err})
 		}
 	}
+	if wasResident {
+		sh.noteResident(-1)
+	}
+	d.usersDropped.Inc()
+	sh.noteUsers()
 	return true, nil
 }
 
 // Users lists the known user names, sorted.
 func (d *Directory) Users() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]string, 0, len(d.systems))
-	for name := range d.systems {
-		out = append(out, name)
+	var out []string
+	for _, sh := range d.shards {
+		sh.mu.RLock()
+		for name := range sh.systems {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out

@@ -8,6 +8,11 @@ package contextpref
 // the underlying store succeeds and flips the state back to healthy.
 // All methods are nil-safe no-ops, so embedders that never attach a
 // Health pay nothing.
+//
+// In a sharded directory every shard owns its own tracker (see
+// NewShardHealth): a persistence failure degrades only the shard it
+// happened in, the DegradedError names that shard, and each shard runs
+// its own recovery probe against its own journal segment.
 
 import (
 	"context"
@@ -27,10 +32,17 @@ type DegradedError struct {
 	Since time.Time
 	// Err is the persistence failure that triggered the transition.
 	Err error
+	// Shard is the index of the degraded shard in a sharded directory,
+	// or -1 when the whole store shares one fault domain.
+	Shard int
 }
 
 // Error implements error.
 func (e *DegradedError) Error() string {
+	if e.Shard >= 0 {
+		return fmt.Sprintf("contextpref: shard %d degraded (read-only) since %s: %v",
+			e.Shard, e.Since.Format(time.RFC3339), e.Err)
+	}
 	return fmt.Sprintf("contextpref: store degraded (read-only) since %s: %v",
 		e.Since.Format(time.RFC3339), e.Err)
 }
@@ -91,7 +103,12 @@ type Health struct {
 	role     Role
 	since    time.Time
 	cause    error
-	onChange func(degraded bool, cause error)
+	shard    int
+	onChange []func(degraded bool, cause error)
+	// wake is signalled (non-blocking, capacity 1) on the transition to
+	// degraded, so Run starts probing immediately instead of spinning a
+	// timer while healthy.
+	wake chan struct{}
 
 	// Telemetry handles, attached via RegisterHealthTelemetry; nil
 	// handles are no-ops.
@@ -101,17 +118,40 @@ type Health struct {
 	probeFail     *telemetry.Counter
 }
 
-// NewHealth creates a tracker in the healthy state.
-func NewHealth() *Health { return &Health{} }
+// NewHealth creates a tracker in the healthy state for a store with a
+// single fault domain.
+func NewHealth() *Health {
+	return &Health{shard: -1, wake: make(chan struct{}, 1)}
+}
+
+// NewShardHealth creates a tracker owned by one shard of a sharded
+// directory; the shard index is carried on every DegradedError it
+// issues, so clients and logs can name the failing fault domain.
+func NewShardHealth(shard int) *Health {
+	h := NewHealth()
+	h.shard = shard
+	return h
+}
+
+// Shard returns the owning shard's index, or -1 for a whole-store
+// tracker (including nil).
+func (h *Health) Shard() int {
+	if h == nil {
+		return -1
+	}
+	return h.shard
+}
 
 // OnChange registers a callback invoked (outside the tracker's lock) on
-// every state transition — for logging. Only one callback is kept.
+// every state transition — for logging and per-shard gauges. Callbacks
+// accumulate: every registered callback fires on every transition, in
+// registration order.
 func (h *Health) OnChange(f func(degraded bool, cause error)) {
-	if h == nil {
+	if h == nil || f == nil {
 		return
 	}
 	h.mu.Lock()
-	h.onChange = f
+	h.onChange = append(h.onChange, f)
 	h.mu.Unlock()
 }
 
@@ -160,7 +200,7 @@ func (h *Health) Gate() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.degraded {
-		return &DegradedError{Since: h.since, Err: h.cause}
+		return &DegradedError{Since: h.since, Err: h.cause, Shard: h.shard}
 	}
 	if h.role != RoleLeader {
 		return &ReadOnlyError{Role: h.role}
@@ -172,20 +212,26 @@ func (h *Health) Gate() error {
 // cause is kept) and returns the error mutations should surface.
 func (h *Health) MarkDegraded(cause error) *DegradedError {
 	if h == nil {
-		return &DegradedError{Since: time.Now(), Err: cause}
+		return &DegradedError{Since: time.Now(), Err: cause, Shard: -1}
 	}
 	h.mu.Lock()
-	var cb func(bool, error)
+	var cbs []func(bool, error)
 	if !h.degraded {
 		h.degraded = true
 		h.since = time.Now()
 		h.cause = cause
-		cb = h.onChange
+		cbs = append(cbs, h.onChange...)
 		h.transDegraded.Inc()
+		if h.wake != nil {
+			select {
+			case h.wake <- struct{}{}:
+			default: // a wakeup is already pending
+			}
+		}
 	}
-	err := &DegradedError{Since: h.since, Err: h.cause}
+	err := &DegradedError{Since: h.since, Err: h.cause, Shard: h.shard}
 	h.mu.Unlock()
-	if cb != nil {
+	for _, cb := range cbs {
 		cb(true, cause)
 	}
 	return err
@@ -204,10 +250,10 @@ func (h *Health) MarkHealthy() {
 	h.degraded = false
 	h.since = time.Time{}
 	h.cause = nil
-	cb := h.onChange
+	cbs := append([]func(bool, error){}, h.onChange...)
 	h.transHealthy.Inc()
 	h.mu.Unlock()
-	if cb != nil {
+	for _, cb := range cbs {
 		cb(false, nil)
 	}
 }
@@ -223,11 +269,25 @@ func (h *Health) fail(perr *PersistError) error {
 	return h.MarkDegraded(perr)
 }
 
-// Run probes the store every interval while degraded and flips back to
-// healthy on the first success; while healthy it only watches for
-// transitions. It blocks until ctx is cancelled — run it in a
-// goroutine. probe must attempt a real durable write (e.g.
-// journal.Probe) and return nil only when the store works again.
+// wakeCh returns the degraded-transition wakeup channel, creating it
+// for trackers built as zero values.
+func (h *Health) wakeCh() chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.wake == nil {
+		h.wake = make(chan struct{}, 1)
+	}
+	return h.wake
+}
+
+// Run probes the store while degraded and flips back to healthy on the
+// first success; while healthy it sleeps with no timer at all, woken
+// by the degraded transition — so N per-shard probe goroutines on a
+// healthy node cost nothing. The first probe after a degradation fires
+// immediately; failed probes retry every interval. It blocks until ctx
+// is cancelled — run it in a goroutine. probe must attempt a real
+// durable write (e.g. journal.Probe) and return nil only when the
+// store works again.
 func (h *Health) Run(ctx context.Context, interval time.Duration, probe func() error) {
 	if h == nil || probe == nil {
 		return
@@ -235,22 +295,33 @@ func (h *Health) Run(ctx context.Context, interval time.Duration, probe func() e
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	wake := h.wakeCh()
 	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-t.C:
-			if !h.Degraded() {
-				continue
+		if !h.Degraded() {
+			// Healthy: no ticker, no polling — block until the next
+			// degradation (or shutdown). The wake signal is buffered, so
+			// a transition between the check above and this select is
+			// never lost.
+			select {
+			case <-ctx.Done():
+				return
+			case <-wake:
 			}
-			if err := probe(); err != nil {
-				h.probeFail.Inc()
-				continue
-			}
+			continue // re-check; recovery may have raced the wakeup
+		}
+		if err := probe(); err != nil {
+			h.probeFail.Inc()
+		} else {
 			h.probeOK.Inc()
 			h.MarkHealthy()
+			continue
+		}
+		t := time.NewTimer(interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
 		}
 	}
 }
@@ -260,21 +331,27 @@ func (h *Health) Run(ctx context.Context, interval time.Duration, probe func() e
 // detaches (mutations then surface bare *PersistError again).
 func (s *System) SetHealth(h *Health) { s.health = h }
 
-// SetHealth attaches a health tracker under the write lock.
+// SetHealth attaches a health tracker under the write lock; on a
+// parked handle it is kept aside and re-attached when the system
+// materializes.
 func (s *SafeSystem) SetHealth(h *Health) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sys == nil {
+		s.parkHealth = h
+		return
+	}
 	s.sys.SetHealth(h)
 }
 
-// SetHealth attaches a health tracker to the directory and to every
-// existing and future per-user system, so any user's persistence
+// SetHealth attaches one health tracker to every shard of the
+// directory and to every existing and future per-user system — the
+// single-fault-domain configuration, where any user's persistence
 // failure flips the whole store read-only (they share one journal).
+// Sharded deployments attach an independent tracker per shard with
+// SetShardHealth instead.
 func (d *Directory) SetHealth(h *Health) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.health = h
-	for _, sys := range d.systems {
-		sys.SetHealth(h)
+	for _, sh := range d.shards {
+		sh.setHealth(h)
 	}
 }

@@ -258,3 +258,49 @@ func TestHealthRun(t *testing.T) {
 	cancel()
 	<-done
 }
+
+// TestHealthRunWakesOnDegrade: while healthy the probe loop holds no
+// timer at all — it is woken by the degraded transition and probes
+// immediately. The hour-long interval proves the wakeup: a loop that
+// slept on a ticker would not probe within the test's lifetime.
+func TestHealthRunWakesOnDegrade(t *testing.T) {
+	h := NewHealth()
+	probed := make(chan struct{}, 16)
+	probe := func() error {
+		probed <- struct{}{}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.Run(ctx, time.Hour, probe)
+	}()
+
+	// Healthy: the loop must not probe at all.
+	select {
+	case <-probed:
+		t.Fatal("probe fired while healthy")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Two full degrade → recover cycles prove the wakeup re-arms.
+	for cycle := 0; cycle < 2; cycle++ {
+		h.MarkDegraded(errors.New("disk full"))
+		select {
+		case <-probed:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("cycle %d: degraded transition did not wake the probe loop", cycle)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for h.Degraded() {
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: loop never marked the store healthy", cycle)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	<-done
+}

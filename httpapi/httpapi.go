@@ -16,7 +16,9 @@
 //	GET  /readyz               readiness: 200 {"status":"ready"} (leader) or
 //	                           {"status":"following"} (fresh follower), or 503
 //	                           {"status":"draining"} once shutdown has begun /
-//	                           {"status":"degraded"} while the store is read-only /
+//	                           {"status":"degraded"} while the store is read-only
+//	                           (a sharded store reports per-shard states and is
+//	                           degraded only when every shard is; see WithShardHealth) /
 //	                           {"status":"stale"} while a follower lags past its
 //	                           bound / {"status":"promoting"} during a takeover
 //
@@ -116,7 +118,11 @@ type Server struct {
 	draining atomic.Bool
 	nextID   atomic.Uint64
 	health   *contextpref.Health // nil = no degraded-mode tracking
-	maxBody  int64               // request-body cap in bytes
+	// shardHealth, when non-empty, holds the per-shard trackers of a
+	// sharded store (WithShardHealth): /readyz reports each shard's
+	// state, and the store is only "degraded" when every shard is.
+	shardHealth []*contextpref.Health
+	maxBody     int64 // request-body cap in bytes
 
 	// reqTimeout, when positive, is the server-enforced per-request
 	// deadline (WithRequestTimeout).
@@ -166,6 +172,18 @@ func WithMaxInflight(n int) ServerOption {
 // surfaces *contextpref.DegradedError, mapped to 503 "degraded".)
 func WithHealth(h *contextpref.Health) ServerOption {
 	return func(s *Server) { s.health = h }
+}
+
+// WithShardHealth attaches a sharded store's per-shard health trackers
+// (as returned by Directory.ShardHealths): /readyz reports every
+// shard's state individually, answers 200 {"status":"degraded_partial"}
+// while only some shards are degraded (the store still serves reads
+// everywhere and mutations on the healthy shards), and 503
+// {"status":"degraded"} only when every shard is read-only. Mutation
+// rejections from a degraded shard carry the shard index in the 503
+// body. Mutually exclusive with WithHealth.
+func WithShardHealth(hs []*contextpref.Health) ServerOption {
+	return func(s *Server) { s.shardHealth = append([]*contextpref.Health(nil), hs...) }
 }
 
 // WithReplica marks the server as a replication follower: staleness
@@ -287,6 +305,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if len(s.shardHealth) > 0 {
+		s.writeShardReadyz(w)
+		return
+	}
 	if s.health.Degraded() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
 		return
@@ -304,6 +326,38 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}
+}
+
+// shardStatus is one shard's entry in the sharded /readyz payload.
+type shardStatus struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Status is "healthy" or "degraded".
+	Status string `json:"status"`
+}
+
+// writeShardReadyz answers /readyz for a sharded store: per-shard
+// states, 503 only when every shard is degraded (a partially degraded
+// store still serves reads everywhere and mutations on healthy shards).
+func (s *Server) writeShardReadyz(w http.ResponseWriter) {
+	shards := make([]shardStatus, len(s.shardHealth))
+	degraded := 0
+	for i, h := range s.shardHealth {
+		st := "healthy"
+		if h.Degraded() {
+			st = "degraded"
+			degraded++
+		}
+		shards[i] = shardStatus{Shard: h.Shard(), Status: st}
+	}
+	status, code := "ready", http.StatusOK
+	switch {
+	case degraded == len(shards):
+		status, code = "degraded", http.StatusServiceUnavailable
+	case degraded > 0:
+		status = "degraded_partial"
+	}
+	writeJSON(w, code, map[string]any{"status": status, "shards": shards})
 }
 
 // overStale reports the follower's replication lag and whether it
@@ -536,6 +590,13 @@ func mutationError(w http.ResponseWriter, err error) {
 	var degraded *contextpref.DegradedError
 	if errors.As(err, &degraded) {
 		w.Header().Set("Retry-After", "5")
+		if degraded.Shard >= 0 {
+			// Name the failing fault domain: only this shard's users are
+			// read-only, the rest of the store still accepts mutations.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error": err.Error(), "code": "degraded", "shard": degraded.Shard})
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, "degraded", err)
 		return
 	}

@@ -1,0 +1,147 @@
+package httpapi
+
+// Sharded serving: /readyz reports per-shard health, a degraded shard's
+// mutations answer 503 "degraded" naming the shard while other shards'
+// users keep mutating, and the store is only store-wide degraded when
+// every shard is.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"contextpref"
+	"contextpref/internal/dataset"
+)
+
+// shardedFixture builds a 2-shard directory with directly controllable
+// health trackers (no journal — health is what this test exercises) and
+// one known user per shard.
+func shardedFixture(t *testing.T) (*Server, []*contextpref.Health, [2]string) {
+	t.Helper()
+	env, err := dataset.RealEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := dataset.POIs(env, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := contextpref.NewDirectory(env, rel, contextpref.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		dir.SetShardHealth(i, contextpref.NewShardHealth(i))
+	}
+	hs := dir.ShardHealths()
+	var users [2]string
+	for i := 0; len(users[0]) == 0 || len(users[1]) == 0; i++ {
+		name := fmt.Sprintf("u-%d", i)
+		users[dir.ShardOf(name)] = name
+	}
+	srv, err := NewMultiUser(dir, WithShardHealth(hs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, hs, users
+}
+
+func TestShardedReadyzAndDegraded(t *testing.T) {
+	srv, hs, users := shardedFixture(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	type readyz struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Shard  int    `json:"shard"`
+			Status string `json:"status"`
+		} `json:"shards"`
+	}
+	fetchReady := func() (int, readyz) {
+		t.Helper()
+		resp, body := get(t, ts.URL+"/readyz")
+		var rz readyz
+		if err := json.Unmarshal([]byte(body), &rz); err != nil {
+			t.Fatalf("readyz body %q: %v", body, err)
+		}
+		return resp.StatusCode, rz
+	}
+
+	// Baseline: create one user per shard while everything is healthy
+	// (first contact creates the profile, which is itself a mutation).
+	for _, u := range users {
+		if resp, body := post(t, ts.URL+"/preferences?user="+u, "text/plain", "[] => type = park : 0.4"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline POST for %q = %d: %s", u, resp.StatusCode, body)
+		}
+	}
+
+	// All healthy: 200 "ready" with one entry per shard.
+	code, rz := fetchReady()
+	if code != http.StatusOK || rz.Status != "ready" || len(rz.Shards) != 2 {
+		t.Fatalf("healthy readyz = %d %+v, want 200 ready with 2 shards", code, rz)
+	}
+	for i, sh := range rz.Shards {
+		if sh.Shard != i || sh.Status != "healthy" {
+			t.Errorf("readyz shard entry %d = %+v, want {%d healthy}", i, sh, i)
+		}
+	}
+
+	// Shard 1 degrades: partial — still 200, per-shard states split, and
+	// mutations route by user: shard 1's user gets 503 naming shard 1,
+	// shard 0's user keeps mutating.
+	hs[1].MarkDegraded(fmt.Errorf("disk full"))
+	code, rz = fetchReady()
+	if code != http.StatusOK || rz.Status != "degraded_partial" {
+		t.Fatalf("partial readyz = %d %q, want 200 degraded_partial", code, rz.Status)
+	}
+	if rz.Shards[0].Status != "healthy" || rz.Shards[1].Status != "degraded" {
+		t.Errorf("partial readyz shards = %+v", rz.Shards)
+	}
+
+	resp, body := post(t, ts.URL+"/preferences?user="+users[1], "text/plain", "[] => type = museum : 0.8")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST to degraded shard = %d: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Code  string `json:"code"`
+		Shard *int   `json:"shard"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("degraded body %q: %v", body, err)
+	}
+	if e.Code != "degraded" || e.Shard == nil || *e.Shard != 1 {
+		t.Errorf("degraded mutation = code %q shard %v, want degraded shard 1", e.Code, e.Shard)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded mutation response missing Retry-After")
+	}
+	if resp, body := post(t, ts.URL+"/preferences?user="+users[0], "text/plain", "[] => type = museum : 0.8"); resp.StatusCode != http.StatusOK {
+		t.Errorf("POST to healthy shard during partial degradation = %d: %s", resp.StatusCode, body)
+	}
+	// Reads on the degraded shard's user still serve.
+	if resp, _ := get(t, ts.URL+"/preferences?user="+users[1]); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET on degraded shard = %d", resp.StatusCode)
+	}
+
+	// Every shard degraded: now the store as a whole is 503 "degraded".
+	hs[0].MarkDegraded(fmt.Errorf("disk full too"))
+	code, rz = fetchReady()
+	if code != http.StatusServiceUnavailable || rz.Status != "degraded" {
+		t.Fatalf("all-degraded readyz = %d %q, want 503 degraded", code, rz.Status)
+	}
+
+	// Recovery restores ready.
+	hs[0].MarkHealthy()
+	hs[1].MarkHealthy()
+	code, rz = fetchReady()
+	if code != http.StatusOK || rz.Status != "ready" {
+		t.Fatalf("recovered readyz = %d %q, want 200 ready", code, rz.Status)
+	}
+	if resp, body := post(t, ts.URL+"/preferences?user="+users[1], "text/plain", "[] => type = museum : 0.8"); resp.StatusCode != http.StatusOK {
+		t.Errorf("POST after recovery = %d: %s", resp.StatusCode, body)
+	}
+}

@@ -270,6 +270,13 @@ var ErrClosed = errors.New("journal: closed")
 // the tail and clears the condition.
 var ErrWedged = errors.New("journal: wedged by a failed append rollback; reopen required")
 
+// ShardDir returns the conventional sub-directory name for one shard's
+// journal segment inside a sharded store: "shard-NNN". The zero-padded
+// fixed width keeps directory listings sorted by shard index.
+func ShardDir(shard int) string {
+	return fmt.Sprintf("shard-%03d", shard)
+}
+
 // Open opens (creating it if needed) the store directory on the real
 // filesystem, recovers the persisted records — snapshot first, then the
 // journal tail — and returns the journal ready for appending. A torn

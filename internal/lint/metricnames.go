@@ -20,10 +20,16 @@ import (
 //     distribution needs a //cpvet:ignore with its reason;
 //   - gauges must not end in _total (that suffix promises a counter);
 //   - a name is registered from exactly one call site, repo-wide, so
-//     two subsystems cannot silently share (or shadow) an instrument.
+//     two subsystems cannot silently share (or shadow) an instrument;
+//   - label names stay bounded: per-user labels (user, user_id, ...)
+//     are rejected outright, because the series count would grow with
+//     the user population;
+//   - per-shard metrics (cp_shard_*) are registered as vectors carrying
+//     the bounded "shard" label — the numeric shard index, whose
+//     cardinality is fixed at store creation.
 //
-// Dynamically built names are invisible to this pass; the runtime
-// conformance test over the live registry covers those.
+// Dynamically built names and labels are invisible to this pass; the
+// runtime conformance test over the live registry covers those.
 var MetricNames = &Analyzer{
 	Name: "metricnames",
 	Doc:  "telemetry names must match cp_[a-z0-9_]+, counters _total, histograms _seconds, unique repo-wide",
@@ -39,8 +45,28 @@ var metricKind = map[string]string{
 	"CounterVec":   "counter",
 	"Gauge":        "gauge",
 	"GaugeFunc":    "gauge",
+	"GaugeVec":     "gauge",
 	"Histogram":    "histogram",
 	"HistogramVec": "histogram",
+}
+
+// vecLabelStart maps vector constructors to the argument index where
+// their variadic label names begin (HistogramVec takes the bucket
+// slice between help and labels).
+var vecLabelStart = map[string]int{
+	"CounterVec":   2,
+	"GaugeVec":     2,
+	"HistogramVec": 3,
+}
+
+// unboundedLabels are label names whose value set grows with the user
+// population. One series per user defeats the point of aggregate
+// metrics (and leaks user identifiers into the scrape).
+var unboundedLabels = map[string]bool{
+	"user":     true,
+	"user_id":  true,
+	"username": true,
+	"uid":      true,
 }
 
 func runMetricNames(r *Repo) []Diagnostic {
@@ -90,6 +116,16 @@ func runMetricNames(r *Repo) []Diagnostic {
 						fmt.Sprintf("gauge %q must not end in _total (that suffix promises a monotonic counter)", name)})
 				}
 			}
+			labels, allLiteral := vecLabels(r, call, sel.Sel.Name, &out)
+			if strings.HasPrefix(name, "cp_shard_") {
+				if _, isVec := vecLabelStart[sel.Sel.Name]; !isVec {
+					out = append(out, Diagnostic{pos, "metricnames",
+						fmt.Sprintf("per-shard metric %q must be a vector carrying the \"shard\" label", name)})
+				} else if allLiteral && !labels["shard"] {
+					out = append(out, Diagnostic{pos, "metricnames",
+						fmt.Sprintf("per-shard metric %q must carry the bounded \"shard\" label (the numeric shard index)", name)})
+				}
+			}
 			if first, dup := firstSite[name]; dup {
 				out = append(out, Diagnostic{pos, "metricnames",
 					fmt.Sprintf("metric %q is already registered at %s:%d; share the instrument instead of re-registering the name", name, first.Filename, first.Line)})
@@ -100,4 +136,36 @@ func runMetricNames(r *Repo) []Diagnostic {
 		})
 	}
 	return out
+}
+
+// vecLabels collects the literal label names of a vector-constructor
+// call, flagging unbounded ones as it goes. It reports whether every
+// label argument was a string literal: a dynamically built label list
+// cannot prove (or disprove) the presence of "shard", so the per-shard
+// check is left to the runtime conformance test.
+func vecLabels(r *Repo, call *ast.CallExpr, ctor string, out *[]Diagnostic) (map[string]bool, bool) {
+	start, ok := vecLabelStart[ctor]
+	if !ok || len(call.Args) <= start {
+		return nil, false
+	}
+	labels := make(map[string]bool)
+	allLiteral := true
+	for _, arg := range call.Args[start:] {
+		lit, ok := arg.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			allLiteral = false
+			continue
+		}
+		label, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			allLiteral = false
+			continue
+		}
+		labels[label] = true
+		if unboundedLabels[label] {
+			*out = append(*out, Diagnostic{r.Fset.Position(lit.Pos()), "metricnames",
+				fmt.Sprintf("label %q is unbounded (one series per user); aggregate per shard instead", label)})
+		}
+	}
+	return labels, allLiteral
 }

@@ -7,6 +7,10 @@ func registerBad(reg registry) {
 	reg.Counter("http_requests_total", "missing the cp_ prefix")
 	reg.Counter("cp_Bad_Name_total", "uppercase breaks the grammar")
 	reg.Counter("cp_dup_total", "first registration is fine")
+	reg.CounterVec("cp_lookups_total", "per-user series are unbounded", "user")
+	reg.GaugeVec("cp_sessions", "so are these", "region", "user_id")
+	reg.Gauge("cp_shard_queue_depth", "per-shard metric registered without a shard label")
+	reg.CounterVec("cp_shard_flushes_total", "vector missing the shard label", "outcome")
 }
 
 func registerDup(reg registry) {
@@ -15,6 +19,8 @@ func registerDup(reg registry) {
 
 type registry interface {
 	Counter(name, help string)
+	CounterVec(name, help string, labels ...string)
 	Gauge(name, help string)
+	GaugeVec(name, help string, labels ...string)
 	Histogram(name, help string)
 }

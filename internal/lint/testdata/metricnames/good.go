@@ -6,10 +6,13 @@ func registerGood(reg registry) {
 	reg.Gauge("cp_http_inflight_requests", "well-formed gauge")
 	//cpvet:ignore metricnames unitless distribution, suppressed with a reason
 	reg.Histogram("cp_resolve_cells", "cells per resolution")
+	reg.GaugeVec("cp_shard_depth", "per-shard vector with the bounded index label", "shard")
+	reg.CounterVec("cp_shard_errors_total", "extra bounded labels are fine", "shard", "outcome")
 }
 
-// Non-literal names are out of scope for the AST pass; the runtime
-// conformance test covers them.
-func registerDynamic(reg registry, name string) {
+// Non-literal names and labels are out of scope for the AST pass; the
+// runtime conformance test covers them.
+func registerDynamic(reg registry, name string, labels []string) {
 	reg.Counter(name, "dynamic")
+	reg.CounterVec("cp_shard_dynamic_total", "dynamic labels defer to runtime", labels...)
 }

@@ -10,6 +10,8 @@ package contextpref_test
 
 import (
 	"bufio"
+	"context"
+	"fmt"
 	"regexp"
 	"strings"
 	"testing"
@@ -17,6 +19,7 @@ import (
 	"contextpref"
 	"contextpref/httpapi"
 	"contextpref/internal/dataset"
+	"contextpref/internal/journal"
 )
 
 var liveMetricNameRE = regexp.MustCompile(`^cp_[a-z0-9_]+$`)
@@ -45,11 +48,55 @@ func buildLiveRegistry(t *testing.T) *contextpref.TelemetryRegistry {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dir, err := contextpref.NewDirectory(env, rel, contextpref.WithDirectoryTelemetry(reg))
+	// The directory is sharded with a tiny residency bound, journaled,
+	// and compacted once, so every cp_shard_* family (users, resident,
+	// evictions, loads, degraded, compactions) exposes real children.
+	dir, err := contextpref.NewDirectory(env, rel,
+		contextpref.WithDirectoryTelemetry(reg),
+		contextpref.WithShards(2),
+		contextpref.WithMaxResidentUsers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = dir
+	js := make([]*journal.Journal, 2)
+	for i := range js {
+		j, recs, err := journal.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { j.Close() })
+		if err := dir.ReplayShard(i, recs); err != nil {
+			t.Fatal(err)
+		}
+		dir.SetShardHealth(i, contextpref.NewShardHealth(i))
+		dir.SetShardPersister(i, contextpref.NewJournalPersister(j))
+		js[i] = j
+	}
+	contextpref.RegisterShardHealthTelemetry(dir.ShardHealths(), reg)
+	comp, err := contextpref.NewStaggeredCompactor(dir, js, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		u, err := dir.User(fmt.Sprintf("mc-u-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.LoadProfile("[] => type = park : 0.4"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-exporting every user forces parked profiles to rebuild, so the
+	// loads counter moves alongside the evictions one.
+	for _, name := range dir.Users() {
+		u, _ := dir.Lookup(name)
+		if _, err := u.ExportProfile(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := comp.CompactAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if m := contextpref.NewJournalMetrics(reg); m == nil {
 		t.Fatal("NewJournalMetrics returned nil for a live registry")
 	}
@@ -122,6 +169,39 @@ func TestLiveRegistryNameConformance(t *testing.T) {
 		if _, ok := kinds[name]; !ok {
 			t.Errorf("exception for %s no longer matches a registered metric; drop it", name)
 		}
+	}
+
+	// Per-shard families really are wired into the serving stack, and
+	// every shard label value is the bounded numeric index — never a
+	// user identifier (the static pass only sees label names; the values
+	// are checkable only here).
+	for _, name := range []string{
+		"cp_shard_users", "cp_shard_resident_users", "cp_shard_evictions_total",
+		"cp_shard_loads_total", "cp_shard_compactions_total", "cp_shard_degraded",
+	} {
+		if _, ok := kinds[name]; !ok {
+			t.Errorf("per-shard metric %s missing from the live registry", name)
+		}
+	}
+	shardLabelRE := regexp.MustCompile(`shard="([^"]*)"`)
+	numericRE := regexp.MustCompile(`^[0-9]+$`)
+	sawShardSeries := false
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "cp_shard_") {
+			continue
+		}
+		m := shardLabelRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("per-shard series missing the shard label: %s", line)
+			continue
+		}
+		sawShardSeries = true
+		if !numericRE.MatchString(m[1]) {
+			t.Errorf("shard label value %q is not a numeric index: %s", m[1], line)
+		}
+	}
+	if !sawShardSeries {
+		t.Error("live registry exposed no cp_shard_* series")
 	}
 }
 

@@ -11,6 +11,7 @@ package contextpref
 
 import (
 	"runtime/debug"
+	"strconv"
 
 	"contextpref/internal/journal"
 	"contextpref/internal/profiletree"
@@ -54,23 +55,29 @@ func resolveMetrics(reg *TelemetryRegistry) *profiletree.Metrics {
 }
 
 // WithDirectoryTelemetry tracks the per-user system population
-// (cp_directory_users gauge, created/dropped counters) and forwards the
-// registry to every per-user System, aggregating their resolution cost.
+// (cp_directory_users gauge, created/dropped counters, per-shard
+// cp_shard_* vectors) and forwards the registry to every per-user
+// System, aggregating their resolution cost.
 func WithDirectoryTelemetry(reg *TelemetryRegistry) DirectoryOption {
 	return func(d *Directory) {
 		if reg == nil {
 			return
 		}
+		// initShards (which runs after all options) builds the per-shard
+		// instruments from d.reg.
+		d.reg = reg
 		d.opts = append(d.opts, WithTelemetry(reg))
 		d.usersCreated = reg.Counter("cp_directory_users_created_total",
 			"User profiles created in the directory.")
 		d.usersDropped = reg.Counter("cp_directory_users_dropped_total",
 			"User profiles dropped from the directory.")
 		reg.GaugeFunc("cp_directory_users",
-			"Per-user preference systems currently resident.", func() float64 {
-				d.mu.RLock()
-				defer d.mu.RUnlock()
-				return float64(len(d.systems))
+			"User profiles known to the directory (resident or parked).", func() float64 {
+				return float64(d.NumUsers())
+			})
+		reg.GaugeFunc("cp_directory_resident_users",
+			"Per-user systems currently materialized in memory.", func() float64 {
+				return float64(d.ResidentUsers())
 			})
 	}
 }
@@ -185,21 +192,68 @@ func RegisterHealthTelemetry(h *Health, reg *TelemetryRegistry) {
 	if h == nil || reg == nil {
 		return
 	}
+	registerHealthTelemetry(reg, h)
+}
+
+// RegisterShardHealthTelemetry attaches the health instruments to a
+// sharded directory's per-shard trackers (as returned by ShardHealths):
+// the shared cp_health_* series aggregate across shards — the degraded
+// gauge reads 1 while any shard is degraded, transitions and probes sum
+// — and cp_shard_degraded breaks the state out per shard. A nil
+// registry is a no-op; nil trackers are skipped.
+func RegisterShardHealthTelemetry(hs []*Health, reg *TelemetryRegistry) {
+	if reg == nil {
+		return
+	}
+	registerHealthTelemetry(reg, hs...)
+	shardG := reg.GaugeVec("cp_shard_degraded",
+		"1 while the shard is degraded (read-only), 0 while healthy.", "shard")
+	for _, h := range hs {
+		if h == nil || h.Shard() < 0 {
+			continue
+		}
+		g := shardG.With(strconv.Itoa(h.Shard()))
+		if h.Degraded() {
+			g.Set(1)
+		} else {
+			g.Set(0)
+		}
+		h.OnChange(func(degraded bool, _ error) {
+			if degraded {
+				g.Set(1)
+			} else {
+				g.Set(0)
+			}
+		})
+	}
+}
+
+// registerHealthTelemetry is the shared core of the two registration
+// entry points, so each metric name has a single call site (the
+// cp_health_degraded gauge cannot be registered twice).
+func registerHealthTelemetry(reg *TelemetryRegistry, hs ...*Health) {
 	reg.GaugeFunc("cp_health_degraded",
-		"1 while the store is degraded (read-only), 0 while healthy.", func() float64 {
-			if h.Degraded() {
-				return 1
+		"1 while the store (any shard) is degraded (read-only), 0 while healthy.", func() float64 {
+			for _, h := range hs {
+				if h.Degraded() {
+					return 1
+				}
 			}
 			return 0
 		})
 	trans := reg.CounterVec("cp_health_transitions_total",
 		"Health state transitions by target state.", "to")
-	h.mu.Lock()
-	h.transDegraded = trans.With("degraded")
-	h.transHealthy = trans.With("healthy")
 	probes := reg.CounterVec("cp_health_probe_total",
 		"Store probe attempts while degraded, by outcome.", "outcome")
-	h.probeOK = probes.With("ok")
-	h.probeFail = probes.With("fail")
-	h.mu.Unlock()
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		h.mu.Lock()
+		h.transDegraded = trans.With("degraded")
+		h.transHealthy = trans.With("healthy")
+		h.probeOK = probes.With("ok")
+		h.probeFail = probes.With("fail")
+		h.mu.Unlock()
+	}
 }

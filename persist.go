@@ -13,6 +13,12 @@ package contextpref
 // therefore leaves the in-memory state untouched and surfaces as a
 // *PersistError; a crash after the journal write is recovered by
 // replay, which re-applies the already-validated record.
+//
+// Directory replay is lazy: records are parsed (so a corrupt or
+// foreign journal still fails loudly at startup) but accumulated in
+// parked per-user handles instead of being applied to materialized
+// profile trees — a directory with a million journaled users starts
+// with zero resident trees, and each profile is built on first access.
 
 import (
 	"context"
@@ -108,22 +114,30 @@ func (s *System) SetPersister(p Persister, user string) {
 	s.persistUser = user
 }
 
-// SetPersister attaches a persistence hook under the write lock.
+// SetPersister attaches a persistence hook under the write lock; on a
+// parked handle it is kept aside and re-attached when the system
+// materializes.
 func (s *SafeSystem) SetPersister(p Persister, user string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sys == nil {
+		s.parkPersist = p
+		if user != "" {
+			s.user = user
+		}
+		return
+	}
 	s.sys.SetPersister(p, user)
 }
 
-// SetPersister attaches a persistence hook to the directory: every
-// existing and future per-user system persists under its user name, and
-// RemoveUser journals profile drops. Attach after Replay.
+// SetPersister attaches one persistence hook to every shard of the
+// directory: every existing and future per-user system persists under
+// its user name, and RemoveUser journals profile drops. Attach after
+// Replay. Sharded deployments attach an independent persister per
+// shard (one per journal segment) with SetShardPersister instead.
 func (d *Directory) SetPersister(p Persister) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.persist = p
-	for name, sys := range d.systems {
-		sys.SetPersister(p, name)
+	for _, sh := range d.shards {
+		sh.setPersister(p)
 	}
 }
 
@@ -145,26 +159,80 @@ func (s *System) Replay(recs []journal.Record) error {
 // without default-profile seeding, because their seed preferences were
 // themselves journaled when the user was first created. Call before
 // SetPersister.
+//
+// Replay is lazy: each record is parsed and validated syntactically,
+// then accumulated in the user's parked handle; no profile tree is
+// materialized until the user is first accessed. A record that fails
+// to apply at that point (impossible for a journal this package wrote)
+// surfaces from the access that triggered the load.
 func (d *Directory) Replay(recs []journal.Record) error {
 	for i, r := range recs {
-		if r.Op == journal.OpDrop {
-			d.mu.Lock()
-			delete(d.systems, r.User)
-			d.mu.Unlock()
-			continue
-		}
-		sys, err := d.user(context.Background(), r.User, false)
-		if err != nil {
-			return fmt.Errorf("contextpref: replaying record %d: %w", i, err)
-		}
-		if r.Op == journal.OpUser {
-			continue // creation was the whole effect
-		}
-		if err := replayOne(sys.sys, r); err != nil {
+		if err := d.replayRecord(r); err != nil {
 			return fmt.Errorf("contextpref: replaying record %d (user %q): %w", i, r.User, err)
 		}
 	}
 	return nil
+}
+
+// ReplayShard is Replay for one shard's journal segment. It
+// additionally verifies that every record's user hashes to the given
+// shard, failing loudly when a segment is replayed into a directory
+// with a different shard count — the assignment decides segment
+// ownership, so a mismatch would scatter users across wrong journals.
+func (d *Directory) ReplayShard(shard int, recs []journal.Record) error {
+	if shard < 0 || shard >= len(d.shards) {
+		return fmt.Errorf("contextpref: replaying shard %d: directory has %d shards", shard, len(d.shards))
+	}
+	for i, r := range recs {
+		if own := d.ShardOf(r.User); own != shard {
+			return fmt.Errorf("contextpref: replaying shard %d record %d: user %q belongs to shard %d — was this store created with a different shard count?",
+				shard, i, r.User, own)
+		}
+		if err := d.replayRecord(r); err != nil {
+			return fmt.Errorf("contextpref: replaying shard %d record %d (user %q): %w", shard, i, r.User, err)
+		}
+	}
+	return nil
+}
+
+// replayRecord folds one recovered (or replicated) record into the
+// directory: drops delete the user, creations ensure a parked handle,
+// and add/remove records accumulate in the handle — applied directly
+// only if the user happens to be resident.
+func (d *Directory) replayRecord(r journal.Record) error {
+	if r.User == "" {
+		return fmt.Errorf("contextpref: record without a user in a directory journal")
+	}
+	sh := d.shardFor(r.User)
+	switch r.Op {
+	case journal.OpDrop:
+		sh.mu.Lock()
+		sys, ok := sh.systems[r.User]
+		delete(sh.systems, r.User)
+		sh.mu.Unlock()
+		if ok {
+			if sys.detach() {
+				sh.noteResident(-1)
+			}
+			d.usersDropped.Inc()
+			sh.noteUsers()
+		}
+		return nil
+	case journal.OpUser:
+		_, err := sh.parkedEntry(r.User)
+		return err
+	case journal.OpAdd, journal.OpRemove:
+		if _, err := ParsePreference(r.Line); err != nil {
+			return err
+		}
+		sys, err := sh.parkedEntry(r.User)
+		if err != nil {
+			return err
+		}
+		return sys.appendParked(r)
+	default:
+		return fmt.Errorf("contextpref: unknown journal op %q", string(rune(r.Op)))
+	}
 }
 
 // replayOne applies one add/remove record to a bare system. Recovery
@@ -177,11 +245,11 @@ func replayOne(s *System, r journal.Record) error {
 
 // applyRecord applies one add/remove record directly to the profile
 // tree: no health gate, no persister. This is the shared core of
-// recovery replay and the replication follower's live apply path — in
-// both, the record is already durable in the local journal and was
-// validated when it was first committed, so gating it again (a
-// follower's role gate would reject its own stream) or re-journaling
-// it would be wrong.
+// recovery replay (including the unpark rebuild) and the replication
+// follower's live apply path — in all of them, the record is already
+// durable in the local journal and was validated when it was first
+// committed, so gating it again (a follower's role gate would reject
+// its own stream) or re-journaling it would be wrong.
 func applyRecord(s *System, r journal.Record) error {
 	switch r.Op {
 	case journal.OpUser:
@@ -217,29 +285,12 @@ func applyRecord(s *System, r journal.Record) error {
 // records are already durable in the local journal (grafted by
 // journal.AppendReplicated before this is called) and were validated
 // by the leader, and a follower's role gate would otherwise reject its
-// own replication stream. Unlike Replay, each per-user system is
-// mutated under its write lock, so the node can serve reads while the
-// stream applies.
+// own replication stream. Each record lands under its own user's
+// handle lock, so the node serves reads while the stream applies; a
+// parked user's records accumulate without materializing its tree.
 func (d *Directory) ApplyReplicated(recs []journal.Record) error {
 	for i, r := range recs {
-		if r.Op == journal.OpDrop {
-			d.mu.Lock()
-			_, ok := d.systems[r.User]
-			delete(d.systems, r.User)
-			d.mu.Unlock()
-			if ok {
-				d.usersDropped.Inc()
-			}
-			continue
-		}
-		sys, err := d.user(context.Background(), r.User, false)
-		if err != nil {
-			return fmt.Errorf("contextpref: applying replicated record %d: %w", i, err)
-		}
-		if r.Op == journal.OpUser {
-			continue // creation was the whole effect
-		}
-		if err := sys.applyReplicated(r); err != nil {
+		if err := d.replayRecord(r); err != nil {
 			return fmt.Errorf("contextpref: applying replicated record %d (user %q): %w", i, r.User, err)
 		}
 	}
@@ -251,17 +302,22 @@ func (d *Directory) ApplyReplicated(recs []journal.Record) error {
 // compaction horizon and bootstrapped fresh (journal.InstallSnapshot
 // already replaced the durable state).
 func (d *Directory) ResetReplicated(recs []journal.Record) error {
-	d.mu.Lock()
-	d.systems = make(map[string]*SafeSystem)
-	d.mu.Unlock()
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		dropped := make([]*SafeSystem, 0, len(sh.systems))
+		for _, sys := range sh.systems {
+			dropped = append(dropped, sys)
+		}
+		sh.systems = make(map[string]*SafeSystem)
+		sh.mu.Unlock()
+		for _, sys := range dropped {
+			if sys.detach() {
+				sh.noteResident(-1)
+			}
+		}
+		sh.noteUsers()
+	}
 	return d.ApplyReplicated(recs)
-}
-
-// applyReplicated applies one replicated record under the write lock.
-func (s *SafeSystem) applyReplicated(r journal.Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return applyRecord(s.sys, r)
 }
 
 // SnapshotRecords renders the system's current profile as add-records
@@ -278,11 +334,20 @@ func (s *System) SnapshotRecords(user string) ([]journal.Record, error) {
 }
 
 // SnapshotRecords renders the system's current profile under the shared
-// lock.
+// lock. A parked system snapshots from its record archive without
+// materializing — so compacting a million-user store does not fault a
+// million profile trees into memory — at the cost of a possibly
+// non-normalized record sequence (replayed add/remove pairs are copied
+// as-is until the user is next materialized and parked again).
 func (s *SafeSystem) SnapshotRecords(user string) ([]journal.Record, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sys.SnapshotRecords(user)
+	if s.sys != nil {
+		defer s.mu.RUnlock()
+		return s.sys.SnapshotRecords(user)
+	}
+	recs := append([]journal.Record(nil), s.parked...)
+	s.mu.RUnlock()
+	return recs, nil
 }
 
 // SnapshotRecords renders every user's profile as user-created and
@@ -290,7 +355,24 @@ func (s *SafeSystem) SnapshotRecords(user string) ([]journal.Record, error) {
 // are preserved (as a bare user-created record).
 func (d *Directory) SnapshotRecords() ([]journal.Record, error) {
 	var out []journal.Record
-	for _, name := range d.Users() {
+	for shard := range d.shards {
+		recs, err := d.SnapshotShardRecords(shard)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// SnapshotShardRecords renders one shard's users — and only them — for
+// compacting that shard's journal segment.
+func (d *Directory) SnapshotShardRecords(shard int) ([]journal.Record, error) {
+	if shard < 0 || shard >= len(d.shards) {
+		return nil, fmt.Errorf("contextpref: snapshotting shard %d: directory has %d shards", shard, len(d.shards))
+	}
+	var out []journal.Record
+	for _, name := range d.ShardUsers(shard) {
 		sys, ok := d.Lookup(name)
 		if !ok {
 			continue // removed concurrently

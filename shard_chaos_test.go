@@ -1,0 +1,266 @@
+package contextpref
+
+// Shard-isolation chaos test, in the style of the crash-consistency
+// torture test: a 4-shard directory runs each shard's journal segment
+// on its own fault-injecting in-memory filesystem, ENOSPC is injected
+// into exactly one shard, and the test proves the fault-domain
+// contract end to end — concurrent mutations on the healthy shards see
+// zero errors throughout, the faulted shard degrades (naming itself)
+// and recovers via its own probe loop once the fault lifts, and a full
+// restart replays every shard's segment to exactly the acknowledged
+// state.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"contextpref/internal/faultfs"
+	"contextpref/internal/journal"
+)
+
+// chaosShards is the fixture for the isolation test: a sharded
+// directory whose shard i journals to /store on its own injector.
+type chaosShards struct {
+	dir      *Directory
+	mems     []*faultfs.MemFS
+	injs     []*faultfs.Inject
+	journals []*journal.Journal
+	healths  []*Health
+}
+
+func openChaosShards(t *testing.T, env *Environment, rel *Relation, shards int) *chaosShards {
+	t.Helper()
+	d, err := NewDirectory(env, rel, WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &chaosShards{dir: d}
+	for i := 0; i < shards; i++ {
+		mem := faultfs.NewMemFS()
+		inj := faultfs.NewInject(mem)
+		j, recs, err := journal.OpenFS(inj, "/store", journal.WithRetry(0, 0))
+		if err != nil {
+			t.Fatalf("opening shard %d: %v", i, err)
+		}
+		if err := d.ReplayShard(i, recs); err != nil {
+			t.Fatalf("replaying shard %d: %v", i, err)
+		}
+		h := NewShardHealth(i)
+		d.SetShardHealth(i, h)
+		d.SetShardPersister(i, NewJournalPersister(j))
+		cs.mems = append(cs.mems, mem)
+		cs.injs = append(cs.injs, inj)
+		cs.journals = append(cs.journals, j)
+		cs.healths = append(cs.healths, h)
+	}
+	return cs
+}
+
+// uniqueStates returns n distinct full-detail context-state strings, so
+// the workload's preferences never conflict within a user.
+func uniqueStates(t *testing.T, env *Environment, n int) []string {
+	t.Helper()
+	var names []string
+	var domains [][]string
+	for i := 0; i < env.NumParams(); i++ {
+		names = append(names, env.Param(i).Name())
+		domains = append(domains, env.Param(i).Hierarchy().DetailedValues())
+	}
+	var out []string
+	for _, a := range domains[0] {
+		for _, b := range domains[1] {
+			for _, c := range domains[2] {
+				if len(out) == n {
+					return out
+				}
+				out = append(out, fmt.Sprintf("%s = %s; %s = %s; %s = %s",
+					names[0], a, names[1], b, names[2], c))
+			}
+		}
+	}
+	t.Fatalf("environment has only %d detailed states, need %d", len(out), n)
+	return nil
+}
+
+func TestShardIsolationTorture(t *testing.T) {
+	env, rel := persistFixture(t)
+	const (
+		shards      = 4
+		perShard    = 3
+		faulted     = 2 // the shard that loses its disk
+		mutsPerUser = 8
+	)
+	cs := openChaosShards(t, env, rel, shards)
+	users := shardUsers(shards, perShard)
+	states := uniqueStates(t, env, (mutsPerUser+4)*2)
+
+	// Per-shard probe loops, exactly as the serving binary runs them.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var probes sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		probes.Add(1)
+		go func(i int) {
+			defer probes.Done()
+			cs.healths[i].Run(ctx, time.Millisecond, cs.journals[i].Probe)
+		}(i)
+	}
+
+	// Phase 1 — healthy baseline: every user takes a few mutations.
+	for _, names := range users {
+		for _, name := range names {
+			sys, err := cs.dir.User(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 3; k++ {
+				if err := sys.LoadProfile(fmt.Sprintf(
+					"[%s] => type = museum : 0.%d", states[k], k+1)); err != nil {
+					t.Fatalf("baseline mutation for %q: %v", name, err)
+				}
+			}
+		}
+	}
+
+	// Phase 2 — inject ENOSPC into shard 2's filesystem only, then run
+	// concurrent writers against every shard. Healthy shards must see
+	// zero errors; the faulted shard must degrade, naming itself.
+	cs.injs[faulted].AddFault(faultfs.Fault{Op: faultfs.OpWrite, Err: faultfs.ErrNoSpace})
+
+	var wg sync.WaitGroup
+	healthyErrs := make(chan error, shards*perShard*mutsPerUser)
+	faultedDegraded := make(chan error, perShard*mutsPerUser)
+	for s, names := range users {
+		for _, name := range names {
+			wg.Add(1)
+			go func(s int, name string) {
+				defer wg.Done()
+				sys, ok := cs.dir.Lookup(name)
+				if !ok {
+					healthyErrs <- fmt.Errorf("user %q vanished", name)
+					return
+				}
+				for k := 0; k < mutsPerUser; k++ {
+					err := sys.LoadProfile(fmt.Sprintf(
+						"[%s] => type = park : 0.%d", states[3+k], k+1))
+					if s == faulted {
+						if err != nil {
+							faultedDegraded <- err
+						}
+						continue
+					}
+					if err != nil {
+						healthyErrs <- fmt.Errorf("healthy shard %d user %q: %w", s, name, err)
+					}
+					// Reads keep serving everywhere, including on the
+					// degraded shard's neighbors.
+					if _, err := sys.ExportProfile(); err != nil {
+						healthyErrs <- fmt.Errorf("read on shard %d user %q: %w", s, name, err)
+					}
+				}
+			}(s, name)
+		}
+	}
+	wg.Wait()
+	close(healthyErrs)
+	close(faultedDegraded)
+	for err := range healthyErrs {
+		t.Errorf("healthy shard failed during the fault: %v", err)
+	}
+	// The faulted shard rejected at least one mutation with a
+	// *DegradedError carrying its own index.
+	sawDegraded := false
+	for err := range faultedDegraded {
+		var de *DegradedError
+		if errors.As(err, &de) {
+			sawDegraded = true
+			if de.Shard != faulted {
+				t.Errorf("DegradedError names shard %d, want %d", de.Shard, faulted)
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("the faulted shard never surfaced a *DegradedError")
+	}
+	if !cs.healths[faulted].Degraded() {
+		t.Fatal("faulted shard's health is not degraded")
+	}
+	for i, h := range cs.healths {
+		if i != faulted && h.Degraded() {
+			t.Errorf("fault leaked: shard %d degraded too", i)
+		}
+	}
+
+	// Phase 3 — lift the fault: the shard's own probe loop must recover
+	// it, and mutations on it succeed again.
+	cs.injs[faulted].Lift()
+	deadline := time.Now().Add(10 * time.Second)
+	for cs.healths[faulted].Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("faulted shard never auto-recovered after the fault lifted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, name := range users[faulted] {
+		sys, _ := cs.dir.Lookup(name)
+		if err := sys.LoadProfile(fmt.Sprintf(
+			"[%s] => type = zoo : 0.9", states[3+mutsPerUser])); err != nil {
+			t.Fatalf("post-recovery mutation for %q: %v", name, err)
+		}
+	}
+
+	// Acked state: everything the live directory holds was journaled
+	// before it was applied (failed mutations never applied), so the
+	// live exports ARE the acknowledged state.
+	want := map[string]string{}
+	for _, name := range cs.dir.Users() {
+		sys, _ := cs.dir.Lookup(name)
+		export, err := sys.ExportProfile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = canonical(t, export)
+	}
+
+	// Phase 4 — crash (no snapshot, no clean close) and restart: every
+	// shard replays its own segment to exactly the acked state.
+	cancel()
+	probes.Wait()
+	for _, j := range cs.journals {
+		j.Close()
+	}
+	d2, err := NewDirectory(env, rel, WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		j, recs, err := journal.OpenFS(cs.mems[i], "/store")
+		if err != nil {
+			t.Fatalf("reopening shard %d: %v", i, err)
+		}
+		if err := d2.ReplayShard(i, recs); err != nil {
+			t.Fatalf("replaying shard %d after restart: %v", i, err)
+		}
+		j.Close()
+	}
+	if got, wantN := len(d2.Users()), len(want); got != wantN {
+		t.Fatalf("restart recovered %d users, want %d", got, wantN)
+	}
+	for name, w := range want {
+		sys, ok := d2.Lookup(name)
+		if !ok {
+			t.Fatalf("restart lost user %q", name)
+		}
+		export, err := sys.ExportProfile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonical(t, export); got != w {
+			t.Errorf("user %q after restart:\n%s\nwant:\n%s", name, got, w)
+		}
+	}
+}
