@@ -89,8 +89,7 @@
 // is compacted, round-robin, so snapshot write bursts never overlap.
 // -max-resident-users bounds materialized profiles: idle profiles over
 // the bound are parked (kept as compact journal records in memory) and
-// rebuilt transparently on next access. Sharding is incompatible with
-// replication for now — a sharded leader is a planned follow-up.
+// rebuilt transparently on next access.
 //
 // Replication. With -replicate-addr a journaled leader streams every
 // committed batch to followers (see internal/replication for the wire
@@ -103,6 +102,23 @@
 // accepted, journal owned); with -promote-after > 0 the follower
 // promotes itself after that much total leader silence. A node may
 // follow and replicate at once, forming a chain.
+//
+// Sharded replication. A sharded store replicates too: the leader
+// ships each shard's journal segment on its own connection (protocol
+// rev cprepl/2; leader and follower must agree on -shards, a mismatch
+// is refused at handshake), and the follower grafts each segment
+// independently — one stalled, desynced, or faulted segment stream
+// degrades only that shard while the others keep tailing, retrying on
+// its own jittered backoff. Reads are staleness-gated per shard (a
+// read of a user on a fresh shard serves even while another shard's
+// stream is behind), /readyz reports per-shard lag and marks lagging
+// shards "stale" individually, and the cp_replication_shard_* metrics
+// carry one series per shard. Promotion is whole-node: the -promote-
+// after watchdog counts silence across every segment stream (frames on
+// any segment are proof of leader life; local progress on one segment
+// never defers it), and a promoted follower owns all segments. What is
+// guaranteed per segment — and only per segment — is whole-batch
+// prefix consistency; there is no cross-shard ordering.
 //
 // Limits & deadlines. Every non-probe request runs under the
 // -request-timeout deadline: resolution and query scans check it
@@ -193,6 +209,10 @@ type config struct {
 	shards            int
 	maxResidentUsers  int
 	compactInterval   time.Duration
+	// probe overrides the unsharded recovery probe (tests only — the
+	// real journal's probe succeeds instantly on a healthy disk, which
+	// makes a synthetically degraded window unobservably short).
+	probe func() error
 }
 
 // app is a built server plus its durability and observability hooks.
@@ -400,7 +420,11 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 	// probe interval and flip back to healthy on the first success. The
 	// goroutine exits with the serve context at shutdown.
 	if a.health != nil && a.journal != nil {
-		go a.health.Run(ctx, cfg.probeInterval, a.journal.Probe)
+		probe := a.journal.Probe
+		if cfg.probe != nil {
+			probe = cfg.probe
+		}
+		go a.health.Run(ctx, cfg.probeInterval, probe)
 	}
 	// Sharded store: one independent probe loop per shard (cheap — each
 	// loop sleeps with no timer while its shard is healthy), plus the
@@ -578,9 +602,6 @@ func build(cfg config) (*app, error) {
 	if cfg.shards > 1 && !cfg.multi {
 		return nil, errors.New("-shards requires -multiuser: sharding routes per-user profiles to fault domains")
 	}
-	if cfg.shards > 1 && (cfg.follow != "" || cfg.replicateAddr != "") {
-		return nil, errors.New("-shards is incompatible with -follow/-replicate-addr: replicating a sharded store is a follow-up (see DESIGN.md)")
-	}
 	if cfg.store != "" {
 		if err := shardMeta(cfg.store, cfg.shards); err != nil {
 			return nil, err
@@ -674,12 +695,23 @@ func build(cfg config) (*app, error) {
 		}
 		return nil, err
 	}
+	// Replication telemetry: unsharded nodes report the aggregate
+	// cp_replication_* series; sharded nodes report the per-segment
+	// cp_replication_shard_* vectors instead, one child per shard, so a
+	// lagging or flapping segment stream is attributable. The leader is
+	// built after the journals open — a sharded leader taps every
+	// segment (see the -multiuser branch below).
 	var replMetrics *replication.Metrics
+	var segReplMetrics []*replication.Metrics
 	if cfg.replicateAddr != "" || cfg.follow != "" {
-		replMetrics = contextpref.NewReplicationMetrics(reg)
+		if cfg.shards > 1 {
+			segReplMetrics = contextpref.NewShardedReplicationMetrics(reg, cfg.shards)
+		} else {
+			replMetrics = contextpref.NewReplicationMetrics(reg)
+		}
 	}
 	var leader *replication.Leader
-	if cfg.replicateAddr != "" {
+	if cfg.replicateAddr != "" && cfg.shards <= 1 {
 		// The tap is installed now; serve opens the listener. A node can
 		// follow and replicate at once — chain replication — because
 		// grafted batches re-fire the append tap.
@@ -800,7 +832,11 @@ func build(cfg config) (*app, error) {
 					}
 				})
 				dir.SetShardHealth(i, h)
-				dir.SetShardPersister(i, contextpref.NewJournalPersister(ji))
+				if cfg.follow == "" {
+					dir.SetShardPersister(i, contextpref.NewJournalPersister(ji))
+				}
+				// Followers leave every shard persister detached until
+				// promotion — the segment streams are the only writers.
 				shardHealths[i] = h
 			}
 			contextpref.RegisterShardHealthTelemetry(shardHealths, reg)
@@ -810,6 +846,15 @@ func build(cfg config) (*app, error) {
 				return nil, err
 			}
 			sopts = append(sopts, httpapi.WithShardHealth(shardHealths))
+			if cfg.replicateAddr != "" {
+				// A sharded leader taps every journal segment; each
+				// follower connection streams exactly one segment.
+				leader = replication.NewShardedLeader(shardJournals, replication.LeaderConfig{
+					Logger:         logger,
+					SegmentMetrics: segReplMetrics,
+					Tracer:         tracer,
+				})
+			}
 		}
 		if j != nil {
 			// Replay before attaching the persister, or replay would
@@ -833,30 +878,72 @@ func build(cfg config) (*app, error) {
 		var fol *replication.Follower
 		var promote func()
 		if cfg.follow != "" {
-			fol, err = replication.NewFollower(j, replication.FollowerConfig{
-				Dial: func(ctx context.Context) (net.Conn, error) {
-					var d net.Dialer
-					return d.DialContext(ctx, "tcp", cfg.follow)
-				},
-				Apply:        dir.ApplyReplicated,
-				Reset:        dir.ResetReplicated,
-				Rand:         rand.New(rand.NewSource(time.Now().UnixNano())),
-				PromoteAfter: cfg.promoteAfter,
-				Logger:       logger,
-				Metrics:      replMetrics,
-				Tracer:       tracer,
-			})
-			if err != nil {
-				return fail(err)
+			dial := func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "tcp", cfg.follow)
 			}
-			sopts = append(sopts, httpapi.WithReplica(fol.Staleness, cfg.maxStaleness))
-			promote = func() {
-				health.SetRole(contextpref.RolePromoting)
-				logger.Warn("promoting: taking over as leader",
-					"applied_seq", fol.AppliedSeq(), "was_following", cfg.follow)
-				dir.SetPersister(contextpref.NewJournalPersister(j))
-				health.SetRole(contextpref.RoleLeader)
-				logger.Info("promotion complete: serving mutations")
+			if cfg.shards > 1 {
+				// One stream per journal segment, all to the same leader
+				// address; each grafts into its own shard only, so a
+				// faulted segment degrades one shard while the rest keep
+				// tailing. The whole node follows — mutations on every
+				// shard answer read_only until promotion.
+				contextpref.SetRoleAll(shardHealths, contextpref.RoleFollower)
+				fol, err = replication.NewShardedFollower(shardJournals, replication.FollowerConfig{
+					Dial:         dial,
+					ApplySegment: dir.ApplyShardReplicated,
+					ResetSegment: dir.ResetShardReplicated,
+					SegmentFault: func(seg int, err error) {
+						shardHealths[seg].MarkDegraded(fmt.Errorf("replication stream stopped: %w", err))
+					},
+					Rand:           rand.New(rand.NewSource(time.Now().UnixNano())),
+					PromoteAfter:   cfg.promoteAfter,
+					Logger:         logger,
+					SegmentMetrics: segReplMetrics,
+					Tracer:         tracer,
+				})
+				if err != nil {
+					closeShards()
+					return fail(err)
+				}
+				sopts = append(sopts, httpapi.WithShardReplica(fol.SegmentStaleness, cfg.maxStaleness))
+				promote = func() {
+					contextpref.SetRoleAll(shardHealths, contextpref.RolePromoting)
+					applied := make([]uint64, cfg.shards)
+					for i := range applied {
+						applied[i] = fol.AppliedSeqSegment(i)
+					}
+					logger.Warn("promoting: taking over as leader",
+						"applied_seqs", applied, "was_following", cfg.follow)
+					for i, ji := range shardJournals {
+						dir.SetShardPersister(i, contextpref.NewJournalPersister(ji))
+					}
+					contextpref.SetRoleAll(shardHealths, contextpref.RoleLeader)
+					logger.Info("promotion complete: serving mutations")
+				}
+			} else {
+				fol, err = replication.NewFollower(j, replication.FollowerConfig{
+					Dial:         dial,
+					Apply:        dir.ApplyReplicated,
+					Reset:        dir.ResetReplicated,
+					Rand:         rand.New(rand.NewSource(time.Now().UnixNano())),
+					PromoteAfter: cfg.promoteAfter,
+					Logger:       logger,
+					Metrics:      replMetrics,
+					Tracer:       tracer,
+				})
+				if err != nil {
+					return fail(err)
+				}
+				sopts = append(sopts, httpapi.WithReplica(fol.Staleness, cfg.maxStaleness))
+				promote = func() {
+					health.SetRole(contextpref.RolePromoting)
+					logger.Warn("promoting: taking over as leader",
+						"applied_seq", fol.AppliedSeq(), "was_following", cfg.follow)
+					dir.SetPersister(contextpref.NewJournalPersister(j))
+					health.SetRole(contextpref.RoleLeader)
+					logger.Info("promotion complete: serving mutations")
+				}
 			}
 		}
 		api, err := httpapi.NewMultiUser(dir, sopts...)

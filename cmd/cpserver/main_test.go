@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -411,6 +412,17 @@ func TestServeDegradedRecovery(t *testing.T) {
 	c := cfg(30, 7, "jaccard", "", 16, "", false)
 	c.store = store
 	c.probeInterval = 10 * time.Millisecond
+	// The probe is gated so the degraded window is observable: the real
+	// journal probe would succeed (the disk is fine — the failure below
+	// is synthetic) and recover the store the instant the degrade
+	// transition wakes the probe loop.
+	var diskOK atomic.Bool
+	c.probe = func() error {
+		if !diskOK.Load() {
+			return fmt.Errorf("synthetic disk failure")
+		}
+		return nil
+	}
 	a, err := build(c)
 	if err != nil {
 		t.Fatal(err)
@@ -467,7 +479,9 @@ func TestServeDegradedRecovery(t *testing.T) {
 		t.Fatalf("GET while degraded = %d", resp.StatusCode)
 	}
 
-	// The journal on disk is fine, so the probe loop recovers the store.
+	// The disk "heals": the next probe succeeds and the loop recovers
+	// the store.
+	diskOK.Store(true)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		resp, err := http.Get(base + "/readyz")

@@ -176,12 +176,22 @@ func TestShardFlagValidation(t *testing.T) {
 	if _, err := build(c); err == nil || !strings.Contains(err.Error(), "-multiuser") {
 		t.Fatalf("sharded single-user build error = %v", err)
 	}
+	// A sharded leader builds: each journal segment ships on its own
+	// replication stream (PR 9).
 	c = cfg(30, 7, "jaccard", "", 16, "", true)
 	c.shards = 2
 	c.store = t.TempDir()
 	c.replicateAddr = ":0"
-	if _, err := build(c); err == nil || !strings.Contains(err.Error(), "replicate") {
+	a0, err := build(c)
+	if err != nil {
 		t.Fatalf("sharded leader build error = %v", err)
+	}
+	if a0.leader == nil || a0.leader.Segments() != 2 {
+		t.Fatalf("sharded leader = %+v, want 2 segments", a0.leader)
+	}
+	a0.leader.Close()
+	for _, j := range a0.shardJournals {
+		j.Close()
 	}
 	// An existing unsharded store cannot be re-opened sharded.
 	store := t.TempDir()

@@ -188,6 +188,16 @@ func (h *Health) SetRole(r Role) {
 	h.mu.Unlock()
 }
 
+// SetRoleAll flips every tracker in hs to role r — a sharded node
+// changes role as a whole (all shards follow, all shards promote),
+// even though each shard's segment stream fails independently. Nil
+// trackers are skipped.
+func SetRoleAll(hs []*Health, r Role) {
+	for _, h := range hs {
+		h.SetRole(r)
+	}
+}
+
 // Gate returns nil when the node is a healthy leader; mutation paths
 // call it first so a rejected write fails fast without touching the
 // journal. Degradation is reported ahead of role: a degraded follower

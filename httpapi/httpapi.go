@@ -144,6 +144,11 @@ type Server struct {
 	// beyond maxStaleness are rejected with 503 "stale" (WithReplica).
 	staleness    func() time.Duration
 	maxStaleness time.Duration
+	// shardStaleness, when non-nil, marks this server a sharded
+	// follower: it reports one shard's segment-stream lag, so reads are
+	// gated per shard and /readyz marks individual shards stale
+	// (WithShardReplica).
+	shardStaleness func(shard int) time.Duration
 
 	logger        *slog.Logger // never nil after init
 	slowThreshold time.Duration
@@ -197,6 +202,25 @@ func WithShardHealth(hs []*contextpref.Health) ServerOption {
 func WithReplica(staleness func() time.Duration, max time.Duration) ServerOption {
 	return func(s *Server) {
 		s.staleness = staleness
+		s.maxStaleness = max
+	}
+}
+
+// WithShardReplica marks the server as a sharded replication
+// follower: staleness reports one shard's segment-stream lag (e.g.
+// replication.Follower's SegmentStaleness method) and max is the
+// serving bound. Staleness is per shard because the segment streams
+// are independent fault domains — a stalled stream must not take reads
+// on healthy shards with it. A user-scoped read is gated on its own
+// user's shard alone; the global /users enumeration spans every shard,
+// so it is gated on the worst shard's lag (a stale shard could hide
+// recently created users). /readyz reports every shard's lag and marks
+// the stale ones individually. max <= 0 disables the gating (reads
+// always serve) but keeps the /readyz reporting. Requires multi-user
+// mode; combine with WithShardHealth for per-shard degraded states.
+func WithShardReplica(staleness func(shard int) time.Duration, max time.Duration) ServerOption {
+	return func(s *Server) {
+		s.shardStaleness = staleness
 		s.maxStaleness = max
 	}
 }
@@ -332,30 +356,62 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 type shardStatus struct {
 	// Shard is the shard index.
 	Shard int `json:"shard"`
-	// Status is "healthy" or "degraded".
+	// Status is "healthy", "degraded", "following", or "stale".
 	Status string `json:"status"`
+	// LagSeconds is the shard's segment-stream replication lag,
+	// present only on a sharded follower (WithShardReplica).
+	LagSeconds *float64 `json:"lag_seconds,omitempty"`
 }
 
 // writeShardReadyz answers /readyz for a sharded store: per-shard
-// states, 503 only when every shard is degraded (a partially degraded
-// store still serves reads everywhere and mutations on healthy shards).
+// states, 503 only when every shard is unusable (a partially degraded
+// or partially stale store still serves the rest). On a sharded
+// follower each shard carries its own segment-stream lag and is marked
+// stale individually — the streams fail independently, so a single
+// number would either hide a lagging shard or condemn the fresh ones.
 func (s *Server) writeShardReadyz(w http.ResponseWriter) {
+	if len(s.shardHealth) > 0 && s.shardHealth[0].Role() == contextpref.RolePromoting {
+		// Mid-takeover: neither a consistent replica nor a leader yet.
+		// Roles flip node-wide, so the first shard speaks for all.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "promoting"})
+		return
+	}
 	shards := make([]shardStatus, len(s.shardHealth))
-	degraded := 0
+	degraded, stale, following := 0, 0, false
 	for i, h := range s.shardHealth {
 		st := "healthy"
+		if h.Role() == contextpref.RoleFollower {
+			following = true
+			st = "following"
+			if s.shardStaleness != nil {
+				lag := s.shardStaleness(i)
+				sec := lag.Seconds()
+				shards[i].LagSeconds = &sec
+				if s.maxStaleness > 0 && lag > s.maxStaleness {
+					st = "stale"
+					stale++
+				}
+			}
+		}
 		if h.Degraded() {
 			st = "degraded"
 			degraded++
 		}
-		shards[i] = shardStatus{Shard: h.Shard(), Status: st}
+		shards[i].Shard = h.Shard()
+		shards[i].Status = st
 	}
 	status, code := "ready", http.StatusOK
 	switch {
-	case degraded == len(shards):
+	case degraded+stale == len(shards) && degraded > 0:
 		status, code = "degraded", http.StatusServiceUnavailable
+	case stale == len(shards) && stale > 0:
+		status, code = "stale", http.StatusServiceUnavailable
 	case degraded > 0:
 		status = "degraded_partial"
+	case stale > 0:
+		status = "stale_partial"
+	case following:
+		status = "following"
 	}
 	writeJSON(w, code, map[string]any{"status": status, "shards": shards})
 }
@@ -369,6 +425,33 @@ func (s *Server) overStale() (time.Duration, bool) {
 	}
 	lag := s.staleness()
 	return lag, lag > s.maxStaleness
+}
+
+// overStaleFor resolves the staleness gate for one request. On a
+// sharded follower the gate is per shard: a user-scoped read answers
+// for its own user's shard, and only the all-shard /users enumeration
+// answers for the worst one. shard is -1 when the whole store (or an
+// unsharded follower) answered.
+func (s *Server) overStaleFor(r *http.Request) (lag time.Duration, shard int, over bool) {
+	if s.shardStaleness == nil || s.maxStaleness <= 0 || s.directory == nil {
+		lag, over = s.overStale()
+		return lag, -1, over
+	}
+	if r.URL.Path == "/users" {
+		for i := 0; i < s.directory.NumShards(); i++ {
+			if l := s.shardStaleness(i); l > lag {
+				lag, shard = l, i
+			}
+		}
+		return lag, shard, lag > s.maxStaleness
+	}
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		user = "default"
+	}
+	shard = s.directory.ShardOf(user)
+	lag = s.shardStaleness(shard)
+	return lag, shard, lag > s.maxStaleness
 }
 
 // staleGated reports whether a request reads replicated data and is
@@ -515,11 +598,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if staleGated(r) {
-			if lag, over := s.overStale(); over {
+			if lag, shard, over := s.overStaleFor(r); over {
 				rec.Header().Set("Retry-After", "1")
-				writeError(rec, http.StatusServiceUnavailable, "stale",
-					fmt.Errorf("httpapi: replica is %s behind, over the %s staleness bound; retry a fresher replica",
-						lag.Round(time.Millisecond), s.maxStaleness))
+				err := fmt.Errorf("httpapi: replica is %s behind, over the %s staleness bound; retry a fresher replica",
+					lag.Round(time.Millisecond), s.maxStaleness)
+				if shard >= 0 {
+					err = fmt.Errorf("httpapi: shard %d's replica stream is %s behind, over the %s staleness bound; retry a fresher replica",
+						shard, lag.Round(time.Millisecond), s.maxStaleness)
+				}
+				writeError(rec, http.StatusServiceUnavailable, "stale", err)
 				return
 			}
 		}

@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"contextpref"
 	"contextpref/internal/dataset"
@@ -18,8 +21,9 @@ import (
 
 // shardedFixture builds a 2-shard directory with directly controllable
 // health trackers (no journal — health is what this test exercises) and
-// one known user per shard.
-func shardedFixture(t *testing.T) (*Server, []*contextpref.Health, [2]string) {
+// one known user per shard. Extra server options layer on top of the
+// shard-health wiring (e.g. WithShardReplica for follower tests).
+func shardedFixture(t *testing.T, opts ...ServerOption) (*Server, []*contextpref.Health, [2]string) {
 	t.Helper()
 	env, err := dataset.RealEnvironment()
 	if err != nil {
@@ -42,7 +46,7 @@ func shardedFixture(t *testing.T) (*Server, []*contextpref.Health, [2]string) {
 		name := fmt.Sprintf("u-%d", i)
 		users[dir.ShardOf(name)] = name
 	}
-	srv, err := NewMultiUser(dir, WithShardHealth(hs))
+	srv, err := NewMultiUser(dir, append([]ServerOption{WithShardHealth(hs)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,5 +147,140 @@ func TestShardedReadyzAndDegraded(t *testing.T) {
 	}
 	if resp, body := post(t, ts.URL+"/preferences?user="+users[1], "text/plain", "[] => type = museum : 0.8"); resp.StatusCode != http.StatusOK {
 		t.Errorf("POST after recovery = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestShardedFollowerReadyzAndStaleGate: a sharded follower reports
+// every shard's segment-stream lag on /readyz, marks lagging shards
+// stale individually, and gates reads per shard — a user on a fresh
+// shard keeps serving while the stale shard's users answer 503 naming
+// their shard, and the all-shard /users enumeration is gated on the
+// worst shard's lag.
+func TestShardedFollowerReadyzAndStaleGate(t *testing.T) {
+	const maxStale = 100 * time.Millisecond
+	var mu sync.Mutex
+	lags := [2]time.Duration{time.Millisecond, time.Millisecond}
+	setLag := func(shard int, d time.Duration) {
+		mu.Lock()
+		lags[shard] = d
+		mu.Unlock()
+	}
+	srv, hs, users := shardedFixture(t, WithShardReplica(func(shard int) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return lags[shard]
+	}, maxStale))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	type readyz struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Shard      int      `json:"shard"`
+			Status     string   `json:"status"`
+			LagSeconds *float64 `json:"lag_seconds"`
+		} `json:"shards"`
+	}
+	fetchReady := func() (int, readyz) {
+		t.Helper()
+		resp, body := get(t, ts.URL+"/readyz")
+		var rz readyz
+		if err := json.Unmarshal([]byte(body), &rz); err != nil {
+			t.Fatalf("readyz body %q: %v", body, err)
+		}
+		return resp.StatusCode, rz
+	}
+
+	// Seed one user per shard while still a leader, then follow: a
+	// node's shards change role together.
+	for _, u := range users {
+		if resp, body := post(t, ts.URL+"/preferences?user="+u, "text/plain", "[] => type = park : 0.4"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed POST for %q = %d: %s", u, resp.StatusCode, body)
+		}
+	}
+	contextpref.SetRoleAll(hs, contextpref.RoleFollower)
+
+	// Fresh on every segment stream: 200 "following", each shard
+	// carrying its own lag.
+	code, rz := fetchReady()
+	if code != http.StatusOK || rz.Status != "following" || len(rz.Shards) != 2 {
+		t.Fatalf("fresh follower readyz = %d %+v, want 200 following with 2 shards", code, rz)
+	}
+	for i, sh := range rz.Shards {
+		if sh.Status != "following" || sh.LagSeconds == nil {
+			t.Errorf("readyz shard %d = %+v, want following with lag_seconds", i, sh)
+		}
+	}
+
+	// Shard 1's stream stalls: partial — its shard is marked stale with
+	// the real lag, the store stays 200, and reads split per shard.
+	setLag(1, time.Hour)
+	code, rz = fetchReady()
+	if code != http.StatusOK || rz.Status != "stale_partial" {
+		t.Fatalf("partial-stale readyz = %d %q, want 200 stale_partial", code, rz.Status)
+	}
+	if rz.Shards[0].Status != "following" || rz.Shards[1].Status != "stale" {
+		t.Errorf("partial-stale shards = %+v", rz.Shards)
+	}
+	if rz.Shards[1].LagSeconds == nil || *rz.Shards[1].LagSeconds < 3599 {
+		t.Errorf("stale shard lag = %v, want ~3600s", rz.Shards[1].LagSeconds)
+	}
+	if resp, _ := get(t, ts.URL+"/preferences?user="+users[0]); resp.StatusCode != http.StatusOK {
+		t.Errorf("read on fresh shard = %d, want 200", resp.StatusCode)
+	}
+	resp, body := get(t, ts.URL+"/preferences?user="+users[1])
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("read on stale shard = %d: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("stale body %q: %v", body, err)
+	}
+	if e.Code != "stale" || !strings.Contains(e.Error, "shard 1") {
+		t.Errorf("stale read = code %q error %q, want stale naming shard 1", e.Code, e.Error)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("stale read response missing Retry-After")
+	}
+	// The all-shard /users enumeration is gated on the worst shard: a
+	// stale shard could hide recently created users.
+	if resp, body := get(t, ts.URL+"/users"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/users with one stale shard = %d: %s", resp.StatusCode, body)
+	}
+
+	// Every stream stale: the store as a whole is 503 "stale".
+	setLag(0, time.Hour)
+	if code, rz := fetchReady(); code != http.StatusServiceUnavailable || rz.Status != "stale" {
+		t.Fatalf("all-stale readyz = %d %q, want 503 stale", code, rz.Status)
+	}
+
+	// A degraded shard reports degraded even while its stream lags —
+	// degradation is the stronger (read-only) state.
+	hs[1].MarkDegraded(fmt.Errorf("segment wedged"))
+	if _, rz := fetchReady(); rz.Shards[1].Status != "degraded" {
+		t.Errorf("degraded+stale shard = %+v, want degraded", rz.Shards[1])
+	}
+	hs[1].MarkHealthy()
+
+	// Streams recover: back to 200 "following", reads serve everywhere.
+	setLag(0, time.Millisecond)
+	setLag(1, time.Millisecond)
+	if code, rz := fetchReady(); code != http.StatusOK || rz.Status != "following" {
+		t.Fatalf("recovered readyz = %d %q, want 200 following", code, rz.Status)
+	}
+	if resp, _ := get(t, ts.URL+"/preferences?user="+users[1]); resp.StatusCode != http.StatusOK {
+		t.Errorf("read after recovery = %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/users"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/users after recovery = %d, want 200", resp.StatusCode)
+	}
+
+	// Promotion in flight: the node as a whole answers 503 "promoting".
+	contextpref.SetRoleAll(hs, contextpref.RolePromoting)
+	if code, rz := fetchReady(); code != http.StatusServiceUnavailable || rz.Status != "promoting" {
+		t.Fatalf("promoting readyz = %d %q, want 503 promoting", code, rz.Status)
 	}
 }

@@ -24,9 +24,12 @@ import (
 //   - label names stay bounded: per-user labels (user, user_id, ...)
 //     are rejected outright, because the series count would grow with
 //     the user population;
-//   - per-shard metrics (cp_shard_*) are registered as vectors carrying
-//     the bounded "shard" label — the numeric shard index, whose
-//     cardinality is fixed at store creation.
+//   - per-shard metrics (cp_shard_* and cp_replication_shard_*) are
+//     registered as vectors carrying the bounded "shard" label — the
+//     numeric shard index, whose cardinality is fixed at store
+//     creation. The replication family exists because a sharded
+//     store's segment streams are independent fault domains: their
+//     lag and reconnect churn must be attributable per shard.
 //
 // Dynamically built names and labels are invisible to this pass; the
 // runtime conformance test over the live registry covers those.
@@ -67,6 +70,14 @@ var unboundedLabels = map[string]bool{
 	"user_id":  true,
 	"username": true,
 	"uid":      true,
+}
+
+// perShardMetric reports whether a metric name promises per-shard
+// series: the cp_shard_ family (shard-local state) and the
+// cp_replication_shard_ family (per-segment replication streams).
+func perShardMetric(name string) bool {
+	return strings.HasPrefix(name, "cp_shard_") ||
+		strings.HasPrefix(name, "cp_replication_shard_")
 }
 
 func runMetricNames(r *Repo) []Diagnostic {
@@ -117,7 +128,7 @@ func runMetricNames(r *Repo) []Diagnostic {
 				}
 			}
 			labels, allLiteral := vecLabels(r, call, sel.Sel.Name, &out)
-			if strings.HasPrefix(name, "cp_shard_") {
+			if perShardMetric(name) {
 				if _, isVec := vecLabelStart[sel.Sel.Name]; !isVec {
 					out = append(out, Diagnostic{pos, "metricnames",
 						fmt.Sprintf("per-shard metric %q must be a vector carrying the \"shard\" label", name)})

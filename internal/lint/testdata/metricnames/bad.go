@@ -11,6 +11,7 @@ func registerBad(reg registry) {
 	reg.GaugeVec("cp_sessions", "so are these", "region", "user_id")
 	reg.Gauge("cp_shard_queue_depth", "per-shard metric registered without a shard label")
 	reg.CounterVec("cp_shard_flushes_total", "vector missing the shard label", "outcome")
+	reg.Counter("cp_replication_shard_drops_total", "per-segment metric without a shard label")
 }
 
 func registerDup(reg registry) {

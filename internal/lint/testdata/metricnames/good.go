@@ -8,6 +8,7 @@ func registerGood(reg registry) {
 	reg.Histogram("cp_resolve_cells", "cells per resolution")
 	reg.GaugeVec("cp_shard_depth", "per-shard vector with the bounded index label", "shard")
 	reg.CounterVec("cp_shard_errors_total", "extra bounded labels are fine", "shard", "outcome")
+	reg.GaugeVec("cp_replication_shard_lag", "per-segment streams carry the shard label too", "shard")
 }
 
 // Non-literal names and labels are out of scope for the AST pass; the

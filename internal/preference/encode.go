@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"contextpref/internal/ctxmodel"
 	"contextpref/internal/relation"
@@ -86,9 +87,19 @@ func Format(p Preference) string {
 // ParseParamDescriptor reads one descriptor atom. The three forms are
 // distinguished by whichever operator ("=", " in ", " between ")
 // appears first, so values that happen to contain a later operator word
-// still round-trip (e.g. "p = a in b" is an eq-descriptor).
+// still round-trip (e.g. "p = a in b" is an eq-descriptor). Param names
+// must not contain whitespace: a spaced param ("0 in" from "0 in=0")
+// would make the operator that wins depend on the spacing Format
+// chooses, so the formatted line would re-parse as a different form.
 func ParseParamDescriptor(text string) (ctxmodel.ParamDescriptor, error) {
 	text = strings.TrimSpace(text)
+	parseParam := func(raw string) (string, error) {
+		p := strings.TrimSpace(raw)
+		if strings.ContainsFunc(p, unicode.IsSpace) {
+			return "", fmt.Errorf("preference: param %q contains whitespace in %q", p, text)
+		}
+		return p, nil
+	}
 	first := func(op string) int {
 		i := strings.Index(text, op)
 		if i <= 0 {
@@ -98,7 +109,10 @@ func ParseParamDescriptor(text string) (ctxmodel.ParamDescriptor, error) {
 	}
 	eqAt, inAt, betweenAt := first("="), first(" in "), first(" between ")
 	if eqAt < inAt && eqAt < betweenAt {
-		param := strings.TrimSpace(text[:eqAt])
+		param, err := parseParam(text[:eqAt])
+		if err != nil {
+			return ctxmodel.ParamDescriptor{}, err
+		}
 		val := strings.TrimSpace(text[eqAt+1:])
 		if param == "" || val == "" {
 			return ctxmodel.ParamDescriptor{}, fmt.Errorf("preference: malformed eq-descriptor %q", text)
@@ -106,7 +120,10 @@ func ParseParamDescriptor(text string) (ctxmodel.ParamDescriptor, error) {
 		return ctxmodel.Eq(param, val), nil
 	}
 	if i := strings.Index(text, " in "); i > 0 && inAt < betweenAt {
-		param := strings.TrimSpace(text[:i])
+		param, err := parseParam(text[:i])
+		if err != nil {
+			return ctxmodel.ParamDescriptor{}, err
+		}
 		rest := strings.TrimSpace(text[i+4:])
 		if !strings.HasPrefix(rest, "{") || !strings.HasSuffix(rest, "}") {
 			return ctxmodel.ParamDescriptor{}, fmt.Errorf("preference: malformed in-descriptor %q", text)
@@ -125,7 +142,10 @@ func ParseParamDescriptor(text string) (ctxmodel.ParamDescriptor, error) {
 		return ctxmodel.In(param, vals...), nil
 	}
 	if i := strings.Index(text, " between "); i > 0 {
-		param := strings.TrimSpace(text[:i])
+		param, err := parseParam(text[:i])
+		if err != nil {
+			return ctxmodel.ParamDescriptor{}, err
+		}
 		parts := strings.Split(text[i+9:], ",")
 		if len(parts) != 2 {
 			return ctxmodel.ParamDescriptor{}, fmt.Errorf("preference: malformed between-descriptor %q", text)

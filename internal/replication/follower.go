@@ -22,12 +22,26 @@ import (
 // persister, flip the health role, start serving writes.
 var ErrPromoted = errors.New("replication: follower promoted")
 
+// ErrHandshakeRefused is returned by Follower.Run when the leader
+// answers the hello with a refusal frame — most commonly a shard-count
+// mismatch between the two stores. Retrying cannot help: the topology
+// is wrong, and grafting anyway would corrupt the store, so the
+// refusal is fatal to the whole Run, not one segment.
+var ErrHandshakeRefused = errors.New("replication: handshake refused by leader")
+
 // FollowerConfig tunes a Follower. Dial, Apply, and Reset are
-// required; everything else has serviceable defaults.
+// required for an unsharded follower (NewFollower); a sharded follower
+// (NewShardedFollower) requires ApplySegment, ResetSegment, and one of
+// Dial/DialSegment. Everything else has serviceable defaults.
 type FollowerConfig struct {
 	// Dial opens a connection to the leader. Injectable so tests can
 	// splice in flaky in-memory connections.
 	Dial func(ctx context.Context) (net.Conn, error)
+	// DialSegment, when non-nil, dials the leader for one segment's
+	// stream, taking precedence over Dial. Production followers dial
+	// the same address for every segment; tests use the segment to
+	// fault one stream while leaving the others healthy.
+	DialSegment func(ctx context.Context, segment int) (net.Conn, error)
 	// Apply folds one replicated batch's records into the in-memory
 	// state, after the batch is durable in the local journal. An error
 	// is fatal to Run: disk and memory have diverged.
@@ -37,59 +51,123 @@ type FollowerConfig struct {
 	// follower fell behind the leader's compaction horizon and
 	// bootstraps fresh.
 	Reset func(recs []journal.Record) error
+	// ApplySegment and ResetSegment are the sharded variants of Apply
+	// and Reset, scoped to one shard's records. When set they take
+	// precedence; a sharded reset must clear only its own shard.
+	ApplySegment func(segment int, recs []journal.Record) error
+	ResetSegment func(segment int, recs []journal.Record) error
+	// SegmentFault, when non-nil, is called once when one segment's
+	// stream stops on a local fault (wedged segment journal, failed
+	// apply) while other segments keep replicating — the hook that
+	// degrades that shard's health. Unsharded followers never call it:
+	// with one segment the fault is fatal to Run itself.
+	SegmentFault func(segment int, err error)
 	// Backoff is the base reconnect delay, jittered by Rand to a
 	// uniform draw from [Backoff/2, Backoff*3/2); defaults to 500ms.
+	// Each segment stream retries independently on its own backoff, so
+	// one flapping stream never delays another.
 	Backoff time.Duration
 	// Rand jitters reconnect backoff. Injected, never the global
 	// source, so chaos runs replay deterministically; nil disables
-	// jitter.
+	// jitter. Sharded followers derive one independent source per
+	// segment from it at Run start (rand.Rand is not goroutine-safe).
 	Rand *rand.Rand
 	// ReadTimeout bounds the silence on an established session before
 	// the follower treats it as dead and reconnects; defaults to 5s.
 	// Keep it a few heartbeat intervals wide.
 	ReadTimeout time.Duration
 	// PromoteAfter, when positive, is the total leader silence —
-	// spanning reconnect attempts — after which the follower declares
-	// the leader wedged and Run returns ErrPromoted. Zero disables
-	// automatic promotion; Promote still works.
+	// spanning reconnect attempts, measured across every segment
+	// stream — after which the follower declares the leader wedged and
+	// Run returns ErrPromoted. Only frames received from the leader
+	// count as hearing from it: local apply progress, reconnect
+	// attempts, and backoff sleeps on any segment never feed the
+	// watchdog. Zero disables automatic promotion; Promote still
+	// works.
 	PromoteAfter time.Duration
 	// Logger receives session lifecycle events; nil discards them.
 	Logger *slog.Logger
 	// Metrics, when non-nil, records lag, applied records, reconnects,
 	// and installed snapshot sizes.
 	Metrics *Metrics
+	// SegmentMetrics, when non-nil, holds one instrument set per
+	// segment (index-aligned) so a sharded follower's lag and graft
+	// traffic are attributable per shard. Segments past its length
+	// fall back to Metrics.
+	SegmentMetrics []*Metrics
 	// Tracer, when non-nil, records a replication.graft trace per
 	// applied batch, with the local durable append (and its fsync) as
 	// child spans. Graft traces are follower-originated roots.
 	Tracer *tracing.Tracer
 }
 
-// Follower tails a leader's replication stream into a local journal
-// and tracks how stale the local state is. It owns the transport and
-// durability; the in-memory state is the caller's, mutated only
-// through the Apply/Reset callbacks (already serialized — Run is a
-// single loop).
-type Follower struct {
-	j   *journal.Journal
-	cfg FollowerConfig
-	log *slog.Logger
+// metricsFor resolves the instrument set for one segment.
+func (c *FollowerConfig) metricsFor(seg int) *Metrics {
+	if seg < len(c.SegmentMetrics) && c.SegmentMetrics[seg] != nil {
+		return c.SegmentMetrics[seg]
+	}
+	return c.Metrics
+}
 
-	mu         sync.Mutex
+// segmentState is one segment stream's replication bookkeeping.
+type segmentState struct {
 	appliedSeq uint64    // newest sequence durably applied locally
 	leaderSeq  uint64    // newest sequence the leader has announced
 	freshAt    time.Time // last instant appliedSeq covered leaderSeq
-	lastHeard  time.Time // last frame from the leader (any type)
+	fault      error     // non-nil: the stream stopped on a local fault
+}
+
+// Follower tails a leader's replication stream into the local journal
+// segments and tracks how stale each is. It owns the transport and
+// durability; the in-memory state is the caller's, mutated only
+// through the Apply/Reset callbacks (serialized per segment — each
+// segment stream is a single loop, and segments never share state).
+//
+// A sharded follower runs one connection per segment. The segments are
+// independent fault domains: a stalled, desynced, or faulted stream
+// degrades only its own shard, retried on its own jittered backoff,
+// while the promotion watchdog spans them all — the leader is silent
+// only when no segment has heard from it.
+type Follower struct {
+	segs []*journal.Journal
+	cfg  FollowerConfig
+	log  *slog.Logger
+
+	mu        sync.Mutex
+	st        []segmentState
+	lastHeard time.Time // last frame from the leader on any segment
 
 	promoteCh chan struct{}
 	promoted  sync.Once
 }
 
-// NewFollower builds a follower over the local journal j. Run starts
-// the tailing loop.
+// NewFollower builds a follower over the single (unsharded) local
+// journal j. Run starts the tailing loop.
 func NewFollower(j *journal.Journal, cfg FollowerConfig) (*Follower, error) {
 	if cfg.Dial == nil || cfg.Apply == nil || cfg.Reset == nil {
 		return nil, errors.New("replication: FollowerConfig needs Dial, Apply, and Reset")
 	}
+	return newFollower([]*journal.Journal{j}, cfg)
+}
+
+// NewShardedFollower builds a follower over one local journal segment
+// per shard, index-aligned with the directory's shard numbering. The
+// shard count must match the leader's; the handshake refuses a
+// mismatch. Run starts one tailing loop per segment.
+func NewShardedFollower(segs []*journal.Journal, cfg FollowerConfig) (*Follower, error) {
+	if len(segs) == 0 {
+		return nil, errors.New("replication: NewShardedFollower needs at least one segment")
+	}
+	if cfg.Dial == nil && cfg.DialSegment == nil {
+		return nil, errors.New("replication: FollowerConfig needs Dial or DialSegment")
+	}
+	if cfg.ApplySegment == nil || cfg.ResetSegment == nil {
+		return nil, errors.New("replication: sharded FollowerConfig needs ApplySegment and ResetSegment")
+	}
+	return newFollower(segs, cfg)
+}
+
+func newFollower(segs []*journal.Journal, cfg FollowerConfig) (*Follower, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 500 * time.Millisecond
 	}
@@ -100,29 +178,72 @@ func NewFollower(j *journal.Journal, cfg FollowerConfig) (*Follower, error) {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Follower{j: j, cfg: cfg, log: log, promoteCh: make(chan struct{})}, nil
+	return &Follower{
+		segs:      segs,
+		cfg:       cfg,
+		log:       log,
+		st:        make([]segmentState, len(segs)),
+		promoteCh: make(chan struct{}),
+	}, nil
 }
+
+// Segments returns the number of journal segments the follower tails.
+func (f *Follower) Segments() int { return len(f.segs) }
 
 // Staleness reports how long the local state has possibly been behind
 // the leader: zero-ish while caught up (it grows between heartbeats
 // and snaps back), the time since the last confirmed catch-up while
 // lagging or disconnected, and effectively infinite before the first
-// sync. Serving code compares it against the -max-staleness bound.
+// sync. On a sharded follower it is the worst segment — the whole
+// store is only as fresh as its most lagging shard. Serving code
+// compares it against the -max-staleness bound.
 func (f *Follower) Staleness() time.Duration {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.freshAt.IsZero() {
+	worst := time.Duration(0)
+	for i := range f.st {
+		if s := stalenessOf(f.st[i].freshAt); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// SegmentStaleness reports one segment's staleness, so serving code
+// can gate reads per shard instead of failing the whole store over one
+// lagging stream.
+func (f *Follower) SegmentStaleness(seg int) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return stalenessOf(f.st[seg].freshAt)
+}
+
+func stalenessOf(freshAt time.Time) time.Duration {
+	if freshAt.IsZero() {
 		return time.Duration(1<<63 - 1)
 	}
-	return time.Since(f.freshAt)
+	return time.Since(freshAt)
 }
 
 // AppliedSeq returns the newest sequence number durably applied to the
-// local journal and in-memory state.
-func (f *Follower) AppliedSeq() uint64 {
+// first segment — the whole store, for an unsharded follower.
+func (f *Follower) AppliedSeq() uint64 { return f.AppliedSeqSegment(0) }
+
+// AppliedSeqSegment returns the newest sequence number durably applied
+// to one segment's journal and in-memory shard.
+func (f *Follower) AppliedSeqSegment(seg int) uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.appliedSeq
+	return f.st[seg].appliedSeq
+}
+
+// SegmentFaultErr returns the local fault that stopped one segment's
+// stream, or nil while it is live (reconnecting streams are live: a
+// transport fault is not a local fault).
+func (f *Follower) SegmentFaultErr(seg int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st[seg].fault
 }
 
 // Promote asks the running loop to step out of the stream; Run returns
@@ -132,79 +253,153 @@ func (f *Follower) Promote() {
 	f.promoted.Do(func() { close(f.promoteCh) })
 }
 
-// markFresh records that the local state covered everything the leader
-// had announced as of now.
-func (f *Follower) markFresh() {
+// markFresh records that segment seg's local state covered everything
+// its leader stream had announced as of now. It never touches
+// lastHeard: freshness is local bookkeeping, not evidence the leader
+// is alive.
+func (f *Follower) markFresh(seg int) {
+	m := f.cfg.metricsFor(seg)
 	f.mu.Lock()
-	if f.appliedSeq >= f.leaderSeq {
-		f.freshAt = time.Now()
-		if m := f.cfg.Metrics; m != nil {
+	st := &f.st[seg]
+	if st.appliedSeq >= st.leaderSeq {
+		st.freshAt = time.Now()
+		if m != nil {
 			m.Lag.Set(0)
 		}
-	} else if m := f.cfg.Metrics; m != nil && !f.freshAt.IsZero() {
-		m.Lag.Set(time.Since(f.freshAt).Seconds())
+	} else if m != nil && !st.freshAt.IsZero() {
+		m.Lag.Set(time.Since(st.freshAt).Seconds())
 	}
+	f.mu.Unlock()
+}
+
+// heard records evidence of leader liveness: a frame arrived on some
+// segment's stream. This is the only input to the promotion watchdog.
+func (f *Follower) heard() {
+	f.mu.Lock()
+	f.lastHeard = time.Now()
 	f.mu.Unlock()
 }
 
 // Run tails the leader until ctx is canceled (returns ctx.Err()), the
-// follower is promoted (returns ErrPromoted), or a local fault makes
-// tailing impossible — a wedged journal or a failed Apply (returns
-// that error). Transport faults are not fatal: Run reconnects with
-// jittered backoff, resuming idempotently from the local journal's
-// sequence horizon.
+// follower is promoted (returns ErrPromoted), the leader refuses the
+// handshake (returns ErrHandshakeRefused — the topologies disagree),
+// or local faults make tailing impossible (returns the fault). Each
+// segment tails on its own connection and reconnects from transport
+// faults with its own jittered backoff, resuming idempotently from its
+// local journal's sequence horizon; a local fault on one segment of a
+// sharded follower stops only that stream (reported through
+// SegmentFault) and Run keeps tailing the rest until every segment has
+// faulted.
 func (f *Follower) Run(ctx context.Context) error {
 	f.mu.Lock()
-	f.appliedSeq = f.j.LastSeq()
+	for i, j := range f.segs {
+		f.st[i].appliedSeq = j.LastSeq()
+	}
 	f.lastHeard = time.Now()
 	f.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(ctx)
+	// LIFO: cancel the segment loops first, then wait them out, so the
+	// Apply/Reset callbacks are quiescent by the time Run returns and
+	// the caller changes roles.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer cancel()
+
+	// One reconnecting loop per segment, each with its own derived
+	// jitter source (the shared one is not goroutine-safe).
+	fatalCh := make(chan error, len(f.segs))
+	for i := range f.segs {
+		var rnd *rand.Rand
+		if f.cfg.Rand != nil {
+			rnd = rand.New(rand.NewSource(f.cfg.Rand.Int63()))
+		}
+		wg.Add(1)
+		go func(seg int, rnd *rand.Rand) {
+			defer wg.Done()
+			f.runSegment(ctx, seg, rnd, fatalCh)
+		}(i, rnd)
+	}
+
+	// The promotion watchdog spans every segment: the leader is silent
+	// only if no stream has heard a frame. Progress on one segment —
+	// applies, reconnect attempts, backoff — must never defer a
+	// promotion the others' silence has earned, and silence on one
+	// segment must never trigger a promotion while another still hears
+	// heartbeats.
+	var tickCh <-chan time.Time
+	if f.cfg.PromoteAfter > 0 {
+		interval := f.cfg.PromoteAfter / 4
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		tickCh = ticker.C
+	}
+	faulted := 0
 	for {
-		if err := f.checkPromotion(ctx); err != nil {
-			return err
-		}
-		err := f.session(ctx)
-		switch {
-		case err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-		case errors.Is(err, ErrPromoted):
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-f.promoteCh:
 			return ErrPromoted
-		case isFatal(err):
-			return err
-		}
-		if m := f.cfg.Metrics; m != nil {
-			m.Reconnects.Inc()
-		}
-		f.log.Warn("replication session lost; reconnecting", "error", err)
-		if err := f.sleep(ctx, jittered(f.cfg.Rand, f.cfg.Backoff)); err != nil {
-			return err
+		case err := <-fatalCh:
+			if len(f.segs) == 1 || errors.Is(err, ErrHandshakeRefused) {
+				return err
+			}
+			if faulted++; faulted == len(f.segs) {
+				return fmt.Errorf("replication: every segment stream stopped on a local fault; last: %w", err)
+			}
+		case <-tickCh:
+			f.mu.Lock()
+			silence := time.Since(f.lastHeard)
+			f.mu.Unlock()
+			if silence > f.cfg.PromoteAfter {
+				f.log.Warn("leader silent past promote-after; promoting",
+					"silence", silence, "promote_after", f.cfg.PromoteAfter)
+				return ErrPromoted
+			}
 		}
 	}
 }
 
-// checkPromotion enforces the leader-wedge watchdog and the operator
-// signal between session attempts.
-func (f *Follower) checkPromotion(ctx context.Context) error {
-	select {
-	case <-f.promoteCh:
-		return ErrPromoted
-	case <-ctx.Done():
-		return ctx.Err()
-	default:
+// runSegment reconnects one segment's stream until cancellation,
+// promotion, or a local fault.
+func (f *Follower) runSegment(ctx context.Context, seg int, rnd *rand.Rand, fatalCh chan<- error) {
+	for {
+		err := f.session(ctx, seg)
+		switch {
+		case err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if ctx.Err() != nil {
+				return
+			}
+		case errors.Is(err, ErrPromoted):
+			return
+		case errors.Is(err, ErrHandshakeRefused):
+			fatalCh <- err
+			return
+		case isFatal(err):
+			// A local fault: this segment's journal or in-memory shard
+			// cannot take the stream. Stop this stream only; the other
+			// segments are separate fault domains.
+			f.mu.Lock()
+			f.st[seg].fault = err
+			f.mu.Unlock()
+			if cb := f.cfg.SegmentFault; cb != nil && len(f.segs) > 1 {
+				cb(seg, err)
+			}
+			fatalCh <- fmt.Errorf("segment %d: %w", seg, err)
+			return
+		}
+		if m := f.cfg.metricsFor(seg); m != nil {
+			m.Reconnects.Inc()
+		}
+		f.log.Warn("replication session lost; reconnecting", "segment", seg, "error", err)
+		if err := f.sleep(ctx, jittered(rnd, f.cfg.Backoff)); err != nil {
+			return
+		}
 	}
-	if f.cfg.PromoteAfter <= 0 {
-		return nil
-	}
-	f.mu.Lock()
-	silence := time.Since(f.lastHeard)
-	f.mu.Unlock()
-	if silence > f.cfg.PromoteAfter {
-		f.log.Warn("leader silent past promote-after; promoting",
-			"silence", silence, "promote_after", f.cfg.PromoteAfter)
-		return ErrPromoted
-	}
-	return nil
 }
 
 // isFatal classifies session errors: local durability or state-apply
@@ -218,10 +413,35 @@ func isFatal(err error) bool {
 // them as fatal.
 var errApply = errors.New("replication: applying replicated state")
 
-// session runs one connection to the leader: hello, bootstrap, then
-// tail until a fault.
-func (f *Follower) session(ctx context.Context) error {
-	conn, err := f.cfg.Dial(ctx)
+// dial opens the connection for one segment's stream.
+func (f *Follower) dial(ctx context.Context, seg int) (net.Conn, error) {
+	if f.cfg.DialSegment != nil {
+		return f.cfg.DialSegment(ctx, seg)
+	}
+	return f.cfg.Dial(ctx)
+}
+
+// apply folds one segment's replicated records into the in-memory
+// state.
+func (f *Follower) apply(seg int, recs []journal.Record) error {
+	if f.cfg.ApplySegment != nil {
+		return f.cfg.ApplySegment(seg, recs)
+	}
+	return f.cfg.Apply(recs)
+}
+
+// reset rebuilds one segment's in-memory state from snapshot records.
+func (f *Follower) reset(seg int, recs []journal.Record) error {
+	if f.cfg.ResetSegment != nil {
+		return f.cfg.ResetSegment(seg, recs)
+	}
+	return f.cfg.Reset(recs)
+}
+
+// session runs one connection of one segment's stream to the leader:
+// hello, bootstrap, then tail until a fault.
+func (f *Follower) session(ctx context.Context, seg int) error {
+	conn, err := f.dial(ctx, seg)
 	if err != nil {
 		return err
 	}
@@ -239,10 +459,19 @@ func (f *Follower) session(ctx context.Context) error {
 		}
 	}()
 
-	if err := writeFrame(conn, frameHello, encodeHello(f.j.LastSeq())); err != nil {
+	jrn := f.segs[seg]
+	v2 := len(f.segs) > 1
+	var helloPayload []byte
+	if v2 {
+		helloPayload = encodeHelloV2(uint32(len(f.segs)), uint32(seg), jrn.LastSeq())
+	} else {
+		helloPayload = encodeHello(jrn.LastSeq())
+	}
+	if err := writeFrame(conn, frameHello, helloPayload); err != nil {
 		return err
 	}
-	f.log.Info("replication session established", "leader", conn.RemoteAddr().String(), "after", f.j.LastSeq())
+	f.log.Info("replication session established",
+		"leader", conn.RemoteAddr().String(), "segment", seg, "after", jrn.LastSeq())
 	for {
 		select {
 		case <-f.promoteCh:
@@ -258,16 +487,27 @@ func (f *Follower) session(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		f.mu.Lock()
-		f.lastHeard = time.Now()
-		f.mu.Unlock()
+		f.heard()
+		if typ == frameRefuse {
+			return fmt.Errorf("%w: %s", ErrHandshakeRefused, decodeRefusal(payload))
+		}
+		if v2 {
+			frameSeg, body, err := splitSegment(payload)
+			if err != nil {
+				return err
+			}
+			if int(frameSeg) != seg {
+				return fmt.Errorf("replication: %c frame for segment %d on segment %d's stream", typ, frameSeg, seg)
+			}
+			payload = body
+		}
 		switch typ {
 		case frameSnapshot:
-			if err := f.installSnapshot(payload); err != nil {
+			if err := f.installSnapshot(seg, payload); err != nil {
 				return err
 			}
 		case frameBatch:
-			if err := f.applyBatch(conn, payload); err != nil {
+			if err := f.applyBatch(conn, seg, v2, payload); err != nil {
 				return err
 			}
 		case frameHeartbeat:
@@ -276,12 +516,12 @@ func (f *Follower) session(ctx context.Context) error {
 				return err
 			}
 			f.mu.Lock()
-			if seq > f.leaderSeq {
-				f.leaderSeq = seq
+			if seq > f.st[seg].leaderSeq {
+				f.st[seg].leaderSeq = seq
 			}
 			f.mu.Unlock()
-			f.markFresh()
-			if err := writeFrame(conn, frameAck, encodeSeq(f.AppliedSeq())); err != nil {
+			f.markFresh(seg)
+			if err := f.writeAck(conn, seg, v2, f.AppliedSeqSegment(seg)); err != nil {
 				return err
 			}
 		default:
@@ -290,42 +530,52 @@ func (f *Follower) session(ctx context.Context) error {
 	}
 }
 
-// installSnapshot durably installs a bootstrap snapshot and rebuilds
-// the in-memory state from it.
-func (f *Follower) installSnapshot(payload []byte) error {
+// writeAck sends the segment's durably-applied watermark back to the
+// leader, segment-tagged on v2 sessions.
+func (f *Follower) writeAck(conn net.Conn, seg int, v2 bool, seq uint64) error {
+	payload := encodeSeq(seq)
+	if v2 {
+		payload = prependSegment(uint32(seg), payload)
+	}
+	return writeFrame(conn, frameAck, payload)
+}
+
+// installSnapshot durably installs one segment's bootstrap snapshot
+// and rebuilds that shard's in-memory state from it.
+func (f *Follower) installSnapshot(seg int, payload []byte) error {
 	horizon, data, err := decodeSnapshot(payload)
 	if err != nil {
 		return err
 	}
-	recs, lastSeq, err := f.j.InstallSnapshot(data)
+	recs, lastSeq, err := f.segs[seg].InstallSnapshot(data)
 	if err != nil {
 		return err
 	}
 	if lastSeq != horizon {
 		return fmt.Errorf("replication: snapshot declares horizon %d but renders %d", horizon, lastSeq)
 	}
-	if err := f.cfg.Reset(recs); err != nil {
+	if err := f.reset(seg, recs); err != nil {
 		return fmt.Errorf("%w: reset: %w", errApply, err)
 	}
 	f.mu.Lock()
-	f.appliedSeq = lastSeq
-	if lastSeq > f.leaderSeq {
-		f.leaderSeq = lastSeq
+	f.st[seg].appliedSeq = lastSeq
+	if lastSeq > f.st[seg].leaderSeq {
+		f.st[seg].leaderSeq = lastSeq
 	}
 	f.mu.Unlock()
-	if m := f.cfg.Metrics; m != nil {
+	if m := f.cfg.metricsFor(seg); m != nil {
 		m.SnapshotBytes.Set(float64(len(data)))
 		m.Applied.Add(len(recs))
 	}
-	f.markFresh()
-	f.log.Info("replication snapshot installed", "records", len(recs), "horizon", lastSeq)
+	f.markFresh(seg)
+	f.log.Info("replication snapshot installed", "segment", seg, "records", len(recs), "horizon", lastSeq)
 	return nil
 }
 
 // applyBatch grafts one shipped batch: durable first, then in-memory,
 // then ack. Duplicates are skipped idempotently; a sequence gap is
 // repaired by reconnecting (the next hello triggers a bootstrap).
-func (f *Follower) applyBatch(conn net.Conn, payload []byte) error {
+func (f *Follower) applyBatch(conn net.Conn, seg int, v2 bool, payload []byte) error {
 	firstSeq, commitSeq, data, err := decodeBatch(payload)
 	if err != nil {
 		return err
@@ -333,9 +583,10 @@ func (f *Follower) applyBatch(conn net.Conn, payload []byte) error {
 	ctx, sp := f.cfg.Tracer.StartRoot(context.Background(), "replication.graft", tracing.Traceparent{})
 	defer sp.Release() // runs after the End below; the graft is synchronous
 	defer sp.End()
+	sp.SetInt("segment", int64(seg))
 	sp.SetInt("bytes", int64(len(data)))
 	sp.SetInt("commit_seq", int64(commitSeq))
-	recs, lastSeq, err := f.j.AppendReplicatedCtx(ctx, data)
+	recs, lastSeq, err := f.segs[seg].AppendReplicatedCtx(ctx, data)
 	if err != nil {
 		if errors.Is(err, journal.ErrOutOfSync) {
 			err = fmt.Errorf("replication: batch [%d,%d] does not graft locally: %w", firstSeq, commitSeq, err)
@@ -344,24 +595,24 @@ func (f *Follower) applyBatch(conn net.Conn, payload []byte) error {
 		return err
 	}
 	if recs != nil {
-		if err := f.cfg.Apply(recs); err != nil {
+		if err := f.apply(seg, recs); err != nil {
 			err = fmt.Errorf("%w: %w", errApply, err)
 			sp.Fail(err)
 			return err
 		}
 		sp.SetInt("records", int64(len(recs)))
-		if m := f.cfg.Metrics; m != nil {
+		if m := f.cfg.metricsFor(seg); m != nil {
 			m.Applied.Add(len(recs))
 		}
 	}
 	f.mu.Lock()
-	f.appliedSeq = lastSeq
-	if commitSeq > f.leaderSeq {
-		f.leaderSeq = commitSeq
+	f.st[seg].appliedSeq = lastSeq
+	if commitSeq > f.st[seg].leaderSeq {
+		f.st[seg].leaderSeq = commitSeq
 	}
 	f.mu.Unlock()
-	f.markFresh()
-	return writeFrame(conn, frameAck, encodeSeq(lastSeq))
+	f.markFresh(seg)
+	return f.writeAck(conn, seg, v2, lastSeq)
 }
 
 // sleep waits d or until cancellation/promotion.

@@ -22,6 +22,15 @@ func FuzzReplicationFrame(f *testing.F) {
 	f.Add(frameBytes(frameSnapshot, encodeSnapshot(9, []byte("# cpjournal v2 snapshot\n"))))
 	f.Add(frameBytes(frameHeartbeat, encodeSeq(7)))
 	f.Add(frameBytes(frameAck, encodeSeq(8)))
+	// cprepl/2 shapes: the sharded hello, segment-tagged payloads, and
+	// the refusal frame.
+	f.Add(frameBytes(frameHello, encodeHelloV2(4, 2, 42)))
+	f.Add(frameBytes(frameHello, encodeHelloV2(0, 0, 1))) // zero shards must error, not panic
+	f.Add(frameBytes(frameBatch, prependSegment(2, encodeBatch(1, 3, []byte("A\t1\t\"u\"\tdeadbeef\tp\n")))))
+	f.Add(frameBytes(frameSnapshot, prependSegment(1, encodeSnapshot(9, []byte("# cpjournal v2 snapshot\n")))))
+	f.Add(frameBytes(frameAck, prependSegment(3, encodeSeq(8))))
+	f.Add(frameBytes(frameRefuse, []byte("shard count mismatch: leader has 4 journal segments, follower declared 2")))
+	f.Add(frameBytes(frameRefuse, []byte{}))
 	// A header declaring 2 GiB with no payload behind it.
 	huge := []byte{frameSnapshot, 0x7f, 0xff, 0xff, 0xff}
 	f.Add(huge)
@@ -38,16 +47,30 @@ func FuzzReplicationFrame(f *testing.F) {
 			switch typ {
 			case frameHello:
 				decodeHello(payload)
+				decodeHelloAny(payload)
 			case frameBatch:
 				if first, commit, raw, err := decodeBatch(payload); err == nil {
 					_ = first
 					_ = commit
 					_ = raw
 				}
+				// A v2 session strips the segment tag first; both paths
+				// must fail cleanly on arbitrary bytes.
+				if _, body, err := splitSegment(payload); err == nil {
+					decodeBatch(body)
+				}
 			case frameSnapshot:
 				decodeSnapshot(payload)
+				if _, body, err := splitSegment(payload); err == nil {
+					decodeSnapshot(body)
+				}
 			case frameHeartbeat, frameAck:
 				decodeSeq(payload)
+				if _, body, err := splitSegment(payload); err == nil {
+					decodeSeq(body)
+				}
+			case frameRefuse:
+				decodeRefusal(payload)
 			}
 		}
 	})
@@ -86,6 +109,18 @@ func FuzzReplicationFrameRoundTrip(f *testing.F) {
 		}
 		if _, _, err := readFrame(&buf); err != io.EOF {
 			t.Fatalf("trailing read: %v, want EOF", err)
+		}
+		// The v2 codecs invert each other exactly: the sharded hello and
+		// the segment tag every v2 payload carries.
+		shards := uint32(b%1024) + 1
+		seg := uint32(a % uint64(shards))
+		h, err := decodeHelloAny(encodeHelloV2(shards, seg, b))
+		if err != nil || !h.v2 || h.shards != shards || h.segment != seg || h.lastSeq != b {
+			t.Fatalf("v2 hello round-trip: %+v, %v", h, err)
+		}
+		gotSeg, body, err := splitSegment(prependSegment(seg, data))
+		if err != nil || gotSeg != seg || !bytes.Equal(body, data) {
+			t.Fatalf("segment tag round-trip: %d, %v", gotSeg, err)
 		}
 	})
 }

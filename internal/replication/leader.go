@@ -32,6 +32,11 @@ type LeaderConfig struct {
 	// Metrics, when non-nil, records shipped record counts and
 	// snapshot bootstrap sizes.
 	Metrics *Metrics
+	// SegmentMetrics, when non-nil, holds one instrument set per
+	// journal segment (index-aligned with the segments passed to
+	// NewShardedLeader) so a sharded store's shipping is attributable
+	// per shard. Segments past its length fall back to Metrics.
+	SegmentMetrics []*Metrics
 	// Tracer, when non-nil, records a replication.ship trace per
 	// shipped batch. Ship traces are leader-originated roots (there is
 	// no inbound request to parent them under); retention follows the
@@ -39,31 +44,46 @@ type LeaderConfig struct {
 	Tracer *tracing.Tracer
 }
 
-// Leader serves the replication protocol over a journal: it taps the
-// journal's append stream, accepts follower sessions, bootstraps each
-// to the current state (incrementally when possible, by snapshot when
-// not), and then pushes every committed batch plus periodic
-// heartbeats, collecting sequence-numbered acks.
+// metricsFor resolves the instrument set for one segment.
+func (c *LeaderConfig) metricsFor(seg int) *Metrics {
+	if seg < len(c.SegmentMetrics) && c.SegmentMetrics[seg] != nil {
+		return c.SegmentMetrics[seg]
+	}
+	return c.Metrics
+}
+
+// Leader serves the replication protocol over a store's journal
+// segments: it taps each segment's append stream, accepts follower
+// sessions, bootstraps each to the current state (incrementally when
+// possible, by snapshot when not), and then pushes every committed
+// batch plus periodic heartbeats, collecting sequence-numbered acks.
 //
-// The journal tap runs under the journal's lock and only enqueues into
-// per-session buffers — the leader never performs I/O or re-enters the
-// journal from the tap.
+// Each session carries exactly one segment, named by the follower's
+// hello, so every segment replicates on its own logical stream and a
+// slow or cut stream never blocks the others. An unsharded store is
+// the one-segment case and speaks cprepl/1 unchanged; a sharded
+// leader refuses hellos whose shard count does not match its own.
+//
+// The journal taps run under each journal's lock and only enqueue into
+// per-session buffers — the leader never performs I/O or re-enters a
+// journal from a tap.
 type Leader struct {
-	j   *journal.Journal
-	cfg LeaderConfig
-	log *slog.Logger
+	segs []*journal.Journal
+	cfg  LeaderConfig
+	log  *slog.Logger
 
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
-	acked  uint64 // newest sequence acked by any session
+	acked  []uint64 // per segment: newest sequence acked by any session
 	closed bool
 	lns    []net.Listener
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 }
 
-// subscriber is one session's batch queue.
+// subscriber is one session's batch queue, bound to one segment.
 type subscriber struct {
+	seg  int
 	ch   chan journal.Batch
 	drop chan struct{} // closed when the queue overflowed
 	once sync.Once
@@ -71,10 +91,21 @@ type subscriber struct {
 
 func (s *subscriber) overflow() { s.once.Do(func() { close(s.drop) }) }
 
-// NewLeader builds a leader over j and installs the journal append
-// tap. The leader serves nothing until Serve is called; Close detaches
-// the tap.
+// NewLeader builds a leader over a single (unsharded) journal and
+// installs the append tap. The leader serves nothing until Serve is
+// called; Close detaches the tap.
 func NewLeader(j *journal.Journal, cfg LeaderConfig) *Leader {
+	return NewShardedLeader([]*journal.Journal{j}, cfg)
+}
+
+// NewShardedLeader builds a leader over one journal segment per shard,
+// index-aligned with the directory's shard numbering, and installs an
+// append tap on every segment. Followers must present the same shard
+// count at handshake; each of their connections streams one segment.
+func NewShardedLeader(segs []*journal.Journal, cfg LeaderConfig) *Leader {
+	if len(segs) == 0 {
+		panic("replication: NewShardedLeader needs at least one segment")
+	}
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = time.Second
 	}
@@ -86,25 +117,37 @@ func NewLeader(j *journal.Journal, cfg LeaderConfig) *Leader {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	l := &Leader{
-		j:     j,
+		segs:  segs,
 		cfg:   cfg,
 		log:   log,
 		subs:  make(map[*subscriber]struct{}),
+		acked: make([]uint64, len(segs)),
 		conns: make(map[net.Conn]struct{}),
 	}
-	j.OnAppend(l.ship)
+	for i, j := range segs {
+		seg := i
+		j.OnAppend(func(firstSeq, commitSeq uint64, data []byte) {
+			l.ship(seg, firstSeq, commitSeq, data)
+		})
+	}
 	return l
 }
 
-// ship fans one committed batch out to every session queue. Called
-// synchronously under the journal lock: enqueue only, never block. A
-// full queue marks the session lagged; its writer disconnects it and
-// the follower resynchronizes by reconnecting.
-func (l *Leader) ship(firstSeq, commitSeq uint64, data []byte) {
+// Segments returns the number of journal segments the leader serves.
+func (l *Leader) Segments() int { return len(l.segs) }
+
+// ship fans one committed batch out to every session queue on its
+// segment. Called synchronously under that journal's lock: enqueue
+// only, never block. A full queue marks the session lagged; its writer
+// disconnects it and the follower resynchronizes by reconnecting.
+func (l *Leader) ship(seg int, firstSeq, commitSeq uint64, data []byte) {
 	b := journal.Batch{FirstSeq: firstSeq, CommitSeq: commitSeq, Data: data}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for s := range l.subs {
+		if s.seg != seg {
+			continue
+		}
 		select {
 		case s.ch <- b:
 		default:
@@ -114,13 +157,18 @@ func (l *Leader) ship(firstSeq, commitSeq uint64, data []byte) {
 }
 
 // Acked returns the newest sequence number any follower has
-// acknowledged as durably applied. Promotion safety is stated against
+// acknowledged as durably applied on the first segment — the whole
+// store, for an unsharded leader. Promotion safety is stated against
 // this value: a promoted follower's state is a prefix of the acked
-// stream.
-func (l *Leader) Acked() uint64 {
+// stream. Sharded leaders account per segment; see AckedSegment.
+func (l *Leader) Acked() uint64 { return l.AckedSegment(0) }
+
+// AckedSegment returns the newest acked sequence number for one
+// journal segment.
+func (l *Leader) AckedSegment(seg int) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.acked
+	return l.acked[seg]
 }
 
 // Serve accepts follower sessions on ln until the listener closes or
@@ -162,7 +210,7 @@ func (l *Leader) Serve(ln net.Listener) error {
 	}
 }
 
-// Close detaches the journal tap, closes the listeners and every live
+// Close detaches the journal taps, closes the listeners and every live
 // session, and waits for session goroutines to drain.
 func (l *Leader) Close() error {
 	l.mu.Lock()
@@ -177,7 +225,9 @@ func (l *Leader) Close() error {
 		conns = append(conns, c)
 	}
 	l.mu.Unlock()
-	l.j.OnAppend(nil)
+	for _, j := range l.segs {
+		j.OnAppend(nil)
+	}
 	for _, ln := range lns {
 		ln.Close()
 	}
@@ -204,6 +254,15 @@ func (l *Leader) serveConn(conn net.Conn) {
 	}
 }
 
+// refuse tells the peer why its handshake cannot be served, then
+// errors the session. Refusal is a protocol answer, not a transport
+// fault: the follower must not retry into the same topology mismatch.
+func (l *Leader) refuse(conn net.Conn, reason string) error {
+	// Best-effort: the refusal is advisory; the close is authoritative.
+	_ = writeFrame(conn, frameRefuse, []byte(reason))
+	return fmt.Errorf("replication: refused session: %s", reason)
+}
+
 func (l *Leader) session(conn net.Conn) error {
 	typ, payload, err := readFrame(conn)
 	if err != nil {
@@ -212,16 +271,37 @@ func (l *Leader) session(conn net.Conn) error {
 	if typ != frameHello {
 		return fmt.Errorf("replication: session opened with %c frame, want hello", typ)
 	}
-	followerSeq, err := decodeHello(payload)
+	h, err := decodeHelloAny(payload)
 	if err != nil {
 		return err
+	}
+	switch {
+	case !h.v2 && len(l.segs) != 1:
+		return l.refuse(conn, fmt.Sprintf(
+			"sharded leader serves %d journal segments; cprepl/1 followers replicate only unsharded stores", len(l.segs)))
+	case h.v2 && int(h.shards) != len(l.segs):
+		return l.refuse(conn, fmt.Sprintf(
+			"shard count mismatch: leader has %d journal segments, follower declared %d", len(l.segs), h.shards))
+	}
+	seg := int(h.segment)
+	jrn := l.segs[seg]
+	followerSeq := h.lastSeq
+	metrics := l.cfg.metricsFor(seg)
+
+	// send serializes every leader→follower frame on this session,
+	// tagging payloads with the segment on v2.
+	sendFrame := func(typ byte, payload []byte) error {
+		if h.v2 {
+			payload = prependSegment(h.segment, payload)
+		}
+		return writeFrame(conn, typ, payload)
 	}
 
 	// Subscribe before reading the tail: batches committed during the
 	// bootstrap read land in the queue, and the dedupe below drops the
 	// overlap. The queue is registered first so nothing can fall in
 	// the gap between the two.
-	sub := &subscriber{ch: make(chan journal.Batch, l.cfg.SendBuffer), drop: make(chan struct{})}
+	sub := &subscriber{seg: seg, ch: make(chan journal.Batch, l.cfg.SendBuffer), drop: make(chan struct{})}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -235,7 +315,7 @@ func (l *Leader) session(conn net.Conn) error {
 		l.mu.Unlock()
 	}()
 
-	// Ack reader: updates the leader-wide acked watermark and unblocks
+	// Ack reader: updates the segment's acked watermark and unblocks
 	// the writer on disconnect by closing the connection. It must start
 	// before the bootstrap sends below — the follower acks each batch
 	// as it lands, and an unread ack would deadlock an unbuffered
@@ -254,6 +334,20 @@ func (l *Leader) session(conn net.Conn) error {
 				conn.Close()
 				return
 			}
+			if h.v2 {
+				ackSeg, body, err := splitSegment(payload)
+				if err != nil {
+					readErr <- err
+					conn.Close()
+					return
+				}
+				if ackSeg != h.segment {
+					readErr <- fmt.Errorf("replication: ack for segment %d on segment %d's stream", ackSeg, h.segment)
+					conn.Close()
+					return
+				}
+				payload = body
+			}
 			seq, err := decodeSeq(payload)
 			if err != nil {
 				readErr <- err
@@ -261,14 +355,14 @@ func (l *Leader) session(conn net.Conn) error {
 				return
 			}
 			l.mu.Lock()
-			if seq > l.acked {
-				l.acked = seq
+			if seq > l.acked[seg] {
+				l.acked[seg] = seq
 			}
 			l.mu.Unlock()
 		}
 	}()
 
-	snap, batches, lastSeq, err := l.j.TailSince(followerSeq)
+	snap, batches, lastSeq, err := jrn.TailSince(followerSeq)
 	if err != nil {
 		return err
 	}
@@ -282,15 +376,15 @@ func (l *Leader) session(conn net.Conn) error {
 		} else {
 			snapSeq = lastSeq
 		}
-		if err := writeFrame(conn, frameSnapshot, encodeSnapshot(snapSeq, snap)); err != nil {
+		if err := sendFrame(frameSnapshot, encodeSnapshot(snapSeq, snap)); err != nil {
 			return err
 		}
 		sentSeq = snapSeq
-		if m := l.cfg.Metrics; m != nil {
-			m.SnapshotBytes.Set(float64(len(snap)))
+		if metrics != nil {
+			metrics.SnapshotBytes.Set(float64(len(snap)))
 		}
 		l.log.Info("replication bootstrap by snapshot",
-			"peer", conn.RemoteAddr().String(), "bytes", len(snap), "horizon", snapSeq)
+			"peer", conn.RemoteAddr().String(), "segment", seg, "bytes", len(snap), "horizon", snapSeq)
 	} else {
 		sentSeq = followerSeq
 	}
@@ -299,10 +393,11 @@ func (l *Leader) session(conn net.Conn) error {
 			return nil // duplicate of the bootstrap read or the queue overlap
 		}
 		_, sp := l.cfg.Tracer.StartRoot(context.Background(), "replication.ship", tracing.Traceparent{})
+		sp.SetInt("segment", int64(seg))
 		sp.SetInt("records", int64(b.CommitSeq-b.FirstSeq))
 		sp.SetInt("bytes", int64(len(b.Data)))
 		sp.SetInt("commit_seq", int64(b.CommitSeq))
-		err := writeFrame(conn, frameBatch, encodeBatch(b.FirstSeq, b.CommitSeq, b.Data))
+		err := sendFrame(frameBatch, encodeBatch(b.FirstSeq, b.CommitSeq, b.Data))
 		sp.Fail(err)
 		sp.End()
 		sp.Release()
@@ -310,8 +405,8 @@ func (l *Leader) session(conn net.Conn) error {
 			return err
 		}
 		sentSeq = b.CommitSeq
-		if m := l.cfg.Metrics; m != nil {
-			m.Shipped.Add(int(b.CommitSeq - b.FirstSeq))
+		if metrics != nil {
+			metrics.Shipped.Add(int(b.CommitSeq - b.FirstSeq))
 		}
 		return nil
 	}
@@ -330,7 +425,7 @@ func (l *Leader) session(conn net.Conn) error {
 				return err
 			}
 		case <-ticker.C:
-			if err := writeFrame(conn, frameHeartbeat, encodeSeq(l.j.LastSeq())); err != nil {
+			if err := sendFrame(frameHeartbeat, encodeSeq(jrn.LastSeq())); err != nil {
 				return err
 			}
 		case <-sub.drop:

@@ -13,6 +13,25 @@
 //	'B' batch      leader → follower   firstSeq + commitSeq + batch bytes
 //	'P' heartbeat  leader → follower   leader lastSeq
 //	'A' ack        follower → leader   follower applied seq
+//	'E' refuse     leader → follower   UTF-8 reason; the leader closes
+//
+// # Protocol revision 2: sharded stores
+//
+// A sharded store (PR 8) keeps one journal segment per shard, and each
+// segment replicates on its own connection — its own logical stream —
+// so a stall or fault on one segment never blocks another. A v2
+// session opens with the "cprepl/2" magic and a hello that names the
+// follower's shard count, the segment this connection carries, and the
+// follower's lastSeq *for that segment*. Every subsequent payload on a
+// v2 session is prefixed with the 4-byte segment ID, so a misrouted
+// frame is detected rather than grafted into the wrong shard.
+//
+// The leader refuses a topology it cannot serve with an 'E' frame
+// before closing: a shard-count mismatch (grafting segment k of an
+// N-shard stream into an M-shard store would corrupt it), or a
+// cprepl/1 hello against a sharded leader. Unsharded stores keep
+// speaking cprepl/1 byte-for-byte, so v1 peers interoperate with them
+// unchanged.
 //
 // Batch and snapshot payloads reuse the journal's on-disk encoding
 // byte-for-byte — CRC-framed record lines plus the batch commit marker
@@ -50,11 +69,16 @@ const (
 	frameBatch     = 'B'
 	frameHeartbeat = 'P'
 	frameAck       = 'A'
+	frameRefuse    = 'E'
 )
 
 // helloMagic opens every session; a mismatch means the peer is not
 // speaking this protocol (or version) and the connection is refused.
-const helloMagic = "cprepl/1"
+// helloMagic2 opens a per-segment session against a sharded store.
+const (
+	helloMagic  = "cprepl/1"
+	helloMagic2 = "cprepl/2"
+)
 
 // MaxFrame bounds a frame payload. Snapshot frames carry a full store
 // rendering, so the bound is generous; everything else is tiny.
@@ -94,7 +118,7 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	}
 	typ = hdr[0]
 	switch typ {
-	case frameHello, frameSnapshot, frameBatch, frameHeartbeat, frameAck:
+	case frameHello, frameSnapshot, frameBatch, frameHeartbeat, frameAck, frameRefuse:
 	default:
 		return 0, nil, fmt.Errorf("replication: unknown frame type 0x%02x", typ)
 	}
@@ -130,6 +154,81 @@ func decodeHello(p []byte) (lastSeq uint64, err error) {
 		return 0, fmt.Errorf("replication: hello magic %q, want %q", p[:len(helloMagic)], helloMagic)
 	}
 	return binary.BigEndian.Uint64(p[len(helloMagic):]), nil
+}
+
+// hello is a decoded hello of either protocol revision. A v1 hello
+// reads as the degenerate sharding: one shard, segment zero.
+type hello struct {
+	v2      bool
+	shards  uint32
+	segment uint32
+	lastSeq uint64
+}
+
+// encodeHelloV2 builds the cprepl/2 hello payload: magic + follower
+// shard count + the segment this connection carries + the follower's
+// lastSeq for that segment.
+func encodeHelloV2(shards, segment uint32, lastSeq uint64) []byte {
+	p := make([]byte, len(helloMagic2)+16)
+	copy(p, helloMagic2)
+	binary.BigEndian.PutUint32(p[len(helloMagic2):], shards)
+	binary.BigEndian.PutUint32(p[len(helloMagic2)+4:], segment)
+	binary.BigEndian.PutUint64(p[len(helloMagic2)+8:], lastSeq)
+	return p
+}
+
+// decodeHelloAny accepts a hello of either revision, distinguished by
+// the magic, and validates its internal consistency (a v2 segment must
+// fall inside its own shard count). Topology compatibility with the
+// local store is the leader's call, not the codec's.
+func decodeHelloAny(p []byte) (hello, error) {
+	if len(p) == len(helloMagic)+8 && string(p[:len(helloMagic)]) == helloMagic {
+		return hello{shards: 1, lastSeq: binary.BigEndian.Uint64(p[len(helloMagic):])}, nil
+	}
+	if len(p) == len(helloMagic2)+16 && string(p[:len(helloMagic2)]) == helloMagic2 {
+		h := hello{
+			v2:      true,
+			shards:  binary.BigEndian.Uint32(p[len(helloMagic2):]),
+			segment: binary.BigEndian.Uint32(p[len(helloMagic2)+4:]),
+			lastSeq: binary.BigEndian.Uint64(p[len(helloMagic2)+8:]),
+		}
+		if h.shards == 0 {
+			return hello{}, fmt.Errorf("replication: hello declares zero shards")
+		}
+		if h.segment >= h.shards {
+			return hello{}, fmt.Errorf("replication: hello names segment %d of %d shards", h.segment, h.shards)
+		}
+		return h, nil
+	}
+	return hello{}, fmt.Errorf("replication: unrecognized hello payload (%d bytes; magic %q or %q)",
+		len(p), helloMagic, helloMagic2)
+}
+
+// prependSegment tags a v2 payload with the 4-byte segment ID that
+// routes it. Every non-hello frame of a v2 session carries one.
+func prependSegment(segment uint32, payload []byte) []byte {
+	p := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(p, segment)
+	copy(p[4:], payload)
+	return p
+}
+
+// splitSegment strips the v2 segment tag back off.
+func splitSegment(p []byte) (segment uint32, payload []byte, err error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("replication: v2 payload is %d bytes, want segment tag plus body", len(p))
+	}
+	return binary.BigEndian.Uint32(p), p[4:], nil
+}
+
+// decodeRefusal extracts the human-readable reason from an 'E' frame.
+// The reason is bounded so a hostile peer cannot stuff a log line.
+func decodeRefusal(p []byte) string {
+	const maxReason = 512
+	if len(p) > maxReason {
+		p = p[:maxReason]
+	}
+	return string(p)
 }
 
 // encodeBatch builds the batch payload: firstSeq + commitSeq + bytes.

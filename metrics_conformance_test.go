@@ -103,6 +103,19 @@ func buildLiveRegistry(t *testing.T) *contextpref.TelemetryRegistry {
 	if m := contextpref.NewReplicationMetrics(reg); m == nil {
 		t.Fatal("NewReplicationMetrics returned nil for a live registry")
 	}
+	// The sharded-follower wiring: one replication instrument set per
+	// journal segment, exposed as cp_replication_shard_* vectors.
+	segms := contextpref.NewShardedReplicationMetrics(reg, 2)
+	if len(segms) != 2 {
+		t.Fatalf("NewShardedReplicationMetrics built %d instrument sets, want 2", len(segms))
+	}
+	for i, m := range segms {
+		m.Lag.Set(float64(i))
+		m.Shipped.Inc()
+		m.Applied.Inc()
+		m.Reconnects.Inc()
+		m.SnapshotBytes.Set(float64(100 * i))
+	}
 	contextpref.RegisterHealthTelemetry(contextpref.NewHealth(), reg)
 	if m := contextpref.NewTraceMetrics(reg); m == nil {
 		t.Fatal("NewTraceMetrics returned nil for a live registry")
@@ -178,6 +191,8 @@ func TestLiveRegistryNameConformance(t *testing.T) {
 	for _, name := range []string{
 		"cp_shard_users", "cp_shard_resident_users", "cp_shard_evictions_total",
 		"cp_shard_loads_total", "cp_shard_compactions_total", "cp_shard_degraded",
+		"cp_replication_shard_lag_seconds", "cp_replication_shard_records_total",
+		"cp_replication_shard_reconnects_total", "cp_replication_shard_snapshot_bytes",
 	} {
 		if _, ok := kinds[name]; !ok {
 			t.Errorf("per-shard metric %s missing from the live registry", name)
@@ -187,7 +202,7 @@ func TestLiveRegistryNameConformance(t *testing.T) {
 	numericRE := regexp.MustCompile(`^[0-9]+$`)
 	sawShardSeries := false
 	for _, line := range strings.Split(b.String(), "\n") {
-		if !strings.HasPrefix(line, "cp_shard_") {
+		if !strings.HasPrefix(line, "cp_shard_") && !strings.HasPrefix(line, "cp_replication_shard_") {
 			continue
 		}
 		m := shardLabelRE.FindStringSubmatch(line)

@@ -136,6 +136,44 @@ func NewReplicationMetrics(reg *TelemetryRegistry) *replication.Metrics {
 	}
 }
 
+// NewShardedReplicationMetrics builds one replication instrument set
+// per journal segment, as cp_replication_shard_* vectors carrying the
+// bounded "shard" label (the numeric segment index, fixed at store
+// creation) — the per-segment streams of a sharded store are
+// independent fault domains, so their lag, traffic, and reconnect
+// churn must be attributable per shard. Index-aligned with the
+// directory's shard numbering; pass the result as SegmentMetrics to
+// the replication Leader/Follower configs. A nil registry returns nil.
+func NewShardedReplicationMetrics(reg *TelemetryRegistry, shards int) []*replication.Metrics {
+	if reg == nil {
+		return nil
+	}
+	lag := reg.GaugeVec("cp_replication_shard_lag_seconds",
+		"Per-shard follower staleness: seconds since the segment stream last confirmed it held everything the leader announced.",
+		"shard")
+	records := reg.CounterVec("cp_replication_shard_records_total",
+		"Journal records moved by one shard's segment stream, by direction (shipped by the leader, applied by the follower).",
+		"direction", "shard")
+	reconnects := reg.CounterVec("cp_replication_shard_reconnects_total",
+		"Segment-stream replication sessions re-established after a transport fault, per shard.",
+		"shard")
+	snapshotBytes := reg.GaugeVec("cp_replication_shard_snapshot_bytes",
+		"Size of the last bootstrap snapshot shipped or installed on one shard's segment stream.",
+		"shard")
+	ms := make([]*replication.Metrics, shards)
+	for i := range ms {
+		s := strconv.Itoa(i)
+		ms[i] = &replication.Metrics{
+			Lag:           lag.With(s),
+			Shipped:       records.With("shipped", s),
+			Applied:       records.With("applied", s),
+			Reconnects:    reconnects.With(s),
+			SnapshotBytes: snapshotBytes.With(s),
+		}
+	}
+	return ms
+}
+
 // NewTraceMetrics builds the tracing instruments (cp_trace_*): spans
 // started, completed traces retained by reason, and traces dropped by
 // sampling. A nil registry returns nil, which the tracer treats as

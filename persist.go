@@ -320,6 +320,52 @@ func (d *Directory) ResetReplicated(recs []journal.Record) error {
 	return d.ApplyReplicated(recs)
 }
 
+// ApplyShardReplicated is ApplyReplicated for one shard's segment
+// stream. Like ReplayShard, it verifies that every record's user
+// hashes to the given shard before applying: the segment streams are
+// independent, so a misrouted record would silently land a user's
+// state in a shard no lookup ever consults.
+func (d *Directory) ApplyShardReplicated(shard int, recs []journal.Record) error {
+	if shard < 0 || shard >= len(d.shards) {
+		return fmt.Errorf("contextpref: applying replicated shard %d: directory has %d shards", shard, len(d.shards))
+	}
+	for i, r := range recs {
+		if own := d.ShardOf(r.User); own != shard {
+			return fmt.Errorf("contextpref: applying replicated shard %d record %d: user %q belongs to shard %d — leader and follower disagree on sharding",
+				shard, i, r.User, own)
+		}
+		if err := d.replayRecord(r); err != nil {
+			return fmt.Errorf("contextpref: applying replicated shard %d record %d (user %q): %w", shard, i, r.User, err)
+		}
+	}
+	return nil
+}
+
+// ResetShardReplicated replaces one shard's in-memory state with a
+// leader snapshot's records for that segment, leaving every other
+// shard untouched — a per-segment bootstrap must stay inside its own
+// fault domain.
+func (d *Directory) ResetShardReplicated(shard int, recs []journal.Record) error {
+	if shard < 0 || shard >= len(d.shards) {
+		return fmt.Errorf("contextpref: resetting replicated shard %d: directory has %d shards", shard, len(d.shards))
+	}
+	sh := d.shards[shard]
+	sh.mu.Lock()
+	dropped := make([]*SafeSystem, 0, len(sh.systems))
+	for _, sys := range sh.systems {
+		dropped = append(dropped, sys)
+	}
+	sh.systems = make(map[string]*SafeSystem)
+	sh.mu.Unlock()
+	for _, sys := range dropped {
+		if sys.detach() {
+			sh.noteResident(-1)
+		}
+	}
+	sh.noteUsers()
+	return d.ApplyShardReplicated(shard, recs)
+}
+
 // SnapshotRecords renders the system's current profile as add-records
 // suitable for journal.Snapshot: one record per stored (state, clause,
 // score) entry. Compaction therefore normalizes the preference count to
