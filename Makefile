@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json bench-smoke experiments fuzz fuzz-smoke verify fmt vet lint clean
+.PHONY: all build test race cover bench bench-json bench-smoke experiments fuzz fuzz-smoke verify fmt vet lint lint-json clean
 
 all: build test
 
@@ -23,7 +23,10 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Tier-1 benchmarks as machine-readable JSON, for diffing in CI.
-BENCH_OUT ?= BENCH_PR8.json
+# Parameterized by PR so each PR's numbers land in their own file
+# instead of silently overwriting the previous baseline.
+BENCH_PR ?= PR10
+BENCH_OUT ?= BENCH_$(BENCH_PR).json
 # The paired tracing benchmark runs in its own pass with a long fixed
 # iteration count: its overhead_% metric compares two loopback-HTTP
 # arms whose scheduler noise only averages out over tens of thousands
@@ -72,9 +75,17 @@ vet:
 # cpvet: the repo's own static-analysis pass over the service-layer
 # contracts (structured errors, slog-only logging, scan-loop
 # cancellation, cp_* metric naming, deterministic replay paths, %w
-# wrapping). Zero findings required; see README "Static analysis".
+# wrapping, span lifetimes) and the concurrency/allocation contracts
+# (lock ordering, unlock discipline, goroutine lifecycles, hot-path
+# allocation budgets). Runs against the committed baseline: zero fresh
+# findings and zero stale baseline entries required; see README
+# "Static analysis" and DESIGN §14.
 lint:
-	$(GO) run ./cmd/cpvet ./...
+	$(GO) run ./cmd/cpvet -baseline .cpvet-baseline.json ./...
+
+# Machine-readable lint report, uploaded as a CI artifact.
+lint-json:
+	$(GO) run ./cmd/cpvet -baseline .cpvet-baseline.json -json ./... > cpvet-report.json
 
 # Reproduces the artifacts checked into the repository root.
 artifacts:

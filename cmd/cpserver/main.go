@@ -447,6 +447,7 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 			return fmt.Errorf("replication listener: %w", err)
 		}
 		a.logger.Info("replication leader listening", "addr", rln.Addr().String())
+		//cpvet:ignore goroutinelife Serve is bounded by rln: leader.Close (called on shutdown below) closes the listener, which unblocks Accept and ends the goroutine
 		go func() {
 			if err := a.leader.Serve(rln); err != nil {
 				a.logger.Error("replication serve failed", "error", err)
@@ -486,6 +487,7 @@ func serve(ctx context.Context, a *app, ln, adminLn net.Listener, cfg config) er
 			WriteTimeout:      cfg.writeTimeout,
 			IdleTimeout:       cfg.idleTimeout,
 		}
+		//cpvet:ignore goroutinelife Serve is bounded by adminSrv: the deferred adminSrv.Close three lines down closes the listener and ends the goroutine
 		go func() {
 			if err := adminSrv.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				a.logger.Error("admin server failed", "error", err)

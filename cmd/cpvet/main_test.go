@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -74,6 +75,90 @@ func TestRunSubsetAndList(t *testing.T) {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output is missing analyzer %s:\n%s", name, out.String())
 		}
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"lib.go": "package lib\n\nimport \"fmt\"\n\nfunc wrap(err error) error { return fmt.Errorf(\"x: %v\", err) }\n",
+	})
+	var out, errOut strings.Builder
+	if code := run([]string{"-dir", root, "-json"}, &out, &errOut); code != 1 {
+		t.Fatalf("run -json on dirty tree = %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	var rep struct {
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "errwrap" || rep.Findings[0].File != "lib.go" || rep.Findings[0].Line != 5 {
+		t.Errorf("unexpected findings: %+v", rep.Findings)
+	}
+
+	// A clean tree emits "findings": [], not null.
+	clean := writeTree(t, map[string]string{"go.mod": "module scratch\n\ngo 1.22\n", "lib.go": "package lib\n"})
+	out.Reset()
+	if code := run([]string{"-dir", clean, "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -json on clean tree = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "\"findings\": []") {
+		t.Errorf("clean JSON report should contain an empty findings array:\n%s", out.String())
+	}
+}
+
+func TestBaselineToleratesAndRatchets(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"lib.go": "package lib\n\nimport \"fmt\"\n\nfunc wrap(err error) error { return fmt.Errorf(\"x: %v\", err) }\n",
+	})
+
+	// Seed the baseline from the run's own JSON report.
+	var out, errOut strings.Builder
+	run([]string{"-dir", root, "-json"}, &out, &errOut)
+	baseline := filepath.Join(root, "baseline.json")
+	if err := os.WriteFile(baseline, []byte(out.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grandfathered: same finding, baseline present, run passes.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-dir", root, "-baseline", baseline}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined run = %d, want 0 (stdout %q, stderr %q)", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[baselined]") {
+		t.Errorf("tolerated finding not reported as baselined:\n%s", out.String())
+	}
+
+	// Ratchet: fix the violation but keep the baseline entry — the
+	// stale entry fails the run until it is removed.
+	lib := filepath.Join(root, "lib.go")
+	fixed := "package lib\n\nimport \"fmt\"\n\nfunc wrap(err error) error { return fmt.Errorf(\"x: %w\", err) }\n"
+	if err := os.WriteFile(lib, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-dir", root, "-baseline", baseline}, &out, &errOut); code != 1 {
+		t.Fatalf("stale-baseline run = %d, want 1 (stdout %q)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "STALE") {
+		t.Errorf("stale entry not reported:\n%s", out.String())
+	}
+
+	// Empty baseline on a clean tree: exit 0.
+	if err := os.WriteFile(baseline, []byte("{\n  \"findings\": []\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-dir", root, "-baseline", baseline}, &out, &errOut); code != 0 {
+		t.Fatalf("empty-baseline clean run = %d, want 0", code)
 	}
 }
 

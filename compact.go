@@ -62,6 +62,8 @@ func NewStaggeredCompactor(d *Directory, journals []*journal.Journal, reg *Telem
 // anyway and could truncate state) are skipped — the cursor still
 // advances, so one bad shard cannot starve the others. It returns the
 // compacted shard's index, or -1 if the shard was skipped.
+//
+//cpvet:lockheld c.mu is the compaction scheduler lock: it exists precisely so two snapshot fsyncs never run at once
 func (c *StaggeredCompactor) CompactNext(ctx context.Context) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -79,6 +81,8 @@ func (c *StaggeredCompactor) CompactNext(ctx context.Context) (int, error) {
 // CompactAll compacts every shard with a journal, sequentially —
 // shutdown uses it so every segment restarts from a snapshot. Degraded
 // shards are skipped, not failed: their journal tail is the state.
+//
+//cpvet:lockheld shutdown compaction holds the scheduler lock across every segment's snapshot so a late CompactNext tick cannot interleave
 func (c *StaggeredCompactor) CompactAll(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

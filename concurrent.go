@@ -60,23 +60,29 @@ func (s *SafeSystem) touch() {
 // write lock. The parked records were validated when first committed,
 // so a rebuild failure indicates resource exhaustion or a foreign
 // record slipped into the journal — the error surfaces to the caller
-// and the handle stays parked for a later retry.
-func (s *SafeSystem) ensureLocked() error {
+// and the handle stays parked for a later retry. It returns the owning
+// shard when this call materialized the system (nil when it was
+// already resident), so the caller can run the eviction sweep after
+// releasing the handle lock: sweeping from under s.mu would acquire
+// the shard lock against the declared shard -> SafeSystem order and
+// deadlock against setPersister/setHealth, which hold the shard lock
+// while attaching hooks to every handle (cpvet:lockorder caught this).
+func (s *SafeSystem) ensureLocked() (*dirShard, error) {
 	if s.sys != nil {
-		return nil
+		return nil, nil
 	}
 	sh := s.shard.Load()
 	if sh == nil {
-		return fmt.Errorf("contextpref: user %q was removed", s.user)
+		return nil, fmt.Errorf("contextpref: user %q was removed", s.user)
 	}
 	sys, err := sh.rebuild()
 	if err != nil {
-		return fmt.Errorf("contextpref: loading user %q: %w", s.user, err)
+		return nil, fmt.Errorf("contextpref: loading user %q: %w", s.user, err)
 	}
 	sys.SetHealth(s.parkHealth)
 	for _, r := range s.parked {
 		if err := applyRecord(sys, r); err != nil {
-			return fmt.Errorf("contextpref: loading user %q: %w", s.user, err)
+			return nil, fmt.Errorf("contextpref: loading user %q: %w", s.user, err)
 		}
 	}
 	// Hooks re-attach only after the records applied, so the rebuild is
@@ -87,13 +93,13 @@ func (s *SafeSystem) ensureLocked() error {
 	s.parkPersist, s.parkHealth = nil, nil
 	sh.loads.Inc()
 	sh.noteResident(1)
-	sh.maybeEvict(s)
-	return nil
+	return sh, nil
 }
 
 // rlock acquires the handle for reading, materializing a parked system
 // first (which upgrades to the write lock for this access). It returns
-// the matching unlock.
+// the matching unlock; on the materialize path the unlock also runs
+// the shard's eviction sweep, after the handle lock is released.
 func (s *SafeSystem) rlock() (func(), error) {
 	s.touch()
 	s.mu.RLock()
@@ -102,21 +108,31 @@ func (s *SafeSystem) rlock() (func(), error) {
 	}
 	s.mu.RUnlock()
 	s.mu.Lock()
-	if err := s.ensureLocked(); err != nil {
+	sh, err := s.ensureLocked()
+	if err != nil {
 		s.mu.Unlock()
 		return nil, err
+	}
+	if sh != nil {
+		return func() { s.mu.Unlock(); sh.maybeEvict(s) }, nil
 	}
 	return s.mu.Unlock, nil
 }
 
 // wlock acquires the handle for writing, materializing a parked system
-// first. It returns the matching unlock.
+// first. It returns the matching unlock; on the materialize path the
+// unlock also runs the shard's eviction sweep, after the handle lock
+// is released.
 func (s *SafeSystem) wlock() (func(), error) {
 	s.touch()
 	s.mu.Lock()
-	if err := s.ensureLocked(); err != nil {
+	sh, err := s.ensureLocked()
+	if err != nil {
 		s.mu.Unlock()
 		return nil, err
+	}
+	if sh != nil {
+		return func() { s.mu.Unlock(); sh.maybeEvict(s) }, nil
 	}
 	return s.mu.Unlock, nil
 }

@@ -372,6 +372,8 @@ func (j *Journal) Append(recs ...Record) error {
 // a slow mutation to the device, not the framing. Durability semantics
 // are identical to Append — the context does not cancel the write; a
 // batch either commits whole or rolls back.
+//
+//cpvet:lockheld j.mu is the durability serialization point: batches must reach the disk in sequence order, so the fsync happens under the lock by design
 func (j *Journal) AppendCtx(ctx context.Context, recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -442,6 +444,8 @@ func (j *Journal) AppendCtx(ctx context.Context, recs ...Record) error {
 // It is what a degraded-mode health probe calls to test whether the
 // store has recovered. The caller must hold no expectations about
 // sequence numbers: a probe consumes none.
+//
+//cpvet:lockheld the probe is a durable no-op append and shares the append path's lock-across-fsync design
 func (j *Journal) Probe() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -525,6 +529,8 @@ func (j *Journal) Snapshot(state []Record) error {
 // (records, snapshot bytes), so a trace of a request stalled behind
 // compaction names the stall. The context does not cancel the
 // compaction.
+//
+//cpvet:lockheld compaction swaps the snapshot and truncates the journal; appends must not interleave, so the lock covers the fsyncs
 func (j *Journal) SnapshotCtx(ctx context.Context, state []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -593,6 +599,8 @@ func (j *Journal) snapshotLocked(state []Record) error {
 
 // Close flushes and closes the journal. Further operations return
 // ErrClosed.
+//
+//cpvet:lockheld the final flush must exclude concurrent appends; cold path, runs once at shutdown
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -244,6 +244,8 @@ func (j *Journal) AppendReplicated(batch []byte) ([]Record, uint64, error) {
 // session context for span provenance (the durable write's fsyncs
 // become journal.fsync child spans). The context does not cancel the
 // write.
+//
+//cpvet:lockheld grafted batches share the append path's invariant: sequence-ordered durable writes require the fsync under j.mu
 func (j *Journal) AppendReplicatedCtx(ctx context.Context, batch []byte) ([]Record, uint64, error) {
 	recs, firstSeq, commitSeq, err := parseBatch(batch)
 	if err != nil {
@@ -296,6 +298,8 @@ func (j *Journal) AppendReplicatedCtx(ctx context.Context, batch []byte) ([]Reco
 // caller can rebuild its in-memory state from scratch, and the adopted
 // last sequence number. The rendering must carry a "!lastseq" line — a
 // snapshot without a horizon cannot anchor the stream that follows it.
+//
+//cpvet:lockheld installing a snapshot atomically supersedes the local tail; appends racing the swap would write into a file about to be truncated
 func (j *Journal) InstallSnapshot(data []byte) ([]Record, uint64, error) {
 	recs, lastSeq, hasMeta, err := parseSnapshot(data)
 	if err != nil {

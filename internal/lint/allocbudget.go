@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocBudget is the static half of the hot-path allocation contract.
+// A function anchored with //cpvet:hotpath allocs=<N> declares an
+// allocation budget; the runtime half mirrors every anchor with a
+// testing.AllocsPerRun conformance assertion against the live code
+// (TestHotpathAllocBudgets), so the budget is a ratchet, not a
+// comment. Inside an anchored function's own body this analyzer flags
+// the constructs that allocate on every execution and creep in
+// silently during refactors:
+//
+//   - function literals (closures capture and escape);
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf and string concatenation
+//     with + (each builds a fresh string);
+//   - map and slice composite literals, make(), new(), and &T{}
+//     (struct literals used by value stay on the stack and are fine);
+//   - interface boxing: passing a non-pointer concrete value to an
+//     interface parameter of a resolved callee (pointers fit in the
+//     interface word; values are copied to the heap).
+//
+// The check is per anchored body, deliberately not transitive: callees
+// are priced by the runtime conformance test, where the real allocator
+// is the judge; the static pass keeps the anchored body itself honest
+// between benchmark runs. Anchors are validated by the driver — a
+// //cpvet:hotpath without a parseable allocs=<N> is a finding from
+// collectDirectives — and an anchor on a function the conformance test
+// does not exercise fails that test, not this analyzer.
+var AllocBudget = &Analyzer{
+	Name: "allocbudget",
+	Doc:  "//cpvet:hotpath allocs=<N> functions must avoid closures, fmt/string building, map/slice literals, make/new, and interface boxing",
+	Run:  runAllocBudget,
+}
+
+func runAllocBudget(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		fmtPkg, _ := importName(f, "fmt")
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd, hotpathVerb) {
+				continue
+			}
+			out = append(out, checkAllocBody(r, fd, fmtPkg)...)
+		}
+	}
+	return out
+}
+
+func checkAllocBody(r *Repo, fd *ast.FuncDecl, fmtPkg string) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Diagnostic{r.Fset.Position(pos), "allocbudget",
+			fmt.Sprintf("%s inside //cpvet:hotpath function %s", msg, fd.Name.Name)})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			report(e.Pos(), "closure allocates")
+			return false // its body is priced with the closure
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && (isStringExpr(r, e.X) || isStringExpr(r, e.Y)) {
+				report(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			if allocatingLiteral(r, e) {
+				report(e.Pos(), "map/slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(e.Pos(), "&T{} escapes to the heap")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "make":
+					report(e.Pos(), "make allocates")
+				case "new":
+					report(e.Pos(), "new allocates")
+				}
+			}
+			if fmtPkg != "" {
+				if name, ok := pkgSelCall(e, fmtPkg); ok {
+					switch name {
+					case "Sprintf", "Sprint", "Sprintln", "Errorf", "Appendf":
+						report(e.Pos(), "fmt."+name+" allocates")
+					}
+				}
+			}
+			for _, d := range boxingArgs(r, e) {
+				report(d, "interface boxing allocates")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isStringExpr reports whether e is a string: by resolved type, or a
+// string literal when types are unavailable.
+func isStringExpr(r *Repo, e ast.Expr) bool {
+	if t := r.typeOf(e); t != nil {
+		basic, ok := t.Underlying().(*types.Basic)
+		return ok && basic.Info()&types.IsString != 0
+	}
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}
+
+// allocatingLiteral reports whether the composite literal builds a map
+// or slice (struct literals used by value do not heap-allocate).
+func allocatingLiteral(r *Repo, e *ast.CompositeLit) bool {
+	switch e.Type.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ArrayType:
+		return e.Type.(*ast.ArrayType).Len == nil // []T{...}; [N]T{...} is a value
+	}
+	if t := r.typeOf(e); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Map, *types.Slice:
+			return true
+		}
+	}
+	return false
+}
+
+// boxingArgs returns the positions of call arguments that box a
+// non-pointer concrete value into an interface parameter of a
+// resolved callee.
+func boxingArgs(r *Repo, call *ast.CallExpr) []token.Pos {
+	if r.Types == nil {
+		return nil
+	}
+	tv, ok := r.Types.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []token.Pos
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := r.typeOf(arg)
+		if at == nil {
+			continue
+		}
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if basic, ok := at.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+			continue
+		}
+		out = append(out, arg.Pos())
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // CtxLoop enforces the PR 4 cancellation contract on the resolution
@@ -12,15 +13,22 @@ import (
 // a departed client stops the work early instead of running it to
 // completion.
 //
-// The check is syntactic: it looks for a call to Err() or Done() on a
-// receiver identifier named ctx anywhere inside a for/range body of
-// the anchored function, including loops inside nested function
-// literals (the tree walks recurse through a local closure). The
-// anchor comment is the contract: removing it to silence the analyzer
-// is exactly as visible in review as deleting the check itself.
+// The direct check looks for a call to Err() or Done() on a receiver
+// identifier named ctx (or one that resolves to context.Context)
+// anywhere inside a for/range body of the anchored function, including
+// loops inside nested function literals (the tree walks recurse
+// through a local closure). Since the pass grew type information, the
+// check also sees one hop through calls: a loop body that invokes a
+// declared function or method whose own body checks the context
+// counts, whether the call is spelled directly (t.cancelled(ctx)), or
+// through a method value bound earlier in the function
+// (check := t.cancelled; ... check(ctx)) — the hoisted-bound-method
+// shape the scan loops use to keep the per-row code small. The anchor
+// comment is the contract: removing it to silence the analyzer is
+// exactly as visible in review as deleting the check itself.
 var CtxLoop = &Analyzer{
 	Name: "ctxloop",
-	Doc:  "//cpvet:scanloop functions must check ctx.Err()/ctx.Done() inside their loop bodies",
+	Doc:  "//cpvet:scanloop functions must check ctx.Err()/ctx.Done() inside their loop bodies (directly or one resolved call away)",
 	Run:  runCtxLoop,
 }
 
@@ -32,7 +40,7 @@ func runCtxLoop(r *Repo) []Diagnostic {
 			if !ok || !hasDirective(fd, scanloopVerb) {
 				continue
 			}
-			if fd.Body == nil || !hasLoopCtxCheck(fd.Body) {
+			if fd.Body == nil || !r.hasLoopCtxCheck(fd.Body) {
 				out = append(out, Diagnostic{r.Fset.Position(fd.Pos()), "ctxloop",
 					"function is marked //cpvet:scanloop but no loop body checks ctx.Err()/ctx.Done(); hot-path scans must cancel cooperatively"})
 			}
@@ -42,8 +50,10 @@ func runCtxLoop(r *Repo) []Diagnostic {
 }
 
 // hasLoopCtxCheck reports whether any for/range statement under body
-// contains a ctx.Err() or ctx.Done() call inside its own body.
-func hasLoopCtxCheck(body *ast.BlockStmt) bool {
+// contains a context check inside its own body: a ctx.Err()/ctx.Done()
+// call, or a call into a declared function whose body performs one.
+func (r *Repo) hasLoopCtxCheck(body *ast.BlockStmt) bool {
+	bound := r.methodValues(body)
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -63,17 +73,94 @@ func hasLoopCtxCheck(body *ast.BlockStmt) bool {
 			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
-				return true
-			}
-			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "ctx" {
+			if r.ctxCheckCall(call) {
 				found = true
 				return false
+			}
+			callee := r.calleeFunc(call)
+			if callee == nil {
+				// A call through an identifier may be a method value
+				// bound earlier in this function.
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && r.Types != nil {
+					callee = bound[r.Types.Uses[id]]
+				}
+			}
+			if callee != nil {
+				if fd := r.funcDecl(callee); fd != nil && fd.Body != nil && r.bodyChecksCtx(fd.Body) {
+					found = true
+					return false
+				}
 			}
 			return true
 		})
 		return true
 	})
 	return found
+}
+
+// ctxCheckCall reports whether call is ctx.Err() or ctx.Done() — by
+// the conventional receiver name, or by a receiver that resolves to
+// context.Context.
+func (r *Repo) ctxCheckCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") || len(call.Args) != 0 {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "ctx" {
+		return true
+	}
+	return namedPath(r.typeOf(sel.X)) == "context.Context"
+}
+
+// bodyChecksCtx reports whether a callee body contains a context check
+// anywhere: called from inside a loop, it runs on every iteration, so
+// it need not sit in a loop of its own.
+func (r *Repo) bodyChecksCtx(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && r.ctxCheckCall(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// methodValues maps identifiers assigned a bound method value
+// (check := t.cancelled) to the method they name, so calls through the
+// identifier resolve to the method's declaration.
+func (r *Repo) methodValues(body *ast.BlockStmt) map[types.Object]*types.Func {
+	out := make(map[types.Object]*types.Func)
+	if r.Types == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			fn, ok := r.Types.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := r.Types.Defs[id]; obj != nil {
+					out[obj] = fn
+				} else if obj := r.Types.Uses[id]; obj != nil {
+					out[obj] = fn
+				}
+			}
+		}
+		return true
+	})
+	return out
 }

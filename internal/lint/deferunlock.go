@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeferUnlock enforces the release discipline on every mutex
+// acquisition: a Lock/RLock must be released by a defer (directly or
+// inside a deferred closure), released inline before every later
+// return and before the body falls off its end, or handed off to the
+// caller by returning the unlock method value (`return s.mu.Unlock,
+// nil` — the rlock/wlock idiom, where the caller defers the returned
+// func). The try-lock idioms from shard parking are understood:
+//
+//	if !s.mu.TryLock() { return false }   // failure branch exits unlocked
+//	defer s.mu.Unlock()                   // success path defers
+//
+//	if s.mu.TryRLock() { ...; s.mu.RUnlock() }  // release inside the hit branch
+//
+// A negated TryLock is held only after its if statement; a positive
+// TryLock must release inside the guarded branch. TryLock results
+// assigned to variables are not tracked (no such idiom exists in this
+// repo); findings name the lock so the fix is local.
+//
+// Like the rest of the suite the check is per function body: function
+// literals are analyzed as their own bodies, because a return inside a
+// closure does not leave the enclosing function. Locks are matched by
+// rendered receiver expression and read/write kind (Lock pairs with
+// Unlock, RLock with RUnlock), by resolved sync.Mutex/RWMutex type
+// when available and by the "mu" naming convention in fixtures.
+var DeferUnlock = &Analyzer{
+	Name: "deferunlock",
+	Doc:  "every Lock/RLock must be released by defer, on every return path, or by handing the unlock method value to the caller",
+	Run:  runDeferUnlock,
+}
+
+func runDeferUnlock(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				out = append(out, checkUnlockBody(r, body)...)
+			})
+		}
+	}
+	return out
+}
+
+func checkUnlockBody(r *Repo, body *ast.BlockStmt) []Diagnostic {
+	ops, deferred, handoffs, returns := r.collectLockOps(body)
+	var out []Diagnostic
+	for i, acq := range ops {
+		if acq.kind == opUnlock {
+			continue
+		}
+		key := lockKey(acq.recv, acq.read)
+		verb := unlockName(acq.read)
+
+		// Positive if-condition TryLock: the lock exists only inside the
+		// guarded branch, so the release must be in there.
+		if acq.kind == opTryLock && acq.ifStmt != nil && !acq.negated {
+			if !branchReleases(r, acq.ifStmt.Body, acq.recv, acq.read) {
+				out = append(out, Diagnostic{r.Fset.Position(acq.pos), "deferunlock",
+					fmt.Sprintf("TryLock on %s succeeds into a branch that does not %s; release inside the guarded branch", acq.recv, verb)})
+			}
+			continue
+		}
+		if acq.kind == opTryLock && acq.ifStmt == nil {
+			// Assigned TryLock results have no idiom here; skip rather
+			// than guess (see the analyzer doc).
+			continue
+		}
+		if deferred[key] {
+			continue
+		}
+		from, _ := heldRegion(ops, i, handoffs, body.End())
+		inline := inlineReleases(ops, key)
+		leaks := false
+		after := 0
+		for _, ret := range returns {
+			if ret <= from {
+				continue
+			}
+			after++
+			if !releasedBetween(inline, handoffs[key], from, ret) {
+				leaks = true
+				break
+			}
+		}
+		if after == 0 && !releasedBetween(inline, handoffs[key], from, token.Pos(1<<60)) {
+			// No return after the acquire: the body falls off its end, so
+			// a release must still appear somewhere after it.
+			leaks = true
+		}
+		if leaks {
+			out = append(out, Diagnostic{r.Fset.Position(acq.pos), "deferunlock",
+				fmt.Sprintf("%s on %s is not released on every path; defer %s.%s() or release it before each return", lockName(acq.read), acq.recv, acq.recv, verb)})
+		}
+	}
+	return out
+}
+
+func lockName(read bool) string {
+	if read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func unlockName(read bool) string {
+	if read {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// inlineReleases collects the positions of inline unlock statements
+// matching key.
+func inlineReleases(ops []lockOp, key string) []token.Pos {
+	var out []token.Pos
+	for _, op := range ops {
+		if op.kind == opUnlock && lockKey(op.recv, op.read) == key {
+			out = append(out, op.pos)
+		}
+	}
+	return out
+}
+
+// releasedBetween reports whether an inline release or an unlock
+// handoff return falls strictly between from and limit.
+func releasedBetween(inline, handoffs []token.Pos, from, limit token.Pos) bool {
+	for _, p := range inline {
+		if p > from && p < limit {
+			return true
+		}
+	}
+	for _, p := range handoffs {
+		if p > from && p <= limit {
+			return true
+		}
+	}
+	return false
+}
+
+// branchReleases reports whether the guarded branch of a positive
+// TryLock contains a matching release — inline, deferred, or handed
+// off by returning the unlock method value.
+func branchReleases(r *Repo, branch *ast.BlockStmt, recv string, read bool) bool {
+	found := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if rx, kind, rd, ok := r.mutexCall(s); ok && kind == opUnlock && rd == read && types.ExprString(rx) == recv {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if sel, ok := ast.Unparen(res).(*ast.SelectorExpr); ok {
+					if m, isMutex := mutexMethods[sel.Sel.Name]; isMutex && m.kind == opUnlock && m.read == read &&
+						r.isMutexExpr(sel.X) && types.ExprString(sel.X) == recv {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

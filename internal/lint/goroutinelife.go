@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// GoroutineLife enforces the goroutine-lifecycle contract: every `go`
+// statement in production code must be visibly tied to a shutdown
+// mechanism, so the goroutine-leak checks in the overload tests are
+// statically guaranteed rather than sampled. A spawn is considered
+// tied when the goroutine — its function literal body, its arguments,
+// or (one hop, via go/types) the body of the declared function it
+// calls — shows one of:
+//
+//   - a context: an identifier of type context.Context (or named ctx),
+//     whose Done/Err the spawned work consults or inherits;
+//   - a shutdown channel: a receive, send, select case, close, or
+//     range over a channel whose name matches done|stop|quit|closed|
+//     shutdown|wake — the repo's lifecycle-channel vocabulary;
+//   - a WaitGroup: wg.Done()/wg.Add() inside the goroutine, or an
+//     Add() on the same WaitGroup anywhere in the spawning body;
+//   - a resource close: the goroutine Close()es the resource whose
+//     blocking calls bound its life (the replication ack-reader
+//     closing its conn on every exit path);
+//   - the result-channel handoff idiom `go func() { errc <- f(x) }()`,
+//     a single send of a call result: the goroutine lives exactly as
+//     long as the blocking call, whose own shutdown (ln.Close
+//     stopping Serve) is the registered Run/Close pair.
+//
+// A spawn with none of these is a finding. The check is a liveness
+// contract, not a proof: a ctx the goroutine ignores still passes.
+// What it catches is the dangerous default — a bare `go func() { for
+// { ... } }()` with no way to stop — and it keeps the tie visible at
+// the spawn site, where reviewers look for it.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement must be tied to a shutdown mechanism (ctx, done channel, WaitGroup, or a call bounded by a Run/Close pair)",
+	Run:  runGoroutineLife,
+}
+
+var lifecycleChanRe = regexp.MustCompile(`(?i)^(done|stop|quit|closed|shutdown|wake|ctx)`)
+
+func runGoroutineLife(r *Repo) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !r.goStmtTied(fd.Body, g) {
+					out = append(out, Diagnostic{r.Fset.Position(g.Pos()), "goroutinelife",
+						"goroutine is not tied to a shutdown mechanism (no ctx, done channel, WaitGroup, or bounded call in sight); leaked goroutines survive graceful shutdown"})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// goStmtTied applies the lifecycle evidence search to one go
+// statement inside the enclosing body.
+func (r *Repo) goStmtTied(enclosing *ast.BlockStmt, g *ast.GoStmt) bool {
+	// Evidence in the call expression itself: arguments like ctx or
+	// c.done tie the goroutine to its parent's lifecycle.
+	for _, arg := range g.Call.Args {
+		if r.lifecycleExpr(arg) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if resultChannelHandoff(fun.Body) {
+			return true
+		}
+		if r.bodyHasLifecycleEvidence(fun.Body) {
+			return true
+		}
+	default:
+		// A declared function or method: look one hop into its body.
+		if callee := r.calleeFunc(g.Call); callee != nil {
+			if fd := r.funcDecl(callee); fd != nil && fd.Body != nil && r.bodyHasLifecycleEvidence(fd.Body) {
+				return true
+			}
+		}
+		if r.lifecycleExpr(g.Call.Fun) {
+			return true
+		}
+	}
+	// A WaitGroup Add anywhere in the spawning body counts: the spawn
+	// is awaited even if the Done lives in a helper.
+	return r.bodyAddsToWaitGroup(enclosing)
+}
+
+// bodyHasLifecycleEvidence scans a goroutine body (descending into its
+// nested literals) for any lifecycle tie.
+func (r *Repo) bodyHasLifecycleEvidence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if r.lifecycleExpr(s.(ast.Expr)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done", "Wait", "Add":
+					// Only on a resolved sync.WaitGroup (or a ctx, which
+					// the Ident case already caught): clock.Add(1) on an
+					// atomic counter is not a lifecycle tie.
+					if namedPath(r.typeOf(sel.X)) == "sync.WaitGroup" {
+						found = true
+					}
+				case "Close":
+					// A goroutine that closes its own resource on exit
+					// (the replication ack-reader closing its conn) is
+					// bounded by that resource's lifetime.
+					if len(s.Args) == 0 {
+						found = true
+					}
+				}
+			}
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lifecycleExpr reports whether e names a lifecycle handle: a
+// context.Context (by type, or by the conventional name ctx) or a
+// channel in the shutdown vocabulary.
+func (r *Repo) lifecycleExpr(e ast.Expr) bool {
+	name := ""
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	if namedPath(r.typeOf(e)) == "context.Context" {
+		return true
+	}
+	return lifecycleChanRe.MatchString(name) || strings.EqualFold(name, "wg")
+}
+
+// resultChannelHandoff matches the bounded-spawn idiom: a body that is
+// exactly one statement, a send of a call result (`errc <- f(x)`).
+func resultChannelHandoff(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	send, ok := body.List[0].(*ast.SendStmt)
+	if !ok {
+		return false
+	}
+	_, isCall := ast.Unparen(send.Value).(*ast.CallExpr)
+	return isCall
+}
+
+// bodyAddsToWaitGroup reports whether the spawning body calls Add on a
+// WaitGroup (the tie may precede the spawn): resolved sync.WaitGroup
+// receivers, or wg-named ones when types are unavailable.
+func (r *Repo) bodyAddsToWaitGroup(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" || len(call.Args) != 1 {
+			return true
+		}
+		switch namedPath(r.typeOf(sel.X)) {
+		case "sync.WaitGroup":
+			found = true
+		case "":
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "wg") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -6,20 +6,27 @@
 // invariants survive refactors without depending on reviewer
 // vigilance.
 //
-// The pass is stdlib-only (go/ast, go/parser, go/token): it parses
-// every non-test .go file under the module root and runs purely
-// syntactic analyzers over the forest. No type information is loaded;
-// each analyzer documents the syntactic convention it relies on
-// (e.g. the cancellation parameter is named ctx).
+// The pass is stdlib-only (go/ast, go/parser, go/token, go/types): it
+// parses every non-test .go file under the module root, resolves types
+// across the whole forest (see types.go), and runs the analyzers over
+// it. The original seven analyzers are purely syntactic; the
+// concurrency-contract analyzers added in PR 10 (lockorder,
+// deferunlock, goroutinelife, allocbudget) consume the type
+// information and degrade to documented syntactic heuristics when an
+// expression does not resolve (fixtures, broken builds).
 //
-// Directives. Three magic comments steer the pass:
+// Directives. Five magic comments steer the pass:
 //
 //	//cpvet:ignore <analyzer> <reason>   suppress findings on this or the next line
 //	//cpvet:scanloop                     marks a hot-path scan function (ctxloop)
 //	//cpvet:deterministic                marks a replay-deterministic function (nondeterminism)
+//	//cpvet:lockheld <reason>            function doc: this function intentionally holds a lock across fsync/network I/O (lockorder)
+//	//cpvet:hotpath allocs=<N>           function doc: allocation budget, enforced statically (allocbudget) and at runtime (AllocsPerRun conformance)
 //
 // An ignore directive without a reason is itself a finding: every
-// suppression must say why the contract does not apply.
+// suppression must say why the contract does not apply. Likewise a
+// lockheld anchor without a reason and a hotpath anchor without a
+// parseable allocs=<N> budget.
 package lint
 
 import (
@@ -27,6 +34,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -53,10 +61,23 @@ type File struct {
 	AST  *ast.File
 }
 
-// Repo is the parsed forest the analyzers run over.
+// Repo is the parsed forest the analyzers run over, plus best-effort
+// type information resolved across all of its packages.
 type Repo struct {
 	Fset  *token.FileSet
 	Files []*File
+
+	// ModPath is the module path from go.mod ("fixture" when the
+	// analyzed root has none, as golden-fixture directories do).
+	ModPath string
+	// Types holds the merged go/types resolution for every package in
+	// the forest. Never nil after Load, but entries are best-effort:
+	// fixtures that do not compile resolve partially.
+	Types *types.Info
+	// FuncDecls maps each declared function or method object to its
+	// declaration, so analyzers can walk from a resolved call site into
+	// the callee's body.
+	FuncDecls map[*types.Func]*ast.FuncDecl
 }
 
 // Analyzer is one named check over the whole repository. Run returns
@@ -77,6 +98,10 @@ func All() []*Analyzer {
 		NonDeterminism,
 		ErrWrap,
 		Spanend,
+		LockOrder,
+		DeferUnlock,
+		GoroutineLife,
+		AllocBudget,
 	}
 }
 
@@ -86,6 +111,19 @@ func All() []*Analyzer {
 // routinely violate them on purpose (raw log output, fake metric
 // names, wall-clock assertions).
 func Load(root string) (*Repo, error) {
+	repo, err := LoadSyntax(root)
+	if err != nil {
+		return nil, err
+	}
+	repo.typecheck(root)
+	return repo, nil
+}
+
+// LoadSyntax is Load without the whole-module type resolution: parse
+// and comments only. Directive extraction (Hotpaths, the conformance
+// test's anchor inventory) needs nothing more, and skipping the
+// typecheck keeps those callers fast.
+func LoadSyntax(root string) (*Repo, error) {
 	fset := token.NewFileSet()
 	repo := &Repo{Fset: fset}
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
@@ -166,6 +204,8 @@ const (
 	ignoreVerb      = "ignore"
 	scanloopVerb    = "scanloop"
 	deterministic   = "deterministic"
+	lockheldVerb    = "lockheld"
+	hotpathVerb     = "hotpath"
 )
 
 // collectDirectives parses every //cpvet: comment in the repo,
@@ -191,6 +231,16 @@ func collectDirectives(repo *Repo) ([]ignoreDirective, []Diagnostic) {
 				case scanloopVerb, deterministic:
 					// Anchors; consumed by their analyzers. Trailing
 					// prose is allowed as a note.
+				case lockheldVerb:
+					if strings.TrimSpace(args) == "" {
+						diags = append(diags, Diagnostic{pos, "cpvet",
+							"//cpvet:lockheld is missing the mandatory reason"})
+					}
+				case hotpathVerb:
+					if _, err := parseAllocBudget(args); err != nil {
+						diags = append(diags, Diagnostic{pos, "cpvet",
+							fmt.Sprintf("//cpvet:hotpath %v", err)})
+					}
 				case ignoreVerb:
 					analyzer, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
 					switch {
@@ -210,7 +260,7 @@ func collectDirectives(repo *Repo) ([]ignoreDirective, []Diagnostic) {
 					}
 				default:
 					diags = append(diags, Diagnostic{pos, "cpvet",
-						fmt.Sprintf("unknown directive //cpvet:%s (want ignore, scanloop, or deterministic)", verb)})
+						fmt.Sprintf("unknown directive //cpvet:%s (want ignore, scanloop, deterministic, lockheld, or hotpath)", verb)})
 				}
 			}
 		}
@@ -264,6 +314,87 @@ func hasDirective(fd *ast.FuncDecl, verb string) bool {
 		}
 	}
 	return false
+}
+
+// directiveArgs returns the arguments of the //cpvet:<verb> anchor in
+// the function's doc comment ("", false when absent).
+func directiveArgs(fd *ast.FuncDecl, verb string) (string, bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directivePrefix+verb {
+			return "", true
+		}
+		if strings.HasPrefix(c.Text, directivePrefix+verb+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix+verb+" ")), true
+		}
+	}
+	return "", false
+}
+
+// parseAllocBudget parses the "allocs=<N>" argument of a
+// //cpvet:hotpath anchor. Trailing prose after the budget is allowed
+// as a note.
+func parseAllocBudget(args string) (int, error) {
+	first, _, _ := strings.Cut(strings.TrimSpace(args), " ")
+	val, ok := strings.CutPrefix(first, "allocs=")
+	if !ok {
+		return 0, fmt.Errorf("needs an allocs=<N> budget, got %q", strings.TrimSpace(args))
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("allocs budget %q is not a non-negative integer", val)
+	}
+	return n, nil
+}
+
+// Hotpath is one //cpvet:hotpath anchor found in the repo; the runtime
+// conformance test mirrors each with testing.AllocsPerRun.
+type Hotpath struct {
+	File   string // repo-relative path of the declaring file
+	Func   string // "<dir>.<recv>.<name>", e.g. "internal/querytree.(*Cache).Get"
+	Allocs int    // declared budget
+}
+
+// Hotpaths returns every well-formed //cpvet:hotpath anchor in the
+// repo, sorted by qualified function name.
+func Hotpaths(r *Repo) []Hotpath {
+	var out []Hotpath
+	for _, f := range r.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			args, ok := directiveArgs(fd, hotpathVerb)
+			if !ok {
+				continue
+			}
+			n, err := parseAllocBudget(args)
+			if err != nil {
+				continue // reported by collectDirectives
+			}
+			out = append(out, Hotpath{File: f.Path, Func: qualifiedFuncName(f.Path, fd), Allocs: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	return out
+}
+
+// qualifiedFuncName renders a stable identity for a declared function:
+// the declaring directory plus receiver plus name.
+func qualifiedFuncName(path string, fd *ast.FuncDecl) string {
+	dir := filepath.ToSlash(filepath.Dir(path))
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		recv := types.ExprString(fd.Recv.List[0].Type)
+		if strings.HasPrefix(recv, "*") {
+			recv = "(" + recv + ")"
+		}
+		name = recv + "." + name
+	}
+	return dir + "." + name
 }
 
 // pkgSelCall matches a call of the form pkg.Fn(...) where pkg is the

@@ -134,4 +134,54 @@ func TestAnchorsPresent(t *testing.T) {
 	if got := strings.Count(string(journal), "//cpvet:deterministic"); got < 3 {
 		t.Errorf("journal.go has %d //cpvet:deterministic anchors, want at least 3 (readSnapshot, readJournal, migrate)", got)
 	}
+
+	// The lock-across-fsync decisions must stay documented at their
+	// functions: losing a //cpvet:lockheld anchor either resurrects a
+	// lockorder finding (if the code still holds the lock) or silently
+	// drops the documented contract (if it no longer does).
+	lockheld := map[string]int{
+		"internal/journal/journal.go":   4, // AppendCtx, Probe, SnapshotCtx, Close
+		"internal/journal/replicate.go": 2, // AppendReplicatedCtx, InstallSnapshot
+		"compact.go":                    2, // CompactNext, CompactAll
+	}
+	for rel, want := range lockheld {
+		src, err := os.ReadFile(filepath.Join("..", "..", filepath.FromSlash(rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Count(string(src), "//cpvet:lockheld"); got < want {
+			t.Errorf("%s has %d //cpvet:lockheld anchors, want at least %d", rel, got, want)
+		}
+	}
+}
+
+// TestHotpathInventory guards the allocation anchors: every declared
+// hot path must keep its //cpvet:hotpath budget, and each budget is
+// mirrored by a testing.AllocsPerRun assertion in the root package's
+// TestHotpathAllocBudgets.
+func TestHotpathInventory(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	repo, err := lint.LoadSyntax(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotpaths := lint.Hotpaths(repo)
+	got := make(map[string]int, len(hotpaths))
+	for _, hp := range hotpaths {
+		got[hp.Func] = hp.Allocs
+	}
+	want := []string{
+		"internal/profiletree.(*Tree).ResolveCtx",
+		"internal/querytree.(*Cache).Get",
+		"internal/telemetry.(*Histogram).Observe",
+		"internal/tracing.Start",
+	}
+	for _, fn := range want {
+		if _, ok := got[fn]; !ok {
+			t.Errorf("hot path %s lost its //cpvet:hotpath anchor", fn)
+		}
+	}
 }

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder enforces the repo's declared lock hierarchy and its
+// lock-across-I/O contract.
+//
+// The hierarchy, outermost first, is the one DESIGN §14 declares:
+//
+//	1 Directory shard mu (dirShard, Directory)
+//	2 SafeSystem mu
+//	3 journal mu (Journal)
+//	4 telemetry mu (Registry, CounterVec, GaugeVec, HistogramVec)
+//
+// Acquiring a lower-numbered (outer) lock while holding a
+// higher-numbered (inner) one is a finding, whether the acquisition is
+// textual or hidden behind a call: the analyzer resolves static calls
+// with go/types and propagates "may acquire level N" facts over the
+// call graph, so a journal function that reaches back into a
+// SafeSystem method is caught even across files. Interface method
+// calls do not resolve and deliberately stop propagation — the
+// Persister seam between layers is the designed fault-isolation
+// boundary, and its implementations are checked where they acquire
+// their own locks. Same-level acquisitions (two SafeSystems) and
+// TryLock acquisitions (which fail rather than deadlock) are exempt
+// from the order check.
+//
+// Independently, holding any mutex — leveled or not — across blocking
+// I/O (an fsync or a network operation, detected directly and through
+// resolved calls) is a finding unless the function is anchored with
+// //cpvet:lockheld <reason>. The journal holds its mu across fsync by
+// design (the lock IS the durability serialization point); the anchor
+// makes that decision, and its reason, part of the source text.
+//
+// The hierarchy is declared over bare type names so the golden
+// fixtures can model the real shapes without importing the real
+// packages; the names are unique within this module.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisitions must follow the declared hierarchy (shard -> SafeSystem -> journal -> telemetry); no lock may be held across fsync/network I/O without //cpvet:lockheld",
+	Run:  runLockOrder,
+}
+
+// lockHierarchy maps mutex-owning type names to their level in the
+// declared order; lower acquires first (outermost).
+var lockHierarchy = map[string]int{
+	"dirShard":     1,
+	"Directory":    1,
+	"SafeSystem":   2,
+	"Journal":      3,
+	"Registry":     4,
+	"CounterVec":   4,
+	"GaugeVec":     4,
+	"HistogramVec": 4,
+}
+
+// lockLevelName renders a level for messages.
+func lockLevelName(level int) string {
+	switch level {
+	case 1:
+		return "shard"
+	case 2:
+		return "SafeSystem"
+	case 3:
+		return "journal"
+	case 4:
+		return "telemetry"
+	}
+	return fmt.Sprintf("level %d", level)
+}
+
+// lockFacts holds the whole-repo fixpoint: which declared functions
+// may acquire which hierarchy levels, and which perform blocking I/O.
+type lockFacts struct {
+	repo *Repo
+	// acquires[fn] is the set of hierarchy levels fn may acquire,
+	// directly or through resolved calls (TryLock excluded).
+	acquires map[*types.Func]map[int]bool
+	// io[fn] is "" or the kind of blocking I/O fn may perform
+	// ("fsync", "network I/O"), directly or through resolved calls.
+	io map[*types.Func]string
+}
+
+func runLockOrder(r *Repo) []Diagnostic {
+	facts := computeLockFacts(r)
+	var out []Diagnostic
+	for _, f := range r.Files {
+		netPkg, _ := importName(f, "net")
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			anchored := hasDirective(fd, lockheldVerb)
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				out = append(out, facts.checkBody(body, netPkg, anchored)...)
+			})
+		}
+	}
+	return out
+}
+
+// computeLockFacts runs the call-graph fixpoint over every declared
+// function in the forest.
+func computeLockFacts(r *Repo) *lockFacts {
+	facts := &lockFacts{
+		repo:     r,
+		acquires: make(map[*types.Func]map[int]bool),
+		io:       make(map[*types.Func]string),
+	}
+	type declFile struct {
+		fd     *ast.FuncDecl
+		netPkg string
+	}
+	var decls []declFile
+	objs := make(map[*ast.FuncDecl]*types.Func)
+	for _, f := range r.Files {
+		netPkg, _ := importName(f, "net")
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, declFile{fd, netPkg})
+			if r.Types != nil {
+				if obj, ok := r.Types.Defs[fd.Name].(*types.Func); ok {
+					objs[fd] = obj
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			obj := objs[d.fd]
+			if obj == nil {
+				continue
+			}
+			levels := facts.acquires[obj]
+			if levels == nil {
+				levels = make(map[int]bool)
+				facts.acquires[obj] = levels
+			}
+			before := len(levels)
+			hadIO := facts.io[obj] != ""
+			ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, kind, _, ok := r.mutexCall(call); ok && kind == opLock {
+					if lvl := lockHierarchy[r.lockOwner(recv)]; lvl > 0 {
+						levels[lvl] = true
+					}
+					return true
+				}
+				if !hadIO {
+					if kind := directIO(r, d.netPkg, call); kind != "" {
+						facts.io[obj] = kind
+					} else if callee := r.calleeFunc(call); callee != nil && callee != obj {
+						if k := facts.io[callee]; k != "" {
+							facts.io[obj] = k
+						}
+					}
+				}
+				if callee := r.calleeFunc(call); callee != nil && callee != obj {
+					for lvl := range facts.acquires[callee] {
+						levels[lvl] = true
+					}
+				}
+				return true
+			})
+			if len(levels) > before || (!hadIO && facts.io[obj] != "") {
+				changed = true
+			}
+		}
+	}
+	return facts
+}
+
+// directIO classifies a call as blocking I/O: a zero-argument .Sync()
+// (the fsync idiom on os.File and faultfs.File alike), a method call
+// on a net.Conn/net.Listener value, or a net dial/listen.
+func directIO(r *Repo, netPkg string, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+		return "fsync"
+	}
+	if netPkg != "" {
+		if name, ok := pkgSelCall(call, netPkg); ok {
+			switch {
+			case strings.HasPrefix(name, "Dial"), strings.HasPrefix(name, "Listen"):
+				return "network I/O"
+			}
+		}
+	}
+	switch namedPath(r.typeOf(sel.X)) {
+	case "net.Conn", "net.TCPConn", "net.UnixConn", "net.Listener", "net.TCPListener":
+		return "network I/O"
+	}
+	return ""
+}
+
+// checkBody reports order inversions and unanchored lock-across-I/O
+// inside one function body.
+func (facts *lockFacts) checkBody(body *ast.BlockStmt, netPkg string, anchored bool) []Diagnostic {
+	r := facts.repo
+	ops, _, handoffs, _ := r.collectLockOps(body)
+	if len(ops) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	seenIO := make(map[token.Pos]bool) // one I/O finding per call site
+	for i, acq := range ops {
+		if acq.kind == opUnlock {
+			continue
+		}
+		from, to := heldRegion(ops, i, handoffs, body.End())
+		heldLevel := lockHierarchy[acq.owner]
+
+		// Order: later textual acquisitions inside the region.
+		if heldLevel > 0 {
+			for j, other := range ops {
+				if j == i || other.kind != opLock || other.pos <= from || other.pos >= to {
+					continue
+				}
+				if lvl := lockHierarchy[other.owner]; lvl > 0 && lvl < heldLevel {
+					out = append(out, Diagnostic{r.Fset.Position(other.pos), "lockorder",
+						fmt.Sprintf("acquires the %s lock (%s, level %d) while holding the %s lock (%s, level %d); the declared order is shard -> SafeSystem -> journal -> telemetry",
+							lockLevelName(lvl), other.recv, lvl, lockLevelName(heldLevel), acq.recv, heldLevel)})
+				}
+			}
+		}
+
+		// Calls inside the region: hidden acquisitions and blocking I/O.
+		walkShallow(body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() <= from || call.Pos() >= to {
+				return
+			}
+			if _, _, _, isMutex := r.mutexCall(call); isMutex {
+				return
+			}
+			callee := r.calleeFunc(call)
+			if heldLevel > 0 && callee != nil {
+				var inverted []int
+				for lvl := range facts.acquires[callee] {
+					if lvl < heldLevel {
+						inverted = append(inverted, lvl)
+					}
+				}
+				if len(inverted) > 0 {
+					sort.Ints(inverted)
+					out = append(out, Diagnostic{r.Fset.Position(call.Pos()), "lockorder",
+						fmt.Sprintf("calls %s, which acquires the %s lock (level %d), while holding the %s lock (%s, level %d); the declared order is shard -> SafeSystem -> journal -> telemetry",
+							callee.Name(), lockLevelName(inverted[0]), inverted[0], lockLevelName(heldLevel), acq.recv, heldLevel)})
+				}
+			}
+			if anchored || seenIO[call.Pos()] {
+				return
+			}
+			kind := directIO(r, netPkg, call)
+			via := ""
+			if kind == "" && callee != nil {
+				if k := facts.io[callee]; k != "" {
+					kind, via = k, fmt.Sprintf(" (via %s)", callee.Name())
+				}
+			}
+			if kind != "" {
+				seenIO[call.Pos()] = true
+				out = append(out, Diagnostic{r.Fset.Position(call.Pos()), "lockorder",
+					fmt.Sprintf("performs %s%s while holding %s; release the lock first, or anchor the function with //cpvet:lockheld <reason>",
+						kind, via, acq.recv)})
+			}
+		})
+	}
+	return out
+}

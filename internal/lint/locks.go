@@ -1,0 +1,245 @@
+package lint
+
+// Shared lock model for the concurrency-contract analyzers (lockorder,
+// deferunlock). Both need the same two judgments about an expression:
+// "is this call a mutex operation, and on which lock?" and "over which
+// statement range is that lock held?".
+//
+// A mutex operation is a call X.Lock() / X.RLock() / X.Unlock() /
+// X.RUnlock() / X.TryLock() / X.TryRLock() whose receiver X resolves to
+// sync.Mutex or sync.RWMutex. When type information is unavailable
+// (golden fixtures are deliberately fragmentary) the analyzers fall
+// back to the repo's naming convention: a receiver whose final selector
+// component is "mu" (or a *Mu-suffixed identifier) is assumed to be a
+// mutex. Locks are identified intra-procedurally by the rendered
+// receiver expression ("s.mu", "sh.mu"), which is how humans match a
+// Lock to its Unlock in review too.
+//
+// The held region of an acquire is approximated positionally, the same
+// way spanend approximates span lifetimes: from the acquire to the
+// earliest later inline release of the same lock (matching read/write
+// kind), or to the end of the function body when the release is
+// deferred or missing. Returning the unlock method value itself
+// (`return s.mu.Unlock, nil` — the rlock/wlock idiom) counts as a
+// release at that return: responsibility is handed to the caller.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockOpKind classifies one mutex call.
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+	opTryLock
+)
+
+// lockOp is one mutex operation found in a function body.
+type lockOp struct {
+	recv  string     // rendered receiver expression, e.g. "s.mu"
+	owner string     // bare name of the named type owning the mutex field ("" when unresolved or not a field)
+	kind  lockOpKind //
+	read  bool       // RLock/RUnlock/TryRLock
+	pos   token.Pos
+	// ifStmt is set for TryLock operations appearing as an if condition
+	// (the two idioms the repo uses); nil otherwise.
+	ifStmt  *ast.IfStmt
+	negated bool // the TryLock is under a ! in the if condition
+}
+
+// mutexMethods maps the sync mutex method set to (kind, read).
+var mutexMethods = map[string]struct {
+	kind lockOpKind
+	read bool
+}{
+	"Lock":     {opLock, false},
+	"RLock":    {opLock, true},
+	"Unlock":   {opUnlock, false},
+	"RUnlock":  {opUnlock, true},
+	"TryLock":  {opTryLock, false},
+	"TryRLock": {opTryLock, true},
+}
+
+// mutexCall reports whether call is a mutex operation, returning the
+// receiver expression and operation classification.
+func (r *Repo) mutexCall(call *ast.CallExpr) (recv ast.Expr, kind lockOpKind, read bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return nil, 0, false, false
+	}
+	m, isMutexMethod := mutexMethods[sel.Sel.Name]
+	if !isMutexMethod {
+		return nil, 0, false, false
+	}
+	if !r.isMutexExpr(sel.X) {
+		return nil, 0, false, false
+	}
+	return sel.X, m.kind, m.read, true
+}
+
+// isMutexExpr reports whether e is a sync.Mutex or sync.RWMutex — by
+// resolved type when available, by the repo's "mu" naming convention
+// otherwise.
+func (r *Repo) isMutexExpr(e ast.Expr) bool {
+	switch namedPath(r.typeOf(e)) {
+	case "sync.Mutex", "sync.RWMutex":
+		return true
+	}
+	if r.typeOf(e) != nil {
+		return false // resolved to something that is not a mutex
+	}
+	name := ""
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	}
+	return name == "mu" || strings.HasSuffix(name, "Mu")
+}
+
+// lockOwner returns the bare name of the named type that owns the
+// mutex field ("" for package-level or unresolved locks): for "s.mu"
+// it is the type of s. The lock hierarchy is declared over these bare
+// names so golden fixtures can model the real types without importing
+// the real packages; the names are unique within this module.
+func (r *Repo) lockOwner(recv ast.Expr) string {
+	sel, ok := ast.Unparen(recv).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	n := namedOf(r.typeOf(sel.X))
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+// collectLockOps walks one function body (not descending into function
+// literals) and returns its mutex operations in source order, plus the
+// set of lock keys released by a defer ("recv\x00R"-keyed) and the
+// positions of return statements that hand off an unlock method value
+// per lock key.
+func (r *Repo) collectLockOps(body *ast.BlockStmt) (ops []lockOp, deferred map[string]bool, handoffs map[string][]token.Pos, returns []token.Pos) {
+	deferred = make(map[string]bool)
+	handoffs = make(map[string][]token.Pos)
+	// TryLock calls matched as if-conditions, so the ExprStmt pass
+	// below does not double-count them.
+	inCond := make(map[*ast.CallExpr]bool)
+	walkShallow(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			cond := ast.Unparen(s.Cond)
+			neg := false
+			if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+				cond, neg = ast.Unparen(u.X), true
+			}
+			call, ok := cond.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if recv, kind, read, ok := r.mutexCall(call); ok && kind == opTryLock {
+				inCond[call] = true
+				ops = append(ops, lockOp{
+					recv: types.ExprString(recv), owner: r.lockOwner(recv),
+					kind: opTryLock, read: read, pos: s.Pos(), ifStmt: s, negated: neg,
+				})
+			}
+		case *ast.DeferStmt:
+			ast.Inspect(s, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if recv, kind, read, ok := r.mutexCall(call); ok && kind == opUnlock {
+						deferred[lockKey(types.ExprString(recv), read)] = true
+					}
+				}
+				return true
+			})
+		case *ast.ReturnStmt:
+			returns = append(returns, s.Pos())
+			for _, res := range s.Results {
+				if sel, ok := ast.Unparen(res).(*ast.SelectorExpr); ok {
+					if m, isMutex := mutexMethods[sel.Sel.Name]; isMutex && m.kind == opUnlock && r.isMutexExpr(sel.X) {
+						key := lockKey(types.ExprString(sel.X), m.read)
+						handoffs[key] = append(handoffs[key], s.Pos())
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || inCond[call] {
+				return
+			}
+			if recv, kind, read, ok := r.mutexCall(call); ok {
+				ops = append(ops, lockOp{
+					recv: types.ExprString(recv), owner: r.lockOwner(recv),
+					kind: kind, read: read, pos: s.Pos(),
+				})
+			}
+		case *ast.CallExpr:
+			// An immediately-invoked function literal runs synchronously,
+			// so a defer inside it fires before the enclosing body
+			// continues: record its unlocks (deferred or inline) as
+			// inline releases at the call site. The directory's
+			// create-user path uses this to scope the shard lock to a
+			// closure (`sys, err := func() { defer sh.mu.Unlock(); ... }()`).
+			lit, ok := s.Fun.(*ast.FuncLit)
+			if !ok {
+				return
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if recv, kind, read, ok := r.mutexCall(call); ok && kind == opUnlock {
+						ops = append(ops, lockOp{
+							recv: types.ExprString(recv), owner: r.lockOwner(recv),
+							kind: opUnlock, read: read, pos: s.Pos(),
+						})
+						return false
+					}
+				}
+				return true
+			})
+		}
+	})
+	return ops, deferred, handoffs, returns
+}
+
+// lockKey joins a receiver expression and read-ness into the map key
+// both analyzers share.
+func lockKey(recv string, read bool) string {
+	if read {
+		return recv + "\x00R"
+	}
+	return recv
+}
+
+// heldRegion computes the statement range over which the acquire at
+// ops[i] is held: from the acquire to the earliest later inline
+// release or handoff return of the same lock, or to end (the end of
+// the body) when it is released by defer or not at all. Negated
+// if-condition TryLocks are held only from the end of their if
+// statement (the failure branch returns without the lock).
+func heldRegion(ops []lockOp, i int, handoffs map[string][]token.Pos, end token.Pos) (from, to token.Pos) {
+	acq := ops[i]
+	from = acq.pos
+	if acq.kind == opTryLock && acq.ifStmt != nil && acq.negated {
+		from = acq.ifStmt.End()
+	}
+	to = end
+	key := lockKey(acq.recv, acq.read)
+	for _, op := range ops {
+		if op.kind == opUnlock && op.pos > from && op.pos < to && lockKey(op.recv, op.read) == key {
+			to = op.pos
+		}
+	}
+	for _, h := range handoffs[key] {
+		if h > from && h < to {
+			to = h
+		}
+	}
+	return from, to
+}

@@ -1,0 +1,29 @@
+package allocbudget
+
+import "fmt"
+
+type resolver struct{ hits int }
+
+func box(v interface{}) {}
+
+// hot is anchored at zero and violates every construct the static
+// pass knows about, one per line.
+//
+//cpvet:hotpath allocs=0 fixture budget
+func (r *resolver) hot(key string, n int) int {
+	f := func() int { return n }
+	msg := "key=" + key
+	_ = fmt.Sprintf("%s=%d", msg, n)
+	xs := []int{n}
+	m := map[string]int{}
+	p := &resolver{}
+	q := make([]int, n)
+	box(n)
+	_ = new(int)
+	_ = f
+	_ = xs
+	_ = m
+	_ = p
+	_ = q
+	return r.hits
+}

@@ -1,0 +1,26 @@
+package allocbudget
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+// cold does all the allocating things without an anchor: the analyzer
+// prices only declared hot paths.
+func cold(key string, n int) string {
+	xs := []int{n}
+	return fmt.Sprintf("%s:%v", key, xs)
+}
+
+// lean is anchored and clean: fixed-size arrays and struct literals
+// used by value stay on the stack, and plain calls are priced by the
+// runtime conformance test instead.
+//
+//cpvet:hotpath allocs=0 fixture budget
+func lean(n int) int {
+	var buf [4]int
+	buf[0] = n
+	v := pair{a: n, b: n + 1}
+	return v.a + v.b + buf[0] + cheap(n)
+}
+
+func cheap(n int) int { return n * 2 }

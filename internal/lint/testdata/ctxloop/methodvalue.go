@@ -1,0 +1,57 @@
+package scans
+
+import "context"
+
+type walker struct{ rows []int }
+
+// cancelled is the hoisted per-row check the scan loops share.
+func (w *walker) cancelled(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// opaque does per-row work but never consults the context.
+func (w *walker) opaque(n int) int { return n * 2 }
+
+// viaMethodCall checks the context one resolved call away: the loop
+// body invokes a method whose body performs the check.
+//
+//cpvet:scanloop
+func (w *walker) viaMethodCall(ctx context.Context) (int, error) {
+	total := 0
+	for _, r := range w.rows {
+		if err := w.cancelled(ctx); err != nil {
+			return total, err
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// viaMethodValue binds the check to a local before the loop — the
+// bound-method shape — and calls it through the identifier.
+//
+//cpvet:scanloop
+func (w *walker) viaMethodValue(ctx context.Context) (int, error) {
+	check := w.cancelled
+	total := 0
+	for _, r := range w.rows {
+		if err := check(ctx); err != nil {
+			return total, err
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// viaOpaqueCall calls a method that does NOT check the context: one
+// hop of resolution finds nothing, so the anchor is violated.
+//
+//cpvet:scanloop
+func (w *walker) viaOpaqueCall(ctx context.Context) int {
+	total := 0
+	for _, r := range w.rows {
+		total += w.opaque(r)
+	}
+	_ = ctx
+	return total
+}

@@ -1,0 +1,55 @@
+package deferunlock
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type store struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// leakOnError returns early with the lock still held.
+func (s *store) leakOnError(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errFail
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// fallsOffEnd never releases at all.
+func (s *store) fallsOffEnd() {
+	s.mu.Lock()
+	s.n++
+}
+
+// readLeak pairs an RLock with a write Unlock: the read lock is never
+// released (kinds must match).
+func (s *store) readLeak() int {
+	s.mu.RLock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// tryBranchLeak succeeds into a branch that never releases.
+func (s *store) tryBranchLeak() bool {
+	if s.mu.TryLock() {
+		s.n++
+		return true
+	}
+	return false
+}
+
+// closureLeak shows bodies are independent: the literal acquires and
+// falls off its own end still holding the lock.
+func (s *store) closureLeak() func() {
+	return func() {
+		s.mu.Lock()
+		s.n++
+	}
+}

@@ -1,0 +1,59 @@
+package deferunlock
+
+// deferRelease is the baseline discipline.
+func (s *store) deferRelease() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// everyPath releases inline before each return.
+func (s *store) everyPath(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return errFail
+	}
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+// handoff returns the unlock method value — the rlock/wlock idiom;
+// the caller defers the returned func.
+func (s *store) handoff() (func(), error) {
+	s.mu.RLock()
+	return s.mu.RUnlock, nil
+}
+
+// tryGuarded releases inside the guarded branch of a positive TryLock.
+func (s *store) tryGuarded() bool {
+	if s.mu.TryRLock() {
+		n := s.n
+		s.mu.RUnlock()
+		return n > 0
+	}
+	return false
+}
+
+// tryNegated exits unlocked on failure and defers on success — the
+// shard-parking idiom.
+func (s *store) tryNegated() bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	defer s.mu.Unlock()
+	s.n++
+	return true
+}
+
+// iife scopes the lock to an immediately-invoked closure whose defer
+// fires before the enclosing body continues.
+func (s *store) iife() int {
+	s.mu.Lock()
+	n := func() int {
+		defer s.mu.Unlock()
+		return s.n
+	}()
+	return n
+}

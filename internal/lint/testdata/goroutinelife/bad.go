@@ -1,0 +1,28 @@
+package goroutinelife
+
+import "time"
+
+type poller struct{ n int }
+
+// untetheredLoop is the dangerous default: a forever loop with no way
+// to stop it.
+func untetheredLoop(p *poller) {
+	go func() {
+		for {
+			p.n++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// untetheredCall spawns a declared function whose body (one resolved
+// hop away) shows no lifecycle evidence either.
+func untetheredCall(p *poller) {
+	go spin(p)
+}
+
+func spin(p *poller) {
+	for i := 0; i < 1e6; i++ {
+		p.n++
+	}
+}

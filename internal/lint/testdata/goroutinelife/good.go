@@ -1,0 +1,68 @@
+package goroutinelife
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+// ctxTied consults ctx.Done: cancellation ends the loop.
+func ctxTied(ctx context.Context, p *poller) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				p.n++
+			}
+		}
+	}()
+}
+
+// chanTied ranges a channel from the shutdown vocabulary; closing
+// stopc ends the goroutine.
+func chanTied(stopc chan struct{}, p *poller) {
+	go func() {
+		for range stopc {
+			p.n++
+		}
+	}()
+}
+
+// wgTied is awaited through a WaitGroup.
+func wgTied(wg *sync.WaitGroup, p *poller) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.n++
+	}()
+}
+
+// handoff is the bounded result-channel idiom: the goroutine lives
+// exactly as long as the blocking call whose result it sends.
+func handoff(p *poller, errc chan error) {
+	go func() { errc <- run(p) }()
+}
+
+func run(p *poller) error { p.n++; return nil }
+
+// closerTied is bounded by the resource it closes on exit (the
+// replication ack-reader shape).
+func closerTied(rc io.ReadCloser, p *poller) {
+	go func() {
+		defer rc.Close()
+		p.n++
+	}()
+}
+
+// argTied passes a lifecycle handle to the spawned function; the tie
+// is visible at the spawn site.
+func argTied(ctx context.Context, p *poller) {
+	go watch(ctx, p)
+}
+
+func watch(ctx context.Context, p *poller) {
+	<-ctx.Done()
+	p.n = 0
+}

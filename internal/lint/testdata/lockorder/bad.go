@@ -1,0 +1,65 @@
+package lockorder
+
+import (
+	"net"
+	"os"
+	"sync"
+)
+
+// The shapes mirror the real hierarchy by bare type name (DESIGN §14):
+// dirShard (level 1), SafeSystem (level 2), Journal (level 3).
+type dirShard struct{ mu sync.RWMutex }
+
+type SafeSystem struct{ mu sync.RWMutex }
+
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// inverted acquires the shard lock while holding the journal lock —
+// levels 3 then 1, against the declared order.
+func inverted(j *Journal, sh *dirShard) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+// hiddenInversion reaches the outer lock through a call: the fixpoint
+// propagates "acquires level 1" out of lockShard.
+func hiddenInversion(s *SafeSystem, sh *dirShard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lockShard(sh)
+}
+
+func lockShard(sh *dirShard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+}
+
+// fsyncUnderLock holds the journal lock across an fsync with no
+// //cpvet:lockheld anchor explaining why.
+func fsyncUnderLock(j *Journal) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// dialUnderLock holds the SafeSystem lock across a network dial.
+func dialUnderLock(s *SafeSystem) (net.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return net.Dial("tcp", "localhost:1")
+}
+
+// fsyncViaCall reaches the fsync through a resolved call: the I/O fact
+// propagates out of flush.
+func fsyncViaCall(j *Journal) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return flush(j)
+}
+
+func flush(j *Journal) error { return j.f.Sync() }

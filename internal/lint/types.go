@@ -1,0 +1,324 @@
+package lint
+
+// Type resolution for the analyzer suite. PR 5's analyzers were purely
+// syntactic; the concurrency-contract analyzers (lockorder,
+// deferunlock, goroutinelife, allocbudget) need to know what a selector
+// *is* — whether s.mu is a sync.RWMutex owned by a SafeSystem, whether
+// an argument is a context.Context, whether a call parameter is an
+// interface — so Load now runs go/types over the parsed forest.
+//
+// The resolution is stdlib-only and best-effort by design:
+//
+//   - Repo packages are grouped by directory, topologically sorted by
+//     their intra-module imports, and type-checked in that order with a
+//     repo-local importer, so cross-package references (cmd/cpserver →
+//     contextpref → internal/journal) resolve to real objects.
+//   - Standard-library imports resolve through go/importer's source
+//     importer, shared process-wide so the (expensive) first resolution
+//     of sync/net/context is paid once across fixture loads.
+//   - Errors never fail Load: golden fixtures are deliberately
+//     fragmentary, and an analyzer asking about an unresolved
+//     expression simply gets nil and falls back to its syntactic
+//     heuristic.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// stdImporterMu guards the process-wide source importer. The importer
+// caches every stdlib package it has checked, so sharing one instance
+// across Load calls makes fixture-heavy test runs pay for `sync`,
+// `context`, and `net` once instead of per fixture. Positions inside
+// stdlib objects belong to stdFset, never to a Repo's Fset — the
+// analyzers only ever report positions of repo nodes, so the mix is
+// harmless.
+var (
+	stdImporterMu sync.Mutex
+	stdFset       = token.NewFileSet()
+	stdImporter   = importer.ForCompiler(stdFset, "source", nil)
+	stdCache      = map[string]*types.Package{}
+)
+
+// importStd resolves a standard-library import path, returning a stub
+// empty package when source resolution fails (vendored build tags, cgo
+// shims) so type checking of the repo proceeds with partial info.
+func importStd(ipath string) *types.Package {
+	stdImporterMu.Lock()
+	defer stdImporterMu.Unlock()
+	if pkg, ok := stdCache[ipath]; ok {
+		return pkg
+	}
+	pkg, err := stdImporter.Import(ipath)
+	if err != nil || pkg == nil {
+		pkg = types.NewPackage(ipath, path.Base(ipath))
+		pkg.MarkComplete()
+	}
+	stdCache[ipath] = pkg
+	return pkg
+}
+
+// repoImporter resolves imports during the repo's own type check:
+// intra-module paths come from the already-checked package set (the
+// topological order below guarantees they exist), everything else from
+// the shared stdlib importer.
+type repoImporter struct {
+	modPath string
+	pkgs    map[string]*types.Package
+}
+
+func (ri *repoImporter) Import(ipath string) (*types.Package, error) {
+	if pkg, ok := ri.pkgs[ipath]; ok {
+		return pkg, nil
+	}
+	return importStd(ipath), nil
+}
+
+// typecheck resolves types over the loaded forest, filling Repo.Types
+// and Repo.FuncDecls. It never fails: fixtures with dangling references
+// type-check partially and the analyzers degrade to syntax.
+func (r *Repo) typecheck(root string) {
+	r.Types = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	modPath := modulePath(root)
+
+	// Group the parsed files by directory; each directory is one
+	// package (mixed-package directories keep the majority and drop the
+	// rest from type checking — they still get the syntactic passes).
+	byDir := make(map[string][]*File)
+	var dirs []string
+	for _, f := range r.Files {
+		dir := path.Dir(f.Path)
+		if _, ok := byDir[dir]; !ok {
+			dirs = append(dirs, dir)
+		}
+		byDir[dir] = append(byDir[dir], f)
+	}
+
+	importPathOf := func(dir string) string {
+		if dir == "." {
+			return modPath
+		}
+		return modPath + "/" + dir
+	}
+
+	// Topological order over intra-module imports, so dependencies are
+	// checked before their importers. Cycles (impossible in a compiling
+	// tree, possible in fixtures) fall back to name order.
+	deps := make(map[string][]string)
+	for _, dir := range dirs {
+		for _, f := range byDir[dir] {
+			for _, imp := range f.AST.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if p == modPath {
+					deps[dir] = append(deps[dir], ".")
+				} else if strings.HasPrefix(p, modPath+"/") {
+					deps[dir] = append(deps[dir], strings.TrimPrefix(p, modPath+"/"))
+				}
+			}
+		}
+	}
+	sort.Strings(dirs)
+	order := topoSort(dirs, deps)
+
+	ri := &repoImporter{modPath: modPath, pkgs: make(map[string]*types.Package)}
+	for _, dir := range order {
+		files := make([]*ast.File, 0, len(byDir[dir]))
+		pkgName := ""
+		for _, f := range byDir[dir] {
+			if pkgName == "" {
+				pkgName = f.AST.Name.Name
+			}
+			if f.AST.Name.Name == pkgName {
+				files = append(files, f.AST)
+			}
+		}
+		cfg := types.Config{
+			Importer: ri,
+			Error:    func(error) {}, // tolerate: fixtures are fragments
+		}
+		pkg, _ := cfg.Check(importPathOf(dir), r.Fset, files, r.Types)
+		if pkg != nil {
+			ri.pkgs[importPathOf(dir)] = pkg
+		}
+	}
+	r.ModPath = modPath
+
+	// Index every function declaration by its defining object, so
+	// analyzers can walk from a call site into the callee's body.
+	r.FuncDecls = make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range r.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := r.Types.Defs[fd.Name].(*types.Func); ok {
+				r.FuncDecls[obj] = fd
+			}
+		}
+	}
+}
+
+// topoSort orders dirs so that dependencies precede dependents; nodes
+// on cycles keep their name order.
+func topoSort(dirs []string, deps map[string][]string) []string {
+	state := make(map[string]int) // 0 unseen, 1 visiting, 2 done
+	var out []string
+	var visit func(d string)
+	visit = func(d string) {
+		if state[d] != 0 {
+			return
+		}
+		state[d] = 1
+		seen := make(map[string]bool)
+		for _, dep := range deps[d] {
+			if dep != d && !seen[dep] && state[dep] == 0 {
+				seen[dep] = true
+				visit(dep)
+			}
+		}
+		state[d] = 2
+		out = append(out, d)
+	}
+	for _, d := range dirs {
+		visit(d)
+	}
+	return out
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// modulePath reads the module path from root's go.mod; fixture roots
+// without one get the placeholder "fixture".
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err == nil {
+		if m := moduleRe.FindSubmatch(data); m != nil {
+			return string(m[1])
+		}
+	}
+	return "fixture"
+}
+
+// --- shared type helpers -------------------------------------------------
+
+// typeOf returns the resolved type of an expression, or nil.
+func (r *Repo) typeOf(e ast.Expr) types.Type {
+	if r.Types == nil {
+		return nil
+	}
+	if tv, ok := r.Types.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and aliases down to the *types.Named beneath
+// a type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for t != nil {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// namedPath renders a named type as "import/path.Name" ("" when the
+// type is not a named type or has no package).
+func namedPath(t types.Type) string {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// isType reports whether e resolves to the named type "path.Name"
+// (pointers unwrapped).
+func (r *Repo) isType(e ast.Expr, full string) bool {
+	return namedPath(r.typeOf(e)) == full
+}
+
+// isContextType reports whether t is context.Context or implements it
+// (the tracing span is itself a context).
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if namedPath(t) == "context.Context" {
+		return true
+	}
+	iface, _ := namedOf(t).Underlying().(*types.Interface)
+	_ = iface
+	return false
+}
+
+// calleeFunc resolves the function or method a call invokes, when it
+// statically resolves to a declared function ("" otherwise): direct
+// calls, package-qualified calls, and method calls on concrete
+// receivers. Interface method calls do not resolve — which is exactly
+// the fault-isolation boundary the lock analyzers rely on.
+func (r *Repo) calleeFunc(call *ast.CallExpr) *types.Func {
+	if r.Types == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := r.Types.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := r.Types.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// An interface method has no body to walk.
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					return nil
+				}
+				return fn
+			}
+		}
+		if fn, ok := r.Types.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcPosition returns the declaring position of fn inside the repo
+// (zero Position if fn was not declared in the loaded forest).
+func (r *Repo) funcDecl(fn *types.Func) *ast.FuncDecl {
+	if fn == nil || r.FuncDecls == nil {
+		return nil
+	}
+	return r.FuncDecls[fn]
+}

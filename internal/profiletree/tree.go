@@ -745,6 +745,8 @@ func (t *Tree) Resolve(s ctxmodel.State, m distance.Metric) (Candidate, int, boo
 // root-to-leaf lookup is a single bounded descent and is not gated. The
 // cells accessed before the abort are still counted into the metrics,
 // so cancellations are observable in cp_resolve_cells_total.
+//
+//cpvet:hotpath allocs=62 cover-query resolution over the real profile with full instrumentation; the budget is today's measurement, move it only with a benchmark
 func (t *Tree) ResolveCtx(ctx context.Context, s ctxmodel.State, m distance.Metric) (Candidate, int, bool, error) {
 	ctx, sp := tracing.Start(ctx, "profiletree.resolve")
 	defer sp.End()

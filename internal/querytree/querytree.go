@@ -132,6 +132,8 @@ func (c *Cache) path(s ctxmodel.State) []string {
 
 // Get returns the cached result and its resolution for the exact
 // context state.
+//
+//cpvet:hotpath allocs=2 one path slice from c.path plus Validate's bookkeeping; a hit must never copy the cached tuples
 func (c *Cache) Get(s ctxmodel.State) ([]relation.ScoredTuple, query.Resolution, bool, error) {
 	if err := c.env.Validate(s); err != nil {
 		return nil, query.Resolution{}, false, err

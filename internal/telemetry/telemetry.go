@@ -461,6 +461,8 @@ func newHistogram(name, help string, buckets []float64) *Histogram {
 }
 
 // Observe records one observation.
+//
+//cpvet:hotpath allocs=0 the instrument sits inside every resolve; a single heap byte here is multiplied by the request rate
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
